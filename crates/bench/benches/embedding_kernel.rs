@@ -1,0 +1,51 @@
+//! Criterion benchmark of the embedding-bag kernel variants on the simulated
+//! GPU: base, OptMT, every prefetching scheme, and the combined scheme.
+//!
+//! These measure the cost of *simulating* one table-level kernel under each
+//! scheme; the simulated (modelled) latency itself is what the `figures`
+//! harness reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrm::{DlrmConfig, WorkloadScale};
+use dlrm_datasets::AccessPattern;
+use gpu_sim::GpuConfig;
+use perf_envelope::{ExperimentContext, Scheme};
+
+fn kernel_schemes(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+        .with_model(DlrmConfig::at_scale(WorkloadScale::Test));
+    let mut group = c.benchmark_group("embedding_kernel_schemes");
+    group.sample_size(10);
+    let schemes = [
+        ("base", Scheme::base()),
+        ("optmt", Scheme::optmt()),
+        ("rpf_optmt", Scheme::rpf_optmt()),
+        ("l2p_optmt", Scheme::l2p_optmt()),
+        ("combined", Scheme::combined()),
+    ];
+    for (name, scheme) in schemes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
+            b.iter(|| ctx.run_embedding_kernel(AccessPattern::MedHot, scheme));
+        });
+    }
+    group.finish();
+}
+
+fn kernel_datasets(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
+    let mut group = c.benchmark_group("embedding_kernel_datasets");
+    group.sample_size(10);
+    for pattern in AccessPattern::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.paper_name().replace(' ', "_")),
+            &pattern,
+            |b, &pattern| {
+                b.iter(|| ctx.run_embedding_kernel(pattern, &Scheme::base()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_schemes, kernel_datasets);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark of the end-to-end DLRM pipeline: the embedding stage
+//! under the base and combined schemes, the functional forward pass, and the
+//! non-embedding timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrm::{DlrmConfig, DlrmForward, NonEmbeddingTimingModel, WorkloadScale};
+use dlrm_datasets::AccessPattern;
+use gpu_sim::GpuConfig;
+use perf_envelope::{ExperimentContext, Scheme};
+
+fn embedding_stage(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, scheme) in [("base", Scheme::base()), ("combined", Scheme::combined())] {
+        group.bench_with_input(
+            BenchmarkId::new("embedding_stage", name),
+            &scheme,
+            |b, scheme| {
+                b.iter(|| ctx.run_end_to_end(AccessPattern::HighHot, scheme));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn functional_forward(c: &mut Criterion) {
+    let config = DlrmConfig::at_scale(WorkloadScale::Test);
+    let model = DlrmForward::new(config.clone(), 7);
+    let traces: Vec<_> = (0..config.num_tables)
+        .map(|t| config.embedding.trace.generate(AccessPattern::MedHot, t as u64))
+        .collect();
+    let dense: Vec<f32> = (0..config.batch_size() as usize * config.bottom_mlp[0] as usize)
+        .map(|i| (i % 13) as f32 / 13.0)
+        .collect();
+    let mut group = c.benchmark_group("functional_forward");
+    group.sample_size(10);
+    group.bench_function("dlrm_forward_pass", |b| b.iter(|| model.forward(&dense, &traces)));
+    group.bench_function("non_embedding_timing_model", |b| {
+        let timing = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        let paper = DlrmConfig::paper_model();
+        b.iter(|| timing.non_embedding_time_us(&paper));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, embedding_stage, functional_forward);
+criterion_main!(benches);

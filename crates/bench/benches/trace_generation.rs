@@ -1,0 +1,35 @@
+//! Criterion benchmark of the synthetic trace generators and the hotness
+//! metrics (unique-access % and coverage curve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrm_datasets::{AccessPattern, TraceConfig};
+
+fn generation(c: &mut Criterion) {
+    let cfg = TraceConfig::new(250_000, 512, 48);
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for pattern in AccessPattern::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.paper_name().replace(' ', "_")),
+            &pattern,
+            |b, &pattern| {
+                b.iter(|| cfg.generate(pattern, 42));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn metrics(c: &mut Criterion) {
+    let cfg = TraceConfig::new(250_000, 512, 48);
+    let trace = cfg.generate(AccessPattern::MedHot, 42);
+    let mut group = c.benchmark_group("trace_metrics");
+    group.sample_size(10);
+    group.bench_function("unique_access_pct", |b| b.iter(|| trace.unique_access_pct()));
+    group.bench_function("coverage_curve", |b| b.iter(|| trace.coverage_curve().series()));
+    group.bench_function("row_popularity", |b| b.iter(|| trace.row_popularity().len()));
+    group.finish();
+}
+
+criterion_group!(benches, generation, metrics);
+criterion_main!(benches);

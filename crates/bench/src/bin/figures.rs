@@ -1,0 +1,34 @@
+//! `figures` — regenerates the paper's figures on the simulated substrate.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- --figure 12 --scale default
+//! cargo run -p bench --release --bin figures -- --all --scale test
+//! ```
+
+use bench::figures::{render_figure, ALL_FIGURES};
+use bench::HarnessOptions;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1), "--figure") {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let targets: Vec<u32> = match opts.which {
+        Some(n) => vec![n],
+        None => ALL_FIGURES.to_vec(),
+    };
+    for n in targets {
+        match render_figure(n, &opts) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!(
+                    "figure {n} is not part of the evaluation (available: {ALL_FIGURES:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `tables` — regenerates the paper's tables on the simulated substrate.
+//!
+//! ```text
+//! cargo run -p bench --release --bin tables -- --table 4 --scale default
+//! cargo run -p bench --release --bin tables -- --all
+//! ```
+
+use bench::tables::{render_table_n, ALL_TABLES};
+use bench::HarnessOptions;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1), "--table") {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let targets: Vec<u32> = match opts.which {
+        Some(n) => vec![n],
+        None => ALL_TABLES.to_vec(),
+    };
+    for n in targets {
+        match render_table_n(n, &opts) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("table {n} is not part of the evaluation (available: {ALL_TABLES:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Regeneration of the paper's tables.
+//!
+//! * Table I — memory-hierarchy access latencies (device configuration),
+//! * Table III — unique access % per dataset,
+//! * Tables IV / V / VIII / IX — NCU-style microarchitectural
+//!   characterisation of the base, OptMT, RPF+OptMT and RPF+L2P+OptMT
+//!   kernels across the datasets.
+
+use dlrm_datasets::AccessPattern;
+use gpu_sim::KernelStats;
+use perf_envelope::Scheme;
+
+use crate::options::HarnessOptions;
+
+/// The table numbers this harness can regenerate.
+pub const ALL_TABLES: [u32; 6] = [1, 3, 4, 5, 8, 9];
+
+/// Renders table `n`, or `None` if it is not one of the paper's tables.
+pub fn render_table_n(n: u32, opts: &HarnessOptions) -> Option<String> {
+    let body = match n {
+        1 => table1(opts),
+        3 => table3(opts),
+        4 => ncu_table(opts, "Table IV: base PyTorch", &Scheme::base(), &AccessPattern::ALL),
+        5 => ncu_table(opts, "Table V: OptMT", &Scheme::optmt(), &AccessPattern::ALL),
+        8 => ncu_table(
+            opts,
+            "Table VIII: RPF+OptMT",
+            &Scheme::rpf_optmt(),
+            &AccessPattern::EVALUATED,
+        ),
+        9 => ncu_table(
+            opts,
+            "Table IX: RPF+L2P+OptMT",
+            &Scheme::combined(),
+            &AccessPattern::EVALUATED,
+        ),
+        _ => return None,
+    };
+    Some(format!("{}\n{}", opts.banner(), body))
+}
+
+/// Table I: access latencies of the memory hierarchy.
+pub fn table1(opts: &HarnessOptions) -> String {
+    let gpu = opts.gpu();
+    let mut out = format!("## Table I: access latencies on {} (cycles)\n", gpu.name);
+    out.push_str(&format!("{:<16}{}\n", "Register", gpu.register_latency));
+    out.push_str(&format!("{:<16}{}\n", "Shared Memory", gpu.shared_mem_latency));
+    out.push_str(&format!("{:<16}{}\n", "L1D cache", gpu.l1.hit_latency));
+    out.push_str(&format!("{:<16}{}\n", "L2 cache", gpu.l2.hit_latency));
+    out.push_str(&format!("{:<16}{}\n", "Global Memory", gpu.dram.latency));
+    out
+}
+
+/// Table III: unique access % in each dataset, measured on generated traces
+/// and compared with the paper's reported values.
+pub fn table3(opts: &HarnessOptions) -> String {
+    let ctx = opts.context();
+    let trace_cfg = ctx.model().embedding.trace;
+    let mut out = String::from("## Table III: unique access % per dataset\n");
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}\n",
+        "dataset", "measured_%", "paper_%"
+    ));
+    for pattern in AccessPattern::ALL {
+        let trace = trace_cfg.generate(pattern, opts.seed);
+        out.push_str(&format!(
+            "{:<12}{:>14.4}{:>14.4}\n",
+            pattern.paper_name(),
+            trace.unique_access_pct(),
+            pattern.paper_unique_access_pct()
+        ));
+    }
+    out
+}
+
+/// Renders one NCU-style characterisation table: metrics as rows, datasets as
+/// columns (the layout of the paper's Tables IV, V, VIII and IX).
+fn ncu_table(
+    opts: &HarnessOptions,
+    title: &str,
+    scheme: &Scheme,
+    patterns: &[AccessPattern],
+) -> String {
+    let ctx = opts.context();
+    let runs: Vec<(AccessPattern, KernelStats)> =
+        patterns.iter().map(|&p| (p, ctx.run_embedding_kernel(p, scheme))).collect();
+
+    let metric_names: Vec<String> =
+        runs[0].1.ncu_rows().into_iter().map(|(name, _)| name).collect();
+    let mut out = format!("## {title} (per embedding-bag kernel, one table)\n");
+    let metric_width = metric_names.iter().map(|m| m.len()).max().unwrap_or(10) + 2;
+    out.push_str(&format!("{:<metric_width$}", "NCU metric / dataset"));
+    for (p, _) in &runs {
+        out.push_str(&format!("{:>12}", p.paper_name()));
+    }
+    out.push('\n');
+    for (i, metric) in metric_names.iter().enumerate() {
+        out.push_str(&format!("{metric:<metric_width$}"));
+        for (_, stats) in &runs {
+            let value = &stats.ncu_rows()[i].1;
+            out.push_str(&format!("{value:>12}"));
+        }
+        out.push('\n');
+    }
+    // Occupancy footer (the paper quotes it in the caption).
+    out.push_str(&format!(
+        "(occupancy: {} warps/SM, {} registers/thread)\n",
+        runs[0].1.theoretical_warps_per_sm, runs[0].1.allocated_regs_per_thread
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::WorkloadScale;
+
+    fn test_opts() -> HarnessOptions {
+        HarnessOptions { scale: WorkloadScale::Test, ..Default::default() }
+    }
+
+    #[test]
+    fn table1_lists_the_five_levels() {
+        let text = table1(&test_opts());
+        for level in ["Register", "Shared Memory", "L1D cache", "L2 cache", "Global Memory"] {
+            assert!(text.contains(level));
+        }
+        assert!(text.contains("466"));
+    }
+
+    #[test]
+    fn table3_reports_measured_and_paper_values() {
+        let text = table3(&test_opts());
+        assert!(text.contains("one item"));
+        assert!(text.contains("63.2100") || text.contains("63.21"));
+        assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    fn unknown_table_numbers_return_none() {
+        assert!(render_table_n(2, &test_opts()).is_none());
+        assert!(render_table_n(7, &test_opts()).is_none());
+    }
+
+    #[test]
+    fn ncu_table_has_metrics_as_rows_and_datasets_as_columns() {
+        let text = render_table_n(4, &test_opts()).unwrap();
+        assert!(text.contains("Kernel time (us)"));
+        assert!(text.contains("long scoreboard stall"));
+        assert!(text.contains("one item"));
+        assert!(text.contains("random"));
+        assert!(text.contains("warps/SM"));
+    }
+}

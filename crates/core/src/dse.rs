@@ -1,0 +1,286 @@
+//! Design-space exploration sweeps.
+//!
+//! These are the sweeps the paper runs to find its operating points:
+//!
+//! * the register / warp-level-parallelism sweep of Figures 6 and 18,
+//! * the prefetch-distance sweep of Figure 9,
+//! * the buffer-station comparison of Figures 15 and 16a,
+//! * the pooling-factor sweep of Figure 11 (L2 pinning sensitivity).
+//!
+//! Every sweep reports speedups over the off-the-shelf (base) configuration,
+//! exactly like the paper's y-axes.
+
+use dlrm_datasets::AccessPattern;
+use embedding_kernels::{BufferStation, PrefetchConfig};
+use gpu_sim::occupancy::regs_per_thread_for_target_warps;
+
+use crate::runner::ExperimentContext;
+use crate::scheme::{Multithreading, Scheme};
+
+/// The warp counts the paper sweeps in Figures 6 and 18.
+pub const PAPER_WARP_SWEEP: [u32; 5] = [24, 32, 40, 48, 64];
+
+/// One point of the register/WLP sweep (Figures 6 and 18).
+#[derive(Debug, Clone)]
+pub struct RegisterSweepPoint {
+    /// Theoretical resident warps per SM at this point.
+    pub target_warps: u32,
+    /// The `-maxrregcount` value that produces this warp count.
+    pub regs_per_thread: u32,
+    /// `(dataset, speedup over base)` pairs.
+    pub speedups: Vec<(AccessPattern, f64)>,
+    /// Local-memory (spill) loads in millions, summed over the simulated
+    /// kernels of the `random` dataset (the figure's secondary axis).
+    pub local_loads_millions: f64,
+}
+
+/// Sweeps resident warps per SM by lowering the register allocation
+/// (the paper's `-maxrregcount` sweep).
+pub fn register_sweep(
+    ctx: &ExperimentContext,
+    patterns: &[AccessPattern],
+    warp_targets: &[u32],
+) -> Vec<RegisterSweepPoint> {
+    let baselines: Vec<(AccessPattern, f64)> = patterns
+        .iter()
+        .map(|&p| (p, ctx.run_embedding_kernel(p, &Scheme::base()).kernel_time_us()))
+        .collect();
+
+    let mut points = Vec::new();
+    for &warps in warp_targets {
+        let Some(regs) =
+            regs_per_thread_for_target_warps(ctx.gpu(), 256, warps)
+        else {
+            continue;
+        };
+        let scheme = Scheme::base().with_multithreading(Multithreading::MaxRegisters(regs));
+        let mut speedups = Vec::new();
+        let mut local_loads = 0.0;
+        for &(pattern, base_us) in &baselines {
+            let stats = ctx.run_embedding_kernel(pattern, &scheme);
+            speedups.push((pattern, base_us / stats.kernel_time_us()));
+            if pattern == AccessPattern::Random || patterns.len() == 1 {
+                local_loads = stats.local_loads_millions();
+            }
+        }
+        points.push(RegisterSweepPoint {
+            target_warps: warps,
+            regs_per_thread: regs,
+            speedups,
+            local_loads_millions: local_loads,
+        });
+    }
+    points
+}
+
+/// Finds the warp count with the best mean speedup in a register sweep —
+/// the paper's "OptMT" point (40 warps on the A100, 32 on the H100 NVL).
+pub fn find_optimal_multithreading(points: &[RegisterSweepPoint]) -> Option<&RegisterSweepPoint> {
+    points.iter().max_by(|a, b| {
+        mean_speedup(a).partial_cmp(&mean_speedup(b)).unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+fn mean_speedup(p: &RegisterSweepPoint) -> f64 {
+    if p.speedups.is_empty() {
+        return 0.0;
+    }
+    p.speedups.iter().map(|(_, s)| s).sum::<f64>() / p.speedups.len() as f64
+}
+
+/// One point of the prefetch-distance sweep (Figure 9).
+#[derive(Debug, Clone)]
+pub struct DistanceSweepPoint {
+    /// The prefetch distance of this point.
+    pub distance: u32,
+    /// `(dataset, speedup over base)` pairs.
+    pub speedups: Vec<(AccessPattern, f64)>,
+}
+
+/// Sweeps the prefetch distance for one buffer station, reporting speedups
+/// over the off-the-shelf kernel. `with_optmt` combines every point with the
+/// OptMT register cap (as in Figure 15) instead of the natural allocation
+/// (as in Figures 9 and 16a).
+pub fn prefetch_distance_sweep(
+    ctx: &ExperimentContext,
+    station: BufferStation,
+    distances: &[u32],
+    patterns: &[AccessPattern],
+    with_optmt: bool,
+) -> Vec<DistanceSweepPoint> {
+    let baselines: Vec<(AccessPattern, f64)> = patterns
+        .iter()
+        .map(|&p| (p, ctx.run_embedding_kernel(p, &Scheme::base()).kernel_time_us()))
+        .collect();
+    distances
+        .iter()
+        .map(|&d| {
+            let base_scheme = if with_optmt { Scheme::optmt() } else { Scheme::base() };
+            let scheme = base_scheme.with_prefetch(PrefetchConfig::new(station, d));
+            let speedups = baselines
+                .iter()
+                .map(|&(p, base_us)| {
+                    (p, base_us / ctx.run_embedding_kernel(p, &scheme).kernel_time_us())
+                })
+                .collect();
+            DistanceSweepPoint { distance: d, speedups }
+        })
+        .collect()
+}
+
+/// Picks the distance with the best mean speedup from a distance sweep.
+pub fn find_optimal_distance(points: &[DistanceSweepPoint]) -> Option<u32> {
+    points
+        .iter()
+        .max_by(|a, b| {
+            let ma = a.speedups.iter().map(|(_, s)| s).sum::<f64>();
+            let mb = b.speedups.iter().map(|(_, s)| s).sum::<f64>();
+            ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|p| p.distance)
+}
+
+/// One row of the buffer-station comparison (Figures 15 / 16a).
+#[derive(Debug, Clone)]
+pub struct StationComparisonPoint {
+    /// The buffer station.
+    pub station: BufferStation,
+    /// The prefetch distance used for this station.
+    pub distance: u32,
+    /// `(dataset, speedup over base)` pairs.
+    pub speedups: Vec<(AccessPattern, f64)>,
+}
+
+/// Compares all four prefetching buffer stations at their paper-optimal
+/// distances, with or without OptMT.
+pub fn buffer_station_comparison(
+    ctx: &ExperimentContext,
+    patterns: &[AccessPattern],
+    with_optmt: bool,
+) -> Vec<StationComparisonPoint> {
+    let baselines: Vec<(AccessPattern, f64)> = patterns
+        .iter()
+        .map(|&p| (p, ctx.run_embedding_kernel(p, &Scheme::base()).kernel_time_us()))
+        .collect();
+    BufferStation::ALL
+        .iter()
+        .map(|&station| {
+            let distance = if with_optmt {
+                station.optimal_distance_with_optmt()
+            } else {
+                station.optimal_distance_without_optmt()
+            };
+            let base_scheme = if with_optmt { Scheme::optmt() } else { Scheme::base() };
+            let scheme = base_scheme.with_prefetch(PrefetchConfig::new(station, distance));
+            let speedups = baselines
+                .iter()
+                .map(|&(p, base_us)| {
+                    (p, base_us / ctx.run_embedding_kernel(p, &scheme).kernel_time_us())
+                })
+                .collect();
+            StationComparisonPoint { station, distance, speedups }
+        })
+        .collect()
+}
+
+/// One point of the pooling-factor sweep (Figure 11).
+#[derive(Debug, Clone)]
+pub struct PoolingSweepPoint {
+    /// Lookups per sample at this point.
+    pub pooling_factor: u32,
+    /// `(dataset, L2P speedup over base)` pairs.
+    pub speedups: Vec<(AccessPattern, f64)>,
+}
+
+/// Sweeps the pooling factor and reports the speedup of L2 pinning over the
+/// base kernel at each point (the paper finds L2P helps more at smaller
+/// pooling factors, where hardware caches capture less reuse on their own).
+pub fn pooling_factor_sweep(
+    ctx: &ExperimentContext,
+    pooling_factors: &[u32],
+    patterns: &[AccessPattern],
+) -> Vec<PoolingSweepPoint> {
+    pooling_factors
+        .iter()
+        .map(|&pf| {
+            let c = ctx.clone().with_pooling_factor(pf);
+            let speedups = patterns
+                .iter()
+                .map(|&p| {
+                    let base = c.run_embedding_kernel(p, &Scheme::base()).kernel_time_us();
+                    let pinned = c.run_embedding_kernel(p, &Scheme::l2p_only()).kernel_time_us();
+                    (p, base / pinned)
+                })
+                .collect();
+            PoolingSweepPoint { pooling_factor: pf, speedups }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::WorkloadScale;
+    use gpu_sim::GpuConfig;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+    }
+
+    #[test]
+    fn register_sweep_produces_requested_points() {
+        let points = register_sweep(&ctx(), &[AccessPattern::Random], &[24, 40, 64]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].target_warps, 24);
+        assert!(points.iter().all(|p| !p.speedups.is_empty()));
+        // More aggressive register caps spill more.
+        assert!(points[2].local_loads_millions >= points[0].local_loads_millions);
+    }
+
+    #[test]
+    fn register_sweep_skips_unreachable_warp_counts() {
+        let points = register_sweep(&ctx(), &[AccessPattern::MedHot], &[56]);
+        assert!(points.is_empty());
+    }
+
+    #[test]
+    fn optimal_multithreading_is_a_swept_point() {
+        let points = register_sweep(&ctx(), &[AccessPattern::Random], &[24, 40, 64]);
+        let best = find_optimal_multithreading(&points).unwrap();
+        assert!(PAPER_WARP_SWEEP.contains(&best.target_warps));
+    }
+
+    #[test]
+    fn distance_sweep_reports_each_distance() {
+        let points = prefetch_distance_sweep(
+            &ctx(),
+            BufferStation::Register,
+            &[1, 2, 4],
+            &[AccessPattern::LowHot],
+            true,
+        );
+        assert_eq!(points.iter().map(|p| p.distance).collect::<Vec<_>>(), vec![1, 2, 4]);
+        let best = find_optimal_distance(&points).unwrap();
+        assert!([1, 2, 4].contains(&best));
+    }
+
+    #[test]
+    fn station_comparison_covers_all_four_stations() {
+        let rows = buffer_station_comparison(&ctx(), &[AccessPattern::Random], true);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.distance == 2));
+        let rows_no_optmt = buffer_station_comparison(&ctx(), &[AccessPattern::Random], false);
+        assert_eq!(
+            rows_no_optmt.iter().map(|r| r.distance).collect::<Vec<_>>(),
+            vec![4, 10, 10, 5]
+        );
+    }
+
+    #[test]
+    fn pooling_sweep_reports_each_factor() {
+        let points = pooling_factor_sweep(&ctx(), &[4, 8], &[AccessPattern::HighHot]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.speedups.len() == 1));
+        assert!(points.iter().all(|p| p.speedups[0].1 > 0.2));
+    }
+}

@@ -1,0 +1,50 @@
+//! # perf-envelope — the paper's contribution as a reusable library
+//!
+//! This crate packages the optimizations of *"Pushing the Performance
+//! Envelope of DNN-based Recommendation Systems Inference on GPUs"*
+//! (MICRO 2024) behind one API:
+//!
+//! * [`Scheme`]: the plug-and-play optimization schemes the paper evaluates —
+//!   OptMT (optimal warp-level parallelism via register capping), software
+//!   prefetching into four buffer stations (RPF/SMPF/LMPF/L1DPF), L2 pinning
+//!   of hot embedding rows, and their combinations,
+//! * [`runner`]: executes the embedding stage (and the end-to-end DLRM
+//!   pipeline) under a scheme on the simulated GPU and reports latency plus
+//!   NCU-style statistics,
+//! * [`dse`]: the design-space exploration sweeps the paper uses to pick its
+//!   operating points (register/WLP sweep, prefetch-distance sweep, buffer
+//!   station comparison, pooling-factor sweep),
+//! * [`profiler`]: the static profiling framework of Section VII — a
+//!   step-by-step procedure that inspects kernel statistics and recommends
+//!   which optimizations to apply.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlrm_datasets::AccessPattern;
+//! use dlrm::WorkloadScale;
+//! use gpu_sim::GpuConfig;
+//! use perf_envelope::{ExperimentContext, Scheme};
+//!
+//! let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
+//! let base = ctx.run_embedding_stage(AccessPattern::HighHot, &Scheme::base());
+//! let opt = ctx.run_embedding_stage(AccessPattern::HighHot, &Scheme::combined());
+//! assert!(opt.latency_us <= base.latency_us * 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dse;
+pub mod profiler;
+pub mod runner;
+pub mod scheme;
+
+pub use dse::{
+    buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,
+    pooling_factor_sweep, prefetch_distance_sweep, register_sweep, DistanceSweepPoint,
+    PoolingSweepPoint, RegisterSweepPoint, StationComparisonPoint, PAPER_WARP_SWEEP,
+};
+pub use profiler::{ProfilerReport, ProfilingStep, StaticProfiler, WorkloadHint};
+pub use runner::{EmbeddingStageResult, EndToEndResult, ExperimentContext};
+pub use scheme::{Multithreading, Scheme};

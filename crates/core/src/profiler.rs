@@ -1,0 +1,317 @@
+//! The static profiling framework of the paper's Section VII.
+//!
+//! The paper argues against analytical models or heuristics (the hardware's
+//! in-place optimizations and the proprietary compiler make them brittle) and
+//! instead prescribes a profiling-driven decision procedure:
+//!
+//! 1. check whether the kernel is memory-latency bound (access patterns,
+//!    cache misses, long-scoreboard stalls),
+//! 2. check whether occupancy is maximal; if not, inspect register usage,
+//! 3. if register usage is high, find OptMT by sweeping `-maxrregcount`,
+//! 4. re-assess: if still latency bound,
+//! 5. check for high-reuse data whose footprint fits the L2 set-aside and
+//!    apply pinning,
+//! 6. if latency bound persists and bandwidth is not saturated (< 80%),
+//!    apply prefetching and sweep buffer stations / distances,
+//! 7. combine prefetching and pinning.
+//!
+//! [`StaticProfiler::analyze`] walks these steps over a kernel's statistics
+//! and produces both a human-readable report and a recommended [`Scheme`].
+
+use embedding_kernels::{BufferStation, PrefetchConfig};
+use gpu_sim::{GpuConfig, KernelStats};
+
+use crate::scheme::{Multithreading, Scheme};
+
+/// Characteristics of the workload the profiler cannot read off the kernel
+/// statistics alone: the data's reuse structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadHint {
+    /// Bytes of distinct data the kernel touches (its working set).
+    pub working_set_bytes: u64,
+    /// Skew of the access distribution in `[0, 1]` (0 = uniform, 1 = a single
+    /// item dominates); see `dlrm_datasets::CoverageCurve::skew`.
+    pub access_skew: f64,
+}
+
+/// One step of the profiling procedure and its outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilingStep {
+    /// Step number (matches the paper's (i)..(vii)).
+    pub number: u8,
+    /// What the step examines.
+    pub title: String,
+    /// What was observed in the statistics.
+    pub observation: String,
+    /// The decision taken.
+    pub decision: String,
+}
+
+/// The profiler's full report: every step plus the recommended scheme.
+#[derive(Debug, Clone)]
+pub struct ProfilerReport {
+    /// The executed steps in order.
+    pub steps: Vec<ProfilingStep>,
+    /// Whether the kernel was classified as memory-latency bound.
+    pub memory_latency_bound: bool,
+    /// The scheme the framework recommends.
+    pub recommended: Scheme,
+}
+
+impl ProfilerReport {
+    /// Renders the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            out.push_str(&format!(
+                "({}) {}\n    observed: {}\n    decision: {}\n",
+                step.number, step.title, step.observation, step.decision
+            ));
+        }
+        out.push_str(&format!("recommended scheme: {}\n", self.recommended.paper_label()));
+        out
+    }
+}
+
+/// Decision thresholds of the static profiling framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticProfiler {
+    /// Long-scoreboard stall cycles per instruction above which the kernel is
+    /// considered latency bound.
+    pub long_scoreboard_threshold: f64,
+    /// Occupancy (in percent) below which multithreading is considered
+    /// insufficient.
+    pub occupancy_threshold_pct: f64,
+    /// HBM bandwidth utilization (in percent) above which prefetching is
+    /// considered unsafe (the paper's 80% headroom rule).
+    pub bandwidth_headroom_threshold_pct: f64,
+    /// Access skew above which L2 pinning is expected to help.
+    pub skew_threshold: f64,
+}
+
+impl Default for StaticProfiler {
+    fn default() -> Self {
+        StaticProfiler {
+            long_scoreboard_threshold: 4.0,
+            occupancy_threshold_pct: 60.0,
+            bandwidth_headroom_threshold_pct: 80.0,
+            skew_threshold: 0.3,
+        }
+    }
+}
+
+impl StaticProfiler {
+    /// Creates a profiler with the default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Walks the Section VII procedure over the statistics of a baseline
+    /// kernel execution and recommends a scheme.
+    pub fn analyze(
+        &self,
+        stats: &KernelStats,
+        gpu: &GpuConfig,
+        hint: &WorkloadHint,
+    ) -> ProfilerReport {
+        let mut steps = Vec::new();
+        let mut scheme = Scheme::base();
+
+        // (i) Is the kernel memory latency bound?
+        let stalls = stats.long_scoreboard_per_inst();
+        let bw_util = stats.hbm_read_bw_utilization_pct();
+        let latency_bound =
+            stalls > self.long_scoreboard_threshold && bw_util < self.bandwidth_headroom_threshold_pct;
+        steps.push(ProfilingStep {
+            number: 1,
+            title: "memory-latency-bound check".into(),
+            observation: format!(
+                "long scoreboard stalls {:.1} cycles/inst, L1 hit {:.1}%, L2 hit {:.1}%, HBM read BW {:.1}% of peak",
+                stalls,
+                stats.l1_hit_rate_pct(),
+                stats.l2_hit_rate_pct(),
+                bw_util
+            ),
+            decision: if latency_bound {
+                "kernel is memory latency bound; continue".into()
+            } else {
+                "kernel is not memory latency bound; no optimization needed".into()
+            },
+        });
+        if !latency_bound {
+            return ProfilerReport { steps, memory_latency_bound: false, recommended: scheme };
+        }
+
+        // (ii)/(iii) Occupancy and register pressure.
+        let occupancy = stats.theoretical_occupancy_pct;
+        if occupancy < self.occupancy_threshold_pct {
+            let optmt_regs = Scheme::optmt_registers_for(gpu);
+            scheme = scheme.with_multithreading(Multithreading::OptMt);
+            steps.push(ProfilingStep {
+                number: 2,
+                title: "occupancy / register-pressure check".into(),
+                observation: format!(
+                    "theoretical occupancy {:.1}% ({} warps/SM) with {} registers/thread",
+                    occupancy, stats.theoretical_warps_per_sm, stats.allocated_regs_per_thread
+                ),
+                decision: format!(
+                    "occupancy is register limited; apply -maxrregcount {} (OptMT)",
+                    optmt_regs
+                ),
+            });
+        } else {
+            steps.push(ProfilingStep {
+                number: 2,
+                title: "occupancy / register-pressure check".into(),
+                observation: format!("theoretical occupancy {occupancy:.1}% is already high"),
+                decision: "keep the compiler's register allocation".into(),
+            });
+        }
+
+        // (v) L2 pinning applicability.
+        let carveout = gpu.l2_max_persisting_bytes();
+        let reuse_worth_pinning = hint.access_skew >= self.skew_threshold
+            || hint.working_set_bytes <= carveout;
+        if reuse_worth_pinning {
+            scheme = scheme.with_l2_pinning(None);
+            steps.push(ProfilingStep {
+                number: 5,
+                title: "L2 residency-control check".into(),
+                observation: format!(
+                    "access skew {:.2}, working set {} MB vs {} MB carve-out",
+                    hint.access_skew,
+                    hint.working_set_bytes / (1024 * 1024),
+                    carveout / (1024 * 1024)
+                ),
+                decision: "high-reuse accesses detected; pin the hottest rows in L2".into(),
+            });
+        } else {
+            steps.push(ProfilingStep {
+                number: 5,
+                title: "L2 residency-control check".into(),
+                observation: format!(
+                    "access skew {:.2} below threshold and working set exceeds the carve-out",
+                    hint.access_skew
+                ),
+                decision: "skip L2 pinning".into(),
+            });
+        }
+
+        // (vi) Prefetching if bandwidth headroom remains.
+        if bw_util < self.bandwidth_headroom_threshold_pct {
+            scheme = scheme.with_prefetch(PrefetchConfig::new(
+                BufferStation::Register,
+                BufferStation::Register.optimal_distance_with_optmt(),
+            ));
+            steps.push(ProfilingStep {
+                number: 6,
+                title: "bandwidth-headroom / prefetching check".into(),
+                observation: format!("HBM read bandwidth at {bw_util:.1}% of peak"),
+                decision:
+                    "headroom available; add software prefetching (sweep stations and distances)"
+                        .into(),
+            });
+        } else {
+            steps.push(ProfilingStep {
+                number: 6,
+                title: "bandwidth-headroom / prefetching check".into(),
+                observation: format!("HBM read bandwidth at {bw_util:.1}% of peak"),
+                decision: "bandwidth saturated; prefetching would throttle demand loads".into(),
+            });
+        }
+
+        // (vii) Combination is implicit in the accumulated scheme.
+        steps.push(ProfilingStep {
+            number: 7,
+            title: "combine the selected techniques".into(),
+            observation: "prefetching hides residual latency; pinning improves its timeliness and cuts HBM traffic".into(),
+            decision: format!("apply {}", scheme.paper_label()),
+        });
+
+        ProfilerReport { steps, memory_latency_bound: true, recommended: scheme }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentContext;
+    use dlrm::WorkloadScale;
+    use dlrm_datasets::AccessPattern;
+    use gpu_sim::GpuConfig;
+
+    fn hint(skew: f64, ws_mb: u64) -> WorkloadHint {
+        WorkloadHint { working_set_bytes: ws_mb * 1024 * 1024, access_skew: skew }
+    }
+
+    fn baseline_stats(pattern: AccessPattern) -> KernelStats {
+        let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
+        ctx.run_embedding_kernel(pattern, &Scheme::base())
+    }
+
+    #[test]
+    fn latency_bound_kernel_gets_the_full_combined_recommendation() {
+        let stats = baseline_stats(AccessPattern::HighHot);
+        let report =
+            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.7, 10));
+        assert!(report.memory_latency_bound);
+        assert_eq!(report.recommended.paper_label(), "RPF+L2P+OptMT");
+        assert!(report.steps.len() >= 4);
+    }
+
+    #[test]
+    fn uniform_huge_working_set_skips_pinning() {
+        let stats = baseline_stats(AccessPattern::Random);
+        let report =
+            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.05, 4096));
+        assert!(report.recommended.l2_pinning().is_none());
+        assert!(report.recommended.prefetch().is_some());
+    }
+
+    #[test]
+    fn compute_bound_kernel_needs_no_optimization() {
+        let mut stats = baseline_stats(AccessPattern::OneItem);
+        // Force the counters into a clearly compute-bound shape.
+        stats.counters.long_scoreboard_cycles = 0;
+        let report =
+            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.9, 1));
+        assert!(!report.memory_latency_bound);
+        assert_eq!(report.recommended, Scheme::base());
+        assert_eq!(report.steps.len(), 1);
+    }
+
+    #[test]
+    fn saturated_bandwidth_disables_prefetching() {
+        let mut stats = baseline_stats(AccessPattern::Random);
+        // Pretend the kernel already pushes 90% of peak bandwidth but keep
+        // the latency-bound classification possible via stalls.
+        stats.dram_bytes_read = (0.9
+            * stats.peak_dram_bandwidth_gbps
+            * 1e9
+            * (stats.kernel_time_us() * 1e-6)) as u64;
+        let profiler = StaticProfiler { bandwidth_headroom_threshold_pct: 80.0, ..Default::default() };
+        let report = profiler.analyze(&stats, &GpuConfig::a100(), &hint(0.5, 10));
+        // Either it is no longer latency bound (step 1 bails) or prefetching
+        // is skipped; in both cases no prefetch is recommended.
+        assert!(report.recommended.prefetch().is_none());
+    }
+
+    #[test]
+    fn high_occupancy_kernels_keep_their_register_allocation() {
+        let mut stats = baseline_stats(AccessPattern::LowHot);
+        stats.theoretical_occupancy_pct = 93.75;
+        stats.theoretical_warps_per_sm = 60;
+        let report =
+            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.5, 10));
+        assert_eq!(report.recommended.multithreading(), Multithreading::Default);
+    }
+
+    #[test]
+    fn report_renders_every_step() {
+        let stats = baseline_stats(AccessPattern::MedHot);
+        let report = StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.6, 20));
+        let text = report.render();
+        assert!(text.contains("(1) memory-latency-bound check"));
+        assert!(text.contains("recommended scheme:"));
+    }
+}

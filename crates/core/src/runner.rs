@@ -1,0 +1,338 @@
+//! The experiment runner: executes the embedding stage (and the end-to-end
+//! DLRM pipeline) under an optimization [`Scheme`] on the simulated GPU.
+//!
+//! Tables on one GPU execute sequentially (paper Section II-A), sharing the
+//! L2 and HBM. Because the tables of a homogeneous group are statistically
+//! identical, the runner simulates a configurable sample of them and
+//! extrapolates the group's latency, which keeps paper-scale experiments
+//! (250 tables) tractable without changing any per-table behaviour.
+
+use dlrm::{BatchLatency, DlrmConfig, NonEmbeddingTimingModel, WorkloadScale};
+use dlrm_datasets::{AccessPattern, HeterogeneousMix};
+use embedding_kernels::{EmbeddingWorkload, PinPlan};
+use gpu_sim::mem::MemorySystem;
+use gpu_sim::{GpuConfig, KernelStats, Simulator};
+
+use crate::scheme::Scheme;
+
+/// Result of running the embedding stage (all tables) under one scheme.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStageResult {
+    /// The scheme's paper-style label.
+    pub scheme_label: String,
+    /// Description of the dataset or mix that was run.
+    pub dataset_label: String,
+    /// Extrapolated latency of the full embedding stage, in microseconds.
+    pub latency_us: f64,
+    /// Average simulated latency of one table, in microseconds.
+    pub per_table_us: f64,
+    /// Number of tables in the model.
+    pub tables_total: u32,
+    /// Number of tables actually simulated.
+    pub tables_simulated: u32,
+    /// Merged NCU-style statistics over the simulated tables.
+    pub stats: KernelStats,
+}
+
+impl EmbeddingStageResult {
+    /// Embedding-stage speedup of this result over a baseline run
+    /// (`baseline.latency / self.latency`).
+    pub fn speedup_over(&self, baseline: &EmbeddingStageResult) -> f64 {
+        baseline.latency_us / self.latency_us
+    }
+}
+
+/// Result of an end-to-end DLRM inference run under one scheme.
+#[derive(Debug, Clone)]
+pub struct EndToEndResult {
+    /// The embedding-stage breakdown.
+    pub embedding: EmbeddingStageResult,
+    /// The end-to-end latency breakdown.
+    pub latency: BatchLatency,
+}
+
+impl EndToEndResult {
+    /// End-to-end speedup over a baseline run.
+    pub fn speedup_over(&self, baseline: &EndToEndResult) -> f64 {
+        self.latency.speedup_over(&baseline.latency)
+    }
+}
+
+/// A reusable experiment context: device, model, workload scale and seeds.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    gpu: GpuConfig,
+    sim: Simulator,
+    model: DlrmConfig,
+    scale: WorkloadScale,
+    tables_to_simulate: u32,
+    seed: u64,
+}
+
+impl ExperimentContext {
+    /// Creates a context for `gpu` at the given workload scale.
+    pub fn new(gpu: GpuConfig, scale: WorkloadScale) -> Self {
+        let model = DlrmConfig::at_scale(scale);
+        let tables_to_simulate = match scale {
+            WorkloadScale::Test => 1,
+            WorkloadScale::Default => 2,
+            WorkloadScale::Paper => 3,
+        };
+        ExperimentContext {
+            sim: Simulator::new(gpu.clone()),
+            gpu,
+            model,
+            scale,
+            tables_to_simulate,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the DLRM model configuration.
+    pub fn with_model(mut self, model: DlrmConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides how many tables of each homogeneous group are simulated
+    /// before extrapolating.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn with_tables_to_simulate(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one table must be simulated");
+        self.tables_to_simulate = n;
+        self
+    }
+
+    /// Overrides the trace-generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy of this context with a different pooling factor
+    /// (lookups per sample) — used by the paper's Figure 11 sweep.
+    pub fn with_pooling_factor(mut self, pooling: u32) -> Self {
+        let trace = self.model.embedding.trace;
+        self.model.embedding = embedding_kernels::EmbeddingConfig::new(
+            dlrm_datasets::TraceConfig::new(trace.num_rows, trace.batch_size, pooling),
+            self.model.embedding.embedding_dim,
+        );
+        self
+    }
+
+    /// The device configuration.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The DLRM model configuration.
+    pub fn model(&self) -> &DlrmConfig {
+        &self.model
+    }
+
+    /// The workload scale the context was built for.
+    pub fn scale(&self) -> WorkloadScale {
+        self.scale
+    }
+
+    /// Runs a single embedding-bag kernel (one table) under `scheme` and
+    /// returns its NCU-style statistics — the unit of the paper's
+    /// Tables IV/V/VIII/IX.
+    pub fn run_embedding_kernel(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
+        let workload =
+            EmbeddingWorkload::generate(self.model.embedding, pattern, 0, self.seed);
+        let spec = scheme.kernel_spec(&self.gpu);
+        let mut mem = MemorySystem::new(&self.gpu);
+        if let Some(carveout) = scheme.carveout_bytes(&self.gpu) {
+            let plan = PinPlan::for_workload(&workload, carveout);
+            plan.apply(&mut mem, &self.gpu, 0);
+        }
+        self.sim.run_with_memory(&spec.launch(&workload), &spec.kernel(&workload), &mut mem, 0)
+    }
+
+    /// Runs the full (homogeneous) embedding stage under `scheme`.
+    pub fn run_embedding_stage(
+        &self,
+        pattern: AccessPattern,
+        scheme: &Scheme,
+    ) -> EmbeddingStageResult {
+        let mix = HeterogeneousMix::homogeneous(pattern, self.model.num_tables);
+        let mut result = self.run_embedding_stage_mix(&mix, scheme);
+        result.dataset_label = pattern.paper_name().to_string();
+        result
+    }
+
+    /// Runs the embedding stage over a heterogeneous table mix under
+    /// `scheme` (paper Table VII / Figure 17).
+    pub fn run_embedding_stage_mix(
+        &self,
+        mix: &HeterogeneousMix,
+        scheme: &Scheme,
+    ) -> EmbeddingStageResult {
+        let spec = scheme.kernel_spec(&self.gpu);
+        let mut mem = MemorySystem::new(&self.gpu);
+        let mut clock: u64 = 0;
+        let mut merged = KernelStats::empty(&scheme.paper_label(), &self.gpu);
+        let mut total_latency_us = 0.0;
+        let mut tables_simulated = 0u32;
+
+        for &(pattern, group_count) in mix.composition() {
+            let n_sim = group_count.min(self.tables_to_simulate);
+            let mut group_simulated_us = 0.0;
+            for t in 0..n_sim {
+                let workload = EmbeddingWorkload::generate(
+                    self.model.embedding,
+                    pattern,
+                    t,
+                    self.seed.wrapping_add(pattern.hotness_rank() as u64 * 1000),
+                );
+                if let Some(carveout) = scheme.carveout_bytes(&self.gpu) {
+                    let plan = PinPlan::for_workload(&workload, carveout);
+                    plan.apply(&mut mem, &self.gpu, clock);
+                }
+                let stats = self.sim.run_with_memory(
+                    &spec.launch(&workload),
+                    &spec.kernel(&workload),
+                    &mut mem,
+                    clock,
+                );
+                clock += stats.elapsed_cycles;
+                group_simulated_us += self.gpu.cycles_to_us(stats.elapsed_cycles);
+                merged.merge_sequential(&stats);
+                tables_simulated += 1;
+            }
+            total_latency_us += group_simulated_us / n_sim as f64 * group_count as f64;
+        }
+
+        EmbeddingStageResult {
+            scheme_label: scheme.paper_label(),
+            dataset_label: mix.name().to_string(),
+            latency_us: total_latency_us,
+            per_table_us: total_latency_us / mix.total_tables() as f64,
+            tables_total: mix.total_tables(),
+            tables_simulated,
+            stats: merged,
+        }
+    }
+
+    /// Runs end-to-end DLRM inference (embedding stage + analytic
+    /// non-embedding stages) for a homogeneous dataset.
+    pub fn run_end_to_end(&self, pattern: AccessPattern, scheme: &Scheme) -> EndToEndResult {
+        let embedding = self.run_embedding_stage(pattern, scheme);
+        self.attach_non_embedding(embedding)
+    }
+
+    /// Runs end-to-end DLRM inference for a heterogeneous mix.
+    pub fn run_end_to_end_mix(&self, mix: &HeterogeneousMix, scheme: &Scheme) -> EndToEndResult {
+        let embedding = self.run_embedding_stage_mix(mix, scheme);
+        self.attach_non_embedding(embedding)
+    }
+
+    fn attach_non_embedding(&self, embedding: EmbeddingStageResult) -> EndToEndResult {
+        let timing = NonEmbeddingTimingModel::new(&self.gpu);
+        let non_embedding_us = timing.non_embedding_time_us(&self.model);
+        let latency = BatchLatency::new(embedding.latency_us, non_embedding_us);
+        EndToEndResult { embedding, latency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_datasets::MixKind;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+    }
+
+    #[test]
+    fn kernel_stats_reflect_the_workload() {
+        let stats = ctx().run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+        // 32 bags * 8 lookups * 2 loads + prologue loads.
+        assert!(stats.counters.load_insts > 32 * 8 * 2 / 2);
+        assert!(stats.elapsed_cycles > 0);
+        assert_eq!(stats.theoretical_warps_per_sm % 8, 0);
+    }
+
+    #[test]
+    fn embedding_stage_extrapolates_to_all_tables() {
+        let c = ctx();
+        let r = c.run_embedding_stage(AccessPattern::HighHot, &Scheme::base());
+        assert_eq!(r.tables_total, c.model().num_tables);
+        assert!(r.tables_simulated <= r.tables_total);
+        assert!(r.latency_us > 0.0);
+        assert!((r.per_table_us * r.tables_total as f64 - r.latency_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_item_is_faster_than_random() {
+        let c = ctx();
+        let fast = c.run_embedding_stage(AccessPattern::OneItem, &Scheme::base());
+        let slow = c.run_embedding_stage(AccessPattern::Random, &Scheme::base());
+        assert!(
+            slow.latency_us > fast.latency_us,
+            "random ({:.1} us) must be slower than one_item ({:.1} us)",
+            slow.latency_us,
+            fast.latency_us
+        );
+    }
+
+    #[test]
+    fn optmt_improves_over_base_on_cold_patterns() {
+        let c = ctx();
+        let base = c.run_embedding_stage(AccessPattern::Random, &Scheme::base());
+        let optmt = c.run_embedding_stage(AccessPattern::Random, &Scheme::optmt());
+        assert!(
+            optmt.speedup_over(&base) > 1.0,
+            "OptMT should speed up the random dataset (got {:.3}x)",
+            optmt.speedup_over(&base)
+        );
+    }
+
+    #[test]
+    fn combined_scheme_is_at_least_as_good_as_optmt() {
+        let c = ctx();
+        let optmt = c.run_embedding_stage(AccessPattern::LowHot, &Scheme::optmt());
+        let combined = c.run_embedding_stage(AccessPattern::LowHot, &Scheme::combined());
+        assert!(
+            combined.latency_us <= optmt.latency_us * 1.05,
+            "combined ({:.1} us) should not lose to OptMT ({:.1} us)",
+            combined.latency_us,
+            optmt.latency_us
+        );
+    }
+
+    #[test]
+    fn end_to_end_adds_non_embedding_time() {
+        let c = ctx();
+        let r = c.run_end_to_end(AccessPattern::MedHot, &Scheme::base());
+        assert!(r.latency.non_embedding_us > 0.0);
+        assert!(r.latency.total_us() > r.embedding.latency_us);
+        assert!(r.latency.embedding_share_pct() > 0.0 && r.latency.embedding_share_pct() < 100.0);
+    }
+
+    #[test]
+    fn mix_runs_cover_every_group() {
+        let c = ctx();
+        let mix = HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02);
+        let r = c.run_embedding_stage_mix(&mix, &Scheme::base());
+        assert_eq!(r.tables_total, mix.total_tables());
+        assert!(r.tables_simulated >= 4, "at least one table per pattern group");
+        assert!(r.latency_us > 0.0);
+    }
+
+    #[test]
+    fn pooling_factor_override_scales_work() {
+        let low = ctx().with_pooling_factor(4).run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+        let high = ctx().with_pooling_factor(16).run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+        assert!(high.counters.load_insts > low.counters.load_insts);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn zero_simulated_tables_rejected() {
+        let _ = ctx().with_tables_to_simulate(0);
+    }
+}

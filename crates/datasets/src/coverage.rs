@@ -1,0 +1,145 @@
+//! The coverage study of Figure 5: what fraction of total accesses is
+//! covered by the hottest X% of unique rows.
+
+use std::collections::HashMap;
+
+/// A coverage curve: for each fraction of unique accesses (hottest first),
+/// the fraction of total accesses they account for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageCurve {
+    /// Access counts per unique row, sorted descending.
+    sorted_counts: Vec<u64>,
+    /// Total number of accesses.
+    total_accesses: u64,
+}
+
+impl CoverageCurve {
+    /// Builds the curve from a raw index trace.
+    pub fn from_indices(indices: &[u32]) -> Self {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for &i in indices {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+        let mut sorted_counts: Vec<u64> = counts.into_values().collect();
+        sorted_counts.sort_unstable_by(|a, b| b.cmp(a));
+        CoverageCurve { total_accesses: indices.len() as u64, sorted_counts }
+    }
+
+    /// Number of unique rows in the trace.
+    pub fn unique_rows(&self) -> u64 {
+        self.sorted_counts.len() as u64
+    }
+
+    /// Total number of accesses in the trace.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Percentage of total accesses covered by the hottest `unique_pct`% of
+    /// unique rows (the paper's Figure 5 y-axis for a given x).
+    ///
+    /// # Panics
+    /// Panics if `unique_pct` is outside `[0, 100]`.
+    pub fn coverage_at(&self, unique_pct: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&unique_pct), "percentage must be within [0, 100]");
+        if self.total_accesses == 0 {
+            return 0.0;
+        }
+        let take = ((unique_pct / 100.0) * self.sorted_counts.len() as f64).round() as usize;
+        let covered: u64 = self.sorted_counts.iter().take(take.max(usize::from(unique_pct > 0.0))).sum();
+        let covered = if take == 0 && unique_pct == 0.0 { 0 } else { covered };
+        100.0 * covered as f64 / self.total_accesses as f64
+    }
+
+    /// Samples the curve at the paper's x-axis points (10%, 20%, ..., 100%),
+    /// returning `(unique_pct, coverage_pct)` pairs — one series of Figure 5.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        (1..=10).map(|i| (i as f64 * 10.0, self.coverage_at(i as f64 * 10.0))).collect()
+    }
+
+    /// The Gini-like skew of the access distribution in `[0, 1]`: 0 means
+    /// perfectly uniform, values near 1 mean a single row dominates. Useful
+    /// as a scalar summary when comparing generated traces to the paper's.
+    pub fn skew(&self) -> f64 {
+        if self.total_accesses == 0 || self.sorted_counts.is_empty() {
+            return 0.0;
+        }
+        // Area under the coverage curve (trapezoid over unique fraction),
+        // rescaled so uniform -> 0 and single-row -> ~1.
+        let n = self.sorted_counts.len() as f64;
+        let mut cumulative = 0.0;
+        let mut area = 0.0;
+        for &c in &self.sorted_counts {
+            cumulative += c as f64 / self.total_accesses as f64;
+            area += cumulative * (1.0 / n);
+        }
+        // `area` is ~0.5 for a uniform distribution and approaches 1.0 when a
+        // single row dominates; rescale to [0, 1].
+        ((area - 0.5) * 2.0).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_trace_has_linear_coverage() {
+        let indices: Vec<u32> = (0..1000u32).collect();
+        let c = CoverageCurve::from_indices(&indices);
+        assert_eq!(c.unique_rows(), 1000);
+        assert!((c.coverage_at(10.0) - 10.0).abs() < 1.0);
+        assert!((c.coverage_at(50.0) - 50.0).abs() < 1.0);
+        assert!((c.coverage_at(100.0) - 100.0).abs() < 1e-9);
+        assert!(c.skew() < 0.05);
+    }
+
+    #[test]
+    fn single_row_trace_has_full_coverage_immediately() {
+        let indices = vec![7u32; 500];
+        let c = CoverageCurve::from_indices(&indices);
+        assert_eq!(c.unique_rows(), 1);
+        assert!((c.coverage_at(10.0) - 100.0).abs() < 1e-9);
+        assert!(c.skew() > 0.9);
+    }
+
+    #[test]
+    fn skewed_trace_covers_most_accesses_with_few_rows() {
+        // One row gets 900 accesses, 100 rows get one access each.
+        let mut indices = vec![0u32; 900];
+        indices.extend(1..=100u32);
+        let c = CoverageCurve::from_indices(&indices);
+        let cov10 = c.coverage_at(10.0);
+        assert!(cov10 > 85.0, "10% of uniques should cover most accesses, got {cov10}");
+        assert!(c.coverage_at(100.0) > 99.9);
+    }
+
+    #[test]
+    fn series_has_ten_monotonic_points() {
+        let mut indices = vec![0u32; 50];
+        indices.extend(0..200u32);
+        let c = CoverageCurve::from_indices(&indices);
+        let s = c.series();
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "coverage must be non-decreasing");
+        }
+        assert!((s[9].0 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let c = CoverageCurve::from_indices(&[]);
+        assert_eq!(c.unique_rows(), 0);
+        assert_eq!(c.total_accesses(), 0);
+        assert_eq!(c.coverage_at(50.0), 0.0);
+        assert_eq!(c.skew(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 100]")]
+    fn out_of_range_percentage_panics() {
+        let c = CoverageCurve::from_indices(&[1, 2, 3]);
+        let _ = c.coverage_at(120.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The five memory access patterns studied in the paper.
+
+use std::fmt;
+
+/// A memory access pattern ("hotness" class) for embedding lookups,
+/// following the paper's Section III-B categorisation of Meta's homogenised
+/// production traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessPattern {
+    /// Every lookup targets the same single row: the fastest possible case
+    /// (~100% cache hits), used by the paper as the performance upper bound.
+    OneItem,
+    /// Highly skewed power-law accesses: a few percent of rows service the
+    /// vast majority of lookups (paper: 4.05% unique accesses).
+    HighHot,
+    /// Moderately skewed accesses (paper: 20.5% unique accesses).
+    MedHot,
+    /// Mildly skewed accesses (paper: 46.21% unique accesses).
+    LowHot,
+    /// Uniformly random accesses over the whole table: the slowest case
+    /// (paper: 63.21% unique accesses).
+    Random,
+}
+
+impl AccessPattern {
+    /// All patterns in the paper's fastest-to-slowest order.
+    pub const ALL: [AccessPattern; 5] = [
+        AccessPattern::OneItem,
+        AccessPattern::HighHot,
+        AccessPattern::MedHot,
+        AccessPattern::LowHot,
+        AccessPattern::Random,
+    ];
+
+    /// The four patterns used in the paper's speedup figures (Figures 12-16),
+    /// which omit the degenerate `one_item` case.
+    pub const EVALUATED: [AccessPattern; 4] = [
+        AccessPattern::HighHot,
+        AccessPattern::MedHot,
+        AccessPattern::LowHot,
+        AccessPattern::Random,
+    ];
+
+    /// The dataset name as it appears in the paper's tables and figures.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            AccessPattern::OneItem => "one item",
+            AccessPattern::HighHot => "high hot",
+            AccessPattern::MedHot => "med hot",
+            AccessPattern::LowHot => "low hot",
+            AccessPattern::Random => "random",
+        }
+    }
+
+    /// The unique-access percentage the paper reports for this dataset in
+    /// Table III (at the paper's trace scale). Used for documentation and
+    /// for shape comparisons in EXPERIMENTS.md, not for generation.
+    pub fn paper_unique_access_pct(&self) -> f64 {
+        match self {
+            AccessPattern::OneItem => 0.0002,
+            AccessPattern::HighHot => 4.05,
+            AccessPattern::MedHot => 20.50,
+            AccessPattern::LowHot => 46.21,
+            AccessPattern::Random => 63.21,
+        }
+    }
+
+    /// The Zipf exponent used by the synthetic generator for this pattern.
+    /// Larger exponents concentrate accesses on fewer rows. `OneItem` and
+    /// `Random` do not use a Zipf distribution.
+    pub fn zipf_exponent(&self) -> Option<f64> {
+        match self {
+            AccessPattern::OneItem | AccessPattern::Random => None,
+            AccessPattern::HighHot => Some(1.05),
+            AccessPattern::MedHot => Some(0.70),
+            AccessPattern::LowHot => Some(0.35),
+        }
+    }
+
+    /// Relative hotness rank: 0 is hottest (`OneItem`), 4 is coldest
+    /// (`Random`). The paper's figures are ordered by this rank.
+    pub fn hotness_rank(&self) -> usize {
+        match self {
+            AccessPattern::OneItem => 0,
+            AccessPattern::HighHot => 1,
+            AccessPattern::MedHot => 2,
+            AccessPattern::LowHot => 3,
+            AccessPattern::Random => 4,
+        }
+    }
+
+    /// Parses a pattern from a CLI-style name (`one_item`, `high_hot`,
+    /// `med_hot`, `low_hot`, `random`). Returns `None` for unknown names.
+    pub fn from_cli_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().replace('-', "_").as_str() {
+            "one_item" | "oneitem" | "one item" => Some(AccessPattern::OneItem),
+            "high_hot" | "high hot" | "high" => Some(AccessPattern::HighHot),
+            "med_hot" | "med hot" | "med" | "medium" => Some(AccessPattern::MedHot),
+            "low_hot" | "low hot" | "low" => Some(AccessPattern::LowHot),
+            "random" | "rand" => Some(AccessPattern::Random),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_pattern_in_hotness_order() {
+        assert_eq!(AccessPattern::ALL.len(), 5);
+        for (i, p) in AccessPattern::ALL.iter().enumerate() {
+            assert_eq!(p.hotness_rank(), i);
+        }
+    }
+
+    #[test]
+    fn evaluated_excludes_one_item() {
+        assert!(!AccessPattern::EVALUATED.contains(&AccessPattern::OneItem));
+        assert_eq!(AccessPattern::EVALUATED.len(), 4);
+    }
+
+    #[test]
+    fn paper_unique_percentages_are_monotonic_in_hotness() {
+        let mut prev = -1.0;
+        for p in AccessPattern::ALL {
+            let u = p.paper_unique_access_pct();
+            assert!(u > prev, "{p} should have more unique accesses than hotter patterns");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn zipf_exponents_decrease_as_hotness_drops() {
+        let high = AccessPattern::HighHot.zipf_exponent().unwrap();
+        let med = AccessPattern::MedHot.zipf_exponent().unwrap();
+        let low = AccessPattern::LowHot.zipf_exponent().unwrap();
+        assert!(high > med && med > low);
+        assert!(AccessPattern::OneItem.zipf_exponent().is_none());
+        assert!(AccessPattern::Random.zipf_exponent().is_none());
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for p in AccessPattern::ALL {
+            let cli = p.paper_name().replace(' ', "_");
+            assert_eq!(AccessPattern::from_cli_name(&cli), Some(p));
+        }
+        assert_eq!(AccessPattern::from_cli_name("bogus"), None);
+    }
+
+    #[test]
+    fn display_matches_paper_name() {
+        assert_eq!(format!("{}", AccessPattern::MedHot), "med hot");
+    }
+}

@@ -1,0 +1,225 @@
+//! The functional end-to-end DLRM forward pass (Figure 2 of the paper):
+//! bottom MLP over continuous features, embedding bags over categorical
+//! features, dot-product feature interaction, top MLP, and a sigmoid that
+//! yields the click-through-rate prediction per sample.
+
+use dlrm_datasets::EmbeddingTrace;
+use embedding_kernels::{embedding_bag_forward, SyntheticTable};
+
+use crate::interaction::dot_interaction;
+use crate::mlp::{sigmoid, Mlp};
+use crate::model::DlrmConfig;
+
+/// A fully materialised (procedural-weight) DLRM model ready to run forward
+/// passes.
+#[derive(Debug, Clone)]
+pub struct DlrmForward {
+    config: DlrmConfig,
+    bottom: Mlp,
+    top: Mlp,
+    tables: Vec<SyntheticTable>,
+}
+
+impl DlrmForward {
+    /// Builds the model with procedurally generated weights derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if the bottom-MLP output width does not match the embedding
+    /// dimension (a structural requirement of DLRM's interaction stage).
+    pub fn new(config: DlrmConfig, seed: u64) -> Self {
+        assert_eq!(
+            config.bottom_mlp_output_dim(),
+            config.embedding.embedding_dim,
+            "the bottom MLP must produce vectors of the embedding dimension"
+        );
+        let bottom = Mlp::new(config.bottom_mlp.iter().map(|&d| d).collect(), seed);
+        let mut top_dims = vec![config.interaction_output_dim()];
+        top_dims.extend(config.top_mlp.iter().copied());
+        let top = Mlp::new(top_dims, seed ^ 0x5eed_7009);
+        let tables = (0..config.num_tables)
+            .map(|t| {
+                SyntheticTable::new(
+                    config.embedding.trace.num_rows,
+                    config.embedding.embedding_dim,
+                    seed.wrapping_add(t as u64),
+                )
+            })
+            .collect();
+        DlrmForward { config, bottom, top, tables }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// The synthetic embedding table backing table `t`.
+    pub fn table(&self, t: usize) -> &SyntheticTable {
+        &self.tables[t]
+    }
+
+    /// Runs one batch. `dense_features` is row-major
+    /// `batch_size x bottom_mlp_input`; `traces` holds one lookup trace per
+    /// embedding table.
+    ///
+    /// # Panics
+    /// Panics if the input sizes do not match the configuration.
+    pub fn forward(&self, dense_features: &[f32], traces: &[EmbeddingTrace]) -> DlrmOutput {
+        let batch = self.config.batch_size() as usize;
+        let in_dim = self.config.bottom_mlp[0] as usize;
+        assert_eq!(
+            dense_features.len(),
+            batch * in_dim,
+            "dense features must be batch_size x bottom_mlp input"
+        );
+        assert_eq!(
+            traces.len(),
+            self.config.num_tables as usize,
+            "one lookup trace per embedding table is required"
+        );
+        for trace in traces {
+            assert_eq!(
+                trace.config, self.config.embedding.trace,
+                "every trace must match the model's embedding geometry"
+            );
+        }
+
+        // Bottom MLP.
+        let dense_out = self.bottom.forward(dense_features);
+        let d = self.config.embedding.embedding_dim as usize;
+
+        // Embedding stage: one pooled output matrix per table.
+        let pooled: Vec<Vec<f32>> = self
+            .tables
+            .iter()
+            .zip(traces)
+            .map(|(table, trace)| embedding_bag_forward(table, trace))
+            .collect();
+
+        // Interaction + top MLP, sample by sample.
+        let mut interactions = Vec::with_capacity(batch * self.config.interaction_output_dim() as usize);
+        for b in 0..batch {
+            let mut features: Vec<&[f32]> = Vec::with_capacity(self.tables.len() + 1);
+            features.push(&dense_out[b * d..(b + 1) * d]);
+            for table_out in &pooled {
+                features.push(&table_out[b * d..(b + 1) * d]);
+            }
+            interactions.extend(dot_interaction(&features));
+        }
+        let logits = self.top.forward(&interactions);
+        let predictions: Vec<f32> = logits.iter().map(|&x| sigmoid(x)).collect();
+        DlrmOutput { predictions }
+    }
+}
+
+/// The output of one DLRM forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmOutput {
+    /// Predicted click-through rate per sample, each in `(0, 1)`.
+    pub predictions: Vec<f32>,
+}
+
+impl DlrmOutput {
+    /// Number of samples scored.
+    pub fn batch_size(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Indices of the `k` samples with the highest predicted CTR, best first
+    /// (the "top-k items" the paper's inference step returns).
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.predictions.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.predictions[b]
+                .partial_cmp(&self.predictions[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkloadScale;
+    use dlrm_datasets::AccessPattern;
+
+    fn small_model() -> DlrmForward {
+        DlrmForward::new(DlrmConfig::at_scale(WorkloadScale::Test), 7)
+    }
+
+    fn traces(model: &DlrmForward, pattern: AccessPattern, seed: u64) -> Vec<EmbeddingTrace> {
+        (0..model.config().num_tables)
+            .map(|t| model.config().embedding.trace.generate(pattern, seed + t as u64))
+            .collect()
+    }
+
+    fn dense(model: &DlrmForward) -> Vec<f32> {
+        let n = model.config().batch_size() as usize * model.config().bottom_mlp[0] as usize;
+        (0..n).map(|i| ((i % 97) as f32) / 97.0 - 0.5).collect()
+    }
+
+    #[test]
+    fn forward_produces_one_ctr_per_sample() {
+        let model = small_model();
+        let out = model.forward(&dense(&model), &traces(&model, AccessPattern::MedHot, 1));
+        assert_eq!(out.batch_size(), model.config().batch_size() as usize);
+        assert!(out.predictions.iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let model = small_model();
+        let t = traces(&model, AccessPattern::HighHot, 3);
+        let a = model.forward(&dense(&model), &t);
+        let b = model.forward(&dense(&model), &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_lookups_change_predictions() {
+        let model = small_model();
+        let a = model.forward(&dense(&model), &traces(&model, AccessPattern::Random, 1));
+        let b = model.forward(&dense(&model), &traces(&model, AccessPattern::Random, 99));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn top_k_returns_best_samples_in_order() {
+        let model = small_model();
+        let out = model.forward(&dense(&model), &traces(&model, AccessPattern::LowHot, 5));
+        let top = out.top_k(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(out.predictions[w[0]] >= out.predictions[w[1]]);
+        }
+        let best = top[0];
+        assert!(out.predictions.iter().all(|&p| p <= out.predictions[best]));
+    }
+
+    #[test]
+    fn top_k_larger_than_batch_returns_everything() {
+        let model = small_model();
+        let out = model.forward(&dense(&model), &traces(&model, AccessPattern::OneItem, 2));
+        assert_eq!(out.top_k(10_000).len(), out.batch_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "one lookup trace per embedding table")]
+    fn wrong_trace_count_panics() {
+        let model = small_model();
+        let t = traces(&model, AccessPattern::MedHot, 1);
+        let _ = model.forward(&dense(&model), &t[..1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size x bottom_mlp input")]
+    fn wrong_dense_size_panics() {
+        let model = small_model();
+        let t = traces(&model, AccessPattern::MedHot, 1);
+        let _ = model.forward(&[0.0; 8], &t);
+    }
+}

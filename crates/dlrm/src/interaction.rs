@@ -1,0 +1,99 @@
+//! The feature-interaction stage: pairwise dot products between the
+//! bottom-MLP output and every embedding-table output (the standard DLRM
+//! "dot" interaction), concatenated with the bottom-MLP output itself.
+
+/// Computes the dot-product interaction for one sample.
+///
+/// `features` contains `F` vectors of identical length `D`: the bottom-MLP
+/// output first, followed by one pooled embedding per table. The result is
+/// the `F * (F - 1) / 2` pairwise dot products (upper triangle, row-major)
+/// concatenated after a copy of the first (dense) feature vector — matching
+/// the DLRM reference implementation.
+///
+/// # Panics
+/// Panics if fewer than two feature vectors are supplied or their lengths
+/// differ.
+pub fn dot_interaction(features: &[&[f32]]) -> Vec<f32> {
+    assert!(features.len() >= 2, "interaction needs the dense feature and at least one embedding");
+    let d = features[0].len();
+    assert!(
+        features.iter().all(|f| f.len() == d),
+        "all interaction inputs must share the same dimension"
+    );
+    let f = features.len();
+    let mut out = Vec::with_capacity(d + f * (f - 1) / 2);
+    out.extend_from_slice(features[0]);
+    for i in 0..f {
+        for j in (i + 1)..f {
+            let dot: f32 = features[i].iter().zip(features[j]).map(|(a, b)| a * b).sum();
+            out.push(dot);
+        }
+    }
+    out
+}
+
+/// FLOPs of the interaction stage for one sample with `num_features` vectors
+/// of dimension `dim` (2 FLOPs per multiply-accumulate).
+pub fn interaction_flops_per_sample(num_features: u32, dim: u32) -> u64 {
+    let pairs = num_features as u64 * (num_features as u64 - 1) / 2;
+    pairs * dim as u64 * 2
+}
+
+/// Output width of the interaction stage.
+pub fn interaction_output_dim(num_features: u32, dim: u32) -> u32 {
+    num_features * (num_features - 1) / 2 + dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_layout_is_dense_then_pairs() {
+        let dense = [1.0, 2.0];
+        let emb1 = [3.0, 4.0];
+        let emb2 = [5.0, 6.0];
+        let out = dot_interaction(&[&dense, &emb1, &emb2]);
+        // dense copy, then (dense.emb1, dense.emb2, emb1.emb2).
+        assert_eq!(out, vec![1.0, 2.0, 11.0, 17.0, 39.0]);
+        assert_eq!(out.len() as u32, interaction_output_dim(3, 2));
+    }
+
+    #[test]
+    fn two_features_produce_one_dot() {
+        let out = dot_interaction(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(out, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_products_are_symmetric_in_input_content() {
+        let a = [0.5f32, -0.25, 2.0];
+        let b = [1.5f32, 0.75, -1.0];
+        let ab = dot_interaction(&[&a, &b]);
+        let ba = dot_interaction(&[&b, &a]);
+        assert_eq!(ab.last(), ba.last());
+    }
+
+    #[test]
+    fn flops_count_scales_quadratically_in_features() {
+        assert_eq!(interaction_flops_per_sample(3, 2), 3 * 2 * 2);
+        assert_eq!(interaction_flops_per_sample(251, 128), 251 * 250 / 2 * 128 * 2);
+    }
+
+    #[test]
+    fn paper_interaction_width() {
+        assert_eq!(interaction_output_dim(251, 128), 31_503);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn mismatched_dims_panic() {
+        let _ = dot_interaction(&[&[1.0, 2.0], &[1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one embedding")]
+    fn single_feature_panics() {
+        let _ = dot_interaction(&[&[1.0, 2.0]]);
+    }
+}

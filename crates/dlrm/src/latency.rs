@@ -1,0 +1,125 @@
+//! End-to-end batch latency: the sum of the (simulated) embedding stage and
+//! the (modelled) non-embedding stages.
+
+use std::fmt;
+
+/// The latency breakdown of one inference batch, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchLatency {
+    /// Embedding-stage latency (all tables, executed sequentially).
+    pub embedding_us: f64,
+    /// Non-embedding latency (bottom MLP + interaction + top MLP).
+    pub non_embedding_us: f64,
+}
+
+impl BatchLatency {
+    /// Creates a latency breakdown.
+    ///
+    /// # Panics
+    /// Panics if either component is negative or not finite.
+    pub fn new(embedding_us: f64, non_embedding_us: f64) -> Self {
+        assert!(
+            embedding_us.is_finite() && embedding_us >= 0.0,
+            "embedding latency must be finite and non-negative"
+        );
+        assert!(
+            non_embedding_us.is_finite() && non_embedding_us >= 0.0,
+            "non-embedding latency must be finite and non-negative"
+        );
+        BatchLatency { embedding_us, non_embedding_us }
+    }
+
+    /// Total batch latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.embedding_us + self.non_embedding_us
+    }
+
+    /// Total batch latency in milliseconds (the unit of the paper's
+    /// Figure 1).
+    pub fn total_ms(&self) -> f64 {
+        self.total_us() / 1e3
+    }
+
+    /// Embedding-stage latency in milliseconds.
+    pub fn embedding_ms(&self) -> f64 {
+        self.embedding_us / 1e3
+    }
+
+    /// Embedding-stage share of the total latency, in percent (the paper's
+    /// Figure 14).
+    pub fn embedding_share_pct(&self) -> f64 {
+        if self.total_us() == 0.0 {
+            0.0
+        } else {
+            100.0 * self.embedding_us / self.total_us()
+        }
+    }
+
+    /// End-to-end speedup of this latency relative to `baseline`
+    /// (`baseline.total / self.total`, so values above 1 mean faster).
+    pub fn speedup_over(&self, baseline: &BatchLatency) -> f64 {
+        baseline.total_us() / self.total_us()
+    }
+
+    /// Embedding-only speedup relative to `baseline`.
+    pub fn embedding_speedup_over(&self, baseline: &BatchLatency) -> f64 {
+        baseline.embedding_us / self.embedding_us
+    }
+}
+
+impl fmt::Display for BatchLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} ms (embedding {:.2} ms / {:.1}%, non-embedding {:.2} ms)",
+            self.total_ms(),
+            self.embedding_ms(),
+            self.embedding_share_pct(),
+            self.non_embedding_us / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let l = BatchLatency::new(80_000.0, 20_000.0);
+        assert!((l.total_ms() - 100.0).abs() < 1e-9);
+        assert!((l.embedding_share_pct() - 80.0).abs() < 1e-9);
+        assert!((l.embedding_ms() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedups_compare_against_a_baseline() {
+        let base = BatchLatency::new(80_000.0, 20_000.0);
+        let optimized = BatchLatency::new(40_000.0, 20_000.0);
+        assert!((optimized.speedup_over(&base) - 100.0 / 60.0).abs() < 1e-9);
+        assert!((optimized.embedding_speedup_over(&base) - 2.0).abs() < 1e-9);
+        // The end-to-end speedup is always smaller than the embedding-only
+        // speedup because the non-embedding time is unchanged (Amdahl).
+        assert!(optimized.speedup_over(&base) < optimized.embedding_speedup_over(&base));
+    }
+
+    #[test]
+    fn zero_latency_share_is_zero() {
+        let l = BatchLatency::new(0.0, 0.0);
+        assert_eq!(l.embedding_share_pct(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_both_components() {
+        let l = BatchLatency::new(1_000.0, 500.0);
+        let s = format!("{l}");
+        assert!(s.contains("embedding"));
+        assert!(s.contains("non-embedding"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_latency_rejected() {
+        let _ = BatchLatency::new(-1.0, 0.0);
+    }
+}

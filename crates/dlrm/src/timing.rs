@@ -1,0 +1,170 @@
+//! Analytic timing model for the non-embedding DLRM stages (bottom MLP,
+//! feature interaction, top MLP).
+//!
+//! The paper's measurements are split into the embedding stage (which this
+//! repository simulates at the microarchitectural level) and the
+//! compute-bound non-embedding stages, whose latency stays essentially
+//! constant across datasets and optimization schemes (Figures 1, 13, 14).
+//! This module models those stages with a roofline: each dense layer takes
+//! `max(flops / effective_flops, bytes / effective_bandwidth)` plus a kernel
+//! launch overhead, and each stage adds a fixed framework overhead. The
+//! efficiency constants are calibrated so that the paper-scale model spends
+//! roughly 20 ms in the non-embedding stages at batch 2048, which reproduces
+//! the ~69-88% embedding-stage share of end-to-end latency the paper reports.
+
+use gpu_sim::GpuConfig;
+
+use crate::interaction::interaction_flops_per_sample;
+use crate::model::DlrmConfig;
+
+/// Fraction of peak fp32 throughput that eager-mode dense layers achieve.
+const GEMM_EFFICIENCY: f64 = 0.10;
+/// Fraction of peak HBM bandwidth that memory-bound layers achieve.
+const MEM_EFFICIENCY: f64 = 0.50;
+/// Fixed cost of launching one kernel, in microseconds.
+const KERNEL_LAUNCH_OVERHEAD_US: f64 = 10.0;
+/// Fixed per-stage framework overhead (tensor reshapes, concatenations,
+/// Python dispatch), in microseconds.
+const STAGE_OVERHEAD_US: f64 = 800.0;
+/// fp32 CUDA cores per SM on the devices modelled here.
+const FP32_CORES_PER_SM: f64 = 64.0;
+
+/// An analytic latency model of the non-embedding stages for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonEmbeddingTimingModel {
+    /// Peak fp32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub peak_bandwidth: f64,
+    device_name: String,
+}
+
+impl NonEmbeddingTimingModel {
+    /// Builds the model for a device (peak throughput is derived from the
+    /// SM count and clock: `SMs * 64 fp32 cores * 2 FLOP * clock`).
+    pub fn new(cfg: &GpuConfig) -> Self {
+        NonEmbeddingTimingModel {
+            peak_flops: cfg.num_sms as f64 * FP32_CORES_PER_SM * 2.0 * cfg.clock_ghz * 1e9,
+            peak_bandwidth: cfg.dram.peak_bandwidth_gbps * 1e9,
+            device_name: cfg.name.clone(),
+        }
+    }
+
+    /// The device this model was built for.
+    pub fn device_name(&self) -> &str {
+        &self.device_name
+    }
+
+    fn layer_time_us(&self, flops: f64, bytes: f64) -> f64 {
+        let compute = flops / (self.peak_flops * GEMM_EFFICIENCY);
+        let memory = bytes / (self.peak_bandwidth * MEM_EFFICIENCY);
+        compute.max(memory) * 1e6 + KERNEL_LAUNCH_OVERHEAD_US
+    }
+
+    /// Latency of the bottom MLP for one batch, in microseconds.
+    pub fn bottom_mlp_time_us(&self, model: &DlrmConfig) -> f64 {
+        let batch = model.batch_size() as f64;
+        let mut total = STAGE_OVERHEAD_US;
+        for w in model.bottom_mlp.windows(2) {
+            let (k, n) = (w[0] as f64, w[1] as f64);
+            let flops = 2.0 * batch * k * n;
+            let bytes = (batch * k + k * n + batch * n) * 4.0;
+            total += self.layer_time_us(flops, bytes);
+        }
+        total
+    }
+
+    /// Latency of the feature-interaction stage for one batch, in
+    /// microseconds.
+    pub fn interaction_time_us(&self, model: &DlrmConfig) -> f64 {
+        let batch = model.batch_size() as f64;
+        let f = model.interaction_inputs();
+        let d = model.embedding.embedding_dim;
+        let flops = batch * interaction_flops_per_sample(f, d) as f64;
+        let bytes = batch * (f as f64 * d as f64 + model.interaction_output_dim() as f64) * 4.0;
+        STAGE_OVERHEAD_US + self.layer_time_us(flops, bytes)
+    }
+
+    /// Latency of the top MLP for one batch, in microseconds.
+    pub fn top_mlp_time_us(&self, model: &DlrmConfig) -> f64 {
+        let batch = model.batch_size() as f64;
+        let mut total = STAGE_OVERHEAD_US;
+        let mut prev = model.interaction_output_dim() as f64;
+        for &n in &model.top_mlp {
+            let n = n as f64;
+            let flops = 2.0 * batch * prev * n;
+            let bytes = (batch * prev + prev * n + batch * n) * 4.0;
+            total += self.layer_time_us(flops, bytes);
+            prev = n;
+        }
+        total
+    }
+
+    /// Total non-embedding latency for one batch, in microseconds.
+    pub fn non_embedding_time_us(&self, model: &DlrmConfig) -> f64 {
+        self.bottom_mlp_time_us(model) + self.interaction_time_us(model) + self.top_mlp_time_us(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkloadScale;
+
+    #[test]
+    fn a100_peak_flops_matches_datasheet() {
+        let m = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        // 108 SMs * 64 cores * 2 * 1.41 GHz = 19.5 TFLOPS.
+        assert!((m.peak_flops / 1e12 - 19.49).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_model_non_embedding_time_is_in_the_calibrated_range() {
+        let m = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        let t = m.non_embedding_time_us(&DlrmConfig::paper_model());
+        // Calibrated to roughly 15-30 ms (the paper's Figure 1 implies ~20 ms
+        // of non-embedding work at batch 2048).
+        assert!(t > 15_000.0 && t < 30_000.0, "non-embedding time {t:.0} us out of range");
+    }
+
+    #[test]
+    fn interaction_dominates_the_paper_models_non_embedding_time() {
+        let m = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        let model = DlrmConfig::paper_model();
+        let inter = m.interaction_time_us(&model);
+        let bottom = m.bottom_mlp_time_us(&model);
+        assert!(
+            inter > bottom,
+            "with 251 feature vectors the interaction stage should outweigh the bottom MLP"
+        );
+    }
+
+    #[test]
+    fn smaller_models_take_less_time() {
+        let m = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        let paper = m.non_embedding_time_us(&DlrmConfig::paper_model());
+        let small = m.non_embedding_time_us(&DlrmConfig::at_scale(WorkloadScale::Test));
+        assert!(small < paper);
+    }
+
+    #[test]
+    fn h100_is_faster_than_a100_on_the_same_model() {
+        let a100 = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        let h100 = NonEmbeddingTimingModel::new(&GpuConfig::h100_nvl());
+        let model = DlrmConfig::paper_model();
+        assert!(h100.non_embedding_time_us(&model) < a100.non_embedding_time_us(&model));
+    }
+
+    #[test]
+    fn every_stage_contributes_positive_time() {
+        let m = NonEmbeddingTimingModel::new(&GpuConfig::a100());
+        let model = DlrmConfig::at_scale(WorkloadScale::Test);
+        assert!(m.bottom_mlp_time_us(&model) > 0.0);
+        assert!(m.interaction_time_us(&model) > 0.0);
+        assert!(m.top_mlp_time_us(&model) > 0.0);
+        let sum = m.bottom_mlp_time_us(&model)
+            + m.interaction_time_us(&model)
+            + m.top_mlp_time_us(&model);
+        assert!((m.non_embedding_time_us(&model) - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! GPU device configuration and presets.
+//!
+//! The presets mirror the devices used in the paper's evaluation
+//! (Table I, Table II, Table VI and Section VI-B4): an NVIDIA A100-SXM4-80GB
+//! and an H100 NVL. Latencies come from the paper's Table I (measured by
+//! Luo et al., "Benchmarking and dissecting the NVIDIA Hopper GPU
+//! architecture").
+
+/// Configuration of a single cache level (L1 data cache or device-wide L2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Cache line size in bytes (128 on NVIDIA GPUs).
+    pub line_bytes: u64,
+    /// Associativity (number of ways per set).
+    pub associativity: usize,
+    /// Load-to-use latency for a hit, in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of cache lines this cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// Number of sets (lines / associativity), always at least one.
+    pub fn num_sets(&self) -> u64 {
+        (self.num_lines() / self.associativity as u64).max(1)
+    }
+}
+
+/// Configuration of the off-chip HBM device memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Capacity in bytes (80 GB on A100-SXM4-80GB).
+    pub capacity_bytes: u64,
+    /// Load-to-use latency of a device-memory access in cycles.
+    pub latency: u64,
+    /// Peak bandwidth in GB/s (1 GB = 1e9 bytes).
+    pub peak_bandwidth_gbps: f64,
+}
+
+/// Full device configuration consumed by the [`crate::Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable device name (e.g. "A100-SXM4-80GB").
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Number of SM sub-partitions (warp schedulers) per SM.
+    pub smsps_per_sm: usize,
+    /// Maximum resident warps per SM supported by the hardware.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Number of 32-bit registers in the register file of one SM.
+    pub registers_per_sm: u32,
+    /// Register allocation granularity (registers are allocated to a warp in
+    /// multiples of this value).
+    pub register_alloc_granularity: u32,
+    /// Threads per warp (32 on all NVIDIA GPUs).
+    pub warp_size: u32,
+    /// Core clock in GHz, used to convert cycles to wall-clock time.
+    pub clock_ghz: f64,
+    /// Shared-memory capacity per SM in bytes.
+    pub shared_mem_per_sm: u64,
+    /// Shared-memory access latency in cycles.
+    pub shared_mem_latency: u64,
+    /// Register access latency in cycles (effectively part of the pipeline).
+    pub register_latency: u64,
+    /// Per-SM L1 data cache.
+    pub l1: CacheConfig,
+    /// Device-wide L2 cache.
+    pub l2: CacheConfig,
+    /// Maximum fraction of the L2 that may be set aside for persisting
+    /// accesses (0.75 on A100/H100 per the CUDA programming guide).
+    pub l2_max_persisting_fraction: f64,
+    /// Off-chip device memory.
+    pub dram: DramConfig,
+    /// Default ALU result latency in cycles (dependent-issue distance).
+    pub alu_latency: u64,
+}
+
+impl GpuConfig {
+    /// Preset matching the paper's primary evaluation platform
+    /// (Table VI: NVIDIA A100-SXM4-80GB, 108 SMs, 40 MB L2, 192 KB L1,
+    /// HBM2e at ~2 TB/s).
+    pub fn a100() -> Self {
+        GpuConfig {
+            name: "A100-SXM4-80GB".to_string(),
+            num_sms: 108,
+            smsps_per_sm: 4,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65_536,
+            register_alloc_granularity: 8,
+            warp_size: 32,
+            clock_ghz: 1.41,
+            shared_mem_per_sm: 164 * 1024,
+            shared_mem_latency: 29,
+            register_latency: 1,
+            l1: CacheConfig {
+                capacity_bytes: 192 * 1024,
+                line_bytes: 128,
+                associativity: 4,
+                hit_latency: 38,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 40 * 1024 * 1024,
+                line_bytes: 128,
+                associativity: 16,
+                hit_latency: 261,
+            },
+            l2_max_persisting_fraction: 0.75,
+            dram: DramConfig {
+                capacity_bytes: 80 * 1024 * 1024 * 1024,
+                latency: 466,
+                peak_bandwidth_gbps: 1940.0,
+            },
+            alu_latency: 4,
+        }
+    }
+
+    /// Preset matching the H100 NVL used in Section VI-B4: 132 SMs, 50 MB L2,
+    /// 192 KB L1, HBM3 at 3.84 TB/s, ~27% faster SM clock than the A100.
+    pub fn h100_nvl() -> Self {
+        GpuConfig {
+            name: "H100-NVL".to_string(),
+            num_sms: 132,
+            smsps_per_sm: 4,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65_536,
+            register_alloc_granularity: 8,
+            warp_size: 32,
+            clock_ghz: 1.79,
+            shared_mem_per_sm: 228 * 1024,
+            shared_mem_latency: 29,
+            register_latency: 1,
+            l1: CacheConfig {
+                capacity_bytes: 256 * 1024,
+                line_bytes: 128,
+                associativity: 4,
+                hit_latency: 36,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 50 * 1024 * 1024,
+                line_bytes: 128,
+                associativity: 16,
+                hit_latency: 255,
+            },
+            l2_max_persisting_fraction: 0.75,
+            dram: DramConfig {
+                capacity_bytes: 94 * 1024 * 1024 * 1024,
+                latency: 440,
+                peak_bandwidth_gbps: 3840.0,
+            },
+            alu_latency: 4,
+        }
+    }
+
+    /// A small configuration intended for unit tests: 4 SMs with shrunken
+    /// caches so that cache-behaviour edge cases are reachable quickly.
+    pub fn test_small() -> Self {
+        let mut cfg = Self::a100();
+        cfg.name = "test-small".to_string();
+        cfg.num_sms = 4;
+        cfg.l1.capacity_bytes = 16 * 1024;
+        cfg.l2.capacity_bytes = 256 * 1024;
+        cfg
+    }
+
+    /// Returns a copy with a different SM count (useful for scaling tests).
+    pub fn with_num_sms(mut self, num_sms: usize) -> Self {
+        assert!(num_sms > 0, "a GPU must have at least one SM");
+        self.num_sms = num_sms;
+        self
+    }
+
+    /// Returns a copy with a different L2 capacity in bytes.
+    pub fn with_l2_capacity(mut self, bytes: u64) -> Self {
+        self.l2.capacity_bytes = bytes;
+        self
+    }
+
+    /// Maximum number of bytes of L2 that may be carved out for persisting
+    /// (pinned) data.
+    pub fn l2_max_persisting_bytes(&self) -> u64 {
+        (self.l2.capacity_bytes as f64 * self.l2_max_persisting_fraction) as u64
+    }
+
+    /// Total number of warp schedulers on the device.
+    pub fn total_schedulers(&self) -> usize {
+        self.num_sms * self.smsps_per_sm
+    }
+
+    /// Peak DRAM bytes transferred per core cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram.peak_bandwidth_gbps * 1e9 / (self.clock_ghz * 1e9)
+    }
+
+    /// Converts a cycle count into microseconds at this device's clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e3)
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_paper_table_vi() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(cfg.num_sms, 108);
+        assert_eq!(cfg.registers_per_sm, 65_536);
+        assert_eq!(cfg.l1.capacity_bytes, 192 * 1024);
+        assert_eq!(cfg.l2.capacity_bytes, 40 * 1024 * 1024);
+        assert_eq!(cfg.dram.capacity_bytes, 80 * 1024 * 1024 * 1024);
+        assert!((cfg.dram.peak_bandwidth_gbps - 1940.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a100_latencies_match_paper_table_i() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(cfg.register_latency, 1);
+        assert_eq!(cfg.shared_mem_latency, 29);
+        assert_eq!(cfg.l1.hit_latency, 38);
+        assert_eq!(cfg.l2.hit_latency, 261);
+        assert_eq!(cfg.dram.latency, 466);
+    }
+
+    #[test]
+    fn h100_is_bigger_and_faster_than_a100() {
+        let a100 = GpuConfig::a100();
+        let h100 = GpuConfig::h100_nvl();
+        assert!(h100.num_sms > a100.num_sms);
+        assert!(h100.clock_ghz > a100.clock_ghz);
+        assert!(h100.l2.capacity_bytes > a100.l2.capacity_bytes);
+        assert!(h100.dram.peak_bandwidth_gbps > a100.dram.peak_bandwidth_gbps);
+    }
+
+    #[test]
+    fn l2_persisting_carveout_is_75_percent() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(cfg.l2_max_persisting_bytes(), 30 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cache_geometry_is_consistent() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(cfg.l1.num_lines(), 192 * 1024 / 128);
+        assert_eq!(cfg.l2.num_sets() * cfg.l2.associativity as u64, cfg.l2.num_lines());
+    }
+
+    #[test]
+    fn cycles_to_us_uses_clock() {
+        let cfg = GpuConfig::a100();
+        let us = cfg.cycles_to_us(1_410_000);
+        assert!((us - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_reasonable() {
+        let cfg = GpuConfig::a100();
+        let bpc = cfg.dram_bytes_per_cycle();
+        assert!(bpc > 1000.0 && bpc < 2000.0, "got {bpc}");
+    }
+
+    #[test]
+    fn with_builders_modify_copy() {
+        let cfg = GpuConfig::a100().with_num_sms(8).with_l2_capacity(1024 * 1024);
+        assert_eq!(cfg.num_sms, 8);
+        assert_eq!(cfg.l2.capacity_bytes, 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_rejected() {
+        let _ = GpuConfig::a100().with_num_sms(0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The simulation engine: dispatches thread blocks onto SMs, drives the
+//! per-cycle issue loop, and assembles [`KernelStats`].
+
+use crate::config::GpuConfig;
+use crate::launch::{KernelLaunch, KernelProgram, WarpInfo};
+use crate::mem::MemorySystem;
+use crate::occupancy::Occupancy;
+use crate::sm::SmState;
+use crate::stats::{KernelStats, RawCounters};
+use crate::warp::WarpContext;
+
+/// Hard safety bound on simulated cycles per kernel; reaching it indicates a
+/// livelocked program and aborts the simulation with a panic.
+const MAX_CYCLES: u64 = 50_000_000_000;
+
+/// The GPU simulator: owns a device configuration and runs kernels on it.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: GpuConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given device.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// The device configuration this simulator uses.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Runs a kernel on a cold memory hierarchy and returns its statistics.
+    pub fn run(&self, launch: &KernelLaunch, program: &dyn KernelProgram) -> KernelStats {
+        let mut mem = MemorySystem::new(&self.cfg);
+        self.run_with_memory(launch, program, &mut mem, 0)
+    }
+
+    /// Runs a kernel against an existing memory system (so cache contents —
+    /// including L2-pinned lines — persist across kernels), starting the
+    /// device clock at `start_cycle`. The returned statistics are relative to
+    /// this kernel only.
+    pub fn run_with_memory(
+        &self,
+        launch: &KernelLaunch,
+        program: &dyn KernelProgram,
+        mem: &mut MemorySystem,
+        start_cycle: u64,
+    ) -> KernelStats {
+        let cfg = &self.cfg;
+        let occ = Occupancy::compute(cfg, launch);
+
+        // Snapshot memory-system counters so this run reports deltas only.
+        let (l1_acc0, l1_hit0) = mem.l1_totals();
+        let l2_acc0 = mem.l2().stats.accesses;
+        let l2_hit0 = mem.l2().stats.hits;
+        let dram_read0 = mem.dram().bytes_read;
+        let dram_write0 = mem.dram().bytes_written;
+
+        let mut counters = RawCounters::default();
+        let mut warps: Vec<WarpContext> = Vec::new();
+        let mut sms: Vec<SmState> = (0..cfg.num_sms).map(|_| SmState::new(cfg.smsps_per_sm)).collect();
+        // Which block each warp belongs to, and which SM it runs on.
+        let mut warp_home: Vec<(usize, u32)> = Vec::new();
+
+        let warps_per_block = occ.warps_per_block;
+        let total_blocks = launch.grid_blocks;
+        let mut next_block: u32 = 0;
+
+        let dispatch_block = |sm_id: usize,
+                                  block_id: u32,
+                                  cycle: u64,
+                                  warps: &mut Vec<WarpContext>,
+                                  warp_home: &mut Vec<(usize, u32)>,
+                                  sms: &mut Vec<SmState>,
+                                  counters: &mut RawCounters| {
+            sms[sm_id].begin_block(block_id, warps_per_block);
+            counters.blocks_launched += 1;
+            for w in 0..warps_per_block {
+                let info = WarpInfo {
+                    block_id,
+                    warp_in_block: w,
+                    warps_per_block,
+                    threads_per_block: launch.threads_per_block,
+                    global_warp_id: block_id as u64 * warps_per_block as u64 + w as u64,
+                    sm_id: sm_id as u32,
+                };
+                let ctx = WarpContext::new(info, program.warp_program(info), cycle);
+                counters.warps_launched += 1;
+                let warp_id = warps.len();
+                warps.push(ctx);
+                warp_home.push((sm_id, block_id));
+                sms[sm_id].place_warp(warp_id);
+            }
+        };
+
+        // Initial wave: fill every SM up to its occupancy limit, round-robin
+        // over SMs the way the GigaThread engine distributes blocks.
+        'outer: for _slot in 0..occ.blocks_per_sm {
+            for sm_id in 0..cfg.num_sms {
+                if next_block >= total_blocks {
+                    break 'outer;
+                }
+                dispatch_block(
+                    sm_id,
+                    next_block,
+                    start_cycle,
+                    &mut warps,
+                    &mut warp_home,
+                    &mut sms,
+                    &mut counters,
+                );
+                next_block += 1;
+            }
+        }
+
+        let mut cycle = start_cycle;
+        let mut active_warps: u64 = warps.iter().filter(|w| !w.is_exited()).count() as u64;
+        // Warps whose programs are empty retire instantly; account for their
+        // blocks so replacement blocks can still be dispatched.
+        for wid in 0..warps.len() {
+            if warps[wid].is_exited() {
+                let (sm_id, block_id) = warp_home[wid];
+                let _ = sms[sm_id].warp_retired(block_id);
+            }
+        }
+
+        while active_warps > 0 || next_block < total_blocks {
+            if active_warps == 0 && next_block < total_blocks {
+                // All resident warps retired but blocks remain (can happen
+                // with degenerate empty programs): dispatch onto SM 0.
+                for sm_id in 0..cfg.num_sms {
+                    while sms[sm_id].resident_blocks < occ.blocks_per_sm && next_block < total_blocks
+                    {
+                        dispatch_block(
+                            sm_id,
+                            next_block,
+                            cycle,
+                            &mut warps,
+                            &mut warp_home,
+                            &mut sms,
+                            &mut counters,
+                        );
+                        next_block += 1;
+                    }
+                }
+                let newly_active = warps.iter().filter(|w| !w.is_exited()).count() as u64;
+                if newly_active == 0 {
+                    // Every program in this launch is empty.
+                    for wid in 0..warps.len() {
+                        if warps[wid].is_exited() {
+                            let (sm_id, block_id) = warp_home[wid];
+                            let _ = sms[sm_id].warp_retired(block_id);
+                        }
+                    }
+                    break;
+                }
+                active_warps = newly_active;
+            }
+
+            let mut issued_any = false;
+            for sm_id in 0..cfg.num_sms {
+                for smsp_idx in 0..cfg.smsps_per_sm {
+                    let pick = sms[sm_id].smsps[smsp_idx].select_ready(&warps, cycle);
+                    let Some(wid) = pick else { continue };
+                    issued_any = true;
+                    let retired = warps[wid].issue(cycle, mem, cfg, &mut counters);
+                    if retired {
+                        active_warps -= 1;
+                        counters.resident_warp_cycles += cycle + 1 - warps[wid].spawn_cycle;
+                        let (home_sm, block_id) = warp_home[wid];
+                        let block_done = sms[home_sm].warp_retired(block_id);
+                        sms[sm_id].smsps[smsp_idx].prune_exited(&warps);
+                        if block_done && next_block < total_blocks {
+                            dispatch_block(
+                                home_sm,
+                                next_block,
+                                cycle + 1,
+                                &mut warps,
+                                &mut warp_home,
+                                &mut sms,
+                                &mut counters,
+                            );
+                            next_block += 1;
+                            active_warps +=
+                                (warps.len() - warps_per_block as usize..warps.len())
+                                    .filter(|&i| !warps[i].is_exited())
+                                    .count() as u64;
+                        }
+                    }
+                }
+            }
+
+            if issued_any {
+                cycle += 1;
+            } else {
+                // Nothing could issue: fast-forward to the earliest cycle at
+                // which any warp becomes ready.
+                let next_ready = sms
+                    .iter()
+                    .flat_map(|sm| sm.smsps.iter())
+                    .filter_map(|smsp| smsp.min_ready_at(&warps))
+                    .min();
+                match next_ready {
+                    Some(c) if c > cycle => cycle = c,
+                    _ => cycle += 1,
+                }
+            }
+
+            assert!(
+                cycle - start_cycle < MAX_CYCLES,
+                "kernel '{}' exceeded {MAX_CYCLES} simulated cycles; the program is livelocked",
+                launch.name
+            );
+        }
+
+        // Account residency for any warps that never retired (impossible in
+        // practice but keeps the accounting robust).
+        for w in warps.iter().filter(|w| !w.is_exited()) {
+            counters.resident_warp_cycles += cycle.saturating_sub(w.spawn_cycle);
+        }
+
+        let mut stats = KernelStats::empty(&launch.name, cfg);
+        stats.set_occupancy(&occ);
+        stats.elapsed_cycles = cycle.saturating_sub(start_cycle);
+        stats.counters = counters;
+        let (l1_acc, l1_hit) = mem.l1_totals();
+        stats.l1_accesses = l1_acc - l1_acc0;
+        stats.l1_hits = l1_hit - l1_hit0;
+        stats.l2_accesses = mem.l2().stats.accesses - l2_acc0;
+        stats.l2_hits = mem.l2().stats.hits - l2_hit0;
+        stats.dram_bytes_read = mem.dram().bytes_read - dram_read0;
+        stats.dram_bytes_written = mem.dram().bytes_written - dram_write0;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{PointerChaseKernel, StreamKernel};
+
+    #[test]
+    fn stream_kernel_completes_and_counts_instructions() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg);
+        let launch = KernelLaunch::new("stream", 8, 128).with_regs_per_thread(32);
+        let kernel = StreamKernel::new(16);
+        let stats = sim.run(&launch, &kernel);
+        // 8 blocks * 4 warps * 16 iterations * 2 insts (load + add).
+        assert_eq!(stats.counters.load_insts, 8 * 4 * 16);
+        assert_eq!(stats.counters.insts_issued, 8 * 4 * 16 * 2);
+        assert!(stats.elapsed_cycles > 0);
+        assert_eq!(stats.counters.warps_launched, 32);
+        assert_eq!(stats.counters.blocks_launched, 8);
+    }
+
+    #[test]
+    fn latency_bound_chain_is_slower_than_streaming() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg);
+        let launch = KernelLaunch::new("k", 8, 128).with_regs_per_thread(32);
+        let stream = sim.run(&launch, &StreamKernel::new(32));
+        let chase = sim.run(&launch, &PointerChaseKernel::new(32, 1 << 26));
+        assert!(
+            chase.elapsed_cycles > stream.elapsed_cycles,
+            "dependent chain ({}) should be slower than independent streaming ({})",
+            chase.elapsed_cycles,
+            stream.elapsed_cycles
+        );
+        assert!(chase.long_scoreboard_per_inst() > stream.long_scoreboard_per_inst());
+    }
+
+    #[test]
+    fn more_blocks_than_capacity_are_drained() {
+        let cfg = GpuConfig::test_small().with_num_sms(1);
+        let sim = Simulator::new(cfg);
+        // 1 SM, many blocks: blocks must be dispatched in waves.
+        let launch = KernelLaunch::new("waves", 64, 256).with_regs_per_thread(64);
+        let stats = sim.run(&launch, &StreamKernel::new(4));
+        assert_eq!(stats.counters.blocks_launched, 64);
+        assert_eq!(stats.counters.warps_launched, 64 * 8);
+    }
+
+    #[test]
+    fn run_with_memory_reports_deltas_and_preserves_cache_state() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg.clone());
+        let launch = KernelLaunch::new("stream", 4, 128).with_regs_per_thread(32);
+        let kernel = StreamKernel::new(16);
+        let mut mem = MemorySystem::new(&cfg);
+        let first = sim.run_with_memory(&launch, &kernel, &mut mem, 0);
+        let second =
+            sim.run_with_memory(&launch, &kernel, &mut mem, first.elapsed_cycles);
+        // The second pass re-reads the same lines, so it should hit in cache
+        // and read (almost) nothing new from DRAM.
+        assert!(first.dram_bytes_read > 0);
+        assert!(second.dram_bytes_read < first.dram_bytes_read / 4);
+        assert!(second.elapsed_cycles < first.elapsed_cycles);
+    }
+
+    #[test]
+    fn higher_occupancy_hides_latency_better() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg);
+        let kernel = PointerChaseKernel::new(64, 1 << 27);
+        // Same total work, but one launch is register-starved (1 block/SM).
+        let low = KernelLaunch::new("low-occ", 16, 256).with_regs_per_thread(160);
+        let high = KernelLaunch::new("high-occ", 16, 256).with_regs_per_thread(32);
+        let s_low = sim.run(&low, &kernel);
+        let s_high = sim.run(&high, &kernel);
+        assert!(s_low.theoretical_warps_per_sm < s_high.theoretical_warps_per_sm);
+        assert!(
+            s_high.elapsed_cycles < s_low.elapsed_cycles,
+            "more resident warps should hide more latency ({} vs {})",
+            s_high.elapsed_cycles,
+            s_low.elapsed_cycles
+        );
+    }
+
+    #[test]
+    fn stats_issue_utilization_is_bounded() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg);
+        let launch = KernelLaunch::new("stream", 32, 256).with_regs_per_thread(32);
+        let stats = sim.run(&launch, &StreamKernel::new(64));
+        let util = stats.issued_per_scheduler_per_cycle();
+        assert!(util > 0.0 && util <= 1.0, "utilization {util} out of range");
+    }
+}

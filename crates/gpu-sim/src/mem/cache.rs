@@ -1,0 +1,336 @@
+//! A set-associative cache model with LRU replacement and Ampere-style
+//! residency control (persisting lines with an evict-last policy).
+//!
+//! The L2 pinning optimization in the paper relies on
+//! `cudaAccessPropertyPersisting` / `prefetch.global.L2::evict_last`: a
+//! carve-out of at most 75% of the L2 holds "persisting" lines which the
+//! replacement policy prefers to keep. This model implements exactly that
+//! behaviour: within a set, non-persistent victims are chosen before
+//! persistent ones, and the total number of persistent lines is capped at the
+//! configured carve-out.
+
+use crate::config::CacheConfig;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups performed.
+    pub accesses: u64,
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lines filled.
+    pub fills: u64,
+    /// Number of valid lines evicted to make room for fills.
+    pub evictions: u64,
+    /// Number of persistent (pinned) lines evicted.
+    pub persistent_evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; zero when the cache was never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Number of misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    tag: u64,
+    valid: bool,
+    persistent: bool,
+    last_use: u64,
+}
+
+impl CacheLine {
+    fn empty() -> Self {
+        CacheLine { tag: 0, valid: false, persistent: false, last_use: 0 }
+    }
+}
+
+/// A set-associative, LRU cache with an optional persisting carve-out.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<CacheLine>>,
+    num_sets: u64,
+    /// Current number of resident persistent lines.
+    persistent_lines: u64,
+    /// Maximum number of persistent lines allowed (carve-out).
+    persistent_capacity_lines: u64,
+    /// Running statistics.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache from its configuration with no persisting carve-out.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        // A degenerate configuration (associativity larger than the line
+        // count) must not inflate the capacity beyond what was configured.
+        let ways = cfg.associativity.min(cfg.num_lines().max(1) as usize);
+        let sets = (0..num_sets).map(|_| vec![CacheLine::empty(); ways]).collect();
+        Cache {
+            cfg,
+            sets,
+            num_sets,
+            persistent_lines: 0,
+            persistent_capacity_lines: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Sets the persisting carve-out capacity in bytes (rounded down to whole
+    /// lines). Lines marked persistent beyond this capacity are inserted as
+    /// normal lines.
+    pub fn set_persisting_capacity(&mut self, bytes: u64) {
+        self.persistent_capacity_lines = bytes / self.cfg.line_bytes;
+    }
+
+    /// Currently configured persisting carve-out in bytes.
+    pub fn persisting_capacity_bytes(&self) -> u64 {
+        self.persistent_capacity_lines * self.cfg.line_bytes
+    }
+
+    /// Number of currently resident persistent lines.
+    pub fn persistent_lines(&self) -> u64 {
+        self.persistent_lines
+    }
+
+    /// The cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.line_bytes
+    }
+
+    /// The hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes) % self.num_sets) as usize
+    }
+
+    fn tag(&self, line_addr: u64) -> u64 {
+        line_addr / self.cfg.line_bytes / self.num_sets
+    }
+
+    /// Looks up a line, updating LRU state and hit/miss statistics.
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, line_addr: u64, now: u64) -> bool {
+        self.stats.accesses += 1;
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        for way in self.sets[set_idx].iter_mut() {
+            if way.valid && way.tag == tag {
+                way.last_use = now;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probes for a line without updating statistics or LRU state.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Returns whether the given line is resident *and* marked persistent.
+    pub fn is_persistent(&self, line_addr: u64) -> bool {
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag && w.persistent)
+    }
+
+    /// Installs a line. If `persistent` is requested and the carve-out has
+    /// room, the line is marked evict-last; otherwise it is installed as a
+    /// normal line. Returns `true` if the line was installed as persistent.
+    pub fn fill(&mut self, line_addr: u64, persistent: bool, now: u64) -> bool {
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        self.stats.fills += 1;
+
+        // Already resident: update flags in place (a prefetch may promote a
+        // resident line to persistent).
+        let can_pin_more = self.persistent_lines < self.persistent_capacity_lines;
+        if let Some(way) =
+            self.sets[set_idx].iter_mut().find(|w| w.valid && w.tag == tag)
+        {
+            way.last_use = now;
+            if persistent && !way.persistent && can_pin_more {
+                way.persistent = true;
+                self.persistent_lines += 1;
+                return true;
+            }
+            return way.persistent;
+        }
+
+        let install_persistent = persistent && can_pin_more;
+
+        // Choose a victim: invalid first, then LRU among non-persistent,
+        // then LRU among persistent (evict-last behaviour).
+        let set = &mut self.sets[set_idx];
+        let victim_idx = if let Some(i) = set.iter().position(|w| !w.valid) {
+            i
+        } else if let Some(i) = set
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.persistent)
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+        {
+            i
+        } else {
+            // Every way is persistent: evict the LRU persistent line.
+            set.iter().enumerate().min_by_key(|(_, w)| w.last_use).map(|(i, _)| i).unwrap()
+        };
+
+        let victim = &mut set[victim_idx];
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.persistent {
+                self.stats.persistent_evictions += 1;
+                self.persistent_lines -= 1;
+            }
+        }
+        *victim = CacheLine { tag, valid: true, persistent: install_persistent, last_use: now };
+        if install_persistent {
+            self.persistent_lines += 1;
+        }
+        install_persistent
+    }
+
+    /// Invalidates every line and resets persistence bookkeeping (statistics
+    /// are preserved).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = CacheLine::empty();
+            }
+        }
+        self.persistent_lines = 0;
+    }
+
+    /// Number of valid lines currently resident (O(capacity); intended for
+    /// tests and diagnostics).
+    pub fn resident_lines(&self) -> u64 {
+        self.sets.iter().flatten().filter(|w| w.valid).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(lines: u64, assoc: usize) -> Cache {
+        Cache::new(CacheConfig {
+            capacity_bytes: lines * 128,
+            line_bytes: 128,
+            associativity: assoc,
+            hit_latency: 10,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache(8, 2);
+        assert!(!c.access(0, 0));
+        c.fill(0, false, 0);
+        assert!(c.access(0, 1));
+        assert_eq!(c.stats.accesses, 2);
+        assert_eq!(c.stats.hits, 1);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_replacement_evicts_oldest() {
+        // 2-way cache with 4 sets: lines 0, 512, 1024 map to set 0.
+        let mut c = small_cache(8, 2);
+        c.fill(0, false, 0);
+        c.fill(512, false, 1);
+        // Touch line 0 so 512 becomes LRU.
+        assert!(c.access(0, 2));
+        c.fill(1024, false, 3);
+        assert!(c.probe(0));
+        assert!(!c.probe(512));
+        assert!(c.probe(1024));
+    }
+
+    #[test]
+    fn persistent_lines_survive_thrashing() {
+        let mut c = small_cache(8, 2);
+        c.set_persisting_capacity(4 * 128);
+        assert!(c.fill(0, true, 0));
+        // Stream many conflicting lines through set 0.
+        for i in 1..20u64 {
+            c.fill(i * 512, false, i);
+        }
+        assert!(c.probe(0), "pinned line should still be resident");
+        assert!(c.is_persistent(0));
+    }
+
+    #[test]
+    fn persistent_capacity_is_enforced() {
+        let mut c = small_cache(64, 4);
+        c.set_persisting_capacity(2 * 128);
+        assert!(c.fill(0, true, 0));
+        assert!(c.fill(128, true, 1));
+        // Third pin request exceeds the carve-out and degrades to normal.
+        assert!(!c.fill(256, true, 2));
+        assert_eq!(c.persistent_lines(), 2);
+    }
+
+    #[test]
+    fn all_persistent_set_still_allows_progress() {
+        let mut c = small_cache(8, 2);
+        c.set_persisting_capacity(8 * 128);
+        c.fill(0, true, 0);
+        c.fill(512, true, 1);
+        // Set 0 now holds only persistent lines; a new fill must still work.
+        c.fill(1024, false, 2);
+        assert!(c.probe(1024));
+        assert_eq!(c.stats.persistent_evictions, 1);
+    }
+
+    #[test]
+    fn promote_resident_line_to_persistent() {
+        let mut c = small_cache(8, 2);
+        c.set_persisting_capacity(128);
+        c.fill(0, false, 0);
+        assert!(!c.is_persistent(0));
+        assert!(c.fill(0, true, 1));
+        assert!(c.is_persistent(0));
+        assert_eq!(c.persistent_lines(), 1);
+    }
+
+    #[test]
+    fn flush_clears_contents_but_not_stats() {
+        let mut c = small_cache(8, 2);
+        c.fill(0, true, 0);
+        c.access(0, 1);
+        c.flush();
+        assert!(!c.probe(0));
+        assert_eq!(c.persistent_lines(), 0);
+        assert_eq!(c.stats.accesses, 1);
+    }
+
+    #[test]
+    fn resident_line_count() {
+        let mut c = small_cache(8, 2);
+        assert_eq!(c.resident_lines(), 0);
+        c.fill(0, false, 0);
+        c.fill(128, false, 0);
+        assert_eq!(c.resident_lines(), 2);
+    }
+}

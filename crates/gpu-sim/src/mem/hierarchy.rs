@@ -1,0 +1,388 @@
+//! The per-device memory system: per-SM L1 data caches, a shared L2 with a
+//! persisting carve-out, shared memory, and HBM.
+
+use std::collections::HashMap;
+
+use crate::config::GpuConfig;
+use crate::isa::{LineSet, MemSpace, PrefetchTarget};
+use crate::mem::cache::Cache;
+use crate::mem::dram::Dram;
+
+/// Where a load was ultimately serviced from (slowest line of the access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Serviced from shared memory.
+    SharedMem,
+    /// All lines hit in the SM's L1 data cache.
+    L1Hit,
+    /// At least one line came from L2 (none from DRAM).
+    L2Hit,
+    /// At least one line had to be fetched from device memory.
+    DramAccess,
+}
+
+/// The complete memory hierarchy of one simulated device.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1: Vec<Cache>,
+    l2: Cache,
+    dram: Dram,
+    shared_latency: u64,
+    /// Lines installed in an L1 by an in-flight software prefetch, keyed by
+    /// `(sm, line)` and holding the cycle at which the data actually arrives.
+    /// A demand load that hits such a line before its fill completes waits
+    /// for the fill instead of enjoying a full-speed hit (MSHR-style
+    /// hit-under-miss), which is what limits the usefulness of `L1DPF` at
+    /// short prefetch distances.
+    l1_pending: HashMap<(usize, u64), u64>,
+    /// Same bookkeeping for lines being installed into L2 by a prefetch.
+    l2_pending: HashMap<u64, u64>,
+    /// Number of warp-level shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Number of warp-level local-memory load accesses (register spills).
+    pub local_load_accesses: u64,
+    /// Number of software prefetch line requests issued.
+    pub prefetch_lines: u64,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for a device configuration.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let l1 = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1.clone())).collect();
+        let l2 = Cache::new(cfg.l2.clone());
+        let dram = Dram::new(&cfg.dram, cfg.dram_bytes_per_cycle());
+        MemorySystem {
+            l1,
+            l2,
+            dram,
+            shared_latency: cfg.shared_mem_latency,
+            l1_pending: HashMap::new(),
+            l2_pending: HashMap::new(),
+            shared_accesses: 0,
+            local_load_accesses: 0,
+            prefetch_lines: 0,
+        }
+    }
+
+    /// Configures the L2 persisting carve-out used by L2 pinning, in bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds the device's maximum persisting capacity.
+    pub fn set_l2_persisting_carveout(&mut self, bytes: u64, cfg: &GpuConfig) {
+        assert!(
+            bytes <= cfg.l2_max_persisting_bytes(),
+            "requested carve-out of {} bytes exceeds the device limit of {} bytes",
+            bytes,
+            cfg.l2_max_persisting_bytes()
+        );
+        self.l2.set_persisting_capacity(bytes);
+    }
+
+    /// Services a warp-level load and returns `(completion_cycle, outcome)`.
+    pub fn load(
+        &mut self,
+        sm: usize,
+        space: MemSpace,
+        lines: &LineSet,
+        bytes: u32,
+        now: u64,
+    ) -> (u64, AccessOutcome) {
+        match space {
+            MemSpace::Shared => {
+                self.shared_accesses += 1;
+                (now + self.shared_latency, AccessOutcome::SharedMem)
+            }
+            MemSpace::Global | MemSpace::Local => {
+                if space == MemSpace::Local {
+                    self.local_load_accesses += 1;
+                }
+                let mut completion = now;
+                let mut outcome = AccessOutcome::L1Hit;
+                let per_line_bytes =
+                    (bytes as u64 / lines.len().max(1) as u64).max(1).min(self.l2.line_bytes());
+                for line in lines.iter() {
+                    let (done, line_outcome) = self.load_line(sm, line, per_line_bytes, now);
+                    completion = completion.max(done);
+                    outcome = worst_outcome(outcome, line_outcome);
+                }
+                (completion, outcome)
+            }
+        }
+    }
+
+    fn load_line(
+        &mut self,
+        sm: usize,
+        line: u64,
+        bytes: u64,
+        now: u64,
+    ) -> (u64, AccessOutcome) {
+        if self.l1[sm].access(line, now) {
+            // An in-flight prefetch fill delays the hit until the data lands.
+            let ready = self.pending_l1_ready(sm, line, now);
+            return (ready.max(now) + self.l1[sm].hit_latency(), AccessOutcome::L1Hit);
+        }
+        if self.l2.access(line, now) {
+            let ready = self.pending_l2_ready(line, now);
+            self.l1[sm].fill(line, false, now);
+            return (ready.max(now) + self.l2.hit_latency(), AccessOutcome::L2Hit);
+        }
+        // L2 miss: fetch a full line from DRAM, fill L2 then L1.
+        let line_bytes = self.l2.line_bytes().max(bytes);
+        let done = self.dram.read(line_bytes, now);
+        self.l2.fill(line, false, now);
+        self.l1[sm].fill(line, false, now);
+        (done, AccessOutcome::DramAccess)
+    }
+
+    /// Services a warp-level store. Stores never stall the warp; global
+    /// stores write through to L2 and consume DRAM write bandwidth.
+    pub fn store(&mut self, sm: usize, space: MemSpace, lines: &LineSet, bytes: u32, now: u64) {
+        match space {
+            MemSpace::Shared => {
+                self.shared_accesses += 1;
+            }
+            MemSpace::Global | MemSpace::Local => {
+                for line in lines.iter() {
+                    // Allocate in L1/L2 so subsequent spill reloads hit.
+                    if !self.l2.access(line, now) {
+                        self.l2.fill(line, false, now);
+                    }
+                    if !self.l1[sm].access(line, now) {
+                        self.l1[sm].fill(line, false, now);
+                    }
+                }
+                if space == MemSpace::Global {
+                    self.dram.write(bytes as u64, now);
+                }
+            }
+        }
+    }
+
+    /// Services a software prefetch request. Prefetches never stall the warp,
+    /// but the prefetched data only becomes usable once its fill completes —
+    /// a demand load that arrives earlier waits for the in-flight fill.
+    pub fn prefetch(&mut self, sm: usize, target: PrefetchTarget, lines: &LineSet, now: u64) {
+        for line in lines.iter() {
+            self.prefetch_lines += 1;
+            match target {
+                PrefetchTarget::L1 => {
+                    if self.l1[sm].probe(line) {
+                        continue;
+                    }
+                    let ready = if self.l2.access(line, now) {
+                        now + self.l2.hit_latency()
+                    } else {
+                        let done = self.dram.read(self.l2.line_bytes(), now);
+                        self.l2.fill(line, false, now);
+                        self.l2_pending.insert(line, done);
+                        done
+                    };
+                    self.l1[sm].fill(line, false, now);
+                    self.l1_pending.insert((sm, line), ready);
+                }
+                PrefetchTarget::L2EvictLast => {
+                    if self.l2.probe(line) {
+                        // Promote an already-resident line to persistent.
+                        self.l2.fill(line, true, now);
+                        continue;
+                    }
+                    let done = self.dram.read(self.l2.line_bytes(), now);
+                    self.l2.fill(line, true, now);
+                    self.l2_pending.insert(line, done);
+                }
+            }
+        }
+    }
+
+    /// Returns (and prunes) the completion cycle of an in-flight L1 prefetch
+    /// fill for `(sm, line)`, or `now` if none is outstanding.
+    fn pending_l1_ready(&mut self, sm: usize, line: u64, now: u64) -> u64 {
+        match self.l1_pending.get(&(sm, line)).copied() {
+            Some(ready) if ready > now => ready,
+            Some(_) => {
+                self.l1_pending.remove(&(sm, line));
+                now
+            }
+            None => now,
+        }
+    }
+
+    /// Returns (and prunes) the completion cycle of an in-flight L2 prefetch
+    /// fill for `line`, or `now` if none is outstanding.
+    fn pending_l2_ready(&mut self, line: u64, now: u64) -> u64 {
+        match self.l2_pending.get(&line).copied() {
+            Some(ready) if ready > now => ready,
+            Some(_) => {
+                self.l2_pending.remove(&line);
+                now
+            }
+            None => now,
+        }
+    }
+
+    /// Installs a line into the L2 persisting carve-out *without* consuming
+    /// DRAM bandwidth or simulated time. This models a pinning pass whose
+    /// cost is hidden behind host-side preprocessing (paper Section IV-C:
+    /// "the overhead of the L2P kernel is small and can be hidden by
+    /// overlapping it with the CPU pre-processing"). Returns `true` if the
+    /// line was installed (or promoted) as persistent.
+    pub fn warm_l2_persistent(&mut self, line_addr: u64, now: u64) -> bool {
+        self.l2.fill(line_addr, true, now)
+    }
+
+    /// Immutable access to the shared L2 cache (for statistics).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Immutable access to one SM's L1 data cache (for statistics).
+    pub fn l1(&self, sm: usize) -> &Cache {
+        &self.l1[sm]
+    }
+
+    /// Aggregated L1 statistics across all SMs: `(accesses, hits)`.
+    pub fn l1_totals(&self) -> (u64, u64) {
+        let mut acc = 0;
+        let mut hits = 0;
+        for c in &self.l1 {
+            acc += c.stats.accesses;
+            hits += c.stats.hits;
+        }
+        (acc, hits)
+    }
+
+    /// Immutable access to the DRAM model (for statistics).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+}
+
+fn worst_outcome(a: AccessOutcome, b: AccessOutcome) -> AccessOutcome {
+    use AccessOutcome::*;
+    let rank = |o: AccessOutcome| match o {
+        SharedMem => 0,
+        L1Hit => 1,
+        L2Hit => 2,
+        DramAccess => 3,
+    };
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn mem() -> (MemorySystem, GpuConfig) {
+        let cfg = GpuConfig::test_small();
+        (MemorySystem::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn cold_load_goes_to_dram_then_hits_l1() {
+        let (mut m, cfg) = mem();
+        let lines = LineSet::single(0);
+        let (done, outcome) = m.load(0, MemSpace::Global, &lines, 128, 0);
+        assert_eq!(outcome, AccessOutcome::DramAccess);
+        assert!(done >= cfg.dram.latency);
+        let (done2, outcome2) = m.load(0, MemSpace::Global, &lines, 128, done);
+        assert_eq!(outcome2, AccessOutcome::L1Hit);
+        assert_eq!(done2, done + cfg.l1.hit_latency);
+    }
+
+    #[test]
+    fn l2_services_other_sms_after_first_miss() {
+        let (mut m, cfg) = mem();
+        let lines = LineSet::single(4096);
+        m.load(0, MemSpace::Global, &lines, 128, 0);
+        let (done, outcome) = m.load(1, MemSpace::Global, &lines, 128, 1000);
+        assert_eq!(outcome, AccessOutcome::L2Hit);
+        assert_eq!(done, 1000 + cfg.l2.hit_latency);
+    }
+
+    #[test]
+    fn shared_memory_has_fixed_latency() {
+        let (mut m, cfg) = mem();
+        let lines = LineSet::single(0);
+        let (done, outcome) = m.load(0, MemSpace::Shared, &lines, 128, 50);
+        assert_eq!(outcome, AccessOutcome::SharedMem);
+        assert_eq!(done, 50 + cfg.shared_mem_latency);
+        assert_eq!(m.shared_accesses, 1);
+    }
+
+    #[test]
+    fn local_loads_are_counted() {
+        let (mut m, _cfg) = mem();
+        let lines = LineSet::single(1 << 40);
+        m.load(0, MemSpace::Local, &lines, 4, 0);
+        m.load(0, MemSpace::Local, &lines, 4, 10);
+        assert_eq!(m.local_load_accesses, 2);
+    }
+
+    #[test]
+    fn l2_evict_last_prefetch_pins_lines() {
+        let (mut m, cfg) = mem();
+        m.set_l2_persisting_carveout(64 * 1024, &cfg);
+        let lines = LineSet::single(8192);
+        m.prefetch(0, PrefetchTarget::L2EvictLast, &lines, 0);
+        assert!(m.l2().is_persistent(8192));
+        assert!(m.dram().bytes_read >= 128);
+    }
+
+    #[test]
+    fn l1_prefetch_installs_into_l1() {
+        let (mut m, _cfg) = mem();
+        let lines = LineSet::single(2048);
+        m.prefetch(0, PrefetchTarget::L1, &lines, 0);
+        assert!(m.l1(0).probe(2048));
+        // A subsequent demand load hits in L1.
+        let (_, outcome) = m.load(0, MemSpace::Global, &lines, 128, 100);
+        assert_eq!(outcome, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn carveout_limit_is_enforced() {
+        let (mut m, cfg) = mem();
+        let too_big = cfg.l2_max_persisting_bytes() + 1;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.set_l2_persisting_carveout(too_big, &cfg);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stores_write_through_and_allocate() {
+        let (mut m, _cfg) = mem();
+        let lines = LineSet::single(512);
+        m.store(0, MemSpace::Global, &lines, 128, 0);
+        assert!(m.dram().bytes_written >= 128);
+        let (_, outcome) = m.load(0, MemSpace::Global, &lines, 128, 10);
+        assert_eq!(outcome, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn multi_line_load_takes_slowest_path() {
+        let (mut m, _cfg) = mem();
+        // Warm only the first line.
+        m.load(0, MemSpace::Global, &LineSet::single(0), 128, 0);
+        let mut both = LineSet::new();
+        both.push(0);
+        both.push(1 << 20);
+        let (_, outcome) = m.load(0, MemSpace::Global, &both, 256, 1000);
+        assert_eq!(outcome, AccessOutcome::DramAccess);
+    }
+
+    #[test]
+    fn l1_totals_aggregate_across_sms() {
+        let (mut m, _cfg) = mem();
+        m.load(0, MemSpace::Global, &LineSet::single(0), 128, 0);
+        m.load(1, MemSpace::Global, &LineSet::single(0), 128, 0);
+        let (acc, _hits) = m.l1_totals();
+        assert_eq!(acc, 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! The memory subsystem: caches, DRAM, and the per-device hierarchy.
+
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheStats};
+pub use dram::Dram;
+pub use hierarchy::{AccessOutcome, MemorySystem};

@@ -1,0 +1,256 @@
+//! The occupancy model: how many warps can be resident on one SM given a
+//! kernel's register and shared-memory footprint.
+//!
+//! This reproduces the effect at the heart of the paper's Section III-C: the
+//! off-the-shelf embedding-bag kernel uses 74 registers per thread, which at
+//! a 256-thread block (8 warps) limits the A100 to 3 resident blocks → 24
+//! warps per SM (37.5% of the 64-warp maximum). Forcing `-maxrregcount`
+//! trades registers (and therefore spills) for more resident warps.
+
+use crate::config::GpuConfig;
+use crate::launch::KernelLaunch;
+
+/// The result of the occupancy calculation for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Warps per thread block.
+    pub warps_per_block: u32,
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM (`blocks_per_sm * warps_per_block`).
+    pub warps_per_sm: u32,
+    /// Hardware maximum warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Registers actually allocated per thread (after granularity rounding).
+    pub allocated_regs_per_thread: u32,
+    /// Which resource limits occupancy.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limits how many blocks fit on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// The register file is exhausted first (the paper's base kernel).
+    Registers,
+    /// Shared memory is exhausted first.
+    SharedMemory,
+    /// The hardware warp limit is reached first.
+    WarpSlots,
+    /// The hardware block limit is reached first.
+    BlockSlots,
+    /// The grid is too small to fill the SM.
+    GridSize,
+}
+
+impl Occupancy {
+    /// Computes occupancy for `launch` on `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the launch cannot fit on the device at all (e.g. more
+    /// registers per block than the register file holds).
+    pub fn compute(cfg: &GpuConfig, launch: &KernelLaunch) -> Self {
+        let warps_per_block = launch.threads_per_block.div_ceil(cfg.warp_size);
+        let gran = cfg.register_alloc_granularity;
+        let allocated_regs_per_thread = launch.regs_per_thread.div_ceil(gran) * gran;
+        let regs_per_block = allocated_regs_per_thread * cfg.warp_size * warps_per_block;
+        assert!(
+            regs_per_block <= cfg.registers_per_sm,
+            "a single block of kernel '{}' needs {} registers but one SM only has {}",
+            launch.name,
+            regs_per_block,
+            cfg.registers_per_sm
+        );
+
+        let by_regs = cfg.registers_per_sm / regs_per_block;
+        let by_warps = cfg.max_warps_per_sm as u32 / warps_per_block;
+        let by_blocks = cfg.max_blocks_per_sm as u32;
+        let by_smem = if launch.shared_mem_per_block == 0 {
+            u32::MAX
+        } else {
+            (cfg.shared_mem_per_sm / launch.shared_mem_per_block) as u32
+        };
+        assert!(
+            by_smem >= 1,
+            "a single block of kernel '{}' needs {} bytes of shared memory but one SM only has {}",
+            launch.name,
+            launch.shared_mem_per_block,
+            cfg.shared_mem_per_sm
+        );
+        assert!(by_warps >= 1, "block of kernel '{}' has too many warps", launch.name);
+
+        let mut blocks_per_sm = by_regs.min(by_warps).min(by_blocks).min(by_smem);
+        let mut limiter = if blocks_per_sm == by_regs {
+            OccupancyLimiter::Registers
+        } else if blocks_per_sm == by_smem {
+            OccupancyLimiter::SharedMemory
+        } else if blocks_per_sm == by_warps {
+            OccupancyLimiter::WarpSlots
+        } else {
+            OccupancyLimiter::BlockSlots
+        };
+
+        // A small grid may not have enough blocks to fill every SM.
+        let blocks_per_sm_from_grid = launch.grid_blocks.div_ceil(cfg.num_sms as u32).max(1);
+        if blocks_per_sm_from_grid < blocks_per_sm {
+            blocks_per_sm = blocks_per_sm_from_grid;
+            limiter = OccupancyLimiter::GridSize;
+        }
+
+        Occupancy {
+            warps_per_block,
+            blocks_per_sm,
+            warps_per_sm: blocks_per_sm * warps_per_block,
+            max_warps_per_sm: cfg.max_warps_per_sm as u32,
+            allocated_regs_per_thread,
+            limiter,
+        }
+    }
+
+    /// Theoretical occupancy as a percentage of the hardware warp limit.
+    pub fn occupancy_pct(&self) -> f64 {
+        100.0 * self.warps_per_sm as f64 / self.max_warps_per_sm as f64
+    }
+}
+
+/// Returns the register budget per thread that yields exactly
+/// `target_warps_per_sm` resident warps for a given block shape, i.e. the
+/// inverse problem solved by the paper's `-maxrregcount` sweep (Section VII
+/// step iii: `regs <= max_registers_per_sm / (desired_warps * warp_size)`).
+///
+/// Returns `None` if the target is not reachable (not a multiple of the block
+/// warp count, or above the hardware limit).
+pub fn regs_per_thread_for_target_warps(
+    cfg: &GpuConfig,
+    threads_per_block: u32,
+    target_warps_per_sm: u32,
+) -> Option<u32> {
+    let warps_per_block = threads_per_block.div_ceil(cfg.warp_size);
+    if target_warps_per_sm == 0
+        || target_warps_per_sm % warps_per_block != 0
+        || target_warps_per_sm > cfg.max_warps_per_sm as u32
+    {
+        return None;
+    }
+    let blocks = target_warps_per_sm / warps_per_block;
+    // Largest granular register count such that `blocks` blocks fit but
+    // `blocks + 1` do not (so the target is hit exactly, not exceeded).
+    let per_block_budget = cfg.registers_per_sm / blocks;
+    let per_thread = per_block_budget / (cfg.warp_size * warps_per_block);
+    let gran = cfg.register_alloc_granularity;
+    // Hardware caps a thread at 255 architectural registers.
+    let per_thread = ((per_thread / gran) * gran).min(255);
+    if per_thread == 0 {
+        return None;
+    }
+    // Register allocation granularity means not every warp count is exactly
+    // reachable (e.g. 56 warps on an A100 with 256-thread blocks); verify the
+    // forward mapping before reporting success.
+    let achieved_blocks =
+        cfg.registers_per_sm / (per_thread * cfg.warp_size * warps_per_block);
+    let achieved_blocks = achieved_blocks
+        .min(cfg.max_warps_per_sm as u32 / warps_per_block)
+        .min(cfg.max_blocks_per_sm as u32);
+    if achieved_blocks != blocks {
+        return None;
+    }
+    Some(per_thread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::KernelLaunch;
+
+    fn launch(regs: u32) -> KernelLaunch {
+        KernelLaunch::new("emb", 1024, 256).with_regs_per_thread(regs)
+    }
+
+    #[test]
+    fn base_pytorch_kernel_gets_24_warps() {
+        // 74 registers/thread, 256-thread blocks: the paper's Table IV setup.
+        let cfg = GpuConfig::a100();
+        let occ = Occupancy::compute(&cfg, &launch(74));
+        assert_eq!(occ.warps_per_block, 8);
+        assert_eq!(occ.blocks_per_sm, 3);
+        assert_eq!(occ.warps_per_sm, 24);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+        assert!((occ.occupancy_pct() - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optmt_register_budget_gives_40_warps() {
+        // 42 registers/thread (the paper's OptMT) rounds to 48 and yields 5
+        // blocks = 40 resident warps.
+        let cfg = GpuConfig::a100();
+        let occ = Occupancy::compute(&cfg, &launch(42));
+        assert_eq!(occ.warps_per_sm, 40);
+    }
+
+    #[test]
+    fn register_sweep_hits_paper_wlp_points() {
+        let cfg = GpuConfig::a100();
+        for (warps, max_regs) in [(24u32, 74u32), (32, 56), (40, 48), (48, 40), (64, 32)] {
+            let occ = Occupancy::compute(&cfg, &launch(max_regs));
+            assert_eq!(occ.warps_per_sm, warps, "regs={max_regs}");
+        }
+    }
+
+    #[test]
+    fn inverse_mapping_matches_forward_mapping() {
+        let cfg = GpuConfig::a100();
+        for target in [8u32, 16, 24, 32, 40, 48, 64] {
+            let regs = regs_per_thread_for_target_warps(&cfg, 256, target)
+                .expect("target should be reachable");
+            let occ = Occupancy::compute(&cfg, &launch(regs));
+            assert_eq!(occ.warps_per_sm, target, "target={target} regs={regs}");
+        }
+    }
+
+    #[test]
+    fn inverse_mapping_rejects_unreachable_targets() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(regs_per_thread_for_target_warps(&cfg, 256, 0), None);
+        assert_eq!(regs_per_thread_for_target_warps(&cfg, 256, 12), None);
+        assert_eq!(regs_per_thread_for_target_warps(&cfg, 256, 128), None);
+        // 56 warps (7 blocks of 8 warps) is not reachable on the A100 with
+        // 8-register allocation granularity.
+        assert_eq!(regs_per_thread_for_target_warps(&cfg, 256, 56), None);
+    }
+
+    #[test]
+    fn shared_memory_can_be_the_limiter() {
+        let cfg = GpuConfig::a100();
+        let l = KernelLaunch::new("smem-heavy", 1024, 256)
+            .with_regs_per_thread(32)
+            .with_shared_mem_per_block(40 * 1024);
+        let occ = Occupancy::compute(&cfg, &l);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+        assert_eq!(occ.blocks_per_sm, 4);
+    }
+
+    #[test]
+    fn tiny_grid_is_grid_limited() {
+        let cfg = GpuConfig::a100();
+        let l = KernelLaunch::new("tiny", 10, 256).with_regs_per_thread(32);
+        let occ = Occupancy::compute(&cfg, &l);
+        assert_eq!(occ.limiter, OccupancyLimiter::GridSize);
+        assert_eq!(occ.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn warp_slot_limit_applies_to_light_kernels() {
+        let cfg = GpuConfig::a100();
+        let l = KernelLaunch::new("light", 100_000, 256).with_regs_per_thread(8);
+        let occ = Occupancy::compute(&cfg, &l);
+        assert_eq!(occ.warps_per_sm, 64);
+        assert_eq!(occ.limiter, OccupancyLimiter::WarpSlots);
+    }
+
+    #[test]
+    #[should_panic(expected = "registers")]
+    fn impossible_launch_panics() {
+        let cfg = GpuConfig::a100();
+        let l = KernelLaunch::new("huge", 1, 1024).with_regs_per_thread(255);
+        let _ = Occupancy::compute(&cfg, &l);
+    }
+}

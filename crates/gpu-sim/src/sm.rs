@@ -1,0 +1,227 @@
+//! Streaming-multiprocessor structures: SM sub-partitions (SMSPs) with
+//! greedy-then-oldest warp schedulers, and per-SM block bookkeeping.
+
+use std::collections::HashMap;
+
+use crate::warp::WarpContext;
+
+/// One SM sub-partition: a warp scheduler with its queue of resident warps.
+#[derive(Debug, Default)]
+pub struct SmspState {
+    /// Indices into the simulator's warp arena, in residency (age) order.
+    slots: Vec<usize>,
+    /// Warp most recently issued from (greedy-then-oldest policy).
+    last_issued: Option<usize>,
+}
+
+impl SmspState {
+    /// Creates an empty sub-partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently resident (possibly retired but not yet pruned)
+    /// warps.
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds a newly spawned warp to this scheduler's queue.
+    pub fn add_warp(&mut self, warp_id: usize) {
+        self.slots.push(warp_id);
+    }
+
+    /// Removes retired warps from the queue.
+    pub fn prune_exited(&mut self, warps: &[WarpContext]) {
+        self.slots.retain(|&w| !warps[w].is_exited());
+    }
+
+    /// Selects a warp to issue at cycle `now` using a greedy-then-oldest
+    /// policy: keep issuing from the same warp while it stays ready,
+    /// otherwise fall back to the oldest ready warp.
+    pub fn select_ready(&mut self, warps: &[WarpContext], now: u64) -> Option<usize> {
+        if let Some(last) = self.last_issued {
+            if self.slots.contains(&last) && warps[last].is_ready(now) {
+                return Some(last);
+            }
+        }
+        let pick = self.slots.iter().copied().find(|&w| warps[w].is_ready(now));
+        if pick.is_some() {
+            self.last_issued = pick;
+        }
+        pick
+    }
+
+    /// Earliest cycle at which any resident, non-retired warp becomes ready.
+    pub fn min_ready_at(&self, warps: &[WarpContext]) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter(|&&w| !warps[w].is_exited())
+            .map(|&w| warps[w].ready_at())
+            .min()
+    }
+
+    /// Whether this sub-partition still has non-retired warps.
+    pub fn has_active(&self, warps: &[WarpContext]) -> bool {
+        self.slots.iter().any(|&w| !warps[w].is_exited())
+    }
+}
+
+/// One streaming multiprocessor: its sub-partitions plus block bookkeeping
+/// used by the engine to decide when new thread blocks can be dispatched.
+#[derive(Debug)]
+pub struct SmState {
+    /// The SM's sub-partitions (warp schedulers).
+    pub smsps: Vec<SmspState>,
+    /// Currently resident thread blocks.
+    pub resident_blocks: u32,
+    /// Remaining (non-retired) warps per resident block.
+    block_remaining: HashMap<u32, u32>,
+    next_smsp: usize,
+}
+
+impl SmState {
+    /// Creates an SM with `num_smsps` sub-partitions.
+    pub fn new(num_smsps: usize) -> Self {
+        SmState {
+            smsps: (0..num_smsps).map(|_| SmspState::new()).collect(),
+            resident_blocks: 0,
+            block_remaining: HashMap::new(),
+            next_smsp: 0,
+        }
+    }
+
+    /// Registers a dispatched block with `warps` warps.
+    pub fn begin_block(&mut self, block_id: u32, warps: u32) {
+        self.resident_blocks += 1;
+        self.block_remaining.insert(block_id, warps);
+    }
+
+    /// Places a warp of a resident block onto the next sub-partition in
+    /// round-robin order. Returns the chosen sub-partition index.
+    pub fn place_warp(&mut self, warp_id: usize) -> usize {
+        let idx = self.next_smsp;
+        self.smsps[idx].add_warp(warp_id);
+        self.next_smsp = (self.next_smsp + 1) % self.smsps.len();
+        idx
+    }
+
+    /// Records that one warp of `block_id` retired. Returns `true` if the
+    /// whole block has now finished (freeing a block slot on this SM).
+    pub fn warp_retired(&mut self, block_id: u32) -> bool {
+        let remaining = self
+            .block_remaining
+            .get_mut(&block_id)
+            .expect("retired warp's block must be resident");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.block_remaining.remove(&block_id);
+            self.resident_blocks -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether any warp on this SM is still active.
+    pub fn has_active(&self, warps: &[WarpContext]) -> bool {
+        self.smsps.iter().any(|s| s.has_active(warps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::isa::{Instruction, SrcSet};
+    use crate::launch::{VecProgram, WarpInfo};
+    use crate::mem::MemorySystem;
+    use crate::stats::RawCounters;
+    use crate::warp::WarpContext;
+
+    fn warp_with_alu_chain(id: u64, latency: u32, n: usize) -> WarpContext {
+        let insts: Vec<Instruction> = (0..n)
+            .map(|i| Instruction::Alu {
+                dst: 1,
+                srcs: if i == 0 { SrcSet::none() } else { SrcSet::one(1) },
+                latency,
+            })
+            .collect();
+        let info = WarpInfo {
+            block_id: 0,
+            warp_in_block: id as u32,
+            warps_per_block: 8,
+            threads_per_block: 256,
+            global_warp_id: id,
+            sm_id: 0,
+        };
+        WarpContext::new(info, Box::new(VecProgram::new(insts)), 0)
+    }
+
+    #[test]
+    fn scheduler_prefers_last_issued_warp() {
+        let cfg = GpuConfig::test_small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = RawCounters::default();
+        let mut warps = vec![warp_with_alu_chain(0, 1, 4), warp_with_alu_chain(1, 1, 4)];
+        let mut smsp = SmspState::new();
+        smsp.add_warp(0);
+        smsp.add_warp(1);
+
+        let first = smsp.select_ready(&warps, 1).unwrap();
+        warps[first].issue(1, &mut mem, &cfg, &mut counters);
+        // With a 1-cycle ALU latency the same warp is ready again next cycle
+        // and the greedy policy sticks with it.
+        let second = smsp.select_ready(&warps, 2).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn scheduler_falls_back_to_oldest_ready() {
+        let cfg = GpuConfig::test_small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = RawCounters::default();
+        let mut warps = vec![warp_with_alu_chain(0, 50, 2), warp_with_alu_chain(1, 50, 2)];
+        let mut smsp = SmspState::new();
+        smsp.add_warp(0);
+        smsp.add_warp(1);
+
+        let w0 = smsp.select_ready(&warps, 1).unwrap();
+        assert_eq!(w0, 0);
+        warps[0].issue(1, &mut mem, &cfg, &mut counters);
+        // Warp 0 now stalls on its 50-cycle dependence; warp 1 is selected.
+        let w1 = smsp.select_ready(&warps, 2).unwrap();
+        assert_eq!(w1, 1);
+    }
+
+    #[test]
+    fn min_ready_at_and_pruning() {
+        let warps = vec![warp_with_alu_chain(0, 1, 0), warp_with_alu_chain(1, 1, 2)];
+        let mut smsp = SmspState::new();
+        smsp.add_warp(0);
+        smsp.add_warp(1);
+        assert!(warps[0].is_exited());
+        assert_eq!(smsp.min_ready_at(&warps), Some(warps[1].ready_at()));
+        smsp.prune_exited(&warps);
+        assert_eq!(smsp.resident(), 1);
+        assert!(smsp.has_active(&warps));
+    }
+
+    #[test]
+    fn block_bookkeeping_frees_slot_when_all_warps_retire() {
+        let mut sm = SmState::new(4);
+        sm.begin_block(7, 2);
+        assert_eq!(sm.resident_blocks, 1);
+        assert!(!sm.warp_retired(7));
+        assert!(sm.warp_retired(7));
+        assert_eq!(sm.resident_blocks, 0);
+    }
+
+    #[test]
+    fn warps_are_distributed_round_robin() {
+        let mut sm = SmState::new(4);
+        sm.begin_block(0, 8);
+        let placements: Vec<usize> = (0..8).map(|w| sm.place_warp(w)).collect();
+        assert_eq!(placements, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Per-warp execution state: the scoreboard, stall attribution, and the
+//! interface between a warp's instruction stream and the memory system.
+
+use crate::config::GpuConfig;
+use crate::isa::{Instruction, MemSpace};
+use crate::launch::{WarpInfo, WarpProgram};
+use crate::mem::MemorySystem;
+use crate::stats::RawCounters;
+
+/// Number of architectural registers whose readiness is tracked per warp.
+const TRACKED_REGS: usize = 256;
+
+/// What the warp's next instruction is currently waiting on; used to
+/// attribute stall cycles the way NCU does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// No unfinished dependence: the warp is ready to issue.
+    None,
+    /// Waiting on an ALU or shared-memory result ("short scoreboard").
+    Short,
+    /// Waiting on a global/local-memory load ("long scoreboard").
+    Long,
+}
+
+/// Execution state of one resident warp.
+pub struct WarpContext {
+    /// Static identity of the warp.
+    pub info: WarpInfo,
+    program: Box<dyn WarpProgram>,
+    /// The next instruction to issue, if the warp has not exited.
+    pending: Option<Instruction>,
+    /// Cycle at which each register's most recent writer completes.
+    reg_ready: Box<[u64; TRACKED_REGS]>,
+    /// Whether the most recent writer of each register was a long-latency
+    /// (global/local) load.
+    reg_long: Box<[bool; TRACKED_REGS]>,
+    /// Cycle at which the pending instruction's operands are ready.
+    ready_at: u64,
+    /// What the pending instruction is waiting on.
+    dep_kind: DepKind,
+    /// Cycle at which the previous instruction issued.
+    last_issue: u64,
+    /// Cycle at which this warp became resident.
+    pub spawn_cycle: u64,
+    /// Whether the warp has retired.
+    exited: bool,
+    /// Instructions issued by this warp.
+    pub insts_issued: u64,
+}
+
+impl std::fmt::Debug for WarpContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpContext")
+            .field("info", &self.info)
+            .field("ready_at", &self.ready_at)
+            .field("dep_kind", &self.dep_kind)
+            .field("exited", &self.exited)
+            .field("insts_issued", &self.insts_issued)
+            .finish()
+    }
+}
+
+impl WarpContext {
+    /// Creates a warp that becomes resident at `spawn_cycle` and immediately
+    /// fetches its first instruction.
+    pub fn new(info: WarpInfo, program: Box<dyn WarpProgram>, spawn_cycle: u64) -> Self {
+        let mut w = WarpContext {
+            info,
+            program,
+            pending: None,
+            reg_ready: Box::new([0; TRACKED_REGS]),
+            reg_long: Box::new([false; TRACKED_REGS]),
+            ready_at: spawn_cycle,
+            dep_kind: DepKind::None,
+            last_issue: spawn_cycle,
+            spawn_cycle,
+            exited: false,
+            insts_issued: 0,
+        };
+        w.fetch_next(spawn_cycle);
+        w
+    }
+
+    /// Whether the warp has retired.
+    pub fn is_exited(&self) -> bool {
+        self.exited
+    }
+
+    /// Cycle at which the warp's next instruction becomes eligible to issue.
+    pub fn ready_at(&self) -> u64 {
+        self.ready_at
+    }
+
+    /// Whether the warp can issue at `now`.
+    pub fn is_ready(&self, now: u64) -> bool {
+        !self.exited && self.ready_at <= now
+    }
+
+    fn fetch_next(&mut self, now: u64) {
+        match self.program.next_inst() {
+            None => {
+                self.pending = None;
+                self.exited = true;
+            }
+            Some(inst) => {
+                let (ready_at, dep_kind) = self.operand_readiness(&inst);
+                self.pending = Some(inst);
+                // An instruction can never issue in the same cycle as (or
+                // before) its predecessor.
+                self.ready_at = ready_at.max(now + 1).max(self.last_issue + 1);
+                self.dep_kind = dep_kind;
+            }
+        }
+    }
+
+    /// Computes when the operands of `inst` are ready and what kind of
+    /// dependence dominates.
+    fn operand_readiness(&self, inst: &Instruction) -> (u64, DepKind) {
+        let mut ready = 0u64;
+        let mut kind = DepKind::None;
+        let mut consider = |reg: u8, reg_ready: &[u64; TRACKED_REGS], reg_long: &[bool; TRACKED_REGS]| {
+            let r = reg_ready[reg as usize];
+            if r > ready {
+                ready = r;
+                kind = if reg_long[reg as usize] { DepKind::Long } else { DepKind::Short };
+            }
+        };
+        match inst {
+            Instruction::Load { addr_dep, .. } | Instruction::Prefetch { addr_dep, .. } => {
+                // Indirect accesses cannot issue until their address operand
+                // (e.g. the loaded embedding index) is available.
+                if let Some(reg) = addr_dep {
+                    consider(*reg, &self.reg_ready, &self.reg_long);
+                }
+            }
+            Instruction::Store { src, .. } => consider(*src, &self.reg_ready, &self.reg_long),
+            Instruction::Alu { srcs, .. } => {
+                for s in srcs.iter() {
+                    consider(s, &self.reg_ready, &self.reg_long);
+                }
+            }
+        }
+        (ready, kind)
+    }
+
+    /// Issues the pending instruction at cycle `now`, updating the memory
+    /// system, the scoreboard and the raw counters, and fetches the next
+    /// instruction. Returns `true` if the warp retired as a result.
+    ///
+    /// # Panics
+    /// Panics if the warp is not ready at `now` (the scheduler must only
+    /// select ready warps).
+    pub fn issue(
+        &mut self,
+        now: u64,
+        mem: &mut MemorySystem,
+        cfg: &GpuConfig,
+        counters: &mut RawCounters,
+    ) -> bool {
+        assert!(self.is_ready(now), "scheduler issued a warp that was not ready");
+        let inst = self.pending.take().expect("ready warp must have a pending instruction");
+
+        // ---- stall attribution for the cycles since the previous issue ----
+        let prev = self.last_issue;
+        let gap = now.saturating_sub(prev + 1);
+        if gap > 0 {
+            let dep_stall = self.ready_at.saturating_sub(prev + 1).min(gap);
+            let not_selected = gap - dep_stall;
+            match self.dep_kind {
+                DepKind::Long => counters.long_scoreboard_cycles += dep_stall,
+                DepKind::Short => counters.short_scoreboard_cycles += dep_stall,
+                DepKind::None => counters.not_selected_cycles += dep_stall,
+            }
+            counters.not_selected_cycles += not_selected;
+        }
+
+        // ---- execute ----
+        counters.insts_issued += 1;
+        self.insts_issued += 1;
+        match inst {
+            Instruction::Load { space, lines, dst, bytes, addr_dep: _ } => {
+                counters.load_insts += 1;
+                if space == MemSpace::Local {
+                    counters.local_load_insts += 1;
+                }
+                let (done, _outcome) = mem.load(self.info.sm_id as usize, space, &lines, bytes, now);
+                self.reg_ready[dst as usize] = done;
+                self.reg_long[dst as usize] = space.is_long_scoreboard();
+            }
+            Instruction::Store { space, lines, src: _, bytes } => {
+                counters.store_insts += 1;
+                mem.store(self.info.sm_id as usize, space, &lines, bytes, now);
+            }
+            Instruction::Prefetch { target, lines, addr_dep: _ } => {
+                counters.prefetch_insts += 1;
+                mem.prefetch(self.info.sm_id as usize, target, &lines, now);
+            }
+            Instruction::Alu { dst, srcs: _, latency } => {
+                let lat = if latency == 0 { cfg.alu_latency } else { latency as u64 };
+                self.reg_ready[dst as usize] = now + lat;
+                self.reg_long[dst as usize] = false;
+            }
+        }
+
+        self.last_issue = now;
+        self.fetch_next(now);
+        self.exited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, LineSet, SrcSet};
+    use crate::launch::VecProgram;
+
+    fn info() -> WarpInfo {
+        WarpInfo {
+            block_id: 0,
+            warp_in_block: 0,
+            warps_per_block: 8,
+            threads_per_block: 256,
+            global_warp_id: 0,
+            sm_id: 0,
+        }
+    }
+
+    fn make_warp(insts: Vec<Instruction>) -> (WarpContext, MemorySystem, GpuConfig) {
+        let cfg = GpuConfig::test_small();
+        let mem = MemorySystem::new(&cfg);
+        let warp = WarpContext::new(info(), Box::new(VecProgram::new(insts)), 0);
+        (warp, mem, cfg)
+    }
+
+    #[test]
+    fn empty_program_exits_immediately() {
+        let (warp, _mem, _cfg) = make_warp(vec![]);
+        assert!(warp.is_exited());
+    }
+
+    #[test]
+    fn load_use_dependency_accrues_long_scoreboard_stall() {
+        let insts = vec![
+            Instruction::global_load(0, 1, 128),
+            Instruction::Alu { dst: 2, srcs: SrcSet::two(1, 2), latency: 0 },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+
+        // Issue the load at cycle 1.
+        assert!(warp.is_ready(1));
+        warp.issue(1, &mut mem, &cfg, &mut counters);
+        // The dependent add is not ready until the DRAM access returns.
+        assert!(!warp.is_ready(2));
+        let ready = warp.ready_at();
+        assert!(ready > cfg.dram.latency, "dependent use must wait for DRAM");
+        warp.issue(ready, &mut mem, &cfg, &mut counters);
+        assert!(counters.long_scoreboard_cycles > 400);
+        assert_eq!(counters.insts_issued, 2);
+        assert_eq!(counters.load_insts, 1);
+    }
+
+    #[test]
+    fn independent_alu_ops_issue_back_to_back() {
+        let insts = vec![
+            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 0 },
+            Instruction::Alu { dst: 2, srcs: SrcSet::none(), latency: 0 },
+            Instruction::Alu { dst: 3, srcs: SrcSet::none(), latency: 0 },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+        for cycle in 1..=3 {
+            assert!(warp.is_ready(cycle));
+            warp.issue(cycle, &mut mem, &cfg, &mut counters);
+        }
+        assert_eq!(counters.long_scoreboard_cycles, 0);
+        assert_eq!(counters.short_scoreboard_cycles, 0);
+        assert!(warp.is_exited());
+    }
+
+    #[test]
+    fn alu_dependency_is_short_scoreboard() {
+        let insts = vec![
+            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 8 },
+            Instruction::Alu { dst: 2, srcs: SrcSet::one(1), latency: 0 },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+        warp.issue(1, &mut mem, &cfg, &mut counters);
+        let ready = warp.ready_at();
+        assert_eq!(ready, 9);
+        warp.issue(ready, &mut mem, &cfg, &mut counters);
+        assert_eq!(counters.short_scoreboard_cycles, 7);
+        assert_eq!(counters.long_scoreboard_cycles, 0);
+    }
+
+    #[test]
+    fn not_selected_stall_when_issue_is_delayed_past_readiness() {
+        let insts = vec![
+            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 0 },
+            Instruction::Alu { dst: 2, srcs: SrcSet::none(), latency: 0 },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+        warp.issue(1, &mut mem, &cfg, &mut counters);
+        // Warp is ready at cycle 2 but the scheduler picks it only at 10.
+        assert!(warp.is_ready(2));
+        warp.issue(10, &mut mem, &cfg, &mut counters);
+        assert_eq!(counters.not_selected_cycles, 8);
+    }
+
+    #[test]
+    fn prefetch_does_not_block_the_warp() {
+        let insts = vec![
+            Instruction::Prefetch {
+                target: crate::isa::PrefetchTarget::L1,
+                lines: LineSet::single(0),
+                addr_dep: None,
+            },
+            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 0 },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+        warp.issue(1, &mut mem, &cfg, &mut counters);
+        // Next instruction is ready on the very next cycle.
+        assert!(warp.is_ready(2));
+        warp.issue(2, &mut mem, &cfg, &mut counters);
+        assert_eq!(counters.prefetch_insts, 1);
+        assert_eq!(counters.long_scoreboard_cycles, 0);
+    }
+
+    #[test]
+    fn store_waits_for_its_source() {
+        let insts = vec![
+            Instruction::global_load(0, 7, 128),
+            Instruction::Store {
+                space: MemSpace::Global,
+                lines: LineSet::single(4096),
+                src: 7,
+                bytes: 128,
+            },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+        warp.issue(1, &mut mem, &cfg, &mut counters);
+        assert!(warp.ready_at() > 100, "store must wait for the loaded value");
+        let r = warp.ready_at();
+        warp.issue(r, &mut mem, &cfg, &mut counters);
+        assert_eq!(counters.store_insts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn issuing_unready_warp_panics() {
+        let insts = vec![
+            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 10 },
+            Instruction::Alu { dst: 2, srcs: SrcSet::one(1), latency: 0 },
+        ];
+        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut counters = RawCounters::default();
+        warp.issue(1, &mut mem, &cfg, &mut counters);
+        warp.issue(2, &mut mem, &cfg, &mut counters);
+    }
+}

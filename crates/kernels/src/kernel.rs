@@ -1,0 +1,567 @@
+//! The embedding-bag kernel as a [`gpu_sim`] warp program.
+//!
+//! Work partitioning follows the paper's Figure 4: the grid contains
+//! `batch_size * embedding_dim / 256` blocks of 256 threads, each thread owns
+//! one output element, and a warp therefore covers one 128-byte chunk of one
+//! bag's output. Every warp executes the gather-reduce loop of Algorithm 2:
+//!
+//! ```text
+//! for idx in offsets[bag] .. offsets[bag+1]:
+//!     row   = indices[idx];          // index load
+//!     value = weights[row][chunk];   // gather load  (depends on `row`)
+//!     acc  += value;                 // reduce       (depends on `value`)
+//! output[bag][chunk] = acc;
+//! ```
+//!
+//! The prefetching variants restructure this loop exactly as the paper's
+//! Figure 8 does: a batch of `distance` (index, gather) pairs is issued ahead
+//! of time into the chosen buffer station, and the reduce phase consumes from
+//! the buffer.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dlrm_datasets::EmbeddingTrace;
+use gpu_sim::isa::SrcSet;
+use gpu_sim::{Instruction, KernelProgram, LineSet, MemSpace, PrefetchTarget, WarpInfo, WarpProgram};
+
+use crate::layout::TableLayout;
+use crate::spec::{BufferStation, EmbeddingKernelSpec};
+use crate::workload::{EmbeddingConfig, EmbeddingWorkload, WarpAssignment};
+
+// Register assignments within the modelled warp context.
+const R_ACC: u8 = 10;
+const R_IDX: u8 = 1;
+const R_ADDR: u8 = 2;
+const R_VAL: u8 = 3;
+const R_LOOP: u8 = 4;
+const R_SPILL: u8 = 5;
+const R_BUF_BASE: u8 = 20; // prefetched row values
+const R_IDXBUF_BASE: u8 = 60; // prefetched indices
+const R_ADDRBUF_BASE: u8 = 100; // computed row addresses
+const R_TMP_BASE: u8 = 140; // staging registers for SMPF/LMPF stores
+
+/// The embedding-bag kernel program (all variants).
+#[derive(Debug, Clone)]
+pub struct EmbeddingBagKernel {
+    workload: EmbeddingWorkload,
+    spec: EmbeddingKernelSpec,
+    name: String,
+}
+
+impl EmbeddingBagKernel {
+    /// Creates the kernel for a workload and build specification.
+    pub fn new(workload: EmbeddingWorkload, spec: EmbeddingKernelSpec) -> Self {
+        let name = spec.name();
+        EmbeddingBagKernel { workload, spec, name }
+    }
+
+    /// The build specification of this kernel.
+    pub fn spec(&self) -> &EmbeddingKernelSpec {
+        &self.spec
+    }
+
+    /// The workload this kernel executes.
+    pub fn workload(&self) -> &EmbeddingWorkload {
+        &self.workload
+    }
+}
+
+impl KernelProgram for EmbeddingBagKernel {
+    fn warp_program(&self, info: WarpInfo) -> Box<dyn WarpProgram> {
+        match self.workload.warp_assignment(info.block_id, info.warp_in_block) {
+            None => Box::new(EmptyWarp),
+            Some(assignment) => Box::new(EmbeddingWarp {
+                trace: Arc::clone(&self.workload.trace),
+                layout: self.workload.layout,
+                config: self.workload.config,
+                assignment,
+                spec: self.spec,
+                global_warp_id: info.global_warp_id,
+                next_lookup: 0,
+                emitted_prologue: false,
+                emitted_epilogue: false,
+                queue: VecDeque::new(),
+            }),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A warp with no work (its bag falls outside the batch).
+struct EmptyWarp;
+
+impl WarpProgram for EmptyWarp {
+    fn next_inst(&mut self) -> Option<Instruction> {
+        None
+    }
+}
+
+/// One warp's gather-reduce execution.
+struct EmbeddingWarp {
+    trace: Arc<EmbeddingTrace>,
+    layout: TableLayout,
+    config: EmbeddingConfig,
+    assignment: WarpAssignment,
+    spec: EmbeddingKernelSpec,
+    global_warp_id: u64,
+    next_lookup: u32,
+    emitted_prologue: bool,
+    emitted_epilogue: bool,
+    queue: VecDeque<Instruction>,
+}
+
+impl EmbeddingWarp {
+    fn lookup_row(&self, i: u32) -> u64 {
+        let offset = self.trace.offsets[self.assignment.bag as usize] as u64 + i as u64;
+        self.trace.indices[offset as usize] as u64
+    }
+
+    fn lookup_position(&self, i: u32) -> u64 {
+        self.trace.offsets[self.assignment.bag as usize] as u64 + i as u64
+    }
+
+    fn index_line(&self, i: u32) -> u64 {
+        self.layout.index_line(self.lookup_position(i))
+    }
+
+    fn row_line(&self, i: u32) -> u64 {
+        self.layout.row_chunk_line(self.lookup_row(i), self.assignment.chunk)
+    }
+
+    fn push_overhead(&mut self) {
+        self.queue.push_back(Instruction::Alu { dst: R_LOOP, srcs: SrcSet::none(), latency: 0 });
+    }
+
+    fn push_spill_traffic(&mut self, iteration: u32) {
+        for s in 0..self.spec.spills_per_iteration() {
+            let slot = iteration as u64 * 4 + s as u64;
+            let line = TableLayout::local_line(self.global_warp_id, slot);
+            self.queue.push_back(Instruction::Store {
+                space: MemSpace::Local,
+                lines: LineSet::single(line),
+                src: R_LOOP,
+                bytes: 128,
+            });
+            self.queue.push_back(Instruction::Load {
+                space: MemSpace::Local,
+                lines: LineSet::single(line),
+                dst: R_SPILL,
+                bytes: 128,
+                addr_dep: None,
+            });
+        }
+    }
+
+    fn push_index_load(&mut self, i: u32, dst: u8) {
+        self.queue.push_back(Instruction::Load {
+            space: MemSpace::Global,
+            lines: LineSet::single(self.index_line(i)),
+            dst,
+            bytes: 4,
+            addr_dep: None,
+        });
+    }
+
+    fn push_gather(&mut self, i: u32, dst: u8, addr_reg: u8) {
+        self.queue.push_back(Instruction::Load {
+            space: MemSpace::Global,
+            lines: LineSet::single(self.row_line(i)),
+            dst,
+            bytes: 128,
+            addr_dep: Some(addr_reg),
+        });
+    }
+
+    /// Prologue: load `offsets[bag]` and `offsets[bag+1]` and set up loop
+    /// bounds (paper Algorithm 2's first two statements).
+    fn build_prologue(&mut self) {
+        self.queue.push_back(Instruction::Load {
+            space: MemSpace::Global,
+            lines: LineSet::single(self.index_line(0) & !0xFFF),
+            dst: R_LOOP,
+            bytes: 8,
+            addr_dep: None,
+        });
+        self.queue.push_back(Instruction::Alu {
+            dst: R_LOOP,
+            srcs: SrcSet::one(R_LOOP),
+            latency: 0,
+        });
+        self.queue.push_back(Instruction::Alu { dst: R_ACC, srcs: SrcSet::none(), latency: 0 });
+    }
+
+    /// The unmodified gather-reduce iteration (base and OptMT builds).
+    fn build_plain_iteration(&mut self, i: u32) {
+        self.push_overhead();
+        self.push_overhead();
+        self.push_index_load(i, R_IDX);
+        self.queue.push_back(Instruction::Alu { dst: R_ADDR, srcs: SrcSet::one(R_IDX), latency: 0 });
+        self.push_gather(i, R_VAL, R_ADDR);
+        self.queue.push_back(Instruction::Alu {
+            dst: R_ACC,
+            srcs: SrcSet::two(R_VAL, R_ACC),
+            latency: 0,
+        });
+        self.push_spill_traffic(i);
+    }
+
+    /// One prefetched superstep covering lookups `[start, end)`.
+    fn build_prefetch_superstep(&mut self, start: u32, end: u32, station: BufferStation) {
+        let n = end - start;
+        // Phase 1: issue all index loads and gathers ahead of use so the
+        // scoreboard can overlap their latencies.
+        for k in 0..n {
+            let i = start + k;
+            let idx_reg = R_IDXBUF_BASE + (k as u8 % 16);
+            let addr_reg = R_ADDRBUF_BASE + (k as u8 % 16);
+            self.push_overhead();
+            self.push_index_load(i, idx_reg);
+            self.queue.push_back(Instruction::Alu {
+                dst: addr_reg,
+                srcs: SrcSet::one(idx_reg),
+                latency: 0,
+            });
+            match station {
+                BufferStation::Register => {
+                    self.push_gather(i, R_BUF_BASE + (k as u8 % 16), addr_reg);
+                }
+                BufferStation::SharedMem | BufferStation::LocalMem => {
+                    self.push_gather(i, R_TMP_BASE + (k as u8 % 16), addr_reg);
+                }
+                BufferStation::L1Cache => {
+                    self.queue.push_back(Instruction::Prefetch {
+                        target: PrefetchTarget::L1,
+                        lines: LineSet::single(self.row_line(i)),
+                        addr_dep: Some(addr_reg),
+                    });
+                }
+            }
+        }
+        // Phase 2 (SMPF/LMPF only): drain the staging registers into the
+        // buffer station.
+        if matches!(station, BufferStation::SharedMem | BufferStation::LocalMem) {
+            for k in 0..n {
+                let (space, line) = match station {
+                    BufferStation::SharedMem => (MemSpace::Shared, 0),
+                    _ => (
+                        MemSpace::Local,
+                        TableLayout::local_line(self.global_warp_id, k as u64),
+                    ),
+                };
+                self.queue.push_back(Instruction::Store {
+                    space,
+                    lines: LineSet::single(line),
+                    src: R_TMP_BASE + (k as u8 % 16),
+                    bytes: 128,
+                });
+            }
+        }
+        // Phase 3: consume.
+        for k in 0..n {
+            let i = start + k;
+            let value_reg = match station {
+                BufferStation::Register => R_BUF_BASE + (k as u8 % 16),
+                BufferStation::SharedMem | BufferStation::LocalMem | BufferStation::L1Cache => {
+                    R_VAL
+                }
+            };
+            match station {
+                BufferStation::Register => {}
+                BufferStation::SharedMem => {
+                    self.queue.push_back(Instruction::Load {
+                        space: MemSpace::Shared,
+                        lines: LineSet::single(0),
+                        dst: R_VAL,
+                        bytes: 128,
+                        addr_dep: None,
+                    });
+                }
+                BufferStation::LocalMem => {
+                    self.queue.push_back(Instruction::Load {
+                        space: MemSpace::Local,
+                        lines: LineSet::single(TableLayout::local_line(
+                            self.global_warp_id,
+                            k as u64,
+                        )),
+                        dst: R_VAL,
+                        bytes: 128,
+                        addr_dep: None,
+                    });
+                }
+                BufferStation::L1Cache => {
+                    // The demand load still executes; it should now hit in L1.
+                    self.push_gather(i, R_VAL, R_ADDRBUF_BASE + (k as u8 % 16));
+                }
+            }
+            self.queue.push_back(Instruction::Alu {
+                dst: R_ACC,
+                srcs: SrcSet::two(value_reg, R_ACC),
+                latency: 0,
+            });
+            self.push_overhead();
+            self.push_spill_traffic(i);
+        }
+    }
+
+    fn build_epilogue(&mut self) {
+        let line = self.layout.output_chunk_line(
+            self.assignment.bag,
+            self.assignment.chunk,
+            self.config.embedding_dim,
+        );
+        self.queue.push_back(Instruction::Store {
+            space: MemSpace::Global,
+            lines: LineSet::single(line),
+            src: R_ACC,
+            bytes: 128,
+        });
+    }
+
+    fn refill(&mut self) {
+        if !self.emitted_prologue {
+            self.emitted_prologue = true;
+            self.build_prologue();
+            return;
+        }
+        let pooling = self.assignment.pooling_factor;
+        if self.next_lookup >= pooling {
+            if !self.emitted_epilogue {
+                self.emitted_epilogue = true;
+                self.build_epilogue();
+            }
+            return;
+        }
+        match self.spec.prefetch() {
+            None => {
+                let i = self.next_lookup;
+                self.next_lookup += 1;
+                self.build_plain_iteration(i);
+            }
+            Some(p) => {
+                let start = self.next_lookup;
+                let end = (start + p.distance).min(pooling);
+                self.next_lookup = end;
+                self.build_prefetch_superstep(start, end, p.station);
+            }
+        }
+    }
+}
+
+impl WarpProgram for EmbeddingWarp {
+    fn next_inst(&mut self) -> Option<Instruction> {
+        loop {
+            if let Some(inst) = self.queue.pop_front() {
+                return Some(inst);
+            }
+            if self.emitted_epilogue {
+                return None;
+            }
+            self.refill();
+            if self.queue.is_empty() && self.emitted_epilogue {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PrefetchConfig;
+    use dlrm_datasets::{AccessPattern, TraceConfig};
+    use gpu_sim::{GpuConfig, Simulator};
+
+    fn small_workload(pattern: AccessPattern) -> EmbeddingWorkload {
+        let cfg = EmbeddingConfig::new(TraceConfig::new(20_000, 32, 16), 128);
+        EmbeddingWorkload::generate(cfg, pattern, 0, 1)
+    }
+
+    fn drain(kernel: &EmbeddingBagKernel, block: u32, warp: u32) -> Vec<Instruction> {
+        let info = WarpInfo {
+            block_id: block,
+            warp_in_block: warp,
+            warps_per_block: 8,
+            threads_per_block: 256,
+            global_warp_id: (block * 8 + warp) as u64,
+            sm_id: 0,
+        };
+        let mut prog = kernel.warp_program(info);
+        let mut v = Vec::new();
+        while let Some(i) = prog.next_inst() {
+            v.push(i);
+            assert!(v.len() < 100_000, "warp program failed to terminate");
+        }
+        v
+    }
+
+    fn count_loads(insts: &[Instruction], space: MemSpace) -> usize {
+        insts
+            .iter()
+            .filter(|i| matches!(i, Instruction::Load { space: s, .. } if *s == space))
+            .count()
+    }
+
+    #[test]
+    fn base_kernel_emits_two_global_loads_per_lookup() {
+        let w = small_workload(AccessPattern::MedHot);
+        let kernel = EmbeddingKernelSpec::base().kernel(&w);
+        let insts = drain(&kernel, 0, 0);
+        // Prologue has one extra load; each of the 16 lookups does an index
+        // load and a gather.
+        assert_eq!(count_loads(&insts, MemSpace::Global), 1 + 2 * 16);
+        // Exactly one output store.
+        let stores = insts
+            .iter()
+            .filter(|i| matches!(i, Instruction::Store { space: MemSpace::Global, .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn gather_loads_depend_on_index_loads() {
+        let w = small_workload(AccessPattern::Random);
+        let kernel = EmbeddingKernelSpec::base().kernel(&w);
+        let insts = drain(&kernel, 0, 0);
+        let gathers: Vec<&Instruction> = insts
+            .iter()
+            .filter(|i| matches!(i, Instruction::Load { bytes: 128, space: MemSpace::Global, .. }))
+            .collect();
+        assert!(!gathers.is_empty());
+        assert!(gathers.iter().all(|i| matches!(
+            i,
+            Instruction::Load { addr_dep: Some(_), .. }
+        )));
+    }
+
+    #[test]
+    fn warps_of_same_bag_touch_different_row_chunks() {
+        let w = small_workload(AccessPattern::OneItem);
+        let kernel = EmbeddingKernelSpec::base().kernel(&w);
+        let chunk0 = drain(&kernel, 0, 0);
+        let chunk1 = drain(&kernel, 0, 1);
+        let first_gather = |insts: &[Instruction]| {
+            insts
+                .iter()
+                .find_map(|i| match i {
+                    Instruction::Load { bytes: 128, lines, space: MemSpace::Global, .. } => {
+                        Some(lines.iter().next().unwrap())
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(first_gather(&chunk1) - first_gather(&chunk0), 128);
+    }
+
+    #[test]
+    fn spilling_build_adds_local_memory_traffic() {
+        let w = small_workload(AccessPattern::MedHot);
+        let spec = EmbeddingKernelSpec::base().with_max_registers(32);
+        assert!(spec.spills_per_iteration() > 0);
+        let insts = drain(&spec.kernel(&w), 0, 0);
+        assert!(count_loads(&insts, MemSpace::Local) > 0);
+        let base_insts = drain(&EmbeddingKernelSpec::base().kernel(&w), 0, 0);
+        assert_eq!(count_loads(&base_insts, MemSpace::Local), 0);
+        assert!(insts.len() > base_insts.len());
+    }
+
+    #[test]
+    fn rpf_emits_same_gathers_but_batched() {
+        let w = small_workload(AccessPattern::LowHot);
+        let rpf = EmbeddingKernelSpec::base()
+            .with_prefetch(PrefetchConfig::new(BufferStation::Register, 4));
+        let insts = drain(&rpf.kernel(&w), 0, 0);
+        // Same number of gather loads as the base kernel: prefetching is
+        // 100% accurate and has 100% coverage (paper Section IV-B).
+        assert_eq!(count_loads(&insts, MemSpace::Global), 1 + 2 * 16);
+    }
+
+    #[test]
+    fn smpf_buffers_through_shared_memory() {
+        let w = small_workload(AccessPattern::LowHot);
+        let smpf = EmbeddingKernelSpec::base()
+            .with_prefetch(PrefetchConfig::new(BufferStation::SharedMem, 4));
+        let insts = drain(&smpf.kernel(&w), 0, 0);
+        let shared_stores = insts
+            .iter()
+            .filter(|i| matches!(i, Instruction::Store { space: MemSpace::Shared, .. }))
+            .count();
+        let shared_loads = count_loads(&insts, MemSpace::Shared);
+        assert_eq!(shared_stores, 16);
+        assert_eq!(shared_loads, 16);
+    }
+
+    #[test]
+    fn lmpf_buffers_through_local_memory() {
+        let w = small_workload(AccessPattern::LowHot);
+        let lmpf = EmbeddingKernelSpec::base()
+            .with_prefetch(PrefetchConfig::new(BufferStation::LocalMem, 4));
+        let insts = drain(&lmpf.kernel(&w), 0, 0);
+        assert_eq!(count_loads(&insts, MemSpace::Local), 16);
+    }
+
+    #[test]
+    fn l1dpf_issues_prefetches_plus_demand_loads() {
+        let w = small_workload(AccessPattern::LowHot);
+        let spec = EmbeddingKernelSpec::base()
+            .with_prefetch(PrefetchConfig::new(BufferStation::L1Cache, 4));
+        let insts = drain(&spec.kernel(&w), 0, 0);
+        let prefetches = insts
+            .iter()
+            .filter(|i| matches!(i, Instruction::Prefetch { target: PrefetchTarget::L1, .. }))
+            .count();
+        assert_eq!(prefetches, 16);
+        // Demand gathers are still issued, so global loads match the base.
+        assert_eq!(count_loads(&insts, MemSpace::Global), 1 + 2 * 16);
+    }
+
+    #[test]
+    fn prefetch_variants_have_instruction_overhead() {
+        let w = small_workload(AccessPattern::MedHot);
+        let base_len = drain(&EmbeddingKernelSpec::base().kernel(&w), 0, 0).len();
+        for station in BufferStation::ALL {
+            let spec = EmbeddingKernelSpec::base()
+                .with_prefetch(PrefetchConfig::new(station, 4));
+            let len = drain(&spec.kernel(&w), 0, 0).len();
+            assert!(
+                len >= base_len,
+                "{} should not reduce instruction count ({} vs {})",
+                station.abbreviation(),
+                len,
+                base_len
+            );
+        }
+    }
+
+    #[test]
+    fn partial_final_superstep_covers_all_lookups() {
+        // Pooling factor 10 with distance 4 leaves a final superstep of 2.
+        let cfg = EmbeddingConfig::new(TraceConfig::new(5_000, 8, 10), 128);
+        let w = EmbeddingWorkload::generate(cfg, AccessPattern::MedHot, 0, 3);
+        let spec = EmbeddingKernelSpec::base()
+            .with_prefetch(PrefetchConfig::new(BufferStation::Register, 4));
+        let insts = drain(&spec.kernel(&w), 0, 0);
+        assert_eq!(count_loads(&insts, MemSpace::Global), 1 + 2 * 10);
+    }
+
+    #[test]
+    fn one_item_kernel_runs_fast_in_simulation() {
+        let sim = Simulator::new(GpuConfig::test_small());
+        let fast = small_workload(AccessPattern::OneItem);
+        let slow = small_workload(AccessPattern::Random);
+        let spec = EmbeddingKernelSpec::base();
+        let t_fast = sim.run(&spec.launch(&fast), &spec.kernel(&fast));
+        let t_slow = sim.run(&spec.launch(&slow), &spec.kernel(&slow));
+        assert!(
+            t_slow.elapsed_cycles > t_fast.elapsed_cycles,
+            "random ({}) must be slower than one_item ({})",
+            t_slow.elapsed_cycles,
+            t_fast.elapsed_cycles
+        );
+        assert!(t_slow.long_scoreboard_per_inst() > t_fast.long_scoreboard_per_inst());
+    }
+}

@@ -1,0 +1,200 @@
+//! Device-memory layout of one embedding table and its kernel inputs and
+//! outputs.
+//!
+//! Addresses are synthetic but stable: each table gets disjoint, aligned
+//! regions for its weight matrix, its `indices` array, and its output matrix,
+//! so that sequentially executed tables never alias in the caches — matching
+//! the paper's setting where the full 60 GB model is resident in HBM and each
+//! table is processed by its own kernel launch.
+
+/// Cache-line size used for address calculations (128 B on NVIDIA GPUs).
+pub const LINE_BYTES: u64 = 128;
+
+/// Base virtual address of embedding-table weights.
+const WEIGHTS_BASE: u64 = 0x0001_0000_0000;
+/// Base virtual address of the per-table `indices` arrays.
+const INDICES_BASE: u64 = 0x4000_0000_0000;
+/// Base virtual address of the per-table output matrices.
+const OUTPUT_BASE: u64 = 0x6000_0000_0000;
+/// Base virtual address of per-warp local-memory (spill / LMPF buffer) space.
+const LOCAL_BASE: u64 = 0x7000_0000_0000;
+/// Bytes of local-memory address space reserved per warp.
+const LOCAL_BYTES_PER_WARP: u64 = 64 * 1024;
+
+/// The address map of one embedding table within the simulated device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableLayout {
+    /// Index of the table within the model (tables are laid out back to
+    /// back, each in its own aligned region).
+    pub table_index: u32,
+    /// Number of rows in the table.
+    pub num_rows: u64,
+    /// Bytes per row (`embedding_dim * 4` for fp32).
+    pub row_bytes: u64,
+    /// Total lookups in the batch (sizes the indices array).
+    pub total_lookups: u64,
+    /// Output matrix bytes (`batch_size * embedding_dim * 4`).
+    pub output_bytes: u64,
+}
+
+impl TableLayout {
+    /// Creates the layout for one table.
+    pub fn new(
+        table_index: u32,
+        num_rows: u64,
+        row_bytes: u64,
+        total_lookups: u64,
+        output_bytes: u64,
+    ) -> Self {
+        assert!(num_rows > 0 && row_bytes > 0, "table must have rows and a row width");
+        TableLayout { table_index, num_rows, row_bytes, total_lookups, output_bytes }
+    }
+
+    /// Size of the weight region of one table, aligned up to 1 MiB so table
+    /// base addresses never share cache sets systematically.
+    fn weights_stride(&self) -> u64 {
+        align_up(self.num_rows * self.row_bytes, 1 << 20)
+    }
+
+    /// Base address of this table's weight matrix.
+    pub fn weights_base(&self) -> u64 {
+        WEIGHTS_BASE + self.table_index as u64 * self.weights_stride()
+    }
+
+    /// Byte address of element `col` of row `row`.
+    ///
+    /// # Panics
+    /// Panics if the row is out of range.
+    pub fn row_element_addr(&self, row: u64, byte_offset: u64) -> u64 {
+        assert!(row < self.num_rows, "row {row} out of range ({} rows)", self.num_rows);
+        self.weights_base() + row * self.row_bytes + byte_offset
+    }
+
+    /// The 128-byte line holding bytes `[byte_offset, byte_offset + 128)` of
+    /// `row` — the granule one warp's coalesced access covers.
+    pub fn row_chunk_line(&self, row: u64, chunk: u32) -> u64 {
+        let addr = self.row_element_addr(row, chunk as u64 * LINE_BYTES);
+        addr / LINE_BYTES * LINE_BYTES
+    }
+
+    /// Number of 128-byte chunks per row (= warps needed per sample).
+    pub fn chunks_per_row(&self) -> u32 {
+        (self.row_bytes / LINE_BYTES).max(1) as u32
+    }
+
+    /// Base address of this table's `indices` array (one `u32` per lookup).
+    pub fn indices_base(&self) -> u64 {
+        INDICES_BASE + self.table_index as u64 * align_up(self.total_lookups * 4, 1 << 20)
+    }
+
+    /// The cache line holding `indices[lookup]`.
+    pub fn index_line(&self, lookup: u64) -> u64 {
+        let addr = self.indices_base() + lookup * 4;
+        addr / LINE_BYTES * LINE_BYTES
+    }
+
+    /// Base address of this table's output matrix.
+    pub fn output_base(&self) -> u64 {
+        OUTPUT_BASE + self.table_index as u64 * align_up(self.output_bytes.max(1), 1 << 20)
+    }
+
+    /// The cache line of the 128-byte output chunk written by one warp.
+    pub fn output_chunk_line(&self, bag: u64, chunk: u32, embedding_dim: u32) -> u64 {
+        let addr =
+            self.output_base() + bag * embedding_dim as u64 * 4 + chunk as u64 * LINE_BYTES;
+        addr / LINE_BYTES * LINE_BYTES
+    }
+
+    /// Base of the local-memory window of a warp (spills, LMPF buffers).
+    pub fn local_base(global_warp_id: u64) -> u64 {
+        LOCAL_BASE + global_warp_id * LOCAL_BYTES_PER_WARP
+    }
+
+    /// A line within a warp's local-memory window.
+    pub fn local_line(global_warp_id: u64, slot: u64) -> u64 {
+        let addr = Self::local_base(global_warp_id) + (slot * LINE_BYTES) % LOCAL_BYTES_PER_WARP;
+        addr / LINE_BYTES * LINE_BYTES
+    }
+
+    /// Total weight bytes of this table.
+    pub fn weight_bytes(&self) -> u64 {
+        self.num_rows * self.row_bytes
+    }
+}
+
+fn align_up(v: u64, align: u64) -> u64 {
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(table: u32) -> TableLayout {
+        TableLayout::new(table, 10_000, 512, 32 * 64, 32 * 512)
+    }
+
+    #[test]
+    fn different_tables_do_not_overlap() {
+        let a = layout(0);
+        let b = layout(1);
+        let a_end = a.weights_base() + a.weight_bytes();
+        assert!(b.weights_base() >= a_end);
+        assert_ne!(a.indices_base(), b.indices_base());
+        assert_ne!(a.output_base(), b.output_base());
+    }
+
+    #[test]
+    fn regions_do_not_alias_each_other() {
+        let l = layout(0);
+        let w_end = l.weights_base() + l.weight_bytes();
+        assert!(w_end < l.indices_base());
+        assert!(l.indices_base() + l.total_lookups * 4 < l.output_base());
+        assert!(l.output_base() + l.output_bytes < TableLayout::local_base(0));
+    }
+
+    #[test]
+    fn row_chunk_lines_are_line_aligned_and_distinct() {
+        let l = layout(0);
+        let c0 = l.row_chunk_line(5, 0);
+        let c1 = l.row_chunk_line(5, 1);
+        assert_eq!(c0 % LINE_BYTES, 0);
+        assert_eq!(c1 - c0, LINE_BYTES);
+        assert_eq!(l.chunks_per_row(), 4);
+    }
+
+    #[test]
+    fn adjacent_indices_share_a_line() {
+        let l = layout(0);
+        assert_eq!(l.index_line(0), l.index_line(31));
+        assert_ne!(l.index_line(0), l.index_line(32));
+    }
+
+    #[test]
+    fn output_chunks_follow_row_major_layout() {
+        let l = layout(0);
+        let ed = 128;
+        let bag0_chunk0 = l.output_chunk_line(0, 0, ed);
+        let bag0_chunk1 = l.output_chunk_line(0, 1, ed);
+        let bag1_chunk0 = l.output_chunk_line(1, 0, ed);
+        assert_eq!(bag0_chunk1 - bag0_chunk0, LINE_BYTES);
+        assert_eq!(bag1_chunk0 - bag0_chunk0, ed as u64 * 4);
+    }
+
+    #[test]
+    fn local_windows_are_private_per_warp() {
+        let w0 = TableLayout::local_line(0, 0);
+        let w1 = TableLayout::local_line(1, 0);
+        assert!(w1 - w0 >= LOCAL_BYTES_PER_WARP);
+        // Slots wrap inside the window instead of spilling into a neighbour.
+        let many = TableLayout::local_line(0, 10_000);
+        assert!(many < TableLayout::local_base(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_panics() {
+        let l = layout(0);
+        let _ = l.row_element_addr(10_000, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! The static profiling framework of Section VII, applied end to end:
+//! profile the off-the-shelf kernel, let the framework recommend a scheme,
+//! apply it, and verify the improvement.
+//!
+//! ```text
+//! cargo run --release --example profiling_framework -- [test|default] [dataset]
+//! ```
+
+use dlrm::WorkloadScale;
+use dlrm_datasets::AccessPattern;
+use gpu_sim::GpuConfig;
+use perf_envelope::{ExperimentContext, Scheme, StaticProfiler, WorkloadHint};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| WorkloadScale::from_name(&s))
+        .unwrap_or(WorkloadScale::Test);
+    let pattern = std::env::args()
+        .nth(2)
+        .and_then(|s| AccessPattern::from_cli_name(&s))
+        .unwrap_or(AccessPattern::MedHot);
+
+    let gpu = GpuConfig::a100();
+    let ctx = ExperimentContext::new(gpu.clone(), scale);
+    println!("profiling the off-the-shelf embedding-bag kernel on {} ({pattern})\n", gpu.name);
+
+    // Step 0: run the baseline kernel and collect its NCU-style statistics.
+    let baseline = ctx.run_embedding_kernel(pattern, &Scheme::base());
+    println!("{baseline}");
+
+    // The profiler additionally needs the workload's reuse structure, which
+    // an offline trace analysis provides.
+    let trace = ctx.model().embedding.trace.generate(pattern, 1);
+    let hint = WorkloadHint {
+        working_set_bytes: trace.working_set_bytes(ctx.model().embedding.row_bytes()),
+        access_skew: trace.coverage_curve().skew(),
+    };
+    println!(
+        "workload hint: working set {:.1} MB, access skew {:.2}\n",
+        hint.working_set_bytes as f64 / 1e6,
+        hint.access_skew
+    );
+
+    // Steps (i)-(vii): walk the framework.
+    let report = StaticProfiler::new().analyze(&baseline, &gpu, &hint);
+    println!("{}", report.render());
+
+    // Apply the recommendation and verify it against the baseline.
+    let recommended = report.recommended;
+    let base_stage = ctx.run_embedding_stage(pattern, &Scheme::base());
+    let tuned_stage = ctx.run_embedding_stage(pattern, &recommended);
+    println!(
+        "embedding stage: base {:.2} ms -> {} {:.2} ms ({:.2}x)",
+        base_stage.latency_us / 1e3,
+        recommended.paper_label(),
+        tuned_stage.latency_us / 1e3,
+        tuned_stage.speedup_over(&base_stage)
+    );
+}

@@ -1,0 +1,24 @@
+//! # dlrm-gpu-repro — umbrella crate
+//!
+//! This crate re-exports the workspace members so that the runnable examples
+//! under `examples/` and the cross-crate integration tests under `tests/`
+//! have a single dependency root. The actual functionality lives in:
+//!
+//! * [`gpu_sim`] — the warp-level GPU timing simulator (substrate),
+//! * [`dlrm_datasets`] — embedding access-trace generators and hotness
+//!   metrics,
+//! * [`embedding_kernels`] — the embedding-bag kernel variants (base, OptMT,
+//!   prefetching, L2 pinning) and the functional reference,
+//! * [`dlrm`] — the DLRM model, functional forward pass and non-embedding
+//!   timing model,
+//! * [`perf_envelope`] — the paper's contribution: optimization schemes, the
+//!   experiment runner, design-space exploration and the static profiling
+//!   framework.
+
+#![warn(missing_docs)]
+
+pub use dlrm;
+pub use dlrm_datasets;
+pub use embedding_kernels;
+pub use gpu_sim;
+pub use perf_envelope;

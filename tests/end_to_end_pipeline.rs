@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full pipeline from trace generation
+//! through the simulated embedding stage to end-to-end latency, exercising
+//! the paper's headline claims at test scale.
+
+use dlrm::WorkloadScale;
+use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
+use gpu_sim::GpuConfig;
+use perf_envelope::{ExperimentContext, Scheme};
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+}
+
+#[test]
+fn performance_gap_grows_as_hotness_drops() {
+    // Paper Figure 1 / Section III: latency increases monotonically from
+    // one_item to random for the base kernel.
+    let c = ctx();
+    let mut last = 0.0;
+    for pattern in AccessPattern::ALL {
+        let r = c.run_embedding_stage(pattern, &Scheme::base());
+        assert!(
+            r.latency_us >= last * 0.95,
+            "{pattern} should not be meaningfully faster than hotter patterns ({:.1} vs {last:.1})",
+            r.latency_us
+        );
+        last = r.latency_us.max(last);
+    }
+}
+
+#[test]
+fn combined_scheme_narrows_the_one_item_random_gap() {
+    // Paper Section VI-A2: the combined scheme substantially lowers the
+    // worst-case gap between the fastest and slowest datasets.
+    let c = ctx();
+    let gap = |scheme: &Scheme| {
+        let fast = c.run_embedding_stage(AccessPattern::OneItem, scheme);
+        let slow = c.run_embedding_stage(AccessPattern::Random, scheme);
+        slow.latency_us / fast.latency_us
+    };
+    let base_gap = gap(&Scheme::base());
+    let combined_gap = gap(&Scheme::combined());
+    assert!(
+        combined_gap < base_gap,
+        "combined gap {combined_gap:.2}x should be below the base gap {base_gap:.2}x"
+    );
+}
+
+#[test]
+fn every_headline_scheme_beats_base_on_the_random_dataset() {
+    // Paper Figure 12: all four schemes improve over off-the-shelf PyTorch.
+    let c = ctx();
+    let base = c.run_embedding_stage(AccessPattern::Random, &Scheme::base());
+    for scheme in Scheme::figure12_schemes() {
+        let r = c.run_embedding_stage(AccessPattern::Random, &scheme);
+        assert!(
+            r.speedup_over(&base) > 1.0,
+            "{} should beat base on random, got {:.3}x",
+            scheme.paper_label(),
+            r.speedup_over(&base)
+        );
+    }
+}
+
+#[test]
+fn end_to_end_speedup_is_bounded_by_embedding_speedup() {
+    // Amdahl: the non-embedding stages are untouched, so end-to-end gains
+    // can never exceed embedding-only gains (paper Figures 12 vs 13).
+    let c = ctx();
+    for pattern in [AccessPattern::MedHot, AccessPattern::Random] {
+        let base = c.run_end_to_end(pattern, &Scheme::base());
+        let opt = c.run_end_to_end(pattern, &Scheme::combined());
+        let emb_speedup = base.embedding.latency_us / opt.embedding.latency_us;
+        let e2e_speedup = opt.latency.speedup_over(&base.latency);
+        assert!(
+            e2e_speedup <= emb_speedup + 1e-9,
+            "end-to-end speedup {e2e_speedup:.3} exceeded embedding speedup {emb_speedup:.3}"
+        );
+    }
+}
+
+#[test]
+fn optimizations_reduce_the_embedding_share_of_latency() {
+    // Paper Figure 14: with the embedding stage running faster, its share of
+    // the end-to-end latency drops.
+    let c = ctx();
+    let base = c.run_end_to_end(AccessPattern::Random, &Scheme::base());
+    let opt = c.run_end_to_end(AccessPattern::Random, &Scheme::combined());
+    assert!(
+        opt.latency.embedding_share_pct() < base.latency.embedding_share_pct(),
+        "embedding share should drop ({:.1}% -> {:.1}%)",
+        base.latency.embedding_share_pct(),
+        opt.latency.embedding_share_pct()
+    );
+}
+
+#[test]
+fn heterogeneous_mixes_behave_like_their_composition() {
+    // Paper Figure 17: a mix dominated by cold tables (Mix3) is slower than
+    // one dominated by hot tables (Mix1), and optimization still helps.
+    let c = ctx();
+    let mix1 = HeterogeneousMix::paper_mix(MixKind::Mix1, 0.02);
+    let mix3 = HeterogeneousMix::paper_mix(MixKind::Mix3, 0.02);
+    let base1 = c.run_embedding_stage_mix(&mix1, &Scheme::base());
+    let base3 = c.run_embedding_stage_mix(&mix3, &Scheme::base());
+    assert!(
+        base3.per_table_us > base1.per_table_us,
+        "cold-heavy mix should be slower per table ({:.1} vs {:.1} us)",
+        base3.per_table_us,
+        base1.per_table_us
+    );
+    let opt3 = c.run_embedding_stage_mix(&mix3, &Scheme::combined());
+    assert!(opt3.speedup_over(&base3) > 1.0);
+}
+
+#[test]
+fn h100_preset_runs_the_same_pipeline_faster() {
+    // Paper Section VI-B4: the H100 NVL lifts base performance.
+    let a100 = ExperimentContext::new(GpuConfig::a100(), WorkloadScale::Test);
+    let h100 = ExperimentContext::new(GpuConfig::h100_nvl(), WorkloadScale::Test);
+    let a = a100.run_embedding_stage(AccessPattern::LowHot, &Scheme::base());
+    let h = h100.run_embedding_stage(AccessPattern::LowHot, &Scheme::base());
+    assert!(
+        h.latency_us < a.latency_us,
+        "H100 ({:.1} us) should beat A100 ({:.1} us) at the same workload",
+        h.latency_us,
+        a.latency_us
+    );
+}
+
+#[test]
+fn kernel_statistics_are_internally_consistent() {
+    let c = ctx();
+    let stats = c.run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+    assert!(stats.counters.load_insts <= stats.counters.insts_issued);
+    assert!(stats.l1_hits <= stats.l1_accesses);
+    assert!(stats.l2_hits <= stats.l2_accesses);
+    assert!(stats.issued_per_scheduler_per_cycle() <= 1.0);
+    assert!(stats.kernel_time_us() > 0.0);
+    assert!(stats.hbm_read_bw_utilization_pct() <= 100.0);
+}

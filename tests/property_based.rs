@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: the cache model, the trace generators and hotness metrics,
+//! the occupancy model, and the embedding-bag reference implementation.
+
+use dlrm_datasets::{AccessPattern, CoverageCurve, TraceConfig, ZipfSampler};
+use embedding_kernels::{embedding_bag_forward, embedding_bag_forward_simt, SyntheticTable};
+use gpu_sim::config::CacheConfig;
+use gpu_sim::mem::Cache;
+use gpu_sim::occupancy::Occupancy;
+use gpu_sim::{GpuConfig, KernelLaunch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never reports more hits than accesses and a just-filled line
+    /// always hits on the next access.
+    #[test]
+    fn cache_hit_invariants(
+        lines in 4u64..64,
+        assoc in 1usize..8,
+        addrs in prop::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: lines * 128,
+            line_bytes: 128,
+            associativity: assoc,
+            hit_latency: 10,
+        });
+        for (i, &a) in addrs.iter().enumerate() {
+            let line = a * 128;
+            if !cache.access(line, i as u64) {
+                cache.fill(line, false, i as u64);
+            }
+            prop_assert!(cache.probe(line), "a just-filled line must be resident");
+        }
+        prop_assert!(cache.stats.hits <= cache.stats.accesses);
+        prop_assert!(cache.resident_lines() <= lines);
+    }
+
+    /// Persistent lines never exceed the configured carve-out, no matter the
+    /// access pattern.
+    #[test]
+    fn persisting_carveout_is_never_exceeded(
+        carveout_lines in 1u64..32,
+        addrs in prop::collection::vec(0u64..5_000, 1..300),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 64 * 128,
+            line_bytes: 128,
+            associativity: 8,
+            hit_latency: 10,
+        });
+        cache.set_persisting_capacity(carveout_lines * 128);
+        for (i, &a) in addrs.iter().enumerate() {
+            cache.fill(a * 128, a % 2 == 0, i as u64);
+            prop_assert!(cache.persistent_lines() <= carveout_lines);
+        }
+    }
+
+    /// Generated traces always stay within the table bounds and report
+    /// consistent unique-access statistics.
+    #[test]
+    fn trace_statistics_are_consistent(
+        rows in 100u64..50_000,
+        batch in 1u32..64,
+        pooling in 1u32..32,
+        pattern_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let pattern = AccessPattern::ALL[pattern_idx];
+        let trace = TraceConfig::new(rows, batch, pooling).generate(pattern, seed);
+        prop_assert_eq!(trace.total_lookups(), batch as u64 * pooling as u64);
+        prop_assert!(trace.indices.iter().all(|&i| (i as u64) < rows));
+        prop_assert!(trace.unique_rows() <= trace.total_lookups());
+        prop_assert!(trace.unique_rows() <= rows);
+        let pct = trace.unique_access_pct();
+        prop_assert!((0.0..=100.0).contains(&pct));
+        // The offsets must partition the indices array.
+        prop_assert_eq!(trace.offsets[0], 0);
+        prop_assert_eq!(*trace.offsets.last().unwrap() as usize, trace.indices.len());
+    }
+
+    /// Coverage curves are monotonically non-decreasing and end at 100%.
+    #[test]
+    fn coverage_curves_are_monotone(
+        indices in prop::collection::vec(0u32..2_000, 1..500),
+    ) {
+        let curve = CoverageCurve::from_indices(&indices);
+        let series = curve.series();
+        let mut prev = 0.0;
+        for &(_, cov) in &series {
+            prop_assert!(cov + 1e-9 >= prev);
+            prev = cov;
+        }
+        prop_assert!((series.last().unwrap().1 - 100.0).abs() < 1e-6);
+        let skew = curve.skew();
+        prop_assert!((0.0..=1.0).contains(&skew));
+    }
+
+    /// The Zipf sampler's rank-to-row mapping is a permutation prefix: no two
+    /// ranks map to the same row.
+    #[test]
+    fn zipf_hot_rows_are_distinct(rows in 10u64..20_000, count in 1usize..200) {
+        let sampler = ZipfSampler::new(rows, 1.0);
+        let hot = sampler.hottest_rows(count);
+        let mut dedup = hot.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), hot.len());
+        prop_assert!(hot.iter().all(|&r| r < rows));
+    }
+
+    /// Occupancy never exceeds the hardware limits and decreases (weakly)
+    /// as registers per thread increase.
+    #[test]
+    fn occupancy_is_monotone_in_register_pressure(
+        regs_low in 16u32..64,
+        extra in 8u32..128,
+        threads_pow in 5u32..9,
+    ) {
+        let cfg = GpuConfig::a100();
+        let threads = 1u32 << threads_pow; // 32..=256
+        let launch = |regs: u32| {
+            KernelLaunch::new("k", 100_000, threads).with_regs_per_thread(regs.min(255))
+        };
+        let low = Occupancy::compute(&cfg, &launch(regs_low));
+        let high = Occupancy::compute(&cfg, &launch(regs_low + extra));
+        prop_assert!(low.warps_per_sm <= cfg.max_warps_per_sm as u32);
+        prop_assert!(high.warps_per_sm <= low.warps_per_sm);
+        prop_assert!(low.warps_per_sm >= 1);
+    }
+
+    /// The SIMT-partitioned embedding-bag reduction matches the sequential
+    /// reference bit for bit on arbitrary traces.
+    #[test]
+    fn embedding_bag_partitioning_is_exact(
+        rows in 10u64..2_000,
+        batch in 1u32..16,
+        pooling in 1u32..16,
+        seed in any::<u64>(),
+        pattern_idx in 0usize..5,
+    ) {
+        let pattern = AccessPattern::ALL[pattern_idx];
+        let trace = TraceConfig::new(rows, batch, pooling).generate(pattern, seed);
+        let table = SyntheticTable::new(rows, 32, seed ^ 0xABCD);
+        prop_assert_eq!(
+            embedding_bag_forward(&table, &trace),
+            embedding_bag_forward_simt(&table, &trace)
+        );
+    }
+
+    /// Every generated trace's working set in bytes equals unique rows times
+    /// the row width.
+    #[test]
+    fn working_set_matches_unique_rows(
+        rows in 100u64..10_000,
+        batch in 1u32..32,
+        pooling in 1u32..16,
+        row_bytes in prop::sample::select(vec![128u64, 256, 512]),
+    ) {
+        let trace = TraceConfig::new(rows, batch, pooling).generate(AccessPattern::MedHot, 7);
+        prop_assert_eq!(trace.working_set_bytes(row_bytes), trace.unique_rows() * row_bytes);
+    }
+}
