@@ -1,0 +1,42 @@
+//! Criterion benchmark of the `Campaign` executor: the same ≥12-cell grid
+//! run serially (one worker) and in parallel (all cores), demonstrating the
+//! wall-clock win of parallel grid execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrm::WorkloadScale;
+use dlrm_datasets::AccessPattern;
+use gpu_sim::GpuConfig;
+use perf_envelope::{Campaign, Experiment, Scheme, Workload};
+
+fn grid() -> Campaign {
+    let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+    Campaign::new(experiment)
+        .workloads(AccessPattern::EVALUATED.map(Workload::stage))
+        .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
+}
+
+fn campaign_scaling(c: &mut Criterion) {
+    let cells = grid().len();
+    assert!(cells >= 12, "the grid must exercise at least 12 cells");
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let name = if threads == 1 {
+            "serial_1_thread"
+        } else {
+            "parallel_all_cores"
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &threads,
+            |b, &threads| {
+                let campaign = grid().threads(threads);
+                b.iter(|| campaign.run());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_scaling);
+criterion_main!(benches);

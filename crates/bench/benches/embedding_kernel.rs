@@ -9,11 +9,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlrm::{DlrmConfig, WorkloadScale};
 use dlrm_datasets::AccessPattern;
 use gpu_sim::GpuConfig;
-use perf_envelope::{ExperimentContext, Scheme};
+use perf_envelope::{Experiment, Scheme, Workload};
 
 fn kernel_schemes(c: &mut Criterion) {
-    let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+    let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
         .with_model(DlrmConfig::at_scale(WorkloadScale::Test));
+    let workload = Workload::kernel(AccessPattern::MedHot);
     let mut group = c.benchmark_group("embedding_kernel_schemes");
     group.sample_size(10);
     let schemes = [
@@ -25,14 +26,14 @@ fn kernel_schemes(c: &mut Criterion) {
     ];
     for (name, scheme) in schemes {
         group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
-            b.iter(|| ctx.run_embedding_kernel(AccessPattern::MedHot, scheme));
+            b.iter(|| experiment.run(&workload, scheme));
         });
     }
     group.finish();
 }
 
 fn kernel_datasets(c: &mut Criterion) {
-    let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
+    let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
     let mut group = c.benchmark_group("embedding_kernel_datasets");
     group.sample_size(10);
     for pattern in AccessPattern::ALL {
@@ -40,7 +41,7 @@ fn kernel_datasets(c: &mut Criterion) {
             BenchmarkId::from_parameter(pattern.paper_name().replace(' ', "_")),
             &pattern,
             |b, &pattern| {
-                b.iter(|| ctx.run_embedding_kernel(pattern, &Scheme::base()));
+                b.iter(|| experiment.run(&Workload::kernel(pattern), &Scheme::base()));
             },
         );
     }

@@ -6,10 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlrm::{DlrmConfig, DlrmForward, NonEmbeddingTimingModel, WorkloadScale};
 use dlrm_datasets::AccessPattern;
 use gpu_sim::GpuConfig;
-use perf_envelope::{ExperimentContext, Scheme};
+use perf_envelope::{Experiment, Scheme, Workload};
 
 fn embedding_stage(c: &mut Criterion) {
-    let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
+    let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+    let workload = Workload::end_to_end(AccessPattern::HighHot);
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     for (name, scheme) in [("base", Scheme::base()), ("combined", Scheme::combined())] {
@@ -17,7 +18,7 @@ fn embedding_stage(c: &mut Criterion) {
             BenchmarkId::new("embedding_stage", name),
             &scheme,
             |b, scheme| {
-                b.iter(|| ctx.run_end_to_end(AccessPattern::HighHot, scheme));
+                b.iter(|| experiment.run(&workload, scheme));
             },
         );
     }
@@ -28,14 +29,21 @@ fn functional_forward(c: &mut Criterion) {
     let config = DlrmConfig::at_scale(WorkloadScale::Test);
     let model = DlrmForward::new(config.clone(), 7);
     let traces: Vec<_> = (0..config.num_tables)
-        .map(|t| config.embedding.trace.generate(AccessPattern::MedHot, t as u64))
+        .map(|t| {
+            config
+                .embedding
+                .trace
+                .generate(AccessPattern::MedHot, t as u64)
+        })
         .collect();
     let dense: Vec<f32> = (0..config.batch_size() as usize * config.bottom_mlp[0] as usize)
         .map(|i| (i % 13) as f32 / 13.0)
         .collect();
     let mut group = c.benchmark_group("functional_forward");
     group.sample_size(10);
-    group.bench_function("dlrm_forward_pass", |b| b.iter(|| model.forward(&dense, &traces)));
+    group.bench_function("dlrm_forward_pass", |b| {
+        b.iter(|| model.forward(&dense, &traces))
+    });
     group.bench_function("non_embedding_timing_model", |b| {
         let timing = NonEmbeddingTimingModel::new(&GpuConfig::a100());
         let paper = DlrmConfig::paper_model();

@@ -25,9 +25,15 @@ fn metrics(c: &mut Criterion) {
     let trace = cfg.generate(AccessPattern::MedHot, 42);
     let mut group = c.benchmark_group("trace_metrics");
     group.sample_size(10);
-    group.bench_function("unique_access_pct", |b| b.iter(|| trace.unique_access_pct()));
-    group.bench_function("coverage_curve", |b| b.iter(|| trace.coverage_curve().series()));
-    group.bench_function("row_popularity", |b| b.iter(|| trace.row_popularity().len()));
+    group.bench_function("unique_access_pct", |b| {
+        b.iter(|| trace.unique_access_pct())
+    });
+    group.bench_function("coverage_curve", |b| {
+        b.iter(|| trace.coverage_curve().series())
+    });
+    group.bench_function("row_popularity", |b| {
+        b.iter(|| trace.row_popularity().len())
+    });
     group.finish();
 }
 

@@ -24,9 +24,7 @@ fn main() {
         match render_figure(n, &opts) {
             Some(text) => println!("{text}"),
             None => {
-                eprintln!(
-                    "figure {n} is not part of the evaluation (available: {ALL_FIGURES:?})"
-                );
+                eprintln!("figure {n} is not part of the evaluation (available: {ALL_FIGURES:?})");
                 std::process::exit(2);
             }
         }

@@ -2,7 +2,7 @@
 
 use dlrm::WorkloadScale;
 use gpu_sim::GpuConfig;
-use perf_envelope::ExperimentContext;
+use perf_envelope::{Campaign, Experiment};
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -15,6 +15,8 @@ pub struct HarnessOptions {
     pub device: String,
     /// Seed for trace generation.
     pub seed: u64,
+    /// Worker threads for campaign grids; `0` = available parallelism.
+    pub jobs: usize,
 }
 
 impl Default for HarnessOptions {
@@ -24,6 +26,7 @@ impl Default for HarnessOptions {
             scale: WorkloadScale::Default,
             device: "a100".to_string(),
             seed: 0x5EED,
+            jobs: 0,
         }
     }
 }
@@ -42,12 +45,15 @@ impl HarnessOptions {
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut take_value = |name: &str| {
-                iter.next().ok_or_else(|| format!("{name} requires a value"))
+                iter.next()
+                    .ok_or_else(|| format!("{name} requires a value"))
             };
             match arg.as_str() {
                 a if a == selector_flag => {
                     let v = take_value(selector_flag)?;
-                    let n = v.parse::<u32>().map_err(|_| format!("invalid number '{v}'"))?;
+                    let n = v
+                        .parse::<u32>()
+                        .map_err(|_| format!("invalid number '{v}'"))?;
                     opts.which = Some(n);
                 }
                 "--all" => opts.which = None,
@@ -67,9 +73,13 @@ impl HarnessOptions {
                     let v = take_value("--seed")?;
                     opts.seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
                 }
+                "--jobs" | "-j" => {
+                    let v = take_value("--jobs")?;
+                    opts.jobs = v.parse().map_err(|_| format!("invalid job count '{v}'"))?;
+                }
                 "--help" | "-h" => {
                     return Err(format!(
-                        "usage: [{selector_flag} N] [--all] [--scale test|default|paper] [--device a100|h100] [--seed N]"
+                        "usage: [{selector_flag} N] [--all] [--scale test|default|paper] [--device a100|h100] [--seed N] [--jobs N]"
                     ));
                 }
                 other => return Err(format!("unknown argument '{other}'")),
@@ -87,10 +97,19 @@ impl HarnessOptions {
         }
     }
 
-    /// Builds an experiment context for these options (always on the full
-    /// device preset; the scale only affects the workload).
-    pub fn context(&self) -> ExperimentContext {
-        ExperimentContext::new(self.gpu(), self.scale).with_seed(self.seed)
+    /// Builds an experiment for these options (always on the full device
+    /// preset; the scale only affects the workload).
+    pub fn experiment(&self) -> Experiment {
+        Experiment::new(self.gpu(), self.scale)
+            .with_seed(self.seed)
+            .with_threads(self.jobs)
+    }
+
+    /// Starts a campaign over [`HarnessOptions::experiment`]; campaigns
+    /// (including the DSE sweeps, which build their own) inherit the
+    /// `--jobs` thread count from the experiment.
+    pub fn campaign(&self) -> Campaign {
+        Campaign::new(self.experiment())
     }
 
     /// A one-line description printed at the top of every result.
@@ -118,16 +137,20 @@ mod tests {
         assert_eq!(opts.which, None);
         assert_eq!(opts.scale, WorkloadScale::Default);
         assert_eq!(opts.device, "a100");
+        assert_eq!(opts.jobs, 0);
     }
 
     #[test]
     fn parses_all_flags() {
-        let opts =
-            parse(&["--figure", "12", "--scale", "test", "--device", "h100", "--seed", "7"]).unwrap();
+        let opts = parse(&[
+            "--figure", "12", "--scale", "test", "--device", "h100", "--seed", "7", "--jobs", "3",
+        ])
+        .unwrap();
         assert_eq!(opts.which, Some(12));
         assert_eq!(opts.scale, WorkloadScale::Test);
         assert_eq!(opts.device, "h100");
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.jobs, 3);
         assert!(opts.gpu().name.contains("H100"));
     }
 
@@ -138,6 +161,7 @@ mod tests {
         assert!(parse(&["--device", "tpu"]).is_err());
         assert!(parse(&["--figure"]).is_err());
         assert!(parse(&["--figure", "twelve"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
     }
 
     #[test]
@@ -145,5 +169,21 @@ mod tests {
         let opts = parse(&["--scale", "test"]).unwrap();
         assert!(opts.banner().contains("A100"));
         assert!(opts.banner().contains("test"));
+    }
+
+    #[test]
+    fn experiment_reflects_the_options() {
+        let opts = parse(&["--scale", "test", "--seed", "9"]).unwrap();
+        let experiment = opts.experiment();
+        assert_eq!(experiment.seed(), 9);
+        assert_eq!(experiment.scale(), WorkloadScale::Test);
+    }
+
+    #[test]
+    fn jobs_flag_reaches_campaigns_and_sweeps() {
+        // The DSE sweeps build their own campaigns from the experiment, so
+        // the --jobs thread count must ride on the experiment itself.
+        let opts = parse(&["--jobs", "2"]).unwrap();
+        assert_eq!(opts.experiment().threads(), 2);
     }
 }

@@ -5,10 +5,12 @@
 //! * Tables IV / V / VIII / IX — NCU-style microarchitectural
 //!   characterisation of the base, OptMT, RPF+OptMT and RPF+L2P+OptMT
 //!   kernels across the datasets.
+//!
+//! The NCU tables run their dataset columns as one [`Campaign`] grid, so
+//! the kernels simulate in parallel (`--jobs` controls the worker count).
 
 use dlrm_datasets::AccessPattern;
-use gpu_sim::KernelStats;
-use perf_envelope::Scheme;
+use perf_envelope::{RunReport, Scheme, Workload};
 
 use crate::options::HarnessOptions;
 
@@ -20,8 +22,18 @@ pub fn render_table_n(n: u32, opts: &HarnessOptions) -> Option<String> {
     let body = match n {
         1 => table1(opts),
         3 => table3(opts),
-        4 => ncu_table(opts, "Table IV: base PyTorch", &Scheme::base(), &AccessPattern::ALL),
-        5 => ncu_table(opts, "Table V: OptMT", &Scheme::optmt(), &AccessPattern::ALL),
+        4 => ncu_table(
+            opts,
+            "Table IV: base PyTorch",
+            &Scheme::base(),
+            &AccessPattern::ALL,
+        ),
+        5 => ncu_table(
+            opts,
+            "Table V: OptMT",
+            &Scheme::optmt(),
+            &AccessPattern::ALL,
+        ),
         8 => ncu_table(
             opts,
             "Table VIII: RPF+OptMT",
@@ -44,7 +56,10 @@ pub fn table1(opts: &HarnessOptions) -> String {
     let gpu = opts.gpu();
     let mut out = format!("## Table I: access latencies on {} (cycles)\n", gpu.name);
     out.push_str(&format!("{:<16}{}\n", "Register", gpu.register_latency));
-    out.push_str(&format!("{:<16}{}\n", "Shared Memory", gpu.shared_mem_latency));
+    out.push_str(&format!(
+        "{:<16}{}\n",
+        "Shared Memory", gpu.shared_mem_latency
+    ));
     out.push_str(&format!("{:<16}{}\n", "L1D cache", gpu.l1.hit_latency));
     out.push_str(&format!("{:<16}{}\n", "L2 cache", gpu.l2.hit_latency));
     out.push_str(&format!("{:<16}{}\n", "Global Memory", gpu.dram.latency));
@@ -54,8 +69,7 @@ pub fn table1(opts: &HarnessOptions) -> String {
 /// Table III: unique access % in each dataset, measured on generated traces
 /// and compared with the paper's reported values.
 pub fn table3(opts: &HarnessOptions) -> String {
-    let ctx = opts.context();
-    let trace_cfg = ctx.model().embedding.trace;
+    let trace_cfg = opts.experiment().model().embedding.trace;
     let mut out = String::from("## Table III: unique access % per dataset\n");
     out.push_str(&format!(
         "{:<12}{:>14}{:>14}\n",
@@ -81,12 +95,24 @@ fn ncu_table(
     scheme: &Scheme,
     patterns: &[AccessPattern],
 ) -> String {
-    let ctx = opts.context();
-    let runs: Vec<(AccessPattern, KernelStats)> =
-        patterns.iter().map(|&p| (p, ctx.run_embedding_kernel(p, scheme))).collect();
+    let run = opts
+        .campaign()
+        .workloads(patterns.iter().copied().map(Workload::kernel))
+        .scheme(*scheme)
+        .run();
+    let runs: Vec<(AccessPattern, &RunReport)> = patterns
+        .iter()
+        .enumerate()
+        .map(|(w, &p)| (p, run.get(w, 0, 0, 0)))
+        .collect();
 
-    let metric_names: Vec<String> =
-        runs[0].1.ncu_rows().into_iter().map(|(name, _)| name).collect();
+    let metric_names: Vec<String> = runs[0]
+        .1
+        .stats
+        .ncu_rows()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
     let mut out = format!("## {title} (per embedding-bag kernel, one table)\n");
     let metric_width = metric_names.iter().map(|m| m.len()).max().unwrap_or(10) + 2;
     out.push_str(&format!("{:<metric_width$}", "NCU metric / dataset"));
@@ -96,8 +122,8 @@ fn ncu_table(
     out.push('\n');
     for (i, metric) in metric_names.iter().enumerate() {
         out.push_str(&format!("{metric:<metric_width$}"));
-        for (_, stats) in &runs {
-            let value = &stats.ncu_rows()[i].1;
+        for (_, report) in &runs {
+            let value = &report.stats.ncu_rows()[i].1;
             out.push_str(&format!("{value:>12}"));
         }
         out.push('\n');
@@ -105,7 +131,7 @@ fn ncu_table(
     // Occupancy footer (the paper quotes it in the caption).
     out.push_str(&format!(
         "(occupancy: {} warps/SM, {} registers/thread)\n",
-        runs[0].1.theoretical_warps_per_sm, runs[0].1.allocated_regs_per_thread
+        runs[0].1.stats.theoretical_warps_per_sm, runs[0].1.stats.allocated_regs_per_thread
     ));
     out
 }
@@ -116,13 +142,22 @@ mod tests {
     use dlrm::WorkloadScale;
 
     fn test_opts() -> HarnessOptions {
-        HarnessOptions { scale: WorkloadScale::Test, ..Default::default() }
+        HarnessOptions {
+            scale: WorkloadScale::Test,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn table1_lists_the_five_levels() {
         let text = table1(&test_opts());
-        for level in ["Register", "Shared Memory", "L1D cache", "L2 cache", "Global Memory"] {
+        for level in [
+            "Register",
+            "Shared Memory",
+            "L1D cache",
+            "L2 cache",
+            "Global Memory",
+        ] {
             assert!(text.contains(level));
         }
         assert!(text.contains("466"));

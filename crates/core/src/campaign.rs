@@ -1,0 +1,349 @@
+//! Declarative experiment grids: [`Campaign`].
+//!
+//! The paper's evaluation is a grid — schemes × workloads × seeds × pooling
+//! factors — and the seed repo walked that grid with hand-rolled nested
+//! loops in every sweep, figure and example. A `Campaign` expresses the grid
+//! once and executes its cells **in parallel across threads**, with results
+//! returned in deterministic grid order regardless of the thread count:
+//! every cell builds its own [`Experiment`] clone (and therefore its own
+//! simulated memory system), so no cell observes another cell's execution.
+//!
+//! ```
+//! use dlrm::WorkloadScale;
+//! use dlrm_datasets::AccessPattern;
+//! use gpu_sim::GpuConfig;
+//! use perf_envelope::{Campaign, Experiment, Scheme, Workload};
+//!
+//! let run = Campaign::new(Experiment::new(GpuConfig::test_small(), WorkloadScale::Test))
+//!     .workloads([AccessPattern::HighHot, AccessPattern::Random].map(Workload::kernel))
+//!     .schemes([Scheme::base(), Scheme::combined()])
+//!     .run();
+//! assert_eq!(run.len(), 4);
+//! let base = run.get(1, 0, 0, 0);     // random under base
+//! let combined = run.get(1, 1, 0, 0); // random under the combined scheme
+//! assert!(combined.speedup_over(base) > 0.0);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::report::RunReport;
+use crate::runner::Experiment;
+use crate::scheme::Scheme;
+use crate::workload::Workload;
+
+/// A declarative grid of experiment cells and how to execute it.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    base: Experiment,
+    workloads: Vec<Workload>,
+    schemes: Vec<Scheme>,
+    seeds: Vec<u64>,
+    pooling_factors: Vec<Option<u32>>,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Starts a campaign over `base` (which fixes device, model and scale).
+    ///
+    /// Until overridden, the grid has the base experiment's seed as its only
+    /// seed, the model's configured pooling factor as its only pooling
+    /// factor, and the base experiment's preferred worker-thread count
+    /// ([`Experiment::with_threads`]).
+    pub fn new(base: Experiment) -> Self {
+        Campaign {
+            threads: base.threads(),
+            base,
+            workloads: Vec::new(),
+            schemes: Vec::new(),
+            seeds: Vec::new(),
+            pooling_factors: vec![None],
+        }
+    }
+
+    /// Adds one workload to the grid.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds workloads to the grid.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds one scheme to the grid.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// Adds schemes to the grid.
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = Scheme>) -> Self {
+        self.schemes.extend(schemes);
+        self
+    }
+
+    /// Replaces the seed axis (default: the base experiment's seed).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the pooling-factor axis (default: the model's configured
+    /// pooling factor).
+    pub fn pooling_factors(mut self, factors: impl IntoIterator<Item = u32>) -> Self {
+        self.pooling_factors = factors.into_iter().map(Some).collect();
+        if self.pooling_factors.is_empty() {
+            self.pooling_factors.push(None);
+        }
+        self
+    }
+
+    /// Sets the number of worker threads; `0` uses the machine's available
+    /// parallelism. The default is inherited from the base experiment.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.schemes.len()
+            * self.seeds.len().max(1)
+            * self.pooling_factors.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Executes every cell and returns the reports in grid order.
+    ///
+    /// Cells are distributed over worker threads; each cell clones the base
+    /// experiment, applies its seed and pooling factor, and calls
+    /// [`Experiment::run`]. Because cells share no mutable state, the
+    /// resulting reports are bit-identical for any thread count.
+    pub fn run(&self) -> CampaignRun {
+        let seeds = if self.seeds.is_empty() {
+            vec![self.base.seed()]
+        } else {
+            self.seeds.clone()
+        };
+        let mut cells = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for scheme in &self.schemes {
+                for &seed in &seeds {
+                    for &pooling in &self.pooling_factors {
+                        cells.push((workload, scheme, seed, pooling));
+                    }
+                }
+            }
+        }
+
+        let worker_count = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(cells.len())
+        .max(1);
+
+        let next_cell = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let index = next_cell.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(workload, scheme, seed, pooling)) = cells.get(index) else {
+                        break;
+                    };
+                    let mut experiment = self.base.clone().with_seed(seed);
+                    if let Some(pooling) = pooling {
+                        experiment = experiment.with_pooling_factor(pooling);
+                    }
+                    let report = experiment.run(workload, scheme);
+                    *slots[index].lock().expect("campaign worker panicked") = Some(report);
+                });
+            }
+        });
+
+        CampaignRun {
+            schemes: self.schemes.len(),
+            seeds: seeds.len(),
+            pooling_factors: self.pooling_factors.len(),
+            reports: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("lock poisoned")
+                        .expect("cell not executed")
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The completed grid: every cell's [`RunReport`] in deterministic grid
+/// order (workload-major, then scheme, then seed, then pooling factor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    schemes: usize,
+    seeds: usize,
+    pooling_factors: usize,
+    reports: Vec<RunReport>,
+}
+
+impl CampaignRun {
+    /// All reports in grid order.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the run had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The report of one cell, addressed by its grid coordinates
+    /// (indices into the campaign's workload/scheme/seed/pooling axes).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn get(&self, workload: usize, scheme: usize, seed: usize, pooling: usize) -> &RunReport {
+        let workloads =
+            self.reports.len() / (self.schemes * self.seeds * self.pooling_factors).max(1);
+        assert!(
+            workload < workloads,
+            "workload index {workload} out of range"
+        );
+        assert!(scheme < self.schemes, "scheme index {scheme} out of range");
+        assert!(seed < self.seeds, "seed index {seed} out of range");
+        assert!(
+            pooling < self.pooling_factors,
+            "pooling index {pooling} out of range"
+        );
+        let index = ((workload * self.schemes + scheme) * self.seeds + seed) * self.pooling_factors
+            + pooling;
+        &self.reports[index]
+    }
+
+    /// Serializes the whole run as a JSON array of run reports.
+    pub fn to_json(&self) -> String {
+        crate::json::Json::Arr(self.reports.iter().map(|r| r.to_json_value()).collect()).render()
+    }
+
+    /// Parses a run back from [`CampaignRun::to_json`] output. The grid
+    /// shape collapses to one axis (`get` coordinates are not preserved);
+    /// use this to reload archived reports.
+    ///
+    /// # Errors
+    /// Returns a [`crate::json::JsonError`] on syntax or schema errors.
+    pub fn from_json(text: &str) -> Result<Vec<RunReport>, crate::json::JsonError> {
+        let doc = crate::json::Json::parse(text)?;
+        let items = doc
+            .as_array()
+            .ok_or_else(|| crate::json::JsonError::schema("expected a JSON array of reports"))?;
+        items.iter().map(RunReport::from_json_value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::WorkloadScale;
+    use dlrm_datasets::AccessPattern;
+    use gpu_sim::GpuConfig;
+
+    fn base() -> Experiment {
+        Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+    }
+
+    fn small_grid() -> Campaign {
+        Campaign::new(base())
+            .workloads([
+                Workload::kernel(AccessPattern::HighHot),
+                Workload::stage(AccessPattern::Random),
+            ])
+            .schemes([Scheme::base(), Scheme::optmt()])
+    }
+
+    #[test]
+    fn grid_order_is_workload_major() {
+        let run = small_grid().run();
+        assert_eq!(run.len(), 4);
+        assert_eq!(run.reports()[0].workload, "high hot");
+        assert_eq!(run.reports()[0].scheme, "base");
+        assert_eq!(run.reports()[1].scheme, "OptMT");
+        assert_eq!(run.reports()[2].workload, "random");
+        assert_eq!(run.get(1, 1, 0, 0).scheme, "OptMT");
+        assert_eq!(run.get(1, 1, 0, 0).workload, "random");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let serial = small_grid().threads(1).run();
+        let parallel = small_grid().threads(4).run();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cells_match_direct_experiment_runs() {
+        let run = small_grid().threads(3).run();
+        let direct = base().run(&Workload::stage(AccessPattern::Random), &Scheme::optmt());
+        assert_eq!(*run.get(1, 1, 0, 0), direct);
+    }
+
+    #[test]
+    fn seed_axis_overrides_the_base_seed() {
+        let run = Campaign::new(base())
+            .workload(Workload::kernel(AccessPattern::MedHot))
+            .scheme(Scheme::base())
+            .seeds([1, 2])
+            .run();
+        assert_eq!(run.len(), 2);
+        assert_eq!(run.get(0, 0, 0, 0).seed, 1);
+        assert_eq!(run.get(0, 0, 1, 0).seed, 2);
+        assert_ne!(run.get(0, 0, 0, 0).stats, run.get(0, 0, 1, 0).stats);
+    }
+
+    #[test]
+    fn pooling_axis_reconfigures_the_model() {
+        let run = Campaign::new(base())
+            .workload(Workload::kernel(AccessPattern::MedHot))
+            .scheme(Scheme::base())
+            .pooling_factors([4, 16])
+            .run();
+        assert_eq!(run.get(0, 0, 0, 0).pooling_factor, 4);
+        assert_eq!(run.get(0, 0, 0, 1).pooling_factor, 16);
+        assert!(
+            run.get(0, 0, 0, 1).stats.counters.load_insts
+                > run.get(0, 0, 0, 0).stats.counters.load_insts
+        );
+    }
+
+    #[test]
+    fn empty_campaigns_run_to_empty_results() {
+        let run = Campaign::new(base()).run();
+        assert!(run.is_empty());
+        assert_eq!(run.to_json(), "[]");
+    }
+
+    #[test]
+    fn campaign_json_round_trips() {
+        let run = small_grid().run();
+        let reports = CampaignRun::from_json(&run.to_json()).unwrap();
+        assert_eq!(reports, run.reports());
+    }
+}

@@ -8,17 +8,56 @@
 //! * the pooling-factor sweep of Figure 11 (L2 pinning sensitivity).
 //!
 //! Every sweep reports speedups over the off-the-shelf (base) configuration,
-//! exactly like the paper's y-axes.
+//! exactly like the paper's y-axes. Since 0.2 each sweep is a thin
+//! [`Campaign`] definition — the base scheme and every swept scheme become
+//! the scheme axis, the datasets become the workload axis — plus per-sweep
+//! post-processing of the grid into the figure-shaped point structs; the
+//! grid cells therefore execute in parallel.
 
 use dlrm_datasets::AccessPattern;
 use embedding_kernels::{BufferStation, PrefetchConfig};
 use gpu_sim::occupancy::regs_per_thread_for_target_warps;
 
-use crate::runner::ExperimentContext;
+use crate::campaign::{Campaign, CampaignRun};
+use crate::runner::Experiment;
 use crate::scheme::{Multithreading, Scheme};
+use crate::workload::Workload;
 
 /// The warp counts the paper sweeps in Figures 6 and 18.
 pub const PAPER_WARP_SWEEP: [u32; 5] = [24, 32, 40, 48, 64];
+
+/// Runs the shared sweep shape: scheme index 0 is the speedup baseline,
+/// schemes 1.. are the swept points, workloads are kernels over `patterns`.
+fn kernel_sweep_campaign(
+    experiment: &Experiment,
+    patterns: &[AccessPattern],
+    schemes: Vec<Scheme>,
+) -> CampaignRun {
+    Campaign::new(experiment.clone())
+        .workloads(patterns.iter().copied().map(Workload::kernel))
+        .schemes(schemes)
+        .run()
+}
+
+/// `(dataset, speedup of swept scheme over the baseline scheme)` for one
+/// swept scheme column of a kernel sweep grid.
+fn speedups_for(
+    run: &CampaignRun,
+    patterns: &[AccessPattern],
+    scheme_index: usize,
+) -> Vec<(AccessPattern, f64)> {
+    patterns
+        .iter()
+        .enumerate()
+        .map(|(w, &pattern)| {
+            (
+                pattern,
+                run.get(w, scheme_index, 0, 0)
+                    .speedup_over(run.get(w, 0, 0, 0)),
+            )
+        })
+        .collect()
+}
 
 /// One point of the register/WLP sweep (Figures 6 and 18).
 #[derive(Debug, Clone)]
@@ -37,47 +76,51 @@ pub struct RegisterSweepPoint {
 /// Sweeps resident warps per SM by lowering the register allocation
 /// (the paper's `-maxrregcount` sweep).
 pub fn register_sweep(
-    ctx: &ExperimentContext,
+    experiment: &Experiment,
     patterns: &[AccessPattern],
     warp_targets: &[u32],
 ) -> Vec<RegisterSweepPoint> {
-    let baselines: Vec<(AccessPattern, f64)> = patterns
+    let reachable: Vec<(u32, u32)> = warp_targets
         .iter()
-        .map(|&p| (p, ctx.run_embedding_kernel(p, &Scheme::base()).kernel_time_us()))
+        .filter_map(|&warps| {
+            regs_per_thread_for_target_warps(experiment.gpu(), 256, warps).map(|regs| (warps, regs))
+        })
         .collect();
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::base())
+        .chain(reachable.iter().map(|&(_, regs)| {
+            Scheme::base().with_multithreading(Multithreading::MaxRegisters(regs))
+        }))
+        .collect();
+    let run = kernel_sweep_campaign(experiment, patterns, schemes);
 
-    let mut points = Vec::new();
-    for &warps in warp_targets {
-        let Some(regs) =
-            regs_per_thread_for_target_warps(ctx.gpu(), 256, warps)
-        else {
-            continue;
-        };
-        let scheme = Scheme::base().with_multithreading(Multithreading::MaxRegisters(regs));
-        let mut speedups = Vec::new();
-        let mut local_loads = 0.0;
-        for &(pattern, base_us) in &baselines {
-            let stats = ctx.run_embedding_kernel(pattern, &scheme);
-            speedups.push((pattern, base_us / stats.kernel_time_us()));
-            if pattern == AccessPattern::Random || patterns.len() == 1 {
-                local_loads = stats.local_loads_millions();
+    reachable
+        .iter()
+        .enumerate()
+        .map(|(k, &(target_warps, regs_per_thread))| {
+            let scheme_index = k + 1;
+            let mut local_loads = 0.0;
+            for (w, &pattern) in patterns.iter().enumerate() {
+                if pattern == AccessPattern::Random || patterns.len() == 1 {
+                    local_loads = run.get(w, scheme_index, 0, 0).stats.local_loads_millions();
+                }
             }
-        }
-        points.push(RegisterSweepPoint {
-            target_warps: warps,
-            regs_per_thread: regs,
-            speedups,
-            local_loads_millions: local_loads,
-        });
-    }
-    points
+            RegisterSweepPoint {
+                target_warps,
+                regs_per_thread,
+                speedups: speedups_for(&run, patterns, scheme_index),
+                local_loads_millions: local_loads,
+            }
+        })
+        .collect()
 }
 
 /// Finds the warp count with the best mean speedup in a register sweep —
 /// the paper's "OptMT" point (40 warps on the A100, 32 on the H100 NVL).
 pub fn find_optimal_multithreading(points: &[RegisterSweepPoint]) -> Option<&RegisterSweepPoint> {
     points.iter().max_by(|a, b| {
-        mean_speedup(a).partial_cmp(&mean_speedup(b)).unwrap_or(std::cmp::Ordering::Equal)
+        mean_speedup(a)
+            .partial_cmp(&mean_speedup(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
     })
 }
 
@@ -102,28 +145,32 @@ pub struct DistanceSweepPoint {
 /// OptMT register cap (as in Figure 15) instead of the natural allocation
 /// (as in Figures 9 and 16a).
 pub fn prefetch_distance_sweep(
-    ctx: &ExperimentContext,
+    experiment: &Experiment,
     station: BufferStation,
     distances: &[u32],
     patterns: &[AccessPattern],
     with_optmt: bool,
 ) -> Vec<DistanceSweepPoint> {
-    let baselines: Vec<(AccessPattern, f64)> = patterns
-        .iter()
-        .map(|&p| (p, ctx.run_embedding_kernel(p, &Scheme::base()).kernel_time_us()))
+    let swept = if with_optmt {
+        Scheme::optmt()
+    } else {
+        Scheme::base()
+    };
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::base())
+        .chain(
+            distances
+                .iter()
+                .map(|&d| swept.with_prefetch(PrefetchConfig::new(station, d))),
+        )
         .collect();
+    let run = kernel_sweep_campaign(experiment, patterns, schemes);
+
     distances
         .iter()
-        .map(|&d| {
-            let base_scheme = if with_optmt { Scheme::optmt() } else { Scheme::base() };
-            let scheme = base_scheme.with_prefetch(PrefetchConfig::new(station, d));
-            let speedups = baselines
-                .iter()
-                .map(|&(p, base_us)| {
-                    (p, base_us / ctx.run_embedding_kernel(p, &scheme).kernel_time_us())
-                })
-                .collect();
-            DistanceSweepPoint { distance: d, speedups }
+        .enumerate()
+        .map(|(k, &distance)| DistanceSweepPoint {
+            distance,
+            speedups: speedups_for(&run, patterns, k + 1),
         })
         .collect()
 }
@@ -154,15 +201,16 @@ pub struct StationComparisonPoint {
 /// Compares all four prefetching buffer stations at their paper-optimal
 /// distances, with or without OptMT.
 pub fn buffer_station_comparison(
-    ctx: &ExperimentContext,
+    experiment: &Experiment,
     patterns: &[AccessPattern],
     with_optmt: bool,
 ) -> Vec<StationComparisonPoint> {
-    let baselines: Vec<(AccessPattern, f64)> = patterns
-        .iter()
-        .map(|&p| (p, ctx.run_embedding_kernel(p, &Scheme::base()).kernel_time_us()))
-        .collect();
-    BufferStation::ALL
+    let swept = if with_optmt {
+        Scheme::optmt()
+    } else {
+        Scheme::base()
+    };
+    let rows: Vec<(BufferStation, u32)> = BufferStation::ALL
         .iter()
         .map(|&station| {
             let distance = if with_optmt {
@@ -170,15 +218,23 @@ pub fn buffer_station_comparison(
             } else {
                 station.optimal_distance_without_optmt()
             };
-            let base_scheme = if with_optmt { Scheme::optmt() } else { Scheme::base() };
-            let scheme = base_scheme.with_prefetch(PrefetchConfig::new(station, distance));
-            let speedups = baselines
-                .iter()
-                .map(|&(p, base_us)| {
-                    (p, base_us / ctx.run_embedding_kernel(p, &scheme).kernel_time_us())
-                })
-                .collect();
-            StationComparisonPoint { station, distance, speedups }
+            (station, distance)
+        })
+        .collect();
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::base())
+        .chain(
+            rows.iter()
+                .map(|&(station, d)| swept.with_prefetch(PrefetchConfig::new(station, d))),
+        )
+        .collect();
+    let run = kernel_sweep_campaign(experiment, patterns, schemes);
+
+    rows.iter()
+        .enumerate()
+        .map(|(k, &(station, distance))| StationComparisonPoint {
+            station,
+            distance,
+            speedups: speedups_for(&run, patterns, k + 1),
         })
         .collect()
 }
@@ -196,23 +252,31 @@ pub struct PoolingSweepPoint {
 /// base kernel at each point (the paper finds L2P helps more at smaller
 /// pooling factors, where hardware caches capture less reuse on their own).
 pub fn pooling_factor_sweep(
-    ctx: &ExperimentContext,
+    experiment: &Experiment,
     pooling_factors: &[u32],
     patterns: &[AccessPattern],
 ) -> Vec<PoolingSweepPoint> {
+    let run = Campaign::new(experiment.clone())
+        .workloads(patterns.iter().copied().map(Workload::kernel))
+        .schemes([Scheme::base(), Scheme::l2p_only()])
+        .pooling_factors(pooling_factors.iter().copied())
+        .run();
+
     pooling_factors
         .iter()
-        .map(|&pf| {
-            let c = ctx.clone().with_pooling_factor(pf);
-            let speedups = patterns
+        .enumerate()
+        .map(|(pf, &pooling_factor)| PoolingSweepPoint {
+            pooling_factor,
+            speedups: patterns
                 .iter()
-                .map(|&p| {
-                    let base = c.run_embedding_kernel(p, &Scheme::base()).kernel_time_us();
-                    let pinned = c.run_embedding_kernel(p, &Scheme::l2p_only()).kernel_time_us();
-                    (p, base / pinned)
+                .enumerate()
+                .map(|(w, &pattern)| {
+                    (
+                        pattern,
+                        run.get(w, 1, 0, pf).speedup_over(run.get(w, 0, 0, pf)),
+                    )
                 })
-                .collect();
-            PoolingSweepPoint { pooling_factor: pf, speedups }
+                .collect(),
         })
         .collect()
 }
@@ -223,13 +287,13 @@ mod tests {
     use dlrm::WorkloadScale;
     use gpu_sim::GpuConfig;
 
-    fn ctx() -> ExperimentContext {
-        ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+    fn exp() -> Experiment {
+        Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
     }
 
     #[test]
     fn register_sweep_produces_requested_points() {
-        let points = register_sweep(&ctx(), &[AccessPattern::Random], &[24, 40, 64]);
+        let points = register_sweep(&exp(), &[AccessPattern::Random], &[24, 40, 64]);
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].target_warps, 24);
         assert!(points.iter().all(|p| !p.speedups.is_empty()));
@@ -239,13 +303,13 @@ mod tests {
 
     #[test]
     fn register_sweep_skips_unreachable_warp_counts() {
-        let points = register_sweep(&ctx(), &[AccessPattern::MedHot], &[56]);
+        let points = register_sweep(&exp(), &[AccessPattern::MedHot], &[56]);
         assert!(points.is_empty());
     }
 
     #[test]
     fn optimal_multithreading_is_a_swept_point() {
-        let points = register_sweep(&ctx(), &[AccessPattern::Random], &[24, 40, 64]);
+        let points = register_sweep(&exp(), &[AccessPattern::Random], &[24, 40, 64]);
         let best = find_optimal_multithreading(&points).unwrap();
         assert!(PAPER_WARP_SWEEP.contains(&best.target_warps));
     }
@@ -253,23 +317,26 @@ mod tests {
     #[test]
     fn distance_sweep_reports_each_distance() {
         let points = prefetch_distance_sweep(
-            &ctx(),
+            &exp(),
             BufferStation::Register,
             &[1, 2, 4],
             &[AccessPattern::LowHot],
             true,
         );
-        assert_eq!(points.iter().map(|p| p.distance).collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(
+            points.iter().map(|p| p.distance).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
         let best = find_optimal_distance(&points).unwrap();
         assert!([1, 2, 4].contains(&best));
     }
 
     #[test]
     fn station_comparison_covers_all_four_stations() {
-        let rows = buffer_station_comparison(&ctx(), &[AccessPattern::Random], true);
+        let rows = buffer_station_comparison(&exp(), &[AccessPattern::Random], true);
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.distance == 2));
-        let rows_no_optmt = buffer_station_comparison(&ctx(), &[AccessPattern::Random], false);
+        let rows_no_optmt = buffer_station_comparison(&exp(), &[AccessPattern::Random], false);
         assert_eq!(
             rows_no_optmt.iter().map(|r| r.distance).collect::<Vec<_>>(),
             vec![4, 10, 10, 5]
@@ -278,9 +345,30 @@ mod tests {
 
     #[test]
     fn pooling_sweep_reports_each_factor() {
-        let points = pooling_factor_sweep(&ctx(), &[4, 8], &[AccessPattern::HighHot]);
+        let points = pooling_factor_sweep(&exp(), &[4, 8], &[AccessPattern::HighHot]);
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|p| p.speedups.len() == 1));
         assert!(points.iter().all(|p| p.speedups[0].1 > 0.2));
+    }
+
+    #[test]
+    fn sweeps_match_direct_runs() {
+        // The campaign-backed sweep must agree with running the cells by
+        // hand through Experiment::run.
+        let e = exp();
+        let points = prefetch_distance_sweep(
+            &e,
+            BufferStation::Register,
+            &[2],
+            &[AccessPattern::LowHot],
+            true,
+        );
+        let base = e.run(&Workload::kernel(AccessPattern::LowHot), &Scheme::base());
+        let swept = e.run(
+            &Workload::kernel(AccessPattern::LowHot),
+            &Scheme::optmt().with_prefetch(PrefetchConfig::new(BufferStation::Register, 2)),
+        );
+        let expected = swept.speedup_over(&base);
+        assert!((points[0].speedups[0].1 - expected).abs() < 1e-12);
     }
 }

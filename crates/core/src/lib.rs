@@ -2,49 +2,88 @@
 //!
 //! This crate packages the optimizations of *"Pushing the Performance
 //! Envelope of DNN-based Recommendation Systems Inference on GPUs"*
-//! (MICRO 2024) behind one API:
+//! (MICRO 2024) behind one experiment API built from three types:
+//!
+//! * [`Workload`]: **what** to run — a single embedding-bag kernel, the
+//!   homogeneous embedding stage, a heterogeneous table mix, or end-to-end
+//!   DLRM inference — one enum instead of four bespoke entry points,
+//! * [`Experiment`]: **how** to run it — device, model, scale, seed — with
+//!   the single entry point [`Experiment::run`]`(&Workload, &Scheme) ->`
+//!   [`RunReport`], a unified result carrying latency, per-table breakdown,
+//!   NCU-style counters and full metadata, serializable to JSON,
+//! * [`Campaign`]: **how many** to run — a declarative grid of schemes ×
+//!   workloads × seeds × pooling factors, executed in parallel across
+//!   threads with deterministic, thread-count-independent results.
+//!
+//! The remaining modules supply the pieces experiments are made of:
 //!
 //! * [`Scheme`]: the plug-and-play optimization schemes the paper evaluates —
 //!   OptMT (optimal warp-level parallelism via register capping), software
 //!   prefetching into four buffer stations (RPF/SMPF/LMPF/L1DPF), L2 pinning
 //!   of hot embedding rows, and their combinations,
-//! * [`runner`]: executes the embedding stage (and the end-to-end DLRM
-//!   pipeline) under a scheme on the simulated GPU and reports latency plus
-//!   NCU-style statistics,
 //! * [`dse`]: the design-space exploration sweeps the paper uses to pick its
-//!   operating points (register/WLP sweep, prefetch-distance sweep, buffer
-//!   station comparison, pooling-factor sweep),
+//!   operating points, each a thin [`Campaign`] definition plus
+//!   post-processing,
 //! * [`profiler`]: the static profiling framework of Section VII — a
 //!   step-by-step procedure that inspects kernel statistics and recommends
 //!   which optimizations to apply.
 //!
-//! ## Example
+//! ## Example: one experiment
 //!
 //! ```
 //! use dlrm_datasets::AccessPattern;
 //! use dlrm::WorkloadScale;
 //! use gpu_sim::GpuConfig;
-//! use perf_envelope::{ExperimentContext, Scheme};
+//! use perf_envelope::{Experiment, Scheme, Workload};
 //!
-//! let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
-//! let base = ctx.run_embedding_stage(AccessPattern::HighHot, &Scheme::base());
-//! let opt = ctx.run_embedding_stage(AccessPattern::HighHot, &Scheme::combined());
-//! assert!(opt.latency_us <= base.latency_us * 1.5);
+//! let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+//! let workload = Workload::stage(AccessPattern::Random);
+//! let base = experiment.run(&workload, &Scheme::base());
+//! let opt = experiment.run(&workload, &Scheme::combined());
+//! assert!(opt.speedup_over(&base) > 1.0);
+//! assert_eq!(opt.scheme, "RPF+L2P+OptMT");
+//! ```
+//!
+//! ## Example: a campaign with JSON reports
+//!
+//! ```
+//! use dlrm_datasets::AccessPattern;
+//! use dlrm::WorkloadScale;
+//! use gpu_sim::GpuConfig;
+//! use perf_envelope::{Campaign, Experiment, RunReport, Scheme, Workload};
+//!
+//! let run = Campaign::new(Experiment::new(GpuConfig::test_small(), WorkloadScale::Test))
+//!     .workloads(AccessPattern::EVALUATED.map(Workload::kernel))
+//!     .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
+//!     .run();
+//! assert_eq!(run.len(), 12);
+//! let archived = run.to_json();
+//! let reloaded = perf_envelope::CampaignRun::from_json(&archived).unwrap();
+//! assert_eq!(reloaded, run.reports());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod dse;
+pub mod json;
 pub mod profiler;
+pub mod report;
 pub mod runner;
 pub mod scheme;
+pub mod workload;
 
+pub use campaign::{Campaign, CampaignRun};
 pub use dse::{
     buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,
     pooling_factor_sweep, prefetch_distance_sweep, register_sweep, DistanceSweepPoint,
     PoolingSweepPoint, RegisterSweepPoint, StationComparisonPoint, PAPER_WARP_SWEEP,
 };
 pub use profiler::{ProfilerReport, ProfilingStep, StaticProfiler, WorkloadHint};
-pub use runner::{EmbeddingStageResult, EndToEndResult, ExperimentContext};
+pub use report::{EndToEndBreakdown, RunReport, TableBreakdown, RUN_REPORT_SCHEMA};
+#[allow(deprecated)]
+pub use runner::ExperimentContext;
+pub use runner::{EmbeddingStageResult, EndToEndResult, Experiment};
 pub use scheme::{Multithreading, Scheme};
+pub use workload::{Dataset, Workload, WorkloadKind};

@@ -68,7 +68,10 @@ impl ProfilerReport {
                 step.number, step.title, step.observation, step.decision
             ));
         }
-        out.push_str(&format!("recommended scheme: {}\n", self.recommended.paper_label()));
+        out.push_str(&format!(
+            "recommended scheme: {}\n",
+            self.recommended.paper_label()
+        ));
         out
     }
 }
@@ -120,8 +123,8 @@ impl StaticProfiler {
         // (i) Is the kernel memory latency bound?
         let stalls = stats.long_scoreboard_per_inst();
         let bw_util = stats.hbm_read_bw_utilization_pct();
-        let latency_bound =
-            stalls > self.long_scoreboard_threshold && bw_util < self.bandwidth_headroom_threshold_pct;
+        let latency_bound = stalls > self.long_scoreboard_threshold
+            && bw_util < self.bandwidth_headroom_threshold_pct;
         steps.push(ProfilingStep {
             number: 1,
             title: "memory-latency-bound check".into(),
@@ -139,7 +142,11 @@ impl StaticProfiler {
             },
         });
         if !latency_bound {
-            return ProfilerReport { steps, memory_latency_bound: false, recommended: scheme };
+            return ProfilerReport {
+                steps,
+                memory_latency_bound: false,
+                recommended: scheme,
+            };
         }
 
         // (ii)/(iii) Occupancy and register pressure.
@@ -170,8 +177,8 @@ impl StaticProfiler {
 
         // (v) L2 pinning applicability.
         let carveout = gpu.l2_max_persisting_bytes();
-        let reuse_worth_pinning = hint.access_skew >= self.skew_threshold
-            || hint.working_set_bytes <= carveout;
+        let reuse_worth_pinning =
+            hint.access_skew >= self.skew_threshold || hint.working_set_bytes <= carveout;
         if reuse_worth_pinning {
             scheme = scheme.with_l2_pinning(None);
             steps.push(ProfilingStep {
@@ -228,32 +235,41 @@ impl StaticProfiler {
             decision: format!("apply {}", scheme.paper_label()),
         });
 
-        ProfilerReport { steps, memory_latency_bound: true, recommended: scheme }
+        ProfilerReport {
+            steps,
+            memory_latency_bound: true,
+            recommended: scheme,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::ExperimentContext;
+    use crate::runner::Experiment;
+    use crate::workload::Workload;
     use dlrm::WorkloadScale;
     use dlrm_datasets::AccessPattern;
     use gpu_sim::GpuConfig;
 
     fn hint(skew: f64, ws_mb: u64) -> WorkloadHint {
-        WorkloadHint { working_set_bytes: ws_mb * 1024 * 1024, access_skew: skew }
+        WorkloadHint {
+            working_set_bytes: ws_mb * 1024 * 1024,
+            access_skew: skew,
+        }
     }
 
     fn baseline_stats(pattern: AccessPattern) -> KernelStats {
-        let ctx = ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test);
-        ctx.run_embedding_kernel(pattern, &Scheme::base())
+        let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+        experiment
+            .run(&Workload::kernel(pattern), &Scheme::base())
+            .stats
     }
 
     #[test]
     fn latency_bound_kernel_gets_the_full_combined_recommendation() {
         let stats = baseline_stats(AccessPattern::HighHot);
-        let report =
-            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.7, 10));
+        let report = StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.7, 10));
         assert!(report.memory_latency_bound);
         assert_eq!(report.recommended.paper_label(), "RPF+L2P+OptMT");
         assert!(report.steps.len() >= 4);
@@ -262,8 +278,7 @@ mod tests {
     #[test]
     fn uniform_huge_working_set_skips_pinning() {
         let stats = baseline_stats(AccessPattern::Random);
-        let report =
-            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.05, 4096));
+        let report = StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.05, 4096));
         assert!(report.recommended.l2_pinning().is_none());
         assert!(report.recommended.prefetch().is_some());
     }
@@ -273,8 +288,7 @@ mod tests {
         let mut stats = baseline_stats(AccessPattern::OneItem);
         // Force the counters into a clearly compute-bound shape.
         stats.counters.long_scoreboard_cycles = 0;
-        let report =
-            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.9, 1));
+        let report = StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.9, 1));
         assert!(!report.memory_latency_bound);
         assert_eq!(report.recommended, Scheme::base());
         assert_eq!(report.steps.len(), 1);
@@ -285,11 +299,12 @@ mod tests {
         let mut stats = baseline_stats(AccessPattern::Random);
         // Pretend the kernel already pushes 90% of peak bandwidth but keep
         // the latency-bound classification possible via stalls.
-        stats.dram_bytes_read = (0.9
-            * stats.peak_dram_bandwidth_gbps
-            * 1e9
-            * (stats.kernel_time_us() * 1e-6)) as u64;
-        let profiler = StaticProfiler { bandwidth_headroom_threshold_pct: 80.0, ..Default::default() };
+        stats.dram_bytes_read =
+            (0.9 * stats.peak_dram_bandwidth_gbps * 1e9 * (stats.kernel_time_us() * 1e-6)) as u64;
+        let profiler = StaticProfiler {
+            bandwidth_headroom_threshold_pct: 80.0,
+            ..Default::default()
+        };
         let report = profiler.analyze(&stats, &GpuConfig::a100(), &hint(0.5, 10));
         // Either it is no longer latency bound (step 1 bails) or prefetching
         // is skipped; in both cases no prefetch is recommended.
@@ -301,8 +316,7 @@ mod tests {
         let mut stats = baseline_stats(AccessPattern::LowHot);
         stats.theoretical_occupancy_pct = 93.75;
         stats.theoretical_warps_per_sm = 60;
-        let report =
-            StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.5, 10));
+        let report = StaticProfiler::new().analyze(&stats, &GpuConfig::a100(), &hint(0.5, 10));
         assert_eq!(report.recommended.multithreading(), Multithreading::Default);
     }
 

@@ -1,0 +1,434 @@
+//! The unified result of one experiment run: [`RunReport`].
+//!
+//! `RunReport` supersedes the seed's fragmented result types (raw
+//! `KernelStats` for kernel runs, `EmbeddingStageResult` for stage runs,
+//! `EndToEndResult` for end-to-end runs): every [`crate::Experiment::run`]
+//! call — whatever the [`crate::Workload`] — produces one `RunReport`
+//! carrying latency, the per-table breakdown, NCU-style counters, and the
+//! scheme/workload/device metadata needed to interpret the numbers later.
+//! Reports serialize to JSON ([`RunReport::to_json`]) and parse back
+//! ([`RunReport::from_json`]) so campaigns can be archived and diffed.
+
+use dlrm::BatchLatency;
+use gpu_sim::stats::RawCounters;
+use gpu_sim::KernelStats;
+
+use crate::json::{Json, JsonError};
+use crate::workload::WorkloadKind;
+
+/// Identifier of the report JSON schema produced by this crate version.
+pub const RUN_REPORT_SCHEMA: &str = "perf-envelope/run-report/v1";
+
+/// Per-table breakdown of an embedding-stage (or end-to-end) run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableBreakdown {
+    /// Average simulated latency of one table, in microseconds.
+    pub per_table_us: f64,
+    /// Number of tables in the model.
+    pub tables_total: u32,
+    /// Number of tables actually simulated before extrapolation.
+    pub tables_simulated: u32,
+}
+
+/// End-to-end latency split of an end-to-end run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndToEndBreakdown {
+    /// Embedding-stage latency in microseconds.
+    pub embedding_us: f64,
+    /// Non-embedding (MLPs + interaction) latency in microseconds.
+    pub non_embedding_us: f64,
+}
+
+impl EndToEndBreakdown {
+    /// The equivalent [`BatchLatency`] (for its formatting/share helpers).
+    pub fn batch_latency(&self) -> BatchLatency {
+        BatchLatency::new(self.embedding_us, self.non_embedding_us)
+    }
+}
+
+/// The unified result of one [`crate::Experiment::run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Which kind of workload produced this report.
+    pub kind: WorkloadKind,
+    /// Dataset label (`"random"`, `"Mix2"`, ...).
+    pub workload: String,
+    /// Paper-style scheme label (`"RPF+L2P+OptMT"`, `"base"`, ...).
+    pub scheme: String,
+    /// Simulated device name.
+    pub device: String,
+    /// Workload scale name (`"test"`, `"default"`, `"paper"`).
+    pub scale: String,
+    /// Trace-generation seed the run used.
+    pub seed: u64,
+    /// Lookups per sample the run used.
+    pub pooling_factor: u32,
+    /// Headline latency of the run target in microseconds: kernel time for
+    /// kernel workloads, extrapolated stage latency for stage workloads,
+    /// total batch latency for end-to-end workloads.
+    pub latency_us: f64,
+    /// Per-table breakdown (stage and end-to-end workloads).
+    pub tables: Option<TableBreakdown>,
+    /// End-to-end latency split (end-to-end workloads only).
+    pub end_to_end: Option<EndToEndBreakdown>,
+    /// Merged NCU-style statistics over the simulated kernels.
+    pub stats: KernelStats,
+}
+
+impl RunReport {
+    /// Speedup of this run over `baseline` on the headline latency
+    /// (`baseline.latency_us / self.latency_us`).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.latency_us / self.latency_us
+    }
+
+    /// The embedding-only latency in microseconds: for end-to-end runs the
+    /// embedding component, otherwise the headline latency itself.
+    pub fn embedding_latency_us(&self) -> f64 {
+        match self.end_to_end {
+            Some(e2e) => e2e.embedding_us,
+            None => self.latency_us,
+        }
+    }
+
+    /// Embedding-only speedup over `baseline`.
+    pub fn embedding_speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.embedding_latency_us() / self.embedding_latency_us()
+    }
+
+    /// The end-to-end latency split as a [`BatchLatency`], if this was an
+    /// end-to-end run.
+    pub fn batch_latency(&self) -> Option<BatchLatency> {
+        self.end_to_end.map(|e2e| e2e.batch_latency())
+    }
+
+    /// Headline latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_us / 1e3
+    }
+
+    /// Serializes the report to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The report as a [`Json`] document (for embedding into larger
+    /// documents, e.g. a whole campaign).
+    pub fn to_json_value(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("schema", Json::Str(RUN_REPORT_SCHEMA.to_string()));
+        doc.set("kind", Json::Str(self.kind.name().to_string()));
+        doc.set("workload", Json::Str(self.workload.clone()));
+        doc.set("scheme", Json::Str(self.scheme.clone()));
+        doc.set("device", Json::Str(self.device.clone()));
+        doc.set("scale", Json::Str(self.scale.clone()));
+        doc.set("seed", Json::UInt(self.seed));
+        doc.set("pooling_factor", Json::UInt(self.pooling_factor as u64));
+        doc.set("latency_us", Json::Num(self.latency_us));
+        doc.set(
+            "tables",
+            match self.tables {
+                Some(t) => {
+                    let mut obj = Json::object();
+                    obj.set("per_table_us", Json::Num(t.per_table_us));
+                    obj.set("tables_total", Json::UInt(t.tables_total as u64));
+                    obj.set("tables_simulated", Json::UInt(t.tables_simulated as u64));
+                    obj
+                }
+                None => Json::Null,
+            },
+        );
+        doc.set(
+            "end_to_end",
+            match self.end_to_end {
+                Some(e2e) => {
+                    let mut obj = Json::object();
+                    obj.set("embedding_us", Json::Num(e2e.embedding_us));
+                    obj.set("non_embedding_us", Json::Num(e2e.non_embedding_us));
+                    obj
+                }
+                None => Json::Null,
+            },
+        );
+        doc.set("stats", stats_to_json(&self.stats));
+        doc
+    }
+
+    /// Parses a report back from [`RunReport::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors, a wrong `schema` tag, or
+    /// missing/mistyped fields.
+    pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parses a report from an already-parsed [`Json`] document.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a wrong `schema` tag or missing fields.
+    pub fn from_json_value(doc: &Json) -> Result<RunReport, JsonError> {
+        let schema = req_str(doc, "schema")?;
+        if schema != RUN_REPORT_SCHEMA {
+            return Err(JsonError::schema(format!(
+                "unsupported report schema '{schema}'"
+            )));
+        }
+        let kind = WorkloadKind::from_name(req_str(doc, "kind")?)
+            .ok_or_else(|| JsonError::schema("unknown workload kind"))?;
+        let tables = match doc.get("tables") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(TableBreakdown {
+                per_table_us: req_f64(t, "per_table_us")?,
+                tables_total: req_u32(t, "tables_total")?,
+                tables_simulated: req_u32(t, "tables_simulated")?,
+            }),
+        };
+        let end_to_end = match doc.get("end_to_end") {
+            None | Some(Json::Null) => None,
+            Some(e) => Some(EndToEndBreakdown {
+                embedding_us: req_f64(e, "embedding_us")?,
+                non_embedding_us: req_f64(e, "non_embedding_us")?,
+            }),
+        };
+        let stats_doc = doc
+            .get("stats")
+            .ok_or_else(|| JsonError::schema("missing field 'stats'"))?;
+        Ok(RunReport {
+            kind,
+            workload: req_str(doc, "workload")?.to_string(),
+            scheme: req_str(doc, "scheme")?.to_string(),
+            device: req_str(doc, "device")?.to_string(),
+            scale: req_str(doc, "scale")?.to_string(),
+            seed: req_u64(doc, "seed")?,
+            pooling_factor: req_u32(doc, "pooling_factor")?,
+            latency_us: req_f64(doc, "latency_us")?,
+            tables,
+            end_to_end,
+            stats: stats_from_json(stats_doc)?,
+        })
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} under {} on {}: {:.2} us",
+            self.kind.name(),
+            self.workload,
+            self.scheme,
+            self.device,
+            self.latency_us
+        )
+    }
+}
+
+fn stats_to_json(stats: &KernelStats) -> Json {
+    let mut counters = Json::object();
+    let c = &stats.counters;
+    counters.set("insts_issued", Json::UInt(c.insts_issued));
+    counters.set("load_insts", Json::UInt(c.load_insts));
+    counters.set("local_load_insts", Json::UInt(c.local_load_insts));
+    counters.set("store_insts", Json::UInt(c.store_insts));
+    counters.set("prefetch_insts", Json::UInt(c.prefetch_insts));
+    counters.set(
+        "long_scoreboard_cycles",
+        Json::UInt(c.long_scoreboard_cycles),
+    );
+    counters.set(
+        "short_scoreboard_cycles",
+        Json::UInt(c.short_scoreboard_cycles),
+    );
+    counters.set("not_selected_cycles", Json::UInt(c.not_selected_cycles));
+    counters.set("resident_warp_cycles", Json::UInt(c.resident_warp_cycles));
+    counters.set("warps_launched", Json::UInt(c.warps_launched));
+    counters.set("blocks_launched", Json::UInt(c.blocks_launched));
+
+    let mut doc = Json::object();
+    doc.set("kernel_name", Json::Str(stats.kernel_name.clone()));
+    doc.set("device_name", Json::Str(stats.device_name.clone()));
+    doc.set("clock_ghz", Json::Num(stats.clock_ghz));
+    doc.set("total_schedulers", Json::UInt(stats.total_schedulers));
+    doc.set(
+        "peak_dram_bandwidth_gbps",
+        Json::Num(stats.peak_dram_bandwidth_gbps),
+    );
+    doc.set("elapsed_cycles", Json::UInt(stats.elapsed_cycles));
+    doc.set("counters", counters);
+    doc.set("l1_accesses", Json::UInt(stats.l1_accesses));
+    doc.set("l1_hits", Json::UInt(stats.l1_hits));
+    doc.set("l2_accesses", Json::UInt(stats.l2_accesses));
+    doc.set("l2_hits", Json::UInt(stats.l2_hits));
+    doc.set("dram_bytes_read", Json::UInt(stats.dram_bytes_read));
+    doc.set("dram_bytes_written", Json::UInt(stats.dram_bytes_written));
+    doc.set(
+        "theoretical_warps_per_sm",
+        Json::UInt(stats.theoretical_warps_per_sm as u64),
+    );
+    doc.set(
+        "theoretical_occupancy_pct",
+        Json::Num(stats.theoretical_occupancy_pct),
+    );
+    doc.set(
+        "allocated_regs_per_thread",
+        Json::UInt(stats.allocated_regs_per_thread as u64),
+    );
+    doc
+}
+
+fn stats_from_json(doc: &Json) -> Result<KernelStats, JsonError> {
+    let counters_doc = doc
+        .get("counters")
+        .ok_or_else(|| JsonError::schema("missing field 'counters'"))?;
+    let counters = RawCounters {
+        insts_issued: req_u64(counters_doc, "insts_issued")?,
+        load_insts: req_u64(counters_doc, "load_insts")?,
+        local_load_insts: req_u64(counters_doc, "local_load_insts")?,
+        store_insts: req_u64(counters_doc, "store_insts")?,
+        prefetch_insts: req_u64(counters_doc, "prefetch_insts")?,
+        long_scoreboard_cycles: req_u64(counters_doc, "long_scoreboard_cycles")?,
+        short_scoreboard_cycles: req_u64(counters_doc, "short_scoreboard_cycles")?,
+        not_selected_cycles: req_u64(counters_doc, "not_selected_cycles")?,
+        resident_warp_cycles: req_u64(counters_doc, "resident_warp_cycles")?,
+        warps_launched: req_u64(counters_doc, "warps_launched")?,
+        blocks_launched: req_u64(counters_doc, "blocks_launched")?,
+    };
+    Ok(KernelStats {
+        kernel_name: req_str(doc, "kernel_name")?.to_string(),
+        device_name: req_str(doc, "device_name")?.to_string(),
+        clock_ghz: req_f64(doc, "clock_ghz")?,
+        total_schedulers: req_u64(doc, "total_schedulers")?,
+        peak_dram_bandwidth_gbps: req_f64(doc, "peak_dram_bandwidth_gbps")?,
+        elapsed_cycles: req_u64(doc, "elapsed_cycles")?,
+        counters,
+        l1_accesses: req_u64(doc, "l1_accesses")?,
+        l1_hits: req_u64(doc, "l1_hits")?,
+        l2_accesses: req_u64(doc, "l2_accesses")?,
+        l2_hits: req_u64(doc, "l2_hits")?,
+        dram_bytes_read: req_u64(doc, "dram_bytes_read")?,
+        dram_bytes_written: req_u64(doc, "dram_bytes_written")?,
+        theoretical_warps_per_sm: req_u32(doc, "theoretical_warps_per_sm")?,
+        theoretical_occupancy_pct: req_f64(doc, "theoretical_occupancy_pct")?,
+        allocated_regs_per_thread: req_u32(doc, "allocated_regs_per_thread")?,
+    })
+}
+
+fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    doc.get(key)
+        .ok_or_else(|| JsonError::schema(format!("missing field '{key}'")))
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    req(doc, key)?
+        .as_str()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not a string")))
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, JsonError> {
+    req(doc, key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not a number")))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, JsonError> {
+    req(doc, key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not an unsigned integer")))
+}
+
+fn req_u32(doc: &Json, key: &str) -> Result<u32, JsonError> {
+    req(doc, key)?
+        .as_u32()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not a 32-bit unsigned integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn sample_report() -> RunReport {
+        let mut stats = KernelStats::empty("sample", &GpuConfig::test_small());
+        stats.elapsed_cycles = 12_345;
+        stats.counters.insts_issued = 999;
+        stats.counters.load_insts = 4;
+        stats.l2_accesses = 77;
+        stats.l2_hits = 33;
+        stats.theoretical_warps_per_sm = 40;
+        stats.theoretical_occupancy_pct = 62.5;
+        stats.allocated_regs_per_thread = 48;
+        RunReport {
+            kind: WorkloadKind::EndToEnd,
+            workload: "random".to_string(),
+            scheme: "RPF+L2P+OptMT".to_string(),
+            device: "Test GPU".to_string(),
+            scale: "test".to_string(),
+            seed: 0x5EED,
+            pooling_factor: 8,
+            latency_us: 1234.5678901234,
+            tables: Some(TableBreakdown {
+                per_table_us: 205.76131502056665,
+                tables_total: 6,
+                tables_simulated: 2,
+            }),
+            end_to_end: Some(EndToEndBreakdown {
+                embedding_us: 1000.1,
+                non_embedding_us: 234.46779012340002,
+            }),
+            stats,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        // And the rendered form is stable across a second trip.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn kernel_reports_omit_breakdowns() {
+        let mut report = sample_report();
+        report.kind = WorkloadKind::Kernel;
+        report.tables = None;
+        report.end_to_end = None;
+        let text = report.to_json();
+        assert!(text.contains("\"tables\":null"));
+        assert_eq!(RunReport::from_json(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let text = sample_report()
+            .to_json()
+            .replace(RUN_REPORT_SCHEMA, "something/else");
+        let err = RunReport::from_json(&text).unwrap_err();
+        assert!(err.message.contains("unsupported report schema"));
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let doc = sample_report().to_json().replace("\"seed\":24301,", "");
+        let err = RunReport::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn speedups_and_shares_derive_from_the_breakdowns() {
+        let base = sample_report();
+        let mut fast = sample_report();
+        fast.latency_us = base.latency_us / 2.0;
+        fast.end_to_end = Some(EndToEndBreakdown {
+            embedding_us: 500.05,
+            non_embedding_us: 234.46779012340002,
+        });
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.embedding_speedup_over(&base) - 2.0).abs() < 1e-9);
+        let share = base.batch_latency().unwrap().embedding_share_pct();
+        assert!(share > 0.0 && share < 100.0);
+    }
+}

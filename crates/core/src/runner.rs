@@ -1,11 +1,16 @@
-//! The experiment runner: executes the embedding stage (and the end-to-end
-//! DLRM pipeline) under an optimization [`Scheme`] on the simulated GPU.
+//! The experiment runner: [`Experiment`] executes any [`Workload`] under an
+//! optimization [`Scheme`] on the simulated GPU and returns a unified
+//! [`RunReport`].
 //!
 //! Tables on one GPU execute sequentially (paper Section II-A), sharing the
 //! L2 and HBM. Because the tables of a homogeneous group are statistically
 //! identical, the runner simulates a configurable sample of them and
 //! extrapolates the group's latency, which keeps paper-scale experiments
 //! (250 tables) tractable without changing any per-table behaviour.
+//!
+//! The legacy `run_*` methods and their per-shape result types
+//! ([`EmbeddingStageResult`], [`EndToEndResult`]) survive as thin
+//! `#[deprecated]` shims over [`Experiment::run`].
 
 use dlrm::{BatchLatency, DlrmConfig, NonEmbeddingTimingModel, WorkloadScale};
 use dlrm_datasets::{AccessPattern, HeterogeneousMix};
@@ -13,64 +18,26 @@ use embedding_kernels::{EmbeddingWorkload, PinPlan};
 use gpu_sim::mem::MemorySystem;
 use gpu_sim::{GpuConfig, KernelStats, Simulator};
 
+use crate::report::{EndToEndBreakdown, RunReport, TableBreakdown};
 use crate::scheme::Scheme;
+use crate::workload::Workload;
 
-/// Result of running the embedding stage (all tables) under one scheme.
+/// A reusable experiment: device, model, workload scale and seeds. Its one
+/// entry point, [`Experiment::run`], executes any [`Workload`] under any
+/// [`Scheme`].
 #[derive(Debug, Clone)]
-pub struct EmbeddingStageResult {
-    /// The scheme's paper-style label.
-    pub scheme_label: String,
-    /// Description of the dataset or mix that was run.
-    pub dataset_label: String,
-    /// Extrapolated latency of the full embedding stage, in microseconds.
-    pub latency_us: f64,
-    /// Average simulated latency of one table, in microseconds.
-    pub per_table_us: f64,
-    /// Number of tables in the model.
-    pub tables_total: u32,
-    /// Number of tables actually simulated.
-    pub tables_simulated: u32,
-    /// Merged NCU-style statistics over the simulated tables.
-    pub stats: KernelStats,
-}
-
-impl EmbeddingStageResult {
-    /// Embedding-stage speedup of this result over a baseline run
-    /// (`baseline.latency / self.latency`).
-    pub fn speedup_over(&self, baseline: &EmbeddingStageResult) -> f64 {
-        baseline.latency_us / self.latency_us
-    }
-}
-
-/// Result of an end-to-end DLRM inference run under one scheme.
-#[derive(Debug, Clone)]
-pub struct EndToEndResult {
-    /// The embedding-stage breakdown.
-    pub embedding: EmbeddingStageResult,
-    /// The end-to-end latency breakdown.
-    pub latency: BatchLatency,
-}
-
-impl EndToEndResult {
-    /// End-to-end speedup over a baseline run.
-    pub fn speedup_over(&self, baseline: &EndToEndResult) -> f64 {
-        self.latency.speedup_over(&baseline.latency)
-    }
-}
-
-/// A reusable experiment context: device, model, workload scale and seeds.
-#[derive(Debug, Clone)]
-pub struct ExperimentContext {
+pub struct Experiment {
     gpu: GpuConfig,
     sim: Simulator,
     model: DlrmConfig,
     scale: WorkloadScale,
     tables_to_simulate: u32,
     seed: u64,
+    threads: usize,
 }
 
-impl ExperimentContext {
-    /// Creates a context for `gpu` at the given workload scale.
+impl Experiment {
+    /// Creates an experiment for `gpu` at the given workload scale.
     pub fn new(gpu: GpuConfig, scale: WorkloadScale) -> Self {
         let model = DlrmConfig::at_scale(scale);
         let tables_to_simulate = match scale {
@@ -78,13 +45,14 @@ impl ExperimentContext {
             WorkloadScale::Default => 2,
             WorkloadScale::Paper => 3,
         };
-        ExperimentContext {
+        Experiment {
             sim: Simulator::new(gpu.clone()),
             gpu,
             model,
             scale,
             tables_to_simulate,
             seed: 0x5EED,
+            threads: 0,
         }
     }
 
@@ -111,7 +79,7 @@ impl ExperimentContext {
         self
     }
 
-    /// Returns a copy of this context with a different pooling factor
+    /// Returns a copy of this experiment with a different pooling factor
     /// (lookups per sample) — used by the paper's Figure 11 sweep.
     pub fn with_pooling_factor(mut self, pooling: u32) -> Self {
         let trace = self.model.embedding.trace;
@@ -132,45 +100,117 @@ impl ExperimentContext {
         &self.model
     }
 
-    /// The workload scale the context was built for.
+    /// The workload scale the experiment was built for.
     pub fn scale(&self) -> WorkloadScale {
         self.scale
     }
 
-    /// Runs a single embedding-bag kernel (one table) under `scheme` and
-    /// returns its NCU-style statistics — the unit of the paper's
-    /// Tables IV/V/VIII/IX.
-    pub fn run_embedding_kernel(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
-        let workload =
-            EmbeddingWorkload::generate(self.model.embedding, pattern, 0, self.seed);
+    /// The trace-generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the preferred worker-thread count for [`crate::Campaign`]s built
+    /// over this experiment (including the DSE sweeps); `0` (the default)
+    /// uses the machine's available parallelism. A single `run` call is
+    /// unaffected — tables on one GPU execute sequentially by design.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The preferred campaign worker-thread count (`0` = available
+    /// parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `workload` under `scheme` and reports the outcome.
+    ///
+    /// This is the single entry point that covers all four of the paper's
+    /// run targets:
+    ///
+    /// * [`Workload::Kernel`] — one embedding-bag kernel, the unit of the
+    ///   NCU characterisation tables (IV/V/VIII/IX),
+    /// * [`Workload::EmbeddingStage`] over a homogeneous dataset — the
+    ///   embedding stage of Figures 12/16b/19,
+    /// * [`Workload::EmbeddingStage`] over a mix — Table VII / Figure 17,
+    /// * [`Workload::EndToEnd`] — embedding stage plus the analytic
+    ///   non-embedding pipeline (Figures 1/13/14).
+    pub fn run(&self, workload: &Workload, scheme: &Scheme) -> RunReport {
+        match workload {
+            Workload::Kernel(pattern) => self.run_kernel_report(*pattern, scheme),
+            Workload::EmbeddingStage(dataset) => {
+                let mix = dataset.to_mix(self.model.num_tables);
+                self.run_stage_report(workload, &mix, scheme)
+            }
+            Workload::EndToEnd(dataset) => {
+                let mix = dataset.to_mix(self.model.num_tables);
+                let mut report = self.run_stage_report(workload, &mix, scheme);
+                let timing = NonEmbeddingTimingModel::new(&self.gpu);
+                let non_embedding_us = timing.non_embedding_time_us(&self.model);
+                report.end_to_end = Some(EndToEndBreakdown {
+                    embedding_us: report.latency_us,
+                    non_embedding_us,
+                });
+                report.latency_us += non_embedding_us;
+                report
+            }
+        }
+    }
+
+    /// Shared metadata scaffolding for every report this experiment emits.
+    fn report_skeleton(
+        &self,
+        workload: &Workload,
+        scheme: &Scheme,
+        stats: KernelStats,
+    ) -> RunReport {
+        RunReport {
+            kind: workload.kind(),
+            workload: workload.dataset_label(),
+            scheme: scheme.paper_label(),
+            device: self.gpu.name.clone(),
+            scale: self.scale.name().to_string(),
+            seed: self.seed,
+            pooling_factor: self.model.embedding.trace.pooling_factor,
+            latency_us: 0.0,
+            tables: None,
+            end_to_end: None,
+            stats,
+        }
+    }
+
+    fn run_kernel_report(&self, pattern: AccessPattern, scheme: &Scheme) -> RunReport {
+        let stats = self.kernel_stats(pattern, scheme);
+        let latency_us = stats.kernel_time_us();
+        let mut report = self.report_skeleton(&Workload::Kernel(pattern), scheme, stats);
+        report.latency_us = latency_us;
+        report
+    }
+
+    fn kernel_stats(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
+        let workload = EmbeddingWorkload::generate(self.model.embedding, pattern, 0, self.seed);
         let spec = scheme.kernel_spec(&self.gpu);
         let mut mem = MemorySystem::new(&self.gpu);
         if let Some(carveout) = scheme.carveout_bytes(&self.gpu) {
             let plan = PinPlan::for_workload(&workload, carveout);
             plan.apply(&mut mem, &self.gpu, 0);
         }
-        self.sim.run_with_memory(&spec.launch(&workload), &spec.kernel(&workload), &mut mem, 0)
+        self.sim.run_with_memory(
+            &spec.launch(&workload),
+            &spec.kernel(&workload),
+            &mut mem,
+            0,
+        )
     }
 
-    /// Runs the full (homogeneous) embedding stage under `scheme`.
-    pub fn run_embedding_stage(
+    fn run_stage_report(
         &self,
-        pattern: AccessPattern,
-        scheme: &Scheme,
-    ) -> EmbeddingStageResult {
-        let mix = HeterogeneousMix::homogeneous(pattern, self.model.num_tables);
-        let mut result = self.run_embedding_stage_mix(&mix, scheme);
-        result.dataset_label = pattern.paper_name().to_string();
-        result
-    }
-
-    /// Runs the embedding stage over a heterogeneous table mix under
-    /// `scheme` (paper Table VII / Figure 17).
-    pub fn run_embedding_stage_mix(
-        &self,
+        workload: &Workload,
         mix: &HeterogeneousMix,
         scheme: &Scheme,
-    ) -> EmbeddingStageResult {
+    ) -> RunReport {
         let spec = scheme.kernel_spec(&self.gpu);
         let mut mem = MemorySystem::new(&self.gpu);
         let mut clock: u64 = 0;
@@ -182,19 +222,19 @@ impl ExperimentContext {
             let n_sim = group_count.min(self.tables_to_simulate);
             let mut group_simulated_us = 0.0;
             for t in 0..n_sim {
-                let workload = EmbeddingWorkload::generate(
+                let table = EmbeddingWorkload::generate(
                     self.model.embedding,
                     pattern,
                     t,
                     self.seed.wrapping_add(pattern.hotness_rank() as u64 * 1000),
                 );
                 if let Some(carveout) = scheme.carveout_bytes(&self.gpu) {
-                    let plan = PinPlan::for_workload(&workload, carveout);
+                    let plan = PinPlan::for_workload(&table, carveout);
                     plan.apply(&mut mem, &self.gpu, clock);
                 }
                 let stats = self.sim.run_with_memory(
-                    &spec.launch(&workload),
-                    &spec.kernel(&workload),
+                    &spec.launch(&table),
+                    &spec.kernel(&table),
                     &mut mem,
                     clock,
                 );
@@ -206,35 +246,144 @@ impl ExperimentContext {
             total_latency_us += group_simulated_us / n_sim as f64 * group_count as f64;
         }
 
-        EmbeddingStageResult {
-            scheme_label: scheme.paper_label(),
-            dataset_label: mix.name().to_string(),
-            latency_us: total_latency_us,
+        let mut report = self.report_skeleton(workload, scheme, merged);
+        report.latency_us = total_latency_us;
+        report.tables = Some(TableBreakdown {
             per_table_us: total_latency_us / mix.total_tables() as f64,
             tables_total: mix.total_tables(),
             tables_simulated,
-            stats: merged,
-        }
+        });
+        report
     }
 
-    /// Runs end-to-end DLRM inference (embedding stage + analytic
-    /// non-embedding stages) for a homogeneous dataset.
+    /// Runs a single embedding-bag kernel (one table) under `scheme`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Experiment::run(&Workload::kernel(pattern), scheme).stats"
+    )]
+    pub fn run_embedding_kernel(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
+        self.run(&Workload::kernel(pattern), scheme).stats
+    }
+
+    /// Runs the full (homogeneous) embedding stage under `scheme`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Experiment::run(&Workload::stage(pattern), scheme)"
+    )]
+    pub fn run_embedding_stage(
+        &self,
+        pattern: AccessPattern,
+        scheme: &Scheme,
+    ) -> EmbeddingStageResult {
+        EmbeddingStageResult::from_report(&self.run(&Workload::stage(pattern), scheme))
+    }
+
+    /// Runs the embedding stage over a heterogeneous table mix under
+    /// `scheme`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Experiment::run(&Workload::stage(mix.clone()), scheme)"
+    )]
+    pub fn run_embedding_stage_mix(
+        &self,
+        mix: &HeterogeneousMix,
+        scheme: &Scheme,
+    ) -> EmbeddingStageResult {
+        EmbeddingStageResult::from_report(&self.run(&Workload::stage(mix.clone()), scheme))
+    }
+
+    /// Runs end-to-end DLRM inference for a homogeneous dataset.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Experiment::run(&Workload::end_to_end(pattern), scheme)"
+    )]
     pub fn run_end_to_end(&self, pattern: AccessPattern, scheme: &Scheme) -> EndToEndResult {
-        let embedding = self.run_embedding_stage(pattern, scheme);
-        self.attach_non_embedding(embedding)
+        EndToEndResult::from_report(&self.run(&Workload::end_to_end(pattern), scheme))
     }
 
     /// Runs end-to-end DLRM inference for a heterogeneous mix.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Experiment::run(&Workload::end_to_end(mix.clone()), scheme)"
+    )]
     pub fn run_end_to_end_mix(&self, mix: &HeterogeneousMix, scheme: &Scheme) -> EndToEndResult {
-        let embedding = self.run_embedding_stage_mix(mix, scheme);
-        self.attach_non_embedding(embedding)
+        EndToEndResult::from_report(&self.run(&Workload::end_to_end(mix.clone()), scheme))
+    }
+}
+
+/// The pre-0.2 name of [`Experiment`].
+#[deprecated(since = "0.2.0", note = "renamed to Experiment")]
+pub type ExperimentContext = Experiment;
+
+/// Legacy result of running the embedding stage under one scheme.
+///
+/// Superseded by [`RunReport`], which additionally carries device/seed
+/// metadata and serializes to JSON.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStageResult {
+    /// The scheme's paper-style label.
+    pub scheme_label: String,
+    /// Description of the dataset or mix that was run.
+    pub dataset_label: String,
+    /// Extrapolated latency of the full embedding stage, in microseconds.
+    pub latency_us: f64,
+    /// Average simulated latency of one table, in microseconds.
+    pub per_table_us: f64,
+    /// Number of tables in the model.
+    pub tables_total: u32,
+    /// Number of tables actually simulated.
+    pub tables_simulated: u32,
+    /// Merged NCU-style statistics over the simulated tables.
+    pub stats: KernelStats,
+}
+
+impl EmbeddingStageResult {
+    fn from_report(report: &RunReport) -> Self {
+        let tables = report
+            .tables
+            .expect("stage reports carry a table breakdown");
+        EmbeddingStageResult {
+            scheme_label: report.scheme.clone(),
+            dataset_label: report.workload.clone(),
+            latency_us: report.embedding_latency_us(),
+            per_table_us: tables.per_table_us,
+            tables_total: tables.tables_total,
+            tables_simulated: tables.tables_simulated,
+            stats: report.stats.clone(),
+        }
     }
 
-    fn attach_non_embedding(&self, embedding: EmbeddingStageResult) -> EndToEndResult {
-        let timing = NonEmbeddingTimingModel::new(&self.gpu);
-        let non_embedding_us = timing.non_embedding_time_us(&self.model);
-        let latency = BatchLatency::new(embedding.latency_us, non_embedding_us);
-        EndToEndResult { embedding, latency }
+    /// Embedding-stage speedup of this result over a baseline run.
+    pub fn speedup_over(&self, baseline: &EmbeddingStageResult) -> f64 {
+        baseline.latency_us / self.latency_us
+    }
+}
+
+/// Legacy result of an end-to-end DLRM inference run under one scheme.
+///
+/// Superseded by [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct EndToEndResult {
+    /// The embedding-stage breakdown.
+    pub embedding: EmbeddingStageResult,
+    /// The end-to-end latency breakdown.
+    pub latency: BatchLatency,
+}
+
+impl EndToEndResult {
+    fn from_report(report: &RunReport) -> Self {
+        let latency = report
+            .batch_latency()
+            .expect("end-to-end reports carry a latency split");
+        EndToEndResult {
+            embedding: EmbeddingStageResult::from_report(report),
+            latency,
+        }
+    }
+
+    /// End-to-end speedup over a baseline run.
+    pub fn speedup_over(&self, baseline: &EndToEndResult) -> f64 {
+        self.latency.speedup_over(&baseline.latency)
     }
 }
 
@@ -243,34 +392,49 @@ mod tests {
     use super::*;
     use dlrm_datasets::MixKind;
 
-    fn ctx() -> ExperimentContext {
-        ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+    fn exp() -> Experiment {
+        Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
     }
 
     #[test]
-    fn kernel_stats_reflect_the_workload() {
-        let stats = ctx().run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+    fn kernel_reports_reflect_the_workload() {
+        let r = exp().run(&Workload::kernel(AccessPattern::MedHot), &Scheme::base());
         // 32 bags * 8 lookups * 2 loads + prologue loads.
-        assert!(stats.counters.load_insts > 32 * 8 * 2 / 2);
-        assert!(stats.elapsed_cycles > 0);
-        assert_eq!(stats.theoretical_warps_per_sm % 8, 0);
+        assert!(r.stats.counters.load_insts > 32 * 8 * 2 / 2);
+        assert!(r.stats.elapsed_cycles > 0);
+        assert_eq!(r.stats.theoretical_warps_per_sm % 8, 0);
+        assert!((r.latency_us - r.stats.kernel_time_us()).abs() < 1e-12);
+        assert!(r.tables.is_none() && r.end_to_end.is_none());
     }
 
     #[test]
-    fn embedding_stage_extrapolates_to_all_tables() {
-        let c = ctx();
-        let r = c.run_embedding_stage(AccessPattern::HighHot, &Scheme::base());
-        assert_eq!(r.tables_total, c.model().num_tables);
-        assert!(r.tables_simulated <= r.tables_total);
+    fn stage_reports_extrapolate_to_all_tables() {
+        let e = exp();
+        let r = e.run(&Workload::stage(AccessPattern::HighHot), &Scheme::base());
+        let tables = r.tables.unwrap();
+        assert_eq!(tables.tables_total, e.model().num_tables);
+        assert!(tables.tables_simulated <= tables.tables_total);
         assert!(r.latency_us > 0.0);
-        assert!((r.per_table_us * r.tables_total as f64 - r.latency_us).abs() < 1e-6);
+        assert!((tables.per_table_us * tables.tables_total as f64 - r.latency_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reports_carry_experiment_metadata() {
+        let e = exp().with_seed(77);
+        let r = e.run(&Workload::stage(AccessPattern::LowHot), &Scheme::combined());
+        assert_eq!(r.device, e.gpu().name);
+        assert_eq!(r.scale, "test");
+        assert_eq!(r.seed, 77);
+        assert_eq!(r.scheme, "RPF+L2P+OptMT");
+        assert_eq!(r.workload, "low hot");
+        assert_eq!(r.pooling_factor, e.model().embedding.trace.pooling_factor);
     }
 
     #[test]
     fn one_item_is_faster_than_random() {
-        let c = ctx();
-        let fast = c.run_embedding_stage(AccessPattern::OneItem, &Scheme::base());
-        let slow = c.run_embedding_stage(AccessPattern::Random, &Scheme::base());
+        let e = exp();
+        let fast = e.run(&Workload::stage(AccessPattern::OneItem), &Scheme::base());
+        let slow = e.run(&Workload::stage(AccessPattern::Random), &Scheme::base());
         assert!(
             slow.latency_us > fast.latency_us,
             "random ({:.1} us) must be slower than one_item ({:.1} us)",
@@ -281,9 +445,10 @@ mod tests {
 
     #[test]
     fn optmt_improves_over_base_on_cold_patterns() {
-        let c = ctx();
-        let base = c.run_embedding_stage(AccessPattern::Random, &Scheme::base());
-        let optmt = c.run_embedding_stage(AccessPattern::Random, &Scheme::optmt());
+        let e = exp();
+        let workload = Workload::stage(AccessPattern::Random);
+        let base = e.run(&workload, &Scheme::base());
+        let optmt = e.run(&workload, &Scheme::optmt());
         assert!(
             optmt.speedup_over(&base) > 1.0,
             "OptMT should speed up the random dataset (got {:.3}x)",
@@ -293,9 +458,10 @@ mod tests {
 
     #[test]
     fn combined_scheme_is_at_least_as_good_as_optmt() {
-        let c = ctx();
-        let optmt = c.run_embedding_stage(AccessPattern::LowHot, &Scheme::optmt());
-        let combined = c.run_embedding_stage(AccessPattern::LowHot, &Scheme::combined());
+        let e = exp();
+        let workload = Workload::stage(AccessPattern::LowHot);
+        let optmt = e.run(&workload, &Scheme::optmt());
+        let combined = e.run(&workload, &Scheme::combined());
         assert!(
             combined.latency_us <= optmt.latency_us * 1.05,
             "combined ({:.1} us) should not lose to OptMT ({:.1} us)",
@@ -306,33 +472,71 @@ mod tests {
 
     #[test]
     fn end_to_end_adds_non_embedding_time() {
-        let c = ctx();
-        let r = c.run_end_to_end(AccessPattern::MedHot, &Scheme::base());
-        assert!(r.latency.non_embedding_us > 0.0);
-        assert!(r.latency.total_us() > r.embedding.latency_us);
-        assert!(r.latency.embedding_share_pct() > 0.0 && r.latency.embedding_share_pct() < 100.0);
+        let r = exp().run(
+            &Workload::end_to_end(AccessPattern::MedHot),
+            &Scheme::base(),
+        );
+        let e2e = r.end_to_end.unwrap();
+        assert!(e2e.non_embedding_us > 0.0);
+        assert!((r.latency_us - e2e.embedding_us - e2e.non_embedding_us).abs() < 1e-9);
+        let share = r.batch_latency().unwrap().embedding_share_pct();
+        assert!(share > 0.0 && share < 100.0);
     }
 
     #[test]
     fn mix_runs_cover_every_group() {
-        let c = ctx();
+        let e = exp();
         let mix = HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02);
-        let r = c.run_embedding_stage_mix(&mix, &Scheme::base());
-        assert_eq!(r.tables_total, mix.total_tables());
-        assert!(r.tables_simulated >= 4, "at least one table per pattern group");
+        let r = e.run(&Workload::stage(mix.clone()), &Scheme::base());
+        let tables = r.tables.unwrap();
+        assert_eq!(tables.tables_total, mix.total_tables());
+        assert!(
+            tables.tables_simulated >= 4,
+            "at least one table per pattern group"
+        );
         assert!(r.latency_us > 0.0);
+        assert_eq!(r.workload, "Mix2");
     }
 
     #[test]
     fn pooling_factor_override_scales_work() {
-        let low = ctx().with_pooling_factor(4).run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
-        let high = ctx().with_pooling_factor(16).run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
-        assert!(high.counters.load_insts > low.counters.load_insts);
+        let workload = Workload::kernel(AccessPattern::MedHot);
+        let low = exp().with_pooling_factor(4).run(&workload, &Scheme::base());
+        let high = exp()
+            .with_pooling_factor(16)
+            .run(&workload, &Scheme::base());
+        assert!(high.stats.counters.load_insts > low.stats.counters.load_insts);
+        assert_eq!(low.pooling_factor, 4);
+        assert_eq!(high.pooling_factor, 16);
     }
 
     #[test]
     #[should_panic(expected = "at least one table")]
     fn zero_simulated_tables_rejected() {
-        let _ = ctx().with_tables_to_simulate(0);
+        let _ = exp().with_tables_to_simulate(0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_entry_point() {
+        let e = exp();
+        let kernel = e.run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+        assert_eq!(
+            kernel,
+            e.run(&Workload::kernel(AccessPattern::MedHot), &Scheme::base())
+                .stats
+        );
+
+        let stage = e.run_embedding_stage(AccessPattern::HighHot, &Scheme::optmt());
+        let report = e.run(&Workload::stage(AccessPattern::HighHot), &Scheme::optmt());
+        assert_eq!(stage.latency_us, report.latency_us);
+        assert_eq!(stage.dataset_label, report.workload);
+
+        let e2e = e.run_end_to_end(AccessPattern::MedHot, &Scheme::base());
+        let e2e_report = e.run(
+            &Workload::end_to_end(AccessPattern::MedHot),
+            &Scheme::base(),
+        );
+        assert_eq!(e2e.latency.total_us(), e2e_report.latency_us);
     }
 }

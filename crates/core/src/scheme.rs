@@ -47,12 +47,20 @@ pub struct Scheme {
 impl Scheme {
     /// The unmodified PyTorch kernel (the paper's baseline).
     pub fn base() -> Self {
-        Scheme { multithreading: Multithreading::Default, prefetch: None, l2_pinning: None }
+        Scheme {
+            multithreading: Multithreading::Default,
+            prefetch: None,
+            l2_pinning: None,
+        }
     }
 
     /// OptMT only.
     pub fn optmt() -> Self {
-        Scheme { multithreading: Multithreading::OptMt, prefetch: None, l2_pinning: None }
+        Scheme {
+            multithreading: Multithreading::OptMt,
+            prefetch: None,
+            l2_pinning: None,
+        }
     }
 
     /// Register-based prefetching at the paper's optimal distance for the
@@ -87,7 +95,12 @@ impl Scheme {
     /// Every scheme shown in the paper's headline Figures 12 and 13, in
     /// presentation order.
     pub fn figure12_schemes() -> Vec<Scheme> {
-        vec![Scheme::optmt(), Scheme::rpf_optmt(), Scheme::l2p_optmt(), Scheme::combined()]
+        vec![
+            Scheme::optmt(),
+            Scheme::rpf_optmt(),
+            Scheme::l2p_optmt(),
+            Scheme::combined(),
+        ]
     }
 
     /// Sets the multithreading policy.
@@ -133,7 +146,9 @@ impl Scheme {
     /// enabled.
     pub fn carveout_bytes(&self, cfg: &GpuConfig) -> Option<u64> {
         self.l2_pinning.map(|p| {
-            p.carveout_bytes.unwrap_or_else(|| cfg.l2_max_persisting_bytes()).min(cfg.l2_max_persisting_bytes())
+            p.carveout_bytes
+                .unwrap_or_else(|| cfg.l2_max_persisting_bytes())
+                .min(cfg.l2_max_persisting_bytes())
         })
     }
 
@@ -220,9 +235,14 @@ mod tests {
 
     #[test]
     fn figure12_schemes_are_the_four_presented() {
-        let labels: Vec<String> =
-            Scheme::figure12_schemes().iter().map(|s| s.paper_label()).collect();
-        assert_eq!(labels, vec!["OptMT", "RPF+OptMT", "L2P+OptMT", "RPF+L2P+OptMT"]);
+        let labels: Vec<String> = Scheme::figure12_schemes()
+            .iter()
+            .map(|s| s.paper_label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["OptMT", "RPF+OptMT", "L2P+OptMT", "RPF+L2P+OptMT"]
+        );
     }
 
     #[test]
@@ -249,7 +269,10 @@ mod tests {
     fn carveout_defaults_to_device_maximum_and_is_clamped() {
         let a100 = GpuConfig::a100();
         assert_eq!(Scheme::base().carveout_bytes(&a100), None);
-        assert_eq!(Scheme::l2p_only().carveout_bytes(&a100), Some(30 * 1024 * 1024));
+        assert_eq!(
+            Scheme::l2p_only().carveout_bytes(&a100),
+            Some(30 * 1024 * 1024)
+        );
         let huge = Scheme::base().with_l2_pinning(Some(1 << 40));
         assert_eq!(huge.carveout_bytes(&a100), Some(30 * 1024 * 1024));
         let small = Scheme::base().with_l2_pinning(Some(1 << 20));
@@ -259,7 +282,10 @@ mod tests {
     #[test]
     fn explicit_register_caps_flow_through() {
         let scheme = Scheme::base().with_multithreading(Multithreading::MaxRegisters(32));
-        assert_eq!(scheme.kernel_spec(&GpuConfig::a100()).max_registers(), Some(32));
+        assert_eq!(
+            scheme.kernel_spec(&GpuConfig::a100()).max_registers(),
+            Some(32)
+        );
         assert_eq!(scheme.paper_label(), "maxrreg32");
     }
 

@@ -1,0 +1,185 @@
+//! What an experiment runs: the [`Workload`] grid axis.
+//!
+//! The paper evaluates the same optimization [`crate::Scheme`]s against four
+//! kinds of targets — a single embedding-bag kernel (Tables IV/V/VIII/IX),
+//! the homogeneous embedding stage (Figures 12/16b/19), a heterogeneous
+//! table mix (Table VII / Figure 17), and end-to-end DLRM inference
+//! (Figures 1/13/14). [`Workload`] unifies all four behind one value so that
+//! [`crate::Experiment::run`] is the single entry point for every
+//! experiment, and [`crate::Campaign`] can treat them as one grid axis.
+
+use dlrm_datasets::{AccessPattern, HeterogeneousMix};
+
+/// The dataset an embedding-stage or end-to-end workload runs over: either
+/// one access pattern applied to every table (homogeneous) or a named
+/// heterogeneous mix of patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dataset {
+    /// Every table follows the same access pattern.
+    Homogeneous(AccessPattern),
+    /// Tables are split into groups with different access patterns.
+    Mix(HeterogeneousMix),
+}
+
+impl Dataset {
+    /// The dataset's paper-style label (`"medium hot"`, `"Mix2"`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            Dataset::Homogeneous(pattern) => pattern.paper_name().to_string(),
+            Dataset::Mix(mix) => mix.name().to_string(),
+        }
+    }
+
+    /// Lowers the dataset to a concrete table mix for a model with
+    /// `num_tables` embedding tables.
+    pub fn to_mix(&self, num_tables: u32) -> HeterogeneousMix {
+        match self {
+            Dataset::Homogeneous(pattern) => HeterogeneousMix::homogeneous(*pattern, num_tables),
+            Dataset::Mix(mix) => mix.clone(),
+        }
+    }
+}
+
+impl From<AccessPattern> for Dataset {
+    fn from(pattern: AccessPattern) -> Self {
+        Dataset::Homogeneous(pattern)
+    }
+}
+
+impl From<HeterogeneousMix> for Dataset {
+    fn from(mix: HeterogeneousMix) -> Self {
+        Dataset::Mix(mix)
+    }
+}
+
+/// One run target: what [`crate::Experiment::run`] simulates under a scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A single embedding-bag kernel (one table) — the unit of the paper's
+    /// NCU characterisation tables.
+    Kernel(AccessPattern),
+    /// The full embedding stage: every table of the model, simulated
+    /// sequentially on one device and extrapolated per homogeneous group.
+    EmbeddingStage(Dataset),
+    /// End-to-end DLRM inference: the embedding stage plus the analytic
+    /// non-embedding pipeline (MLPs, feature interaction).
+    EndToEnd(Dataset),
+}
+
+impl Workload {
+    /// A single-kernel workload.
+    pub fn kernel(pattern: AccessPattern) -> Self {
+        Workload::Kernel(pattern)
+    }
+
+    /// An embedding-stage workload over a pattern or mix.
+    pub fn stage(dataset: impl Into<Dataset>) -> Self {
+        Workload::EmbeddingStage(dataset.into())
+    }
+
+    /// An end-to-end workload over a pattern or mix.
+    pub fn end_to_end(dataset: impl Into<Dataset>) -> Self {
+        Workload::EndToEnd(dataset.into())
+    }
+
+    /// The workload kind, as recorded in [`crate::RunReport`]s.
+    pub fn kind(&self) -> WorkloadKind {
+        match self {
+            Workload::Kernel(_) => WorkloadKind::Kernel,
+            Workload::EmbeddingStage(_) => WorkloadKind::EmbeddingStage,
+            Workload::EndToEnd(_) => WorkloadKind::EndToEnd,
+        }
+    }
+
+    /// The dataset label (`"random"`, `"Mix1"`, ...).
+    pub fn dataset_label(&self) -> String {
+        match self {
+            Workload::Kernel(pattern) => pattern.paper_name().to_string(),
+            Workload::EmbeddingStage(dataset) | Workload::EndToEnd(dataset) => dataset.label(),
+        }
+    }
+
+    /// A full label combining kind and dataset, e.g. `"kernel/random"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.kind().name(), self.dataset_label())
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Which of the three run targets a report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// One embedding-bag kernel.
+    Kernel,
+    /// The full embedding stage.
+    EmbeddingStage,
+    /// Embedding stage plus non-embedding pipeline.
+    EndToEnd,
+}
+
+impl WorkloadKind {
+    /// Stable machine-readable name, used in JSON reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Kernel => "kernel",
+            WorkloadKind::EmbeddingStage => "embedding_stage",
+            WorkloadKind::EndToEnd => "end_to_end",
+        }
+    }
+
+    /// Parses a [`WorkloadKind::name`] back.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "kernel" => Some(WorkloadKind::Kernel),
+            "embedding_stage" => Some(WorkloadKind::EmbeddingStage),
+            "end_to_end" => Some(WorkloadKind::EndToEnd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_datasets::MixKind;
+
+    #[test]
+    fn labels_compose_kind_and_dataset() {
+        assert_eq!(
+            Workload::kernel(AccessPattern::Random).label(),
+            "kernel/random"
+        );
+        assert_eq!(
+            Workload::stage(AccessPattern::MedHot).label(),
+            "embedding_stage/med hot"
+        );
+        let mix = HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02);
+        assert_eq!(Workload::end_to_end(mix).label(), "end_to_end/Mix2");
+    }
+
+    #[test]
+    fn datasets_lower_to_mixes() {
+        let homogeneous = Dataset::from(AccessPattern::LowHot).to_mix(6);
+        assert_eq!(homogeneous.total_tables(), 6);
+        assert_eq!(homogeneous.composition(), &[(AccessPattern::LowHot, 6)]);
+        let mix = HeterogeneousMix::paper_mix(MixKind::Mix1, 0.02);
+        assert_eq!(Dataset::from(mix.clone()).to_mix(999), mix);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            WorkloadKind::Kernel,
+            WorkloadKind::EmbeddingStage,
+            WorkloadKind::EndToEnd,
+        ] {
+            assert_eq!(WorkloadKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::from_name("nope"), None);
+    }
+}

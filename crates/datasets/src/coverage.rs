@@ -22,7 +22,10 @@ impl CoverageCurve {
         }
         let mut sorted_counts: Vec<u64> = counts.into_values().collect();
         sorted_counts.sort_unstable_by(|a, b| b.cmp(a));
-        CoverageCurve { total_accesses: indices.len() as u64, sorted_counts }
+        CoverageCurve {
+            total_accesses: indices.len() as u64,
+            sorted_counts,
+        }
     }
 
     /// Number of unique rows in the trace.
@@ -41,20 +44,33 @@ impl CoverageCurve {
     /// # Panics
     /// Panics if `unique_pct` is outside `[0, 100]`.
     pub fn coverage_at(&self, unique_pct: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&unique_pct), "percentage must be within [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&unique_pct),
+            "percentage must be within [0, 100]"
+        );
         if self.total_accesses == 0 {
             return 0.0;
         }
         let take = ((unique_pct / 100.0) * self.sorted_counts.len() as f64).round() as usize;
-        let covered: u64 = self.sorted_counts.iter().take(take.max(usize::from(unique_pct > 0.0))).sum();
-        let covered = if take == 0 && unique_pct == 0.0 { 0 } else { covered };
+        let covered: u64 = self
+            .sorted_counts
+            .iter()
+            .take(take.max(usize::from(unique_pct > 0.0)))
+            .sum();
+        let covered = if take == 0 && unique_pct == 0.0 {
+            0
+        } else {
+            covered
+        };
         100.0 * covered as f64 / self.total_accesses as f64
     }
 
     /// Samples the curve at the paper's x-axis points (10%, 20%, ..., 100%),
     /// returning `(unique_pct, coverage_pct)` pairs — one series of Figure 5.
     pub fn series(&self) -> Vec<(f64, f64)> {
-        (1..=10).map(|i| (i as f64 * 10.0, self.coverage_at(i as f64 * 10.0))).collect()
+        (1..=10)
+            .map(|i| (i as f64 * 10.0, self.coverage_at(i as f64 * 10.0)))
+            .collect()
     }
 
     /// The Gini-like skew of the access distribution in `[0, 1]`: 0 means
@@ -110,7 +126,10 @@ mod tests {
         indices.extend(1..=100u32);
         let c = CoverageCurve::from_indices(&indices);
         let cov10 = c.coverage_at(10.0);
-        assert!(cov10 > 85.0, "10% of uniques should cover most accesses, got {cov10}");
+        assert!(
+            cov10 > 85.0,
+            "10% of uniques should cover most accesses, got {cov10}"
+        );
         assert!(c.coverage_at(100.0) > 99.9);
     }
 

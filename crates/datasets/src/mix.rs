@@ -44,12 +44,18 @@ impl HeterogeneousMix {
     /// # Panics
     /// Panics if the composition is empty or contains zero-count entries.
     pub fn new(name: impl Into<String>, composition: Vec<(AccessPattern, u32)>) -> Self {
-        assert!(!composition.is_empty(), "a mix must contain at least one table group");
+        assert!(
+            !composition.is_empty(),
+            "a mix must contain at least one table group"
+        );
         assert!(
             composition.iter().all(|&(_, n)| n > 0),
             "every table group in a mix must contain at least one table"
         );
-        HeterogeneousMix { name: name.into(), composition }
+        HeterogeneousMix {
+            name: name.into(),
+            composition,
+        }
     }
 
     /// One of the paper's Table VII mixes, scaled by `scale` (the paper uses
@@ -124,8 +130,12 @@ impl HeterogeneousMix {
 
     /// Fraction of tables with the given pattern.
     pub fn fraction_of(&self, pattern: AccessPattern) -> f64 {
-        let n: u32 =
-            self.composition.iter().filter(|&&(p, _)| p == pattern).map(|&(_, n)| n).sum();
+        let n: u32 = self
+            .composition
+            .iter()
+            .filter(|&&(p, _)| p == pattern)
+            .map(|&(_, n)| n)
+            .sum();
         n as f64 / self.total_tables() as f64
     }
 }
@@ -146,7 +156,9 @@ mod tests {
     fn mix1_is_hot_heavy_and_mix3_is_cold_heavy() {
         let mix1 = HeterogeneousMix::paper_mix(MixKind::Mix1, 1.0);
         let mix3 = HeterogeneousMix::paper_mix(MixKind::Mix3, 1.0);
-        assert!(mix1.fraction_of(AccessPattern::HighHot) > mix3.fraction_of(AccessPattern::HighHot));
+        assert!(
+            mix1.fraction_of(AccessPattern::HighHot) > mix3.fraction_of(AccessPattern::HighHot)
+        );
         assert!(mix1.fraction_of(AccessPattern::Random) < mix3.fraction_of(AccessPattern::Random));
     }
 

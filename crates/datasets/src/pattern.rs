@@ -132,7 +132,10 @@ mod tests {
         let mut prev = -1.0;
         for p in AccessPattern::ALL {
             let u = p.paper_unique_access_pct();
-            assert!(u > prev, "{p} should have more unique accesses than hotter patterns");
+            assert!(
+                u > prev,
+                "{p} should have more unique accesses than hotter patterns"
+            );
             prev = u;
         }
     }

@@ -30,8 +30,15 @@ impl TraceConfig {
     pub fn new(num_rows: u64, batch_size: u32, pooling_factor: u32) -> Self {
         assert!(num_rows > 0, "a table must have at least one row");
         assert!(batch_size > 0, "the batch must contain at least one sample");
-        assert!(pooling_factor > 0, "each sample must perform at least one lookup");
-        TraceConfig { num_rows, batch_size, pooling_factor }
+        assert!(
+            pooling_factor > 0,
+            "each sample must perform at least one lookup"
+        );
+        TraceConfig {
+            num_rows,
+            batch_size,
+            pooling_factor,
+        }
     }
 
     /// The paper's full-scale configuration: 500K rows, batch size 2048,
@@ -64,7 +71,9 @@ impl TraceConfig {
             AccessPattern::HighHot | AccessPattern::MedHot | AccessPattern::LowHot => {
                 let sampler = ZipfSampler::new(
                     self.num_rows,
-                    pattern.zipf_exponent().expect("hot patterns have a Zipf exponent"),
+                    pattern
+                        .zipf_exponent()
+                        .expect("hot patterns have a Zipf exponent"),
                 );
                 for _ in 0..total {
                     indices.push(sampler.sample(&mut rng) as u32);
@@ -75,7 +84,12 @@ impl TraceConfig {
         for bag in 0..=self.batch_size {
             offsets.push(bag * self.pooling_factor);
         }
-        EmbeddingTrace { config: *self, pattern, indices, offsets }
+        EmbeddingTrace {
+            config: *self,
+            pattern,
+            indices,
+            offsets,
+        }
     }
 
     /// Generates the list of hot-row candidates an offline profiling pass
@@ -93,7 +107,9 @@ impl TraceConfig {
             AccessPattern::HighHot | AccessPattern::MedHot | AccessPattern::LowHot => {
                 let sampler = ZipfSampler::new(
                     self.num_rows,
-                    pattern.zipf_exponent().expect("hot patterns have a Zipf exponent"),
+                    pattern
+                        .zipf_exponent()
+                        .expect("hot patterns have a Zipf exponent"),
                 );
                 sampler.hottest_rows(count)
             }
@@ -173,7 +189,11 @@ impl EmbeddingTrace {
     /// The `count` hottest rows actually observed in this trace (an "oracle"
     /// profiling result, used to validate the offline candidates).
     pub fn hottest_observed_rows(&self, count: usize) -> Vec<u32> {
-        self.row_popularity().into_iter().take(count).map(|(row, _)| row).collect()
+        self.row_popularity()
+            .into_iter()
+            .take(count)
+            .map(|(row, _)| row)
+            .collect()
     }
 }
 
@@ -263,10 +283,15 @@ mod tests {
     fn hot_candidates_cover_most_hot_trace_accesses() {
         let cfg = TraceConfig::new(100_000, 512, 64);
         let t = cfg.generate(AccessPattern::HighHot, 7);
-        let candidates: HashSet<u64> =
-            cfg.hot_row_candidates(AccessPattern::HighHot, 4096, 7).into_iter().collect();
-        let covered =
-            t.indices.iter().filter(|&&i| candidates.contains(&(i as u64))).count() as f64;
+        let candidates: HashSet<u64> = cfg
+            .hot_row_candidates(AccessPattern::HighHot, 4096, 7)
+            .into_iter()
+            .collect();
+        let covered = t
+            .indices
+            .iter()
+            .filter(|&&i| candidates.contains(&(i as u64)))
+            .count() as f64;
         let fraction = covered / t.total_lookups() as f64;
         assert!(
             fraction > 0.5,

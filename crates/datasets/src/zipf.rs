@@ -43,7 +43,12 @@ impl ZipfSampler {
         for v in cdf.iter_mut() {
             *v /= total;
         }
-        ZipfSampler { num_rows, exponent, cdf, perm_mult: largest_coprime_multiplier(num_rows) }
+        ZipfSampler {
+            num_rows,
+            exponent,
+            cdf,
+            perm_mult: largest_coprime_multiplier(num_rows),
+        }
     }
 
     /// Number of rows this sampler draws from.
@@ -77,7 +82,9 @@ impl ZipfSampler {
     /// the candidates the paper's L2-pinning scheme identifies by offline
     /// profiling (Figure 10, step 1).
     pub fn hottest_rows(&self, count: usize) -> Vec<u64> {
-        (0..count.min(self.num_rows as usize) as u64).map(|r| self.rank_to_row(r)).collect()
+        (0..count.min(self.num_rows as usize) as u64)
+            .map(|r| self.rank_to_row(r))
+            .collect()
     }
 
     /// The analytical probability of drawing popularity rank `rank`
@@ -86,7 +93,11 @@ impl ZipfSampler {
         if rank >= self.num_rows {
             return 0.0;
         }
-        let prev = if rank == 0 { 0.0 } else { self.cdf[rank as usize - 1] };
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cdf[rank as usize - 1]
+        };
         self.cdf[rank as usize] - prev
     }
 }

@@ -33,7 +33,7 @@ impl DlrmForward {
             config.embedding.embedding_dim,
             "the bottom MLP must produce vectors of the embedding dimension"
         );
-        let bottom = Mlp::new(config.bottom_mlp.iter().map(|&d| d).collect(), seed);
+        let bottom = Mlp::new(config.bottom_mlp.to_vec(), seed);
         let mut top_dims = vec![config.interaction_output_dim()];
         top_dims.extend(config.top_mlp.iter().copied());
         let top = Mlp::new(top_dims, seed ^ 0x5eed_7009);
@@ -46,7 +46,12 @@ impl DlrmForward {
                 )
             })
             .collect();
-        DlrmForward { config, bottom, top, tables }
+        DlrmForward {
+            config,
+            bottom,
+            top,
+            tables,
+        }
     }
 
     /// The model configuration.
@@ -98,7 +103,8 @@ impl DlrmForward {
             .collect();
 
         // Interaction + top MLP, sample by sample.
-        let mut interactions = Vec::with_capacity(batch * self.config.interaction_output_dim() as usize);
+        let mut interactions =
+            Vec::with_capacity(batch * self.config.interaction_output_dim() as usize);
         for b in 0..batch {
             let mut features: Vec<&[f32]> = Vec::with_capacity(self.tables.len() + 1);
             features.push(&dense_out[b * d..(b + 1) * d]);
@@ -153,7 +159,13 @@ mod tests {
 
     fn traces(model: &DlrmForward, pattern: AccessPattern, seed: u64) -> Vec<EmbeddingTrace> {
         (0..model.config().num_tables)
-            .map(|t| model.config().embedding.trace.generate(pattern, seed + t as u64))
+            .map(|t| {
+                model
+                    .config()
+                    .embedding
+                    .trace
+                    .generate(pattern, seed + t as u64)
+            })
             .collect()
     }
 
@@ -167,7 +179,10 @@ mod tests {
         let model = small_model();
         let out = model.forward(&dense(&model), &traces(&model, AccessPattern::MedHot, 1));
         assert_eq!(out.batch_size(), model.config().batch_size() as usize);
-        assert!(out.predictions.iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+        assert!(out
+            .predictions
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
     }
 
     #[test]

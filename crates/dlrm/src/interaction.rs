@@ -14,7 +14,10 @@
 /// Panics if fewer than two feature vectors are supplied or their lengths
 /// differ.
 pub fn dot_interaction(features: &[&[f32]]) -> Vec<f32> {
-    assert!(features.len() >= 2, "interaction needs the dense feature and at least one embedding");
+    assert!(
+        features.len() >= 2,
+        "interaction needs the dense feature and at least one embedding"
+    );
     let d = features[0].len();
     assert!(
         features.iter().all(|f| f.len() == d),
@@ -25,7 +28,11 @@ pub fn dot_interaction(features: &[&[f32]]) -> Vec<f32> {
     out.extend_from_slice(features[0]);
     for i in 0..f {
         for j in (i + 1)..f {
-            let dot: f32 = features[i].iter().zip(features[j]).map(|(a, b)| a * b).sum();
+            let dot: f32 = features[i]
+                .iter()
+                .zip(features[j])
+                .map(|(a, b)| a * b)
+                .sum();
             out.push(dot);
         }
     }
@@ -77,7 +84,10 @@ mod tests {
     #[test]
     fn flops_count_scales_quadratically_in_features() {
         assert_eq!(interaction_flops_per_sample(3, 2), 3 * 2 * 2);
-        assert_eq!(interaction_flops_per_sample(251, 128), 251 * 250 / 2 * 128 * 2);
+        assert_eq!(
+            interaction_flops_per_sample(251, 128),
+            251 * 250 / 2 * 128 * 2
+        );
     }
 
     #[test]

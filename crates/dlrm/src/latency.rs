@@ -26,7 +26,10 @@ impl BatchLatency {
             non_embedding_us.is_finite() && non_embedding_us >= 0.0,
             "non-embedding latency must be finite and non-negative"
         );
-        BatchLatency { embedding_us, non_embedding_us }
+        BatchLatency {
+            embedding_us,
+            non_embedding_us,
+        }
     }
 
     /// Total batch latency in microseconds.

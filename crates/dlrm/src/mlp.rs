@@ -19,8 +19,14 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two dimensions are given or any is zero.
     pub fn new(dims: Vec<u32>, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs an input and an output dimension");
-        assert!(dims.iter().all(|&d| d > 0), "layer dimensions must be positive");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs an input and an output dimension"
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "layer dimensions must be positive"
+        );
         Mlp { dims, seed }
     }
 
@@ -41,7 +47,10 @@ impl Mlp {
 
     /// Number of multiply-accumulate FLOPs for one sample (2 per MAC).
     pub fn flops_per_sample(&self) -> u64 {
-        self.dims.windows(2).map(|w| 2 * w[0] as u64 * w[1] as u64).sum()
+        self.dims
+            .windows(2)
+            .map(|w| 2 * w[0] as u64 * w[1] as u64)
+            .sum()
     }
 
     /// Weight of layer `layer` connecting input `i` to output `j`,
@@ -80,7 +89,7 @@ impl Mlp {
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
         let in_dim = self.input_dim() as usize;
         assert!(
-            input.len() % in_dim == 0,
+            input.len().is_multiple_of(in_dim),
             "input length {} is not a multiple of the input dimension {}",
             input.len(),
             in_dim
@@ -118,7 +127,7 @@ mod tests {
     #[test]
     fn forward_produces_expected_shape() {
         let mlp = Mlp::new(vec![8, 4, 2], 1);
-        let out = mlp.forward(&vec![0.5; 3 * 8]);
+        let out = mlp.forward(&[0.5; 3 * 8]);
         assert_eq!(out.len(), 3 * 2);
     }
 

@@ -107,7 +107,10 @@ impl DlrmConfig {
     /// Output width of the bottom MLP (must equal the embedding dimension in
     /// DLRM so the interaction stage can combine them).
     pub fn bottom_mlp_output_dim(&self) -> u32 {
-        *self.bottom_mlp.last().expect("bottom MLP has at least one layer")
+        *self
+            .bottom_mlp
+            .last()
+            .expect("bottom MLP has at least one layer")
     }
 
     /// Number of feature vectors entering the interaction stage: one per
@@ -205,7 +208,11 @@ mod tests {
 
     #[test]
     fn scale_names_round_trip() {
-        for s in [WorkloadScale::Test, WorkloadScale::Default, WorkloadScale::Paper] {
+        for s in [
+            WorkloadScale::Test,
+            WorkloadScale::Default,
+            WorkloadScale::Paper,
+        ] {
             assert_eq!(WorkloadScale::from_name(s.name()), Some(s));
         }
         assert_eq!(WorkloadScale::from_name("huge"), None);

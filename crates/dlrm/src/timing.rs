@@ -102,7 +102,9 @@ impl NonEmbeddingTimingModel {
 
     /// Total non-embedding latency for one batch, in microseconds.
     pub fn non_embedding_time_us(&self, model: &DlrmConfig) -> f64 {
-        self.bottom_mlp_time_us(model) + self.interaction_time_us(model) + self.top_mlp_time_us(model)
+        self.bottom_mlp_time_us(model)
+            + self.interaction_time_us(model)
+            + self.top_mlp_time_us(model)
     }
 }
 
@@ -124,7 +126,10 @@ mod tests {
         let t = m.non_embedding_time_us(&DlrmConfig::paper_model());
         // Calibrated to roughly 15-30 ms (the paper's Figure 1 implies ~20 ms
         // of non-embedding work at batch 2048).
-        assert!(t > 15_000.0 && t < 30_000.0, "non-embedding time {t:.0} us out of range");
+        assert!(
+            t > 15_000.0 && t < 30_000.0,
+            "non-embedding time {t:.0} us out of range"
+        );
     }
 
     #[test]

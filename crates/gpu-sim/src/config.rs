@@ -258,7 +258,10 @@ mod tests {
     fn cache_geometry_is_consistent() {
         let cfg = GpuConfig::a100();
         assert_eq!(cfg.l1.num_lines(), 192 * 1024 / 128);
-        assert_eq!(cfg.l2.num_sets() * cfg.l2.associativity as u64, cfg.l2.num_lines());
+        assert_eq!(
+            cfg.l2.num_sets() * cfg.l2.associativity as u64,
+            cfg.l2.num_lines()
+        );
     }
 
     #[test]
@@ -277,7 +280,9 @@ mod tests {
 
     #[test]
     fn with_builders_modify_copy() {
-        let cfg = GpuConfig::a100().with_num_sms(8).with_l2_capacity(1024 * 1024);
+        let cfg = GpuConfig::a100()
+            .with_num_sms(8)
+            .with_l2_capacity(1024 * 1024);
         assert_eq!(cfg.num_sms, 8);
         assert_eq!(cfg.l2.capacity_bytes, 1024 * 1024);
     }

@@ -59,7 +59,9 @@ impl Simulator {
 
         let mut counters = RawCounters::default();
         let mut warps: Vec<WarpContext> = Vec::new();
-        let mut sms: Vec<SmState> = (0..cfg.num_sms).map(|_| SmState::new(cfg.smsps_per_sm)).collect();
+        let mut sms: Vec<SmState> = (0..cfg.num_sms)
+            .map(|_| SmState::new(cfg.smsps_per_sm))
+            .collect();
         // Which block each warp belongs to, and which SM it runs on.
         let mut warp_home: Vec<(usize, u32)> = Vec::new();
 
@@ -68,12 +70,12 @@ impl Simulator {
         let mut next_block: u32 = 0;
 
         let dispatch_block = |sm_id: usize,
-                                  block_id: u32,
-                                  cycle: u64,
-                                  warps: &mut Vec<WarpContext>,
-                                  warp_home: &mut Vec<(usize, u32)>,
-                                  sms: &mut Vec<SmState>,
-                                  counters: &mut RawCounters| {
+                              block_id: u32,
+                              cycle: u64,
+                              warps: &mut Vec<WarpContext>,
+                              warp_home: &mut Vec<(usize, u32)>,
+                              sms: &mut Vec<SmState>,
+                              counters: &mut RawCounters| {
             sms[sm_id].begin_block(block_id, warps_per_block);
             counters.blocks_launched += 1;
             for w in 0..warps_per_block {
@@ -130,7 +132,8 @@ impl Simulator {
                 // All resident warps retired but blocks remain (can happen
                 // with degenerate empty programs): dispatch onto SM 0.
                 for sm_id in 0..cfg.num_sms {
-                    while sms[sm_id].resident_blocks < occ.blocks_per_sm && next_block < total_blocks
+                    while sms[sm_id].resident_blocks < occ.blocks_per_sm
+                        && next_block < total_blocks
                     {
                         dispatch_block(
                             sm_id,
@@ -182,10 +185,9 @@ impl Simulator {
                                 &mut counters,
                             );
                             next_block += 1;
-                            active_warps +=
-                                (warps.len() - warps_per_block as usize..warps.len())
-                                    .filter(|&i| !warps[i].is_exited())
-                                    .count() as u64;
+                            active_warps += (warps.len() - warps_per_block as usize..warps.len())
+                                .filter(|&i| !warps[i].is_exited())
+                                .count() as u64;
                         }
                     }
                 }
@@ -290,8 +292,7 @@ mod tests {
         let kernel = StreamKernel::new(16);
         let mut mem = MemorySystem::new(&cfg);
         let first = sim.run_with_memory(&launch, &kernel, &mut mem, 0);
-        let second =
-            sim.run_with_memory(&launch, &kernel, &mut mem, first.elapsed_cycles);
+        let second = sim.run_with_memory(&launch, &kernel, &mut mem, first.elapsed_cycles);
         // The second pass re-reads the same lines, so it should hit in cache
         // and read (almost) nothing new from DRAM.
         assert!(first.dram_bytes_read > 0);

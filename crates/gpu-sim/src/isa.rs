@@ -59,7 +59,10 @@ pub struct LineSet {
 impl LineSet {
     /// Creates an empty line set.
     pub fn new() -> Self {
-        LineSet { lines: [0; MAX_LINES_PER_ACCESS], len: 0 }
+        LineSet {
+            lines: [0; MAX_LINES_PER_ACCESS],
+            len: 0,
+        }
     }
 
     /// Creates a set containing a single line address.
@@ -152,17 +155,26 @@ impl SrcSet {
 
     /// A single source operand.
     pub fn one(a: Reg) -> Self {
-        SrcSet { regs: [a, 0, 0], len: 1 }
+        SrcSet {
+            regs: [a, 0, 0],
+            len: 1,
+        }
     }
 
     /// Two source operands.
     pub fn two(a: Reg, b: Reg) -> Self {
-        SrcSet { regs: [a, b, 0], len: 2 }
+        SrcSet {
+            regs: [a, b, 0],
+            len: 2,
+        }
     }
 
     /// Three source operands.
     pub fn three(a: Reg, b: Reg, c: Reg) -> Self {
-        SrcSet { regs: [a, b, c], len: 3 }
+        SrcSet {
+            regs: [a, b, c],
+            len: 3,
+        }
     }
 
     /// Iterates over the source registers.
@@ -262,12 +274,20 @@ impl Instruction {
 
     /// Convenience constructor for a default-latency ALU op with two sources.
     pub fn fadd(dst: Reg, a: Reg, b: Reg) -> Self {
-        Instruction::Alu { dst, srcs: SrcSet::two(a, b), latency: 0 }
+        Instruction::Alu {
+            dst,
+            srcs: SrcSet::two(a, b),
+            latency: 0,
+        }
     }
 
     /// Convenience constructor for an address-computation style ALU op.
     pub fn iadd(dst: Reg, a: Reg) -> Self {
-        Instruction::Alu { dst, srcs: SrcSet::one(a), latency: 0 }
+        Instruction::Alu {
+            dst,
+            srcs: SrcSet::one(a),
+            latency: 0,
+        }
     }
 
     /// Whether this instruction is a load from global or local memory

@@ -51,7 +51,10 @@ impl KernelLaunch {
 
     /// Sets the number of registers allocated per thread.
     pub fn with_regs_per_thread(mut self, regs: u32) -> Self {
-        assert!(regs > 0 && regs <= 255, "registers per thread must be in 1..=255");
+        assert!(
+            regs > 0 && regs <= 255,
+            "registers per thread must be in 1..=255"
+        );
         self.regs_per_thread = regs;
         self
     }
@@ -149,7 +152,9 @@ mod tests {
 
     #[test]
     fn launch_builders() {
-        let l = KernelLaunch::new("k", 1, 32).with_regs_per_thread(74).with_shared_mem_per_block(1024);
+        let l = KernelLaunch::new("k", 1, 32)
+            .with_regs_per_thread(74)
+            .with_shared_mem_per_block(1024);
         assert_eq!(l.regs_per_thread, 74);
         assert_eq!(l.shared_mem_per_block, 1024);
     }

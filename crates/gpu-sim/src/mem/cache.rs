@@ -52,7 +52,12 @@ struct CacheLine {
 
 impl CacheLine {
     fn empty() -> Self {
-        CacheLine { tag: 0, valid: false, persistent: false, last_use: 0 }
+        CacheLine {
+            tag: 0,
+            valid: false,
+            persistent: false,
+            last_use: 0,
+        }
     }
 }
 
@@ -77,7 +82,9 @@ impl Cache {
         // A degenerate configuration (associativity larger than the line
         // count) must not inflate the capacity beyond what was configured.
         let ways = cfg.associativity.min(cfg.num_lines().max(1) as usize);
-        let sets = (0..num_sets).map(|_| vec![CacheLine::empty(); ways]).collect();
+        let sets = (0..num_sets)
+            .map(|_| vec![CacheLine::empty(); ways])
+            .collect();
         Cache {
             cfg,
             sets,
@@ -150,7 +157,9 @@ impl Cache {
     pub fn is_persistent(&self, line_addr: u64) -> bool {
         let set_idx = self.set_index(line_addr);
         let tag = self.tag(line_addr);
-        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag && w.persistent)
+        self.sets[set_idx]
+            .iter()
+            .any(|w| w.valid && w.tag == tag && w.persistent)
     }
 
     /// Installs a line. If `persistent` is requested and the carve-out has
@@ -164,8 +173,9 @@ impl Cache {
         // Already resident: update flags in place (a prefetch may promote a
         // resident line to persistent).
         let can_pin_more = self.persistent_lines < self.persistent_capacity_lines;
-        if let Some(way) =
-            self.sets[set_idx].iter_mut().find(|w| w.valid && w.tag == tag)
+        if let Some(way) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
         {
             way.last_use = now;
             if persistent && !way.persistent && can_pin_more {
@@ -193,7 +203,11 @@ impl Cache {
             i
         } else {
             // Every way is persistent: evict the LRU persistent line.
-            set.iter().enumerate().min_by_key(|(_, w)| w.last_use).map(|(i, _)| i).unwrap()
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .unwrap()
         };
 
         let victim = &mut set[victim_idx];
@@ -204,7 +218,12 @@ impl Cache {
                 self.persistent_lines -= 1;
             }
         }
-        *victim = CacheLine { tag, valid: true, persistent: install_persistent, last_use: now };
+        *victim = CacheLine {
+            tag,
+            valid: true,
+            persistent: install_persistent,
+            last_use: now,
+        };
         if install_persistent {
             self.persistent_lines += 1;
         }

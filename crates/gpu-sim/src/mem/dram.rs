@@ -92,7 +92,11 @@ mod tests {
 
     fn dram() -> Dram {
         Dram::new(
-            &DramConfig { capacity_bytes: 1 << 30, latency: 466, peak_bandwidth_gbps: 1940.0 },
+            &DramConfig {
+                capacity_bytes: 1 << 30,
+                latency: 466,
+                peak_bandwidth_gbps: 1940.0,
+            },
             1375.0,
         )
     }

@@ -48,7 +48,9 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds the memory system for a device configuration.
     pub fn new(cfg: &GpuConfig) -> Self {
-        let l1 = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1.clone())).collect();
+        let l1 = (0..cfg.num_sms)
+            .map(|_| Cache::new(cfg.l1.clone()))
+            .collect();
         let l2 = Cache::new(cfg.l2.clone());
         let dram = Dram::new(&cfg.dram, cfg.dram_bytes_per_cycle());
         MemorySystem {
@@ -98,8 +100,9 @@ impl MemorySystem {
                 }
                 let mut completion = now;
                 let mut outcome = AccessOutcome::L1Hit;
-                let per_line_bytes =
-                    (bytes as u64 / lines.len().max(1) as u64).max(1).min(self.l2.line_bytes());
+                let per_line_bytes = (bytes as u64 / lines.len().max(1) as u64)
+                    .max(1)
+                    .min(self.l2.line_bytes());
                 for line in lines.iter() {
                     let (done, line_outcome) = self.load_line(sm, line, per_line_bytes, now);
                     completion = completion.max(done);
@@ -110,17 +113,14 @@ impl MemorySystem {
         }
     }
 
-    fn load_line(
-        &mut self,
-        sm: usize,
-        line: u64,
-        bytes: u64,
-        now: u64,
-    ) -> (u64, AccessOutcome) {
+    fn load_line(&mut self, sm: usize, line: u64, bytes: u64, now: u64) -> (u64, AccessOutcome) {
         if self.l1[sm].access(line, now) {
             // An in-flight prefetch fill delays the hit until the data lands.
             let ready = self.pending_l1_ready(sm, line, now);
-            return (ready.max(now) + self.l1[sm].hit_latency(), AccessOutcome::L1Hit);
+            return (
+                ready.max(now) + self.l1[sm].hit_latency(),
+                AccessOutcome::L1Hit,
+            );
         }
         if self.l2.access(line, now) {
             let ready = self.pending_l2_ready(line, now);

@@ -64,10 +64,12 @@ impl Occupancy {
         let by_regs = cfg.registers_per_sm / regs_per_block;
         let by_warps = cfg.max_warps_per_sm as u32 / warps_per_block;
         let by_blocks = cfg.max_blocks_per_sm as u32;
-        let by_smem = if launch.shared_mem_per_block == 0 {
-            u32::MAX
-        } else {
-            (cfg.shared_mem_per_sm / launch.shared_mem_per_block) as u32
+        let by_smem = match cfg
+            .shared_mem_per_sm
+            .checked_div(launch.shared_mem_per_block)
+        {
+            None => u32::MAX,
+            Some(blocks) => blocks as u32,
         };
         assert!(
             by_smem >= 1,
@@ -76,7 +78,11 @@ impl Occupancy {
             launch.shared_mem_per_block,
             cfg.shared_mem_per_sm
         );
-        assert!(by_warps >= 1, "block of kernel '{}' has too many warps", launch.name);
+        assert!(
+            by_warps >= 1,
+            "block of kernel '{}' has too many warps",
+            launch.name
+        );
 
         let mut blocks_per_sm = by_regs.min(by_warps).min(by_blocks).min(by_smem);
         let mut limiter = if blocks_per_sm == by_regs {
@@ -126,7 +132,7 @@ pub fn regs_per_thread_for_target_warps(
 ) -> Option<u32> {
     let warps_per_block = threads_per_block.div_ceil(cfg.warp_size);
     if target_warps_per_sm == 0
-        || target_warps_per_sm % warps_per_block != 0
+        || !target_warps_per_sm.is_multiple_of(warps_per_block)
         || target_warps_per_sm > cfg.max_warps_per_sm as u32
     {
         return None;
@@ -145,8 +151,7 @@ pub fn regs_per_thread_for_target_warps(
     // Register allocation granularity means not every warp count is exactly
     // reachable (e.g. 56 warps on an A100 with 256-thread blocks); verify the
     // forward mapping before reporting success.
-    let achieved_blocks =
-        cfg.registers_per_sm / (per_thread * cfg.warp_size * warps_per_block);
+    let achieved_blocks = cfg.registers_per_sm / (per_thread * cfg.warp_size * warps_per_block);
     let achieved_blocks = achieved_blocks
         .min(cfg.max_warps_per_sm as u32 / warps_per_block)
         .min(cfg.max_blocks_per_sm as u32);

@@ -97,8 +97,14 @@ impl PointerChaseKernel {
     /// warp spread over `footprint_bytes` of memory.
     pub fn new(chain_len: u32, footprint_bytes: u64) -> Self {
         assert!(chain_len > 0, "chain must contain at least one load");
-        assert!(footprint_bytes >= 128, "footprint must cover at least one line");
-        PointerChaseKernel { chain_len, footprint_bytes }
+        assert!(
+            footprint_bytes >= 128,
+            "footprint must cover at least one line"
+        );
+        PointerChaseKernel {
+            chain_len,
+            footprint_bytes,
+        }
     }
 }
 
@@ -159,7 +165,11 @@ impl WarpProgram for ChaseWarp {
             self.emit_load = true;
             self.remaining -= 1;
             // The "pointer dereference": depends on the just-loaded value.
-            Some(Instruction::Alu { dst: 1, srcs: SrcSet::one(1), latency: 0 })
+            Some(Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::one(1),
+                latency: 0,
+            })
         }
     }
 }
@@ -248,7 +258,10 @@ mod tests {
         let launch = KernelLaunch::new("chase", 4, 128).with_regs_per_thread(32);
         let hot = sim.run(&launch, &PointerChaseKernel::new(64, 4 * 1024));
         let cold = sim.run(&launch, &PointerChaseKernel::new(64, 1 << 28));
-        assert!(hot.l1_hit_rate_pct() + hot.l2_hit_rate_pct() > cold.l1_hit_rate_pct() + cold.l2_hit_rate_pct());
+        assert!(
+            hot.l1_hit_rate_pct() + hot.l2_hit_rate_pct()
+                > cold.l1_hit_rate_pct() + cold.l2_hit_rate_pct()
+        );
         assert!(hot.elapsed_cycles < cold.elapsed_cycles);
     }
 

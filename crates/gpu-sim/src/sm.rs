@@ -143,7 +143,11 @@ mod tests {
         let insts: Vec<Instruction> = (0..n)
             .map(|i| Instruction::Alu {
                 dst: 1,
-                srcs: if i == 0 { SrcSet::none() } else { SrcSet::one(1) },
+                srcs: if i == 0 {
+                    SrcSet::none()
+                } else {
+                    SrcSet::one(1)
+                },
                 latency,
             })
             .collect();

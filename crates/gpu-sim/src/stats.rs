@@ -253,9 +253,18 @@ impl KernelStats {
     /// Renders the statistics as the rows used by the paper's NCU tables.
     pub fn ncu_rows(&self) -> Vec<(String, String)> {
         vec![
-            ("Kernel time (us)".into(), format!("{:.1}", self.kernel_time_us())),
-            ("#load insts (M)".into(), format!("{:.2}", self.load_insts_millions())),
-            ("SM Throughput %".into(), format!("{:.2}", self.sm_throughput_pct())),
+            (
+                "Kernel time (us)".into(),
+                format!("{:.1}", self.kernel_time_us()),
+            ),
+            (
+                "#load insts (M)".into(),
+                format!("{:.2}", self.load_insts_millions()),
+            ),
+            (
+                "SM Throughput %".into(),
+                format!("{:.2}", self.sm_throughput_pct()),
+            ),
             (
                 "warp cycles per executed inst".into(),
                 format!("{:.2}", self.warp_cycles_per_executed_inst()),
@@ -268,10 +277,22 @@ impl KernelStats {
                 "issued warp per scheduler per cycle".into(),
                 format!("{:.2}", self.issued_per_scheduler_per_cycle()),
             ),
-            ("Global L1$ hit rate %".into(), format!("{:.2}", self.l1_hit_rate_pct())),
-            ("L2$ hit rate %".into(), format!("{:.2}", self.l2_hit_rate_pct())),
-            ("Device Memory size read (MB)".into(), format!("{:.2}", self.device_mem_read_mb())),
-            ("Avg HBM Read BW (GBps)".into(), format!("{:.1}", self.avg_hbm_read_bw_gbps())),
+            (
+                "Global L1$ hit rate %".into(),
+                format!("{:.2}", self.l1_hit_rate_pct()),
+            ),
+            (
+                "L2$ hit rate %".into(),
+                format!("{:.2}", self.l2_hit_rate_pct()),
+            ),
+            (
+                "Device Memory size read (MB)".into(),
+                format!("{:.2}", self.device_mem_read_mb()),
+            ),
+            (
+                "Avg HBM Read BW (GBps)".into(),
+                format!("{:.1}", self.avg_hbm_read_bw_gbps()),
+            ),
             (
                 "Avg HBM Read BW Utilization (%)".into(),
                 format!("{:.2}", self.hbm_read_bw_utilization_pct()),

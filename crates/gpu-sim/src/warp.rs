@@ -118,13 +118,18 @@ impl WarpContext {
     fn operand_readiness(&self, inst: &Instruction) -> (u64, DepKind) {
         let mut ready = 0u64;
         let mut kind = DepKind::None;
-        let mut consider = |reg: u8, reg_ready: &[u64; TRACKED_REGS], reg_long: &[bool; TRACKED_REGS]| {
-            let r = reg_ready[reg as usize];
-            if r > ready {
-                ready = r;
-                kind = if reg_long[reg as usize] { DepKind::Long } else { DepKind::Short };
-            }
-        };
+        let mut consider =
+            |reg: u8, reg_ready: &[u64; TRACKED_REGS], reg_long: &[bool; TRACKED_REGS]| {
+                let r = reg_ready[reg as usize];
+                if r > ready {
+                    ready = r;
+                    kind = if reg_long[reg as usize] {
+                        DepKind::Long
+                    } else {
+                        DepKind::Short
+                    };
+                }
+            };
         match inst {
             Instruction::Load { addr_dep, .. } | Instruction::Prefetch { addr_dep, .. } => {
                 // Indirect accesses cannot issue until their address operand
@@ -157,8 +162,14 @@ impl WarpContext {
         cfg: &GpuConfig,
         counters: &mut RawCounters,
     ) -> bool {
-        assert!(self.is_ready(now), "scheduler issued a warp that was not ready");
-        let inst = self.pending.take().expect("ready warp must have a pending instruction");
+        assert!(
+            self.is_ready(now),
+            "scheduler issued a warp that was not ready"
+        );
+        let inst = self
+            .pending
+            .take()
+            .expect("ready warp must have a pending instruction");
 
         // ---- stall attribution for the cycles since the previous issue ----
         let prev = self.last_issue;
@@ -178,25 +189,49 @@ impl WarpContext {
         counters.insts_issued += 1;
         self.insts_issued += 1;
         match inst {
-            Instruction::Load { space, lines, dst, bytes, addr_dep: _ } => {
+            Instruction::Load {
+                space,
+                lines,
+                dst,
+                bytes,
+                addr_dep: _,
+            } => {
                 counters.load_insts += 1;
                 if space == MemSpace::Local {
                     counters.local_load_insts += 1;
                 }
-                let (done, _outcome) = mem.load(self.info.sm_id as usize, space, &lines, bytes, now);
+                let (done, _outcome) =
+                    mem.load(self.info.sm_id as usize, space, &lines, bytes, now);
                 self.reg_ready[dst as usize] = done;
                 self.reg_long[dst as usize] = space.is_long_scoreboard();
             }
-            Instruction::Store { space, lines, src: _, bytes } => {
+            Instruction::Store {
+                space,
+                lines,
+                src: _,
+                bytes,
+            } => {
                 counters.store_insts += 1;
                 mem.store(self.info.sm_id as usize, space, &lines, bytes, now);
             }
-            Instruction::Prefetch { target, lines, addr_dep: _ } => {
+            Instruction::Prefetch {
+                target,
+                lines,
+                addr_dep: _,
+            } => {
                 counters.prefetch_insts += 1;
                 mem.prefetch(self.info.sm_id as usize, target, &lines, now);
             }
-            Instruction::Alu { dst, srcs: _, latency } => {
-                let lat = if latency == 0 { cfg.alu_latency } else { latency as u64 };
+            Instruction::Alu {
+                dst,
+                srcs: _,
+                latency,
+            } => {
+                let lat = if latency == 0 {
+                    cfg.alu_latency
+                } else {
+                    latency as u64
+                };
                 self.reg_ready[dst as usize] = now + lat;
                 self.reg_long[dst as usize] = false;
             }
@@ -242,7 +277,11 @@ mod tests {
     fn load_use_dependency_accrues_long_scoreboard_stall() {
         let insts = vec![
             Instruction::global_load(0, 1, 128),
-            Instruction::Alu { dst: 2, srcs: SrcSet::two(1, 2), latency: 0 },
+            Instruction::Alu {
+                dst: 2,
+                srcs: SrcSet::two(1, 2),
+                latency: 0,
+            },
         ];
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();
@@ -263,9 +302,21 @@ mod tests {
     #[test]
     fn independent_alu_ops_issue_back_to_back() {
         let insts = vec![
-            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 0 },
-            Instruction::Alu { dst: 2, srcs: SrcSet::none(), latency: 0 },
-            Instruction::Alu { dst: 3, srcs: SrcSet::none(), latency: 0 },
+            Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::none(),
+                latency: 0,
+            },
+            Instruction::Alu {
+                dst: 2,
+                srcs: SrcSet::none(),
+                latency: 0,
+            },
+            Instruction::Alu {
+                dst: 3,
+                srcs: SrcSet::none(),
+                latency: 0,
+            },
         ];
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();
@@ -281,8 +332,16 @@ mod tests {
     #[test]
     fn alu_dependency_is_short_scoreboard() {
         let insts = vec![
-            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 8 },
-            Instruction::Alu { dst: 2, srcs: SrcSet::one(1), latency: 0 },
+            Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::none(),
+                latency: 8,
+            },
+            Instruction::Alu {
+                dst: 2,
+                srcs: SrcSet::one(1),
+                latency: 0,
+            },
         ];
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();
@@ -297,8 +356,16 @@ mod tests {
     #[test]
     fn not_selected_stall_when_issue_is_delayed_past_readiness() {
         let insts = vec![
-            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 0 },
-            Instruction::Alu { dst: 2, srcs: SrcSet::none(), latency: 0 },
+            Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::none(),
+                latency: 0,
+            },
+            Instruction::Alu {
+                dst: 2,
+                srcs: SrcSet::none(),
+                latency: 0,
+            },
         ];
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();
@@ -317,7 +384,11 @@ mod tests {
                 lines: LineSet::single(0),
                 addr_dep: None,
             },
-            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 0 },
+            Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::none(),
+                latency: 0,
+            },
         ];
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();
@@ -343,7 +414,10 @@ mod tests {
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();
         warp.issue(1, &mut mem, &cfg, &mut counters);
-        assert!(warp.ready_at() > 100, "store must wait for the loaded value");
+        assert!(
+            warp.ready_at() > 100,
+            "store must wait for the loaded value"
+        );
         let r = warp.ready_at();
         warp.issue(r, &mut mem, &cfg, &mut counters);
         assert_eq!(counters.store_insts, 1);
@@ -353,8 +427,16 @@ mod tests {
     #[should_panic(expected = "not ready")]
     fn issuing_unready_warp_panics() {
         let insts = vec![
-            Instruction::Alu { dst: 1, srcs: SrcSet::none(), latency: 10 },
-            Instruction::Alu { dst: 2, srcs: SrcSet::one(1), latency: 0 },
+            Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::none(),
+                latency: 10,
+            },
+            Instruction::Alu {
+                dst: 2,
+                srcs: SrcSet::one(1),
+                latency: 0,
+            },
         ];
         let (mut warp, mut mem, cfg) = make_warp(insts);
         let mut counters = RawCounters::default();

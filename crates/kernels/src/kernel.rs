@@ -23,7 +23,9 @@ use std::sync::Arc;
 
 use dlrm_datasets::EmbeddingTrace;
 use gpu_sim::isa::SrcSet;
-use gpu_sim::{Instruction, KernelProgram, LineSet, MemSpace, PrefetchTarget, WarpInfo, WarpProgram};
+use gpu_sim::{
+    Instruction, KernelProgram, LineSet, MemSpace, PrefetchTarget, WarpInfo, WarpProgram,
+};
 
 use crate::layout::TableLayout;
 use crate::spec::{BufferStation, EmbeddingKernelSpec};
@@ -53,7 +55,11 @@ impl EmbeddingBagKernel {
     /// Creates the kernel for a workload and build specification.
     pub fn new(workload: EmbeddingWorkload, spec: EmbeddingKernelSpec) -> Self {
         let name = spec.name();
-        EmbeddingBagKernel { workload, spec, name }
+        EmbeddingBagKernel {
+            workload,
+            spec,
+            name,
+        }
     }
 
     /// The build specification of this kernel.
@@ -69,7 +75,10 @@ impl EmbeddingBagKernel {
 
 impl KernelProgram for EmbeddingBagKernel {
     fn warp_program(&self, info: WarpInfo) -> Box<dyn WarpProgram> {
-        match self.workload.warp_assignment(info.block_id, info.warp_in_block) {
+        match self
+            .workload
+            .warp_assignment(info.block_id, info.warp_in_block)
+        {
             None => Box::new(EmptyWarp),
             Some(assignment) => Box::new(EmbeddingWarp {
                 trace: Arc::clone(&self.workload.trace),
@@ -129,11 +138,16 @@ impl EmbeddingWarp {
     }
 
     fn row_line(&self, i: u32) -> u64 {
-        self.layout.row_chunk_line(self.lookup_row(i), self.assignment.chunk)
+        self.layout
+            .row_chunk_line(self.lookup_row(i), self.assignment.chunk)
     }
 
     fn push_overhead(&mut self) {
-        self.queue.push_back(Instruction::Alu { dst: R_LOOP, srcs: SrcSet::none(), latency: 0 });
+        self.queue.push_back(Instruction::Alu {
+            dst: R_LOOP,
+            srcs: SrcSet::none(),
+            latency: 0,
+        });
     }
 
     fn push_spill_traffic(&mut self, iteration: u32) {
@@ -191,7 +205,11 @@ impl EmbeddingWarp {
             srcs: SrcSet::one(R_LOOP),
             latency: 0,
         });
-        self.queue.push_back(Instruction::Alu { dst: R_ACC, srcs: SrcSet::none(), latency: 0 });
+        self.queue.push_back(Instruction::Alu {
+            dst: R_ACC,
+            srcs: SrcSet::none(),
+            latency: 0,
+        });
     }
 
     /// The unmodified gather-reduce iteration (base and OptMT builds).
@@ -199,7 +217,11 @@ impl EmbeddingWarp {
         self.push_overhead();
         self.push_overhead();
         self.push_index_load(i, R_IDX);
-        self.queue.push_back(Instruction::Alu { dst: R_ADDR, srcs: SrcSet::one(R_IDX), latency: 0 });
+        self.queue.push_back(Instruction::Alu {
+            dst: R_ADDR,
+            srcs: SrcSet::one(R_IDX),
+            latency: 0,
+        });
         self.push_gather(i, R_VAL, R_ADDR);
         self.queue.push_back(Instruction::Alu {
             dst: R_ACC,
@@ -416,7 +438,15 @@ mod tests {
         // Exactly one output store.
         let stores = insts
             .iter()
-            .filter(|i| matches!(i, Instruction::Store { space: MemSpace::Global, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::Store {
+                        space: MemSpace::Global,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(stores, 1);
     }
@@ -428,12 +458,24 @@ mod tests {
         let insts = drain(&kernel, 0, 0);
         let gathers: Vec<&Instruction> = insts
             .iter()
-            .filter(|i| matches!(i, Instruction::Load { bytes: 128, space: MemSpace::Global, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::Load {
+                        bytes: 128,
+                        space: MemSpace::Global,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert!(!gathers.is_empty());
         assert!(gathers.iter().all(|i| matches!(
             i,
-            Instruction::Load { addr_dep: Some(_), .. }
+            Instruction::Load {
+                addr_dep: Some(_),
+                ..
+            }
         )));
     }
 
@@ -447,9 +489,12 @@ mod tests {
             insts
                 .iter()
                 .find_map(|i| match i {
-                    Instruction::Load { bytes: 128, lines, space: MemSpace::Global, .. } => {
-                        Some(lines.iter().next().unwrap())
-                    }
+                    Instruction::Load {
+                        bytes: 128,
+                        lines,
+                        space: MemSpace::Global,
+                        ..
+                    } => Some(lines.iter().next().unwrap()),
                     _ => None,
                 })
                 .unwrap()
@@ -488,7 +533,15 @@ mod tests {
         let insts = drain(&smpf.kernel(&w), 0, 0);
         let shared_stores = insts
             .iter()
-            .filter(|i| matches!(i, Instruction::Store { space: MemSpace::Shared, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::Store {
+                        space: MemSpace::Shared,
+                        ..
+                    }
+                )
+            })
             .count();
         let shared_loads = count_loads(&insts, MemSpace::Shared);
         assert_eq!(shared_stores, 16);
@@ -512,7 +565,15 @@ mod tests {
         let insts = drain(&spec.kernel(&w), 0, 0);
         let prefetches = insts
             .iter()
-            .filter(|i| matches!(i, Instruction::Prefetch { target: PrefetchTarget::L1, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::Prefetch {
+                        target: PrefetchTarget::L1,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(prefetches, 16);
         // Demand gathers are still issued, so global loads match the base.
@@ -524,8 +585,7 @@ mod tests {
         let w = small_workload(AccessPattern::MedHot);
         let base_len = drain(&EmbeddingKernelSpec::base().kernel(&w), 0, 0).len();
         for station in BufferStation::ALL {
-            let spec = EmbeddingKernelSpec::base()
-                .with_prefetch(PrefetchConfig::new(station, 4));
+            let spec = EmbeddingKernelSpec::base().with_prefetch(PrefetchConfig::new(station, 4));
             let len = drain(&spec.kernel(&w), 0, 0).len();
             assert!(
                 len >= base_len,

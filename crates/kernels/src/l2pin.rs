@@ -53,7 +53,11 @@ impl PinPlan {
                 lines.push(workload.layout.row_chunk_line(row, chunk));
             }
         }
-        PinPlan { pinned_rows: rows.len(), lines: Arc::new(lines), carveout_bytes }
+        PinPlan {
+            pinned_rows: rows.len(),
+            lines: Arc::new(lines),
+            carveout_bytes,
+        }
     }
 
     /// Number of rows the plan pins.
@@ -98,7 +102,12 @@ impl PinPlan {
         // 8 warps per block, one warp per batch of lines.
         let blocks = (total_warp_batches as u32).div_ceil(8).max(1);
         let launch = KernelLaunch::new("l2_pin", blocks, 256).with_regs_per_thread(32);
-        (launch, L2PinKernel { lines: Arc::clone(&self.lines) })
+        (
+            launch,
+            L2PinKernel {
+                lines: Arc::clone(&self.lines),
+            },
+        )
     }
 }
 
@@ -113,7 +122,11 @@ impl KernelProgram for L2PinKernel {
     fn warp_program(&self, info: WarpInfo) -> Box<dyn WarpProgram> {
         let start = info.global_warp_id as usize * LINES_PER_WARP;
         let end = (start + LINES_PER_WARP).min(self.lines.len());
-        Box::new(PinWarp { lines: Arc::clone(&self.lines), pos: start.min(end), end })
+        Box::new(PinWarp {
+            lines: Arc::clone(&self.lines),
+            pos: start.min(end),
+            end,
+        })
     }
 
     fn name(&self) -> &str {
@@ -137,7 +150,11 @@ impl WarpProgram for PinWarp {
             set.push(self.lines[self.pos]);
             self.pos += 1;
         }
-        Some(Instruction::Prefetch { target: PrefetchTarget::L2EvictLast, lines: set, addr_dep: None })
+        Some(Instruction::Prefetch {
+            target: PrefetchTarget::L2EvictLast,
+            lines: set,
+            addr_dep: None,
+        })
     }
 }
 
@@ -197,7 +214,10 @@ mod tests {
         let mut mem = MemorySystem::new(&cfg);
         mem.set_l2_persisting_carveout(cfg.l2_max_persisting_bytes(), &cfg);
         let stats = sim.run_with_memory(&launch, &kernel, &mut mem, 0);
-        assert_eq!(stats.counters.prefetch_insts as usize, plan.pinned_lines().div_ceil(4));
+        assert_eq!(
+            stats.counters.prefetch_insts as usize,
+            plan.pinned_lines().div_ceil(4)
+        );
         assert!(mem.l2().persistent_lines() > 0);
     }
 

@@ -46,8 +46,17 @@ impl TableLayout {
         total_lookups: u64,
         output_bytes: u64,
     ) -> Self {
-        assert!(num_rows > 0 && row_bytes > 0, "table must have rows and a row width");
-        TableLayout { table_index, num_rows, row_bytes, total_lookups, output_bytes }
+        assert!(
+            num_rows > 0 && row_bytes > 0,
+            "table must have rows and a row width"
+        );
+        TableLayout {
+            table_index,
+            num_rows,
+            row_bytes,
+            total_lookups,
+            output_bytes,
+        }
     }
 
     /// Size of the weight region of one table, aligned up to 1 MiB so table
@@ -66,7 +75,11 @@ impl TableLayout {
     /// # Panics
     /// Panics if the row is out of range.
     pub fn row_element_addr(&self, row: u64, byte_offset: u64) -> u64 {
-        assert!(row < self.num_rows, "row {row} out of range ({} rows)", self.num_rows);
+        assert!(
+            row < self.num_rows,
+            "row {row} out of range ({} rows)",
+            self.num_rows
+        );
         self.weights_base() + row * self.row_bytes + byte_offset
     }
 
@@ -100,8 +113,7 @@ impl TableLayout {
 
     /// The cache line of the 128-byte output chunk written by one warp.
     pub fn output_chunk_line(&self, bag: u64, chunk: u32, embedding_dim: u32) -> u64 {
-        let addr =
-            self.output_base() + bag * embedding_dim as u64 * 4 + chunk as u64 * LINE_BYTES;
+        let addr = self.output_base() + bag * embedding_dim as u64 * 4 + chunk as u64 * LINE_BYTES;
         addr / LINE_BYTES * LINE_BYTES
     }
 

@@ -26,7 +26,11 @@ impl SyntheticTable {
     /// Creates a synthetic table.
     pub fn new(num_rows: u64, embedding_dim: u32, seed: u64) -> Self {
         assert!(num_rows > 0 && embedding_dim > 0, "table must be non-empty");
-        SyntheticTable { num_rows, embedding_dim, seed }
+        SyntheticTable {
+            num_rows,
+            embedding_dim,
+            seed,
+        }
     }
 
     /// The value stored at `(row, col)`.
@@ -50,7 +54,9 @@ impl SyntheticTable {
 
     /// Materialises one full row (mainly useful for tests).
     pub fn row(&self, row: u64) -> Vec<f32> {
-        (0..self.embedding_dim).map(|c| self.value(row, c)).collect()
+        (0..self.embedding_dim)
+            .map(|c| self.value(row, c))
+            .collect()
     }
 }
 
@@ -65,7 +71,10 @@ pub fn embedding_bag_forward(table: &SyntheticTable, trace: &EmbeddingTrace) -> 
     let mut out = vec![0.0f32; trace.num_bags() * ed];
     for bag in 0..trace.num_bags() {
         for &row in trace.bag(bag) {
-            assert!((row as u64) < table.num_rows, "trace references row {row} beyond the table");
+            assert!(
+                (row as u64) < table.num_rows,
+                "trace references row {row} beyond the table"
+            );
             for col in 0..ed {
                 out[bag * ed + col] += table.value(row as u64, col as u32);
             }

@@ -115,7 +115,10 @@ pub struct EmbeddingKernelSpec {
 impl EmbeddingKernelSpec {
     /// The off-the-shelf PyTorch kernel (74 registers, no prefetching).
     pub fn base() -> Self {
-        EmbeddingKernelSpec { prefetch: None, max_registers: None }
+        EmbeddingKernelSpec {
+            prefetch: None,
+            max_registers: None,
+        }
     }
 
     /// The paper's OptMT build on an A100: `-maxrregcount 48`, which yields
@@ -223,9 +226,13 @@ impl EmbeddingKernelSpec {
 
     /// The kernel launch configuration for this variant over `workload`.
     pub fn launch(&self, workload: &EmbeddingWorkload) -> KernelLaunch {
-        KernelLaunch::new(self.name(), workload.config.grid_blocks(), THREADS_PER_BLOCK)
-            .with_regs_per_thread(self.allocated_regs())
-            .with_shared_mem_per_block(self.shared_mem_per_block())
+        KernelLaunch::new(
+            self.name(),
+            workload.config.grid_blocks(),
+            THREADS_PER_BLOCK,
+        )
+        .with_regs_per_thread(self.allocated_regs())
+        .with_shared_mem_per_block(self.shared_mem_per_block())
     }
 
     /// Builds the kernel program for this variant over `workload`.
@@ -261,8 +268,8 @@ impl Default for EmbeddingKernelSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlrm_datasets::{AccessPattern, TraceConfig};
     use crate::workload::EmbeddingConfig;
+    use dlrm_datasets::{AccessPattern, TraceConfig};
 
     fn workload() -> EmbeddingWorkload {
         // The batch must be large enough that the grid (batch * 128 / 256
@@ -352,7 +359,10 @@ mod tests {
     #[test]
     fn optimal_distances_match_paper() {
         assert_eq!(BufferStation::Register.optimal_distance_without_optmt(), 4);
-        assert_eq!(BufferStation::SharedMem.optimal_distance_without_optmt(), 10);
+        assert_eq!(
+            BufferStation::SharedMem.optimal_distance_without_optmt(),
+            10
+        );
         assert_eq!(BufferStation::LocalMem.optimal_distance_without_optmt(), 10);
         assert_eq!(BufferStation::L1Cache.optimal_distance_without_optmt(), 5);
         for s in BufferStation::ALL {

@@ -29,14 +29,18 @@ impl EmbeddingConfig {
     /// or does not evenly tile a 256-thread block.
     pub fn new(trace: TraceConfig, embedding_dim: u32) -> Self {
         assert!(
-            embedding_dim >= 32 && embedding_dim % 32 == 0,
+            embedding_dim >= 32 && embedding_dim.is_multiple_of(32),
             "embedding dimension must be a positive multiple of the 32-thread warp"
         );
         assert!(
-            THREADS_PER_BLOCK % embedding_dim == 0 || embedding_dim % THREADS_PER_BLOCK == 0,
+            THREADS_PER_BLOCK.is_multiple_of(embedding_dim)
+                || embedding_dim.is_multiple_of(THREADS_PER_BLOCK),
             "embedding dimension must tile the 256-thread block"
         );
-        EmbeddingConfig { trace, embedding_dim }
+        EmbeddingConfig {
+            trace,
+            embedding_dim,
+        }
     }
 
     /// The paper's full-scale configuration: 500K rows x 128 elements,
@@ -99,7 +103,11 @@ impl EmbeddingWorkload {
         table_index: u32,
         seed: u64,
     ) -> Self {
-        let trace = Arc::new(config.trace.generate(pattern, seed.wrapping_add(table_index as u64)));
+        let trace = Arc::new(
+            config
+                .trace
+                .generate(pattern, seed.wrapping_add(table_index as u64)),
+        );
         Self::from_trace(config, trace, table_index)
     }
 
@@ -123,7 +131,11 @@ impl EmbeddingWorkload {
             config.trace.total_lookups(),
             config.trace.batch_size as u64 * config.row_bytes(),
         );
-        EmbeddingWorkload { config, trace, layout }
+        EmbeddingWorkload {
+            config,
+            trace,
+            layout,
+        }
     }
 
     /// The access pattern of the underlying trace.
@@ -143,7 +155,11 @@ impl EmbeddingWorkload {
         if bag >= self.config.trace.batch_size as u64 {
             return None;
         }
-        Some(WarpAssignment { bag, chunk, pooling_factor: self.config.trace.pooling_factor })
+        Some(WarpAssignment {
+            bag,
+            chunk,
+            pooling_factor: self.config.trace.pooling_factor,
+        })
     }
 
     /// The row index of lookup `i` of `bag`.
@@ -212,7 +228,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(seen.len() as u64, 64 * 4, "every (bag, chunk) pair appears exactly once");
+        assert_eq!(
+            seen.len() as u64,
+            64 * 4,
+            "every (bag, chunk) pair appears exactly once"
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! under an SLA.
 //!
 //! The example (1) runs the functional DLRM forward pass to rank ads for a
-//! batch of requests, and (2) compares the batch latency of the baseline
-//! deployment against the paper's optimization schemes for each table mix,
-//! reporting which deployments meet the SLA.
+//! batch of requests, and (2) runs one `Campaign` — mixes × schemes,
+//! end-to-end, in parallel across cores — comparing every deployment's
+//! batch latency against the SLA.
 //!
 //! ```text
 //! cargo run --release --example ad_serving
@@ -14,22 +14,35 @@
 use dlrm::{DlrmConfig, DlrmForward, WorkloadScale};
 use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
 use gpu_sim::GpuConfig;
-use perf_envelope::{ExperimentContext, Scheme};
+use perf_envelope::{Campaign, Experiment, Scheme, Workload};
 
 fn main() {
     // --- 1. Functional pass: rank ads for a small batch of requests. ------
     let config = DlrmConfig::at_scale(WorkloadScale::Test);
     let model = DlrmForward::new(config.clone(), 2024);
     let traces: Vec<_> = (0..config.num_tables)
-        .map(|t| config.embedding.trace.generate(AccessPattern::HighHot, 100 + t as u64))
+        .map(|t| {
+            config
+                .embedding
+                .trace
+                .generate(AccessPattern::HighHot, 100 + t as u64)
+        })
         .collect();
     let dense: Vec<f32> = (0..config.batch_size() as usize * config.bottom_mlp[0] as usize)
         .map(|i| ((i * 37) % 101) as f32 / 101.0 - 0.5)
         .collect();
     let output = model.forward(&dense, &traces);
-    println!("scored {} ad candidates; top-5 by predicted CTR:", output.batch_size());
+    println!(
+        "scored {} ad candidates; top-5 by predicted CTR:",
+        output.batch_size()
+    );
     for (rank, idx) in output.top_k(5).into_iter().enumerate() {
-        println!("  #{:<2} candidate {:<4} ctr={:.4}", rank + 1, idx, output.predictions[idx]);
+        println!(
+            "  #{:<2} candidate {:<4} ctr={:.4}",
+            rank + 1,
+            idx,
+            output.predictions[idx]
+        );
     }
 
     // --- 2. Serving latency under heterogeneous table mixes. --------------
@@ -37,25 +50,47 @@ fn main() {
         .nth(1)
         .and_then(|s| WorkloadScale::from_name(&s))
         .unwrap_or(WorkloadScale::Test);
-    let ctx = ExperimentContext::new(GpuConfig::a100(), scale);
-    let sla_ms = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(25.0f64);
-    println!("\nserving-latency study at {} scale (SLA {sla_ms:.1} ms per batch):", scale.name());
+    let sla_ms = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25.0f64);
+    println!(
+        "\nserving-latency study at {} scale (SLA {sla_ms:.1} ms per batch):",
+        scale.name()
+    );
 
-    for kind in MixKind::ALL {
-        let mix = HeterogeneousMix::paper_mix(kind, 1.0);
+    let mixes: Vec<HeterogeneousMix> = MixKind::ALL
+        .into_iter()
+        .map(|kind| HeterogeneousMix::paper_mix(kind, 1.0))
+        .collect();
+    let schemes = [
+        Scheme::base(),
+        Scheme::optmt(),
+        Scheme::rpf_optmt(),
+        Scheme::combined(),
+    ];
+    let run = Campaign::new(Experiment::new(GpuConfig::a100(), scale))
+        .workloads(mixes.iter().cloned().map(Workload::end_to_end))
+        .schemes(schemes)
+        .run();
+
+    for (w, mix) in mixes.iter().enumerate() {
         println!("\n--- {} ({} tables) ---", mix.name(), mix.total_tables());
-        let base = ctx.run_end_to_end_mix(&mix, &Scheme::base());
-        for scheme in
-            [Scheme::base(), Scheme::optmt(), Scheme::rpf_optmt(), Scheme::combined()]
-        {
-            let run = ctx.run_end_to_end_mix(&mix, &scheme);
-            let meets = if run.latency.total_ms() <= sla_ms { "meets SLA" } else { "violates SLA" };
+        let base = run.get(w, 0, 0, 0);
+        for s in 0..schemes.len() {
+            let report = run.get(w, s, 0, 0);
+            let latency = report.batch_latency().expect("end-to-end run");
+            let meets = if latency.total_ms() <= sla_ms {
+                "meets SLA"
+            } else {
+                "violates SLA"
+            };
             println!(
                 "{:<16} {:>8.2} ms  (emb {:>5.1}%, {:.2}x vs base)  {}",
-                scheme.paper_label(),
-                run.latency.total_ms(),
-                run.latency.embedding_share_pct(),
-                run.speedup_over(&base),
+                report.scheme,
+                latency.total_ms(),
+                latency.embedding_share_pct(),
+                report.speedup_over(base),
                 meets
             );
         }

@@ -3,6 +3,9 @@
 //! prefetch distance (Figure 9), and compare the four prefetch buffer
 //! stations (Figure 15) — then report the chosen operating point.
 //!
+//! Each sweep is a thin `Campaign` definition under the hood, so its grid
+//! cells execute in parallel across the machine's cores.
+//!
 //! ```text
 //! cargo run --release --example design_space_exploration -- [test|default]
 //! ```
@@ -13,7 +16,7 @@ use embedding_kernels::BufferStation;
 use gpu_sim::GpuConfig;
 use perf_envelope::{
     buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,
-    prefetch_distance_sweep, register_sweep, ExperimentContext, PAPER_WARP_SWEEP,
+    prefetch_distance_sweep, register_sweep, Experiment, PAPER_WARP_SWEEP,
 };
 
 fn main() {
@@ -21,14 +24,17 @@ fn main() {
         .nth(1)
         .and_then(|s| WorkloadScale::from_name(&s))
         .unwrap_or(WorkloadScale::Test);
-    let ctx = ExperimentContext::new(GpuConfig::a100(), scale);
+    let experiment = Experiment::new(GpuConfig::a100(), scale);
     let patterns = [AccessPattern::HighHot, AccessPattern::Random];
 
     println!("== step 1: warp-level parallelism sweep (-maxrregcount) ==");
-    let points = register_sweep(&ctx, &patterns, &PAPER_WARP_SWEEP);
+    let points = register_sweep(&experiment, &patterns, &PAPER_WARP_SWEEP);
     for p in &points {
-        let speedups: Vec<String> =
-            p.speedups.iter().map(|(d, s)| format!("{d}: {s:.2}x")).collect();
+        let speedups: Vec<String> = p
+            .speedups
+            .iter()
+            .map(|(d, s)| format!("{d}: {s:.2}x"))
+            .collect();
         println!(
             "  {:>2} warps/SM ({} regs/thread): {}  [local loads {:.2} M]",
             p.target_warps,
@@ -46,24 +52,30 @@ fn main() {
     println!("== step 2: prefetch distance sweep (RPF on top of OptMT) ==");
     let distances = [1u32, 2, 4, 6, 8];
     let sweep = prefetch_distance_sweep(
-        &ctx,
+        &experiment,
         BufferStation::Register,
         &distances,
         &patterns,
         true,
     );
     for p in &sweep {
-        let speedups: Vec<String> =
-            p.speedups.iter().map(|(d, s)| format!("{d}: {s:.2}x")).collect();
+        let speedups: Vec<String> = p
+            .speedups
+            .iter()
+            .map(|(d, s)| format!("{d}: {s:.2}x"))
+            .collect();
         println!("  distance {:>2}: {}", p.distance, speedups.join(", "));
     }
     let best_distance = find_optimal_distance(&sweep).expect("sweep produced points");
     println!("  -> optimal prefetch distance = {best_distance}\n");
 
     println!("== step 3: buffer-station comparison (with OptMT) ==");
-    for row in buffer_station_comparison(&ctx, &patterns, true) {
-        let speedups: Vec<String> =
-            row.speedups.iter().map(|(d, s)| format!("{d}: {s:.2}x")).collect();
+    for row in buffer_station_comparison(&experiment, &patterns, true) {
+        let speedups: Vec<String> = row
+            .speedups
+            .iter()
+            .map(|(d, s)| format!("{d}: {s:.2}x"))
+            .collect();
         println!(
             "  {:<6} (distance {:>2}): {}",
             row.station.abbreviation(),

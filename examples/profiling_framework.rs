@@ -9,7 +9,7 @@
 use dlrm::WorkloadScale;
 use dlrm_datasets::AccessPattern;
 use gpu_sim::GpuConfig;
-use perf_envelope::{ExperimentContext, Scheme, StaticProfiler, WorkloadHint};
+use perf_envelope::{Experiment, Scheme, StaticProfiler, Workload, WorkloadHint};
 
 fn main() {
     let scale = std::env::args()
@@ -22,18 +22,21 @@ fn main() {
         .unwrap_or(AccessPattern::MedHot);
 
     let gpu = GpuConfig::a100();
-    let ctx = ExperimentContext::new(gpu.clone(), scale);
-    println!("profiling the off-the-shelf embedding-bag kernel on {} ({pattern})\n", gpu.name);
+    let experiment = Experiment::new(gpu.clone(), scale);
+    println!(
+        "profiling the off-the-shelf embedding-bag kernel on {} ({pattern})\n",
+        gpu.name
+    );
 
     // Step 0: run the baseline kernel and collect its NCU-style statistics.
-    let baseline = ctx.run_embedding_kernel(pattern, &Scheme::base());
-    println!("{baseline}");
+    let baseline = experiment.run(&Workload::kernel(pattern), &Scheme::base());
+    println!("{}", baseline.stats);
 
     // The profiler additionally needs the workload's reuse structure, which
     // an offline trace analysis provides.
-    let trace = ctx.model().embedding.trace.generate(pattern, 1);
+    let trace = experiment.model().embedding.trace.generate(pattern, 1);
     let hint = WorkloadHint {
-        working_set_bytes: trace.working_set_bytes(ctx.model().embedding.row_bytes()),
+        working_set_bytes: trace.working_set_bytes(experiment.model().embedding.row_bytes()),
         access_skew: trace.coverage_curve().skew(),
     };
     println!(
@@ -43,18 +46,19 @@ fn main() {
     );
 
     // Steps (i)-(vii): walk the framework.
-    let report = StaticProfiler::new().analyze(&baseline, &gpu, &hint);
+    let report = StaticProfiler::new().analyze(&baseline.stats, &gpu, &hint);
     println!("{}", report.render());
 
     // Apply the recommendation and verify it against the baseline.
     let recommended = report.recommended;
-    let base_stage = ctx.run_embedding_stage(pattern, &Scheme::base());
-    let tuned_stage = ctx.run_embedding_stage(pattern, &recommended);
+    let stage = Workload::stage(pattern);
+    let base_stage = experiment.run(&stage, &Scheme::base());
+    let tuned_stage = experiment.run(&stage, &recommended);
     println!(
         "embedding stage: base {:.2} ms -> {} {:.2} ms ({:.2}x)",
-        base_stage.latency_us / 1e3,
-        recommended.paper_label(),
-        tuned_stage.latency_us / 1e3,
+        base_stage.latency_ms(),
+        tuned_stage.scheme,
+        tuned_stage.latency_ms(),
         tuned_stage.speedup_over(&base_stage)
     );
 }

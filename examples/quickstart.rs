@@ -1,4 +1,4 @@
-//! Quickstart: run the embedding-bag kernel under the off-the-shelf
+//! Quickstart: run end-to-end DLRM inference under the off-the-shelf
 //! configuration and under the paper's combined optimization
 //! (RPF + L2P + OptMT) on a simulated A100, and compare them.
 //!
@@ -10,46 +10,54 @@
 use dlrm::WorkloadScale;
 use dlrm_datasets::AccessPattern;
 use gpu_sim::GpuConfig;
-use perf_envelope::{ExperimentContext, Scheme};
+use perf_envelope::{Experiment, Scheme, Workload};
 
 fn main() {
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| WorkloadScale::from_name(&s))
         .unwrap_or(WorkloadScale::Test);
-    let ctx = ExperimentContext::new(GpuConfig::a100(), scale);
+    let experiment = Experiment::new(GpuConfig::a100(), scale);
     println!(
         "device: {}, workload scale: {}, batch {} x pooling {} over {} tables",
-        ctx.gpu().name,
+        experiment.gpu().name,
         scale.name(),
-        ctx.model().batch_size(),
-        ctx.model().embedding.trace.pooling_factor,
-        ctx.model().num_tables,
+        experiment.model().batch_size(),
+        experiment.model().embedding.trace.pooling_factor,
+        experiment.model().num_tables,
     );
 
     for pattern in [AccessPattern::HighHot, AccessPattern::Random] {
         println!("\n=== dataset: {pattern} ===");
-        let base = ctx.run_end_to_end(pattern, &Scheme::base());
-        let combined = ctx.run_end_to_end(pattern, &Scheme::combined());
+        let workload = Workload::end_to_end(pattern);
+        let base = experiment.run(&workload, &Scheme::base());
+        let combined = experiment.run(&workload, &Scheme::combined());
 
-        println!("base          : {}", base.latency);
-        println!("RPF+L2P+OptMT : {}", combined.latency);
+        println!(
+            "base          : {}",
+            base.batch_latency().expect("end-to-end run")
+        );
+        println!(
+            "RPF+L2P+OptMT : {}",
+            combined.batch_latency().expect("end-to-end run")
+        );
         println!(
             "embedding-only speedup: {:.2}x, end-to-end speedup: {:.2}x",
-            base.embedding.latency_us / combined.embedding.latency_us,
-            combined.latency.speedup_over(&base.latency),
+            combined.embedding_speedup_over(&base),
+            combined.speedup_over(&base),
         );
         println!(
             "base kernel profile: {:.1} long-scoreboard stall cycles/inst, {} warps/SM, L2 hit {:.1}%",
-            base.embedding.stats.long_scoreboard_per_inst(),
-            base.embedding.stats.theoretical_warps_per_sm,
-            base.embedding.stats.l2_hit_rate_pct(),
+            base.stats.long_scoreboard_per_inst(),
+            base.stats.theoretical_warps_per_sm,
+            base.stats.l2_hit_rate_pct(),
         );
         println!(
             "optimized profile  : {:.1} long-scoreboard stall cycles/inst, {} warps/SM, L2 hit {:.1}%",
-            combined.embedding.stats.long_scoreboard_per_inst(),
-            combined.embedding.stats.theoretical_warps_per_sm,
-            combined.embedding.stats.l2_hit_rate_pct(),
+            combined.stats.long_scoreboard_per_inst(),
+            combined.stats.theoretical_warps_per_sm,
+            combined.stats.l2_hit_rate_pct(),
         );
+        println!("\nas JSON: {}", combined.to_json());
     }
 }

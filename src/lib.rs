@@ -11,9 +11,13 @@
 //!   prefetching, L2 pinning) and the functional reference,
 //! * [`dlrm`] — the DLRM model, functional forward pass and non-embedding
 //!   timing model,
-//! * [`perf_envelope`] — the paper's contribution: optimization schemes, the
-//!   experiment runner, design-space exploration and the static profiling
-//!   framework.
+//! * [`perf_envelope`] — the paper's contribution behind the unified
+//!   experiment API: `Experiment::run(&Workload, &Scheme) -> RunReport`
+//!   covers every run target (kernel / embedding stage / heterogeneous mix /
+//!   end-to-end), `Campaign` executes scheme × workload × seed × pooling
+//!   grids in parallel with deterministic results, and `RunReport`
+//!   serializes to JSON. The DSE sweeps and the static profiling framework
+//!   build on the same surface.
 
 #![warn(missing_docs)]
 

@@ -1,24 +1,25 @@
 //! Cross-crate integration tests: the full pipeline from trace generation
 //! through the simulated embedding stage to end-to-end latency, exercising
-//! the paper's headline claims at test scale.
+//! the paper's headline claims at test scale through the unified
+//! `Experiment::run(&Workload, &Scheme)` entry point.
 
 use dlrm::WorkloadScale;
 use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
 use gpu_sim::GpuConfig;
-use perf_envelope::{ExperimentContext, Scheme};
+use perf_envelope::{Experiment, Scheme, Workload};
 
-fn ctx() -> ExperimentContext {
-    ExperimentContext::new(GpuConfig::test_small(), WorkloadScale::Test)
+fn exp() -> Experiment {
+    Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
 }
 
 #[test]
 fn performance_gap_grows_as_hotness_drops() {
     // Paper Figure 1 / Section III: latency increases monotonically from
     // one_item to random for the base kernel.
-    let c = ctx();
+    let e = exp();
     let mut last = 0.0;
     for pattern in AccessPattern::ALL {
-        let r = c.run_embedding_stage(pattern, &Scheme::base());
+        let r = e.run(&Workload::stage(pattern), &Scheme::base());
         assert!(
             r.latency_us >= last * 0.95,
             "{pattern} should not be meaningfully faster than hotter patterns ({:.1} vs {last:.1})",
@@ -32,10 +33,10 @@ fn performance_gap_grows_as_hotness_drops() {
 fn combined_scheme_narrows_the_one_item_random_gap() {
     // Paper Section VI-A2: the combined scheme substantially lowers the
     // worst-case gap between the fastest and slowest datasets.
-    let c = ctx();
+    let e = exp();
     let gap = |scheme: &Scheme| {
-        let fast = c.run_embedding_stage(AccessPattern::OneItem, scheme);
-        let slow = c.run_embedding_stage(AccessPattern::Random, scheme);
+        let fast = e.run(&Workload::stage(AccessPattern::OneItem), scheme);
+        let slow = e.run(&Workload::stage(AccessPattern::Random), scheme);
         slow.latency_us / fast.latency_us
     };
     let base_gap = gap(&Scheme::base());
@@ -49,10 +50,11 @@ fn combined_scheme_narrows_the_one_item_random_gap() {
 #[test]
 fn every_headline_scheme_beats_base_on_the_random_dataset() {
     // Paper Figure 12: all four schemes improve over off-the-shelf PyTorch.
-    let c = ctx();
-    let base = c.run_embedding_stage(AccessPattern::Random, &Scheme::base());
+    let e = exp();
+    let workload = Workload::stage(AccessPattern::Random);
+    let base = e.run(&workload, &Scheme::base());
     for scheme in Scheme::figure12_schemes() {
-        let r = c.run_embedding_stage(AccessPattern::Random, &scheme);
+        let r = e.run(&workload, &scheme);
         assert!(
             r.speedup_over(&base) > 1.0,
             "{} should beat base on random, got {:.3}x",
@@ -66,12 +68,13 @@ fn every_headline_scheme_beats_base_on_the_random_dataset() {
 fn end_to_end_speedup_is_bounded_by_embedding_speedup() {
     // Amdahl: the non-embedding stages are untouched, so end-to-end gains
     // can never exceed embedding-only gains (paper Figures 12 vs 13).
-    let c = ctx();
+    let e = exp();
     for pattern in [AccessPattern::MedHot, AccessPattern::Random] {
-        let base = c.run_end_to_end(pattern, &Scheme::base());
-        let opt = c.run_end_to_end(pattern, &Scheme::combined());
-        let emb_speedup = base.embedding.latency_us / opt.embedding.latency_us;
-        let e2e_speedup = opt.latency.speedup_over(&base.latency);
+        let workload = Workload::end_to_end(pattern);
+        let base = e.run(&workload, &Scheme::base());
+        let opt = e.run(&workload, &Scheme::combined());
+        let emb_speedup = opt.embedding_speedup_over(&base);
+        let e2e_speedup = opt.speedup_over(&base);
         assert!(
             e2e_speedup <= emb_speedup + 1e-9,
             "end-to-end speedup {e2e_speedup:.3} exceeded embedding speedup {emb_speedup:.3}"
@@ -83,14 +86,15 @@ fn end_to_end_speedup_is_bounded_by_embedding_speedup() {
 fn optimizations_reduce_the_embedding_share_of_latency() {
     // Paper Figure 14: with the embedding stage running faster, its share of
     // the end-to-end latency drops.
-    let c = ctx();
-    let base = c.run_end_to_end(AccessPattern::Random, &Scheme::base());
-    let opt = c.run_end_to_end(AccessPattern::Random, &Scheme::combined());
+    let e = exp();
+    let workload = Workload::end_to_end(AccessPattern::Random);
+    let base = e.run(&workload, &Scheme::base());
+    let opt = e.run(&workload, &Scheme::combined());
+    let base_share = base.batch_latency().unwrap().embedding_share_pct();
+    let opt_share = opt.batch_latency().unwrap().embedding_share_pct();
     assert!(
-        opt.latency.embedding_share_pct() < base.latency.embedding_share_pct(),
-        "embedding share should drop ({:.1}% -> {:.1}%)",
-        base.latency.embedding_share_pct(),
-        opt.latency.embedding_share_pct()
+        opt_share < base_share,
+        "embedding share should drop ({base_share:.1}% -> {opt_share:.1}%)"
     );
 }
 
@@ -98,40 +102,44 @@ fn optimizations_reduce_the_embedding_share_of_latency() {
 fn heterogeneous_mixes_behave_like_their_composition() {
     // Paper Figure 17: a mix dominated by cold tables (Mix3) is slower than
     // one dominated by hot tables (Mix1), and optimization still helps.
-    let c = ctx();
+    let e = exp();
     let mix1 = HeterogeneousMix::paper_mix(MixKind::Mix1, 0.02);
     let mix3 = HeterogeneousMix::paper_mix(MixKind::Mix3, 0.02);
-    let base1 = c.run_embedding_stage_mix(&mix1, &Scheme::base());
-    let base3 = c.run_embedding_stage_mix(&mix3, &Scheme::base());
+    let base1 = e.run(&Workload::stage(mix1), &Scheme::base());
+    let base3 = e.run(&Workload::stage(mix3.clone()), &Scheme::base());
+    let per_table = |r: &perf_envelope::RunReport| r.tables.unwrap().per_table_us;
     assert!(
-        base3.per_table_us > base1.per_table_us,
+        per_table(&base3) > per_table(&base1),
         "cold-heavy mix should be slower per table ({:.1} vs {:.1} us)",
-        base3.per_table_us,
-        base1.per_table_us
+        per_table(&base3),
+        per_table(&base1)
     );
-    let opt3 = c.run_embedding_stage_mix(&mix3, &Scheme::combined());
+    let opt3 = e.run(&Workload::stage(mix3), &Scheme::combined());
     assert!(opt3.speedup_over(&base3) > 1.0);
 }
 
 #[test]
 fn h100_preset_runs_the_same_pipeline_faster() {
     // Paper Section VI-B4: the H100 NVL lifts base performance.
-    let a100 = ExperimentContext::new(GpuConfig::a100(), WorkloadScale::Test);
-    let h100 = ExperimentContext::new(GpuConfig::h100_nvl(), WorkloadScale::Test);
-    let a = a100.run_embedding_stage(AccessPattern::LowHot, &Scheme::base());
-    let h = h100.run_embedding_stage(AccessPattern::LowHot, &Scheme::base());
+    let workload = Workload::stage(AccessPattern::LowHot);
+    let a100 = Experiment::new(GpuConfig::a100(), WorkloadScale::Test);
+    let h100 = Experiment::new(GpuConfig::h100_nvl(), WorkloadScale::Test);
+    let a = a100.run(&workload, &Scheme::base());
+    let h = h100.run(&workload, &Scheme::base());
     assert!(
         h.latency_us < a.latency_us,
         "H100 ({:.1} us) should beat A100 ({:.1} us) at the same workload",
         h.latency_us,
         a.latency_us
     );
+    assert!(a.device.contains("A100"));
+    assert!(h.device.contains("H100"));
 }
 
 #[test]
 fn kernel_statistics_are_internally_consistent() {
-    let c = ctx();
-    let stats = c.run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
+    let r = exp().run(&Workload::kernel(AccessPattern::MedHot), &Scheme::base());
+    let stats = &r.stats;
     assert!(stats.counters.load_insts <= stats.counters.insts_issued);
     assert!(stats.l1_hits <= stats.l1_accesses);
     assert!(stats.l2_hits <= stats.l2_accesses);

@@ -55,8 +55,14 @@ fn dlrm_predictions_are_probabilities_and_respond_to_inputs() {
     let out_a = model.forward(&dense_a, &traces);
     let out_b = model.forward(&dense_b, &traces);
     assert_eq!(out_a.batch_size(), config.batch_size() as usize);
-    assert!(out_a.predictions.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
-    assert_ne!(out_a.predictions, out_b.predictions, "dense features must influence the CTR");
+    assert!(out_a
+        .predictions
+        .iter()
+        .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    assert_ne!(
+        out_a.predictions, out_b.predictions,
+        "dense features must influence the CTR"
+    );
 }
 
 #[test]

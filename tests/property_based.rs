@@ -1,6 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: the cache model, the trace generators and hotness metrics,
-//! the occupancy model, and the embedding-bag reference implementation.
+//! Property-style tests on the core data structures and invariants: the
+//! cache model, the trace generators and hotness metrics, the occupancy
+//! model, and the embedding-bag reference implementation.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! each property runs against 64 deterministic pseudo-random cases drawn
+//! from the small [`Cases`] generator below. Failures print the case number
+//! and drawn values, which (being deterministic) reproduce exactly.
 
 use dlrm_datasets::{AccessPattern, CoverageCurve, TraceConfig, ZipfSampler};
 use embedding_kernels::{embedding_bag_forward, embedding_bag_forward_simt, SyntheticTable};
@@ -8,19 +13,64 @@ use gpu_sim::config::CacheConfig;
 use gpu_sim::mem::Cache;
 use gpu_sim::occupancy::Occupancy;
 use gpu_sim::{GpuConfig, KernelLaunch};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The cache never reports more hits than accesses and a just-filled line
-    /// always hits on the next access.
-    #[test]
-    fn cache_hit_invariants(
-        lines in 4u64..64,
-        assoc in 1usize..8,
-        addrs in prop::collection::vec(0u64..10_000, 1..200),
-    ) {
+/// A case generator on top of the workspace's deterministic `StdRng`:
+/// deterministic per (property, case).
+struct Cases {
+    rng: StdRng,
+}
+
+impl Cases {
+    fn new(property: &str, case: u64) -> Self {
+        // Stable seed from the property name and case index (FNV-1a fold).
+        let mut seed = 0xcbf2_9ce4_8422_2325u64 ^ case.wrapping_mul(0x0000_0100_0000_01b3);
+        for b in property.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Cases {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform draw from `lo..hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    fn pattern(&mut self) -> AccessPattern {
+        AccessPattern::ALL[self.range(0, AccessPattern::ALL.len() as u64) as usize]
+    }
+
+    /// A vector of `len in 1..max_len` draws from `lo..hi`.
+    fn vec(&mut self, max_len: u64, lo: u64, hi: u64) -> Vec<u64> {
+        let len = self.range(1, max_len);
+        (0..len).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+/// Runs `property` against `CASES` deterministic cases.
+fn check(name: &str, property: impl Fn(&mut Cases)) {
+    for case in 0..CASES {
+        property(&mut Cases::new(name, case));
+    }
+}
+
+#[test]
+fn cache_hit_invariants() {
+    // The cache never reports more hits than accesses and a just-filled line
+    // always hits on the next access.
+    check("cache_hit_invariants", |g| {
+        let lines = g.range(4, 64);
+        let assoc = g.range(1, 8) as usize;
+        let addrs = g.vec(200, 0, 10_000);
         let mut cache = Cache::new(CacheConfig {
             capacity_bytes: lines * 128,
             line_bytes: 128,
@@ -32,19 +82,20 @@ proptest! {
             if !cache.access(line, i as u64) {
                 cache.fill(line, false, i as u64);
             }
-            prop_assert!(cache.probe(line), "a just-filled line must be resident");
+            assert!(cache.probe(line), "a just-filled line must be resident");
         }
-        prop_assert!(cache.stats.hits <= cache.stats.accesses);
-        prop_assert!(cache.resident_lines() <= lines);
-    }
+        assert!(cache.stats.hits <= cache.stats.accesses);
+        assert!(cache.resident_lines() <= lines);
+    });
+}
 
-    /// Persistent lines never exceed the configured carve-out, no matter the
-    /// access pattern.
-    #[test]
-    fn persisting_carveout_is_never_exceeded(
-        carveout_lines in 1u64..32,
-        addrs in prop::collection::vec(0u64..5_000, 1..300),
-    ) {
+#[test]
+fn persisting_carveout_is_never_exceeded() {
+    // Persistent lines never exceed the configured carve-out, no matter the
+    // access pattern.
+    check("persisting_carveout_is_never_exceeded", |g| {
+        let carveout_lines = g.range(1, 32);
+        let addrs = g.vec(300, 0, 5_000);
         let mut cache = Cache::new(CacheConfig {
             capacity_bytes: 64 * 128,
             line_bytes: 128,
@@ -54,112 +105,121 @@ proptest! {
         cache.set_persisting_capacity(carveout_lines * 128);
         for (i, &a) in addrs.iter().enumerate() {
             cache.fill(a * 128, a % 2 == 0, i as u64);
-            prop_assert!(cache.persistent_lines() <= carveout_lines);
+            assert!(cache.persistent_lines() <= carveout_lines);
         }
-    }
+    });
+}
 
-    /// Generated traces always stay within the table bounds and report
-    /// consistent unique-access statistics.
-    #[test]
-    fn trace_statistics_are_consistent(
-        rows in 100u64..50_000,
-        batch in 1u32..64,
-        pooling in 1u32..32,
-        pattern_idx in 0usize..5,
-        seed in any::<u64>(),
-    ) {
-        let pattern = AccessPattern::ALL[pattern_idx];
+#[test]
+fn trace_statistics_are_consistent() {
+    // Generated traces always stay within the table bounds and report
+    // consistent unique-access statistics.
+    check("trace_statistics_are_consistent", |g| {
+        let rows = g.range(100, 50_000);
+        let batch = g.range(1, 64) as u32;
+        let pooling = g.range(1, 32) as u32;
+        let pattern = g.pattern();
+        let seed = g.next_u64();
         let trace = TraceConfig::new(rows, batch, pooling).generate(pattern, seed);
-        prop_assert_eq!(trace.total_lookups(), batch as u64 * pooling as u64);
-        prop_assert!(trace.indices.iter().all(|&i| (i as u64) < rows));
-        prop_assert!(trace.unique_rows() <= trace.total_lookups());
-        prop_assert!(trace.unique_rows() <= rows);
+        assert_eq!(trace.total_lookups(), batch as u64 * pooling as u64);
+        assert!(trace.indices.iter().all(|&i| (i as u64) < rows));
+        assert!(trace.unique_rows() <= trace.total_lookups());
+        assert!(trace.unique_rows() <= rows);
         let pct = trace.unique_access_pct();
-        prop_assert!((0.0..=100.0).contains(&pct));
+        assert!((0.0..=100.0).contains(&pct));
         // The offsets must partition the indices array.
-        prop_assert_eq!(trace.offsets[0], 0);
-        prop_assert_eq!(*trace.offsets.last().unwrap() as usize, trace.indices.len());
-    }
+        assert_eq!(trace.offsets[0], 0);
+        assert_eq!(*trace.offsets.last().unwrap() as usize, trace.indices.len());
+    });
+}
 
-    /// Coverage curves are monotonically non-decreasing and end at 100%.
-    #[test]
-    fn coverage_curves_are_monotone(
-        indices in prop::collection::vec(0u32..2_000, 1..500),
-    ) {
+#[test]
+fn coverage_curves_are_monotone() {
+    // Coverage curves are monotonically non-decreasing and end at 100%.
+    check("coverage_curves_are_monotone", |g| {
+        let indices: Vec<u32> = g.vec(500, 0, 2_000).into_iter().map(|v| v as u32).collect();
         let curve = CoverageCurve::from_indices(&indices);
         let series = curve.series();
         let mut prev = 0.0;
         for &(_, cov) in &series {
-            prop_assert!(cov + 1e-9 >= prev);
+            assert!(cov + 1e-9 >= prev);
             prev = cov;
         }
-        prop_assert!((series.last().unwrap().1 - 100.0).abs() < 1e-6);
+        assert!((series.last().unwrap().1 - 100.0).abs() < 1e-6);
         let skew = curve.skew();
-        prop_assert!((0.0..=1.0).contains(&skew));
-    }
+        assert!((0.0..=1.0).contains(&skew));
+    });
+}
 
-    /// The Zipf sampler's rank-to-row mapping is a permutation prefix: no two
-    /// ranks map to the same row.
-    #[test]
-    fn zipf_hot_rows_are_distinct(rows in 10u64..20_000, count in 1usize..200) {
+#[test]
+fn zipf_hot_rows_are_distinct() {
+    // The Zipf sampler's rank-to-row mapping is a permutation prefix: no two
+    // ranks map to the same row.
+    check("zipf_hot_rows_are_distinct", |g| {
+        let rows = g.range(10, 20_000);
+        let count = g.range(1, 200) as usize;
         let sampler = ZipfSampler::new(rows, 1.0);
         let hot = sampler.hottest_rows(count);
         let mut dedup = hot.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), hot.len());
-        prop_assert!(hot.iter().all(|&r| r < rows));
-    }
+        assert_eq!(dedup.len(), hot.len());
+        assert!(hot.iter().all(|&r| r < rows));
+    });
+}
 
-    /// Occupancy never exceeds the hardware limits and decreases (weakly)
-    /// as registers per thread increase.
-    #[test]
-    fn occupancy_is_monotone_in_register_pressure(
-        regs_low in 16u32..64,
-        extra in 8u32..128,
-        threads_pow in 5u32..9,
-    ) {
+#[test]
+fn occupancy_is_monotone_in_register_pressure() {
+    // Occupancy never exceeds the hardware limits and decreases (weakly)
+    // as registers per thread increase.
+    check("occupancy_is_monotone_in_register_pressure", |g| {
+        let regs_low = g.range(16, 64) as u32;
+        let extra = g.range(8, 128) as u32;
+        let threads = 1u32 << g.range(5, 9); // 32..=256
         let cfg = GpuConfig::a100();
-        let threads = 1u32 << threads_pow; // 32..=256
         let launch = |regs: u32| {
             KernelLaunch::new("k", 100_000, threads).with_regs_per_thread(regs.min(255))
         };
         let low = Occupancy::compute(&cfg, &launch(regs_low));
         let high = Occupancy::compute(&cfg, &launch(regs_low + extra));
-        prop_assert!(low.warps_per_sm <= cfg.max_warps_per_sm as u32);
-        prop_assert!(high.warps_per_sm <= low.warps_per_sm);
-        prop_assert!(low.warps_per_sm >= 1);
-    }
+        assert!(low.warps_per_sm <= cfg.max_warps_per_sm as u32);
+        assert!(high.warps_per_sm <= low.warps_per_sm);
+        assert!(low.warps_per_sm >= 1);
+    });
+}
 
-    /// The SIMT-partitioned embedding-bag reduction matches the sequential
-    /// reference bit for bit on arbitrary traces.
-    #[test]
-    fn embedding_bag_partitioning_is_exact(
-        rows in 10u64..2_000,
-        batch in 1u32..16,
-        pooling in 1u32..16,
-        seed in any::<u64>(),
-        pattern_idx in 0usize..5,
-    ) {
-        let pattern = AccessPattern::ALL[pattern_idx];
+#[test]
+fn embedding_bag_partitioning_is_exact() {
+    // The SIMT-partitioned embedding-bag reduction matches the sequential
+    // reference bit for bit on arbitrary traces.
+    check("embedding_bag_partitioning_is_exact", |g| {
+        let rows = g.range(10, 2_000);
+        let batch = g.range(1, 16) as u32;
+        let pooling = g.range(1, 16) as u32;
+        let pattern = g.pattern();
+        let seed = g.next_u64();
         let trace = TraceConfig::new(rows, batch, pooling).generate(pattern, seed);
         let table = SyntheticTable::new(rows, 32, seed ^ 0xABCD);
-        prop_assert_eq!(
+        assert_eq!(
             embedding_bag_forward(&table, &trace),
             embedding_bag_forward_simt(&table, &trace)
         );
-    }
+    });
+}
 
-    /// Every generated trace's working set in bytes equals unique rows times
-    /// the row width.
-    #[test]
-    fn working_set_matches_unique_rows(
-        rows in 100u64..10_000,
-        batch in 1u32..32,
-        pooling in 1u32..16,
-        row_bytes in prop::sample::select(vec![128u64, 256, 512]),
-    ) {
+#[test]
+fn working_set_matches_unique_rows() {
+    // Every generated trace's working set in bytes equals unique rows times
+    // the row width.
+    check("working_set_matches_unique_rows", |g| {
+        let rows = g.range(100, 10_000);
+        let batch = g.range(1, 32) as u32;
+        let pooling = g.range(1, 16) as u32;
+        let row_bytes = [128u64, 256, 512][g.range(0, 3) as usize];
         let trace = TraceConfig::new(rows, batch, pooling).generate(AccessPattern::MedHot, 7);
-        prop_assert_eq!(trace.working_set_bytes(row_bytes), trace.unique_rows() * row_bytes);
-    }
+        assert_eq!(
+            trace.working_set_bytes(row_bytes),
+            trace.unique_rows() * row_bytes
+        );
+    });
 }
