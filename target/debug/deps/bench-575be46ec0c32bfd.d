@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-575be46ec0c32bfd.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbench-575be46ec0c32bfd.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbench-575be46ec0c32bfd.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/options.rs:
+crates/bench/src/tables.rs:

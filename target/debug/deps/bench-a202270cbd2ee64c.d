@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-a202270cbd2ee64c.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-a202270cbd2ee64c.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/options.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

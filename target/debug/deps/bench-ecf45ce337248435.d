@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-ecf45ce337248435.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/bench-ecf45ce337248435: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/options.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-f248d27dd319f9c8.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-f248d27dd319f9c8.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/options.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_model-8708e10483ed85ab.d: crates/bench/benches/cache_model.rs
+
+/root/repo/target/debug/deps/cache_model-8708e10483ed85ab: crates/bench/benches/cache_model.rs
+
+crates/bench/benches/cache_model.rs:

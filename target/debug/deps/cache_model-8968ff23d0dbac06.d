@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_model-8968ff23d0dbac06.d: crates/bench/benches/cache_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_model-8968ff23d0dbac06.rmeta: crates/bench/benches/cache_model.rs Cargo.toml
+
+crates/bench/benches/cache_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign-1263091145f51034.d: crates/bench/benches/campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign-1263091145f51034.rmeta: crates/bench/benches/campaign.rs Cargo.toml
+
+crates/bench/benches/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign-f359c637f3ae7efe.d: crates/bench/benches/campaign.rs
+
+/root/repo/target/debug/deps/campaign-f359c637f3ae7efe: crates/bench/benches/campaign.rs
+
+crates/bench/benches/campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_determinism-1ef87054b70722ff.d: tests/campaign_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_determinism-1ef87054b70722ff.rmeta: tests/campaign_determinism.rs Cargo.toml
+
+tests/campaign_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

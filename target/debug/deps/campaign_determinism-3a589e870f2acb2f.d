@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_determinism-3a589e870f2acb2f.d: tests/campaign_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_determinism-3a589e870f2acb2f.rmeta: tests/campaign_determinism.rs Cargo.toml
+
+tests/campaign_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_determinism-56937f4966942938.d: tests/campaign_determinism.rs
+
+/root/repo/target/debug/deps/campaign_determinism-56937f4966942938: tests/campaign_determinism.rs
+
+tests/campaign_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_determinism-5c24abba27f4f902.d: tests/campaign_determinism.rs
+
+/root/repo/target/debug/deps/campaign_determinism-5c24abba27f4f902: tests/campaign_determinism.rs
+
+tests/campaign_determinism.rs:

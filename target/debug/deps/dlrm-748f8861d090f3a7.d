@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dlrm-748f8861d090f3a7.d: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdlrm-748f8861d090f3a7.rmeta: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs Cargo.toml
+
+crates/dlrm/src/lib.rs:
+crates/dlrm/src/forward.rs:
+crates/dlrm/src/interaction.rs:
+crates/dlrm/src/latency.rs:
+crates/dlrm/src/mlp.rs:
+crates/dlrm/src/model.rs:
+crates/dlrm/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

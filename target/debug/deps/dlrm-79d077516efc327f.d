@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dlrm-79d077516efc327f.d: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+/root/repo/target/debug/deps/libdlrm-79d077516efc327f.rlib: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+/root/repo/target/debug/deps/libdlrm-79d077516efc327f.rmeta: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+crates/dlrm/src/lib.rs:
+crates/dlrm/src/forward.rs:
+crates/dlrm/src/interaction.rs:
+crates/dlrm/src/latency.rs:
+crates/dlrm/src/mlp.rs:
+crates/dlrm/src/model.rs:
+crates/dlrm/src/timing.rs:

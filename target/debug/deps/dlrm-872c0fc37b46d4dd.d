@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dlrm-872c0fc37b46d4dd.d: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+/root/repo/target/debug/deps/dlrm-872c0fc37b46d4dd: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+crates/dlrm/src/lib.rs:
+crates/dlrm/src/forward.rs:
+crates/dlrm/src/interaction.rs:
+crates/dlrm/src/latency.rs:
+crates/dlrm/src/mlp.rs:
+crates/dlrm/src/model.rs:
+crates/dlrm/src/timing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dlrm_datasets-58b12e0e598a167e.d: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdlrm_datasets-58b12e0e598a167e.rmeta: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/coverage.rs:
+crates/datasets/src/mix.rs:
+crates/datasets/src/pattern.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

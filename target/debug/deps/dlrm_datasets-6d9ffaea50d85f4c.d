@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dlrm_datasets-6d9ffaea50d85f4c.d: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libdlrm_datasets-6d9ffaea50d85f4c.rlib: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libdlrm_datasets-6d9ffaea50d85f4c.rmeta: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/coverage.rs:
+crates/datasets/src/mix.rs:
+crates/datasets/src/pattern.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/zipf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dlrm_datasets-c93a6eefdf98b14f.d: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libdlrm_datasets-c93a6eefdf98b14f.rlib: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/libdlrm_datasets-c93a6eefdf98b14f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/coverage.rs:
+crates/datasets/src/mix.rs:
+crates/datasets/src/pattern.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/zipf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dlrm_datasets-fbb4fd113e7d0d7d.d: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/debug/deps/dlrm_datasets-fbb4fd113e7d0d7d: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/coverage.rs:
+crates/datasets/src/mix.rs:
+crates/datasets/src/pattern.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dlrm_gpu_repro-13bdb0c970767952.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdlrm_gpu_repro-13bdb0c970767952.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dlrm_gpu_repro-4be8b769295bda8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdlrm_gpu_repro-4be8b769295bda8a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdlrm_gpu_repro-4be8b769295bda8a.rmeta: src/lib.rs
+
+src/lib.rs:

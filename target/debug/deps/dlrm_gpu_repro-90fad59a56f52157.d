@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dlrm_gpu_repro-90fad59a56f52157.d: src/lib.rs
+
+/root/repo/target/debug/deps/dlrm_gpu_repro-90fad59a56f52157: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dlrm_gpu_repro-a80662484e4fe992.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdlrm_gpu_repro-a80662484e4fe992.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dlrm_gpu_repro-e13d0c2efcfed950.d: src/lib.rs
+
+/root/repo/target/debug/deps/dlrm_gpu_repro-e13d0c2efcfed950: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embedding_kernel-24b2eba21ec2eb2a.d: crates/bench/benches/embedding_kernel.rs
+
+/root/repo/target/debug/deps/embedding_kernel-24b2eba21ec2eb2a: crates/bench/benches/embedding_kernel.rs
+
+crates/bench/benches/embedding_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/embedding_kernel-ac49a500faa4b8d0.d: crates/bench/benches/embedding_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libembedding_kernel-ac49a500faa4b8d0.rmeta: crates/bench/benches/embedding_kernel.rs Cargo.toml
+
+crates/bench/benches/embedding_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/embedding_kernels-2bae2d290e3160db.d: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libembedding_kernels-2bae2d290e3160db.rmeta: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/kernel.rs:
+crates/kernels/src/l2pin.rs:
+crates/kernels/src/layout.rs:
+crates/kernels/src/reference.rs:
+crates/kernels/src/spec.rs:
+crates/kernels/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

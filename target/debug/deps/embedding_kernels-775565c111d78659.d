@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/embedding_kernels-775565c111d78659.d: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+/root/repo/target/debug/deps/embedding_kernels-775565c111d78659: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/kernel.rs:
+crates/kernels/src/l2pin.rs:
+crates/kernels/src/layout.rs:
+crates/kernels/src/reference.rs:
+crates/kernels/src/spec.rs:
+crates/kernels/src/workload.rs:

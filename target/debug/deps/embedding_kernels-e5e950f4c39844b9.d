@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/embedding_kernels-e5e950f4c39844b9.d: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+/root/repo/target/debug/deps/libembedding_kernels-e5e950f4c39844b9.rlib: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+/root/repo/target/debug/deps/libembedding_kernels-e5e950f4c39844b9.rmeta: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/kernel.rs:
+crates/kernels/src/l2pin.rs:
+crates/kernels/src/layout.rs:
+crates/kernels/src/reference.rs:
+crates/kernels/src/spec.rs:
+crates/kernels/src/workload.rs:

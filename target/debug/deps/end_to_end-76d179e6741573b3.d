@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-76d179e6741573b3.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-76d179e6741573b3: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

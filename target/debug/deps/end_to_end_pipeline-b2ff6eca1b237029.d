@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-b2ff6eca1b237029.d: tests/end_to_end_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_pipeline-b2ff6eca1b237029.rmeta: tests/end_to_end_pipeline.rs Cargo.toml
+
+tests/end_to_end_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

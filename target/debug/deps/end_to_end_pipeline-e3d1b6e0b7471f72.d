@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-e3d1b6e0b7471f72.d: tests/end_to_end_pipeline.rs
+
+/root/repo/target/debug/deps/end_to_end_pipeline-e3d1b6e0b7471f72: tests/end_to_end_pipeline.rs
+
+tests/end_to_end_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-f34f2f59ae4342e7.d: tests/end_to_end_pipeline.rs
+
+/root/repo/target/debug/deps/end_to_end_pipeline-f34f2f59ae4342e7: tests/end_to_end_pipeline.rs
+
+tests/end_to_end_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-19688834a53d25c6.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-19688834a53d25c6: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-19edcea3d04f14ad.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-19edcea3d04f14ad: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_correctness-941ddb2c51e0f667.d: tests/functional_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_correctness-941ddb2c51e0f667.rmeta: tests/functional_correctness.rs Cargo.toml
+
+tests/functional_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_correctness-ad4a4474407ec86b.d: tests/functional_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_correctness-ad4a4474407ec86b.rmeta: tests/functional_correctness.rs Cargo.toml
+
+tests/functional_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

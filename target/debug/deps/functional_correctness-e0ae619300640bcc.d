@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_correctness-e0ae619300640bcc.d: tests/functional_correctness.rs
+
+/root/repo/target/debug/deps/functional_correctness-e0ae619300640bcc: tests/functional_correctness.rs
+
+tests/functional_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_correctness-f479c2ba64cd1fe4.d: tests/functional_correctness.rs
+
+/root/repo/target/debug/deps/functional_correctness-f479c2ba64cd1fe4: tests/functional_correctness.rs
+
+tests/functional_correctness.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gpu_sim-102984bc01c42c26.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs
+
+/root/repo/target/debug/deps/libgpu_sim-102984bc01c42c26.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs
+
+/root/repo/target/debug/deps/libgpu_sim-102984bc01c42c26.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/isa.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/mem/mod.rs:
+crates/gpu-sim/src/mem/cache.rs:
+crates/gpu-sim/src/mem/dram.rs:
+crates/gpu-sim/src/mem/hierarchy.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/programs.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/stats.rs:
+crates/gpu-sim/src/warp.rs:

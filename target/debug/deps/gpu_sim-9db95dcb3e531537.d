@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/gpu_sim-9db95dcb3e531537.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sim-9db95dcb3e531537.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/isa.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/mem/mod.rs:
+crates/gpu-sim/src/mem/cache.rs:
+crates/gpu-sim/src/mem/dram.rs:
+crates/gpu-sim/src/mem/hierarchy.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/programs.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/stats.rs:
+crates/gpu-sim/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

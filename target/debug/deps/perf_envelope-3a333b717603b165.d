@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/perf_envelope-3a333b717603b165.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/dse.rs crates/core/src/json.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/scheme.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_envelope-3a333b717603b165.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/dse.rs crates/core/src/json.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/scheme.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/dse.rs:
+crates/core/src/json.rs:
+crates/core/src/profiler.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/scheme.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/perf_envelope-9c79a7bf567f7296.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/dse.rs crates/core/src/json.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/scheme.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libperf_envelope-9c79a7bf567f7296.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/dse.rs crates/core/src/json.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/scheme.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libperf_envelope-9c79a7bf567f7296.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/dse.rs crates/core/src/json.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/scheme.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/dse.rs:
+crates/core/src/json.rs:
+crates/core/src/profiler.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/scheme.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-53bfb0a85c803824.d: tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-53bfb0a85c803824.rmeta: tests/property_based.rs Cargo.toml
+
+tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-d8f642477097d577.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-d8f642477097d577: tests/property_based.rs
+
+tests/property_based.rs:

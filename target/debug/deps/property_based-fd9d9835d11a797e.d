@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-fd9d9835d11a797e.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-fd9d9835d11a797e: tests/property_based.rs
+
+tests/property_based.rs:

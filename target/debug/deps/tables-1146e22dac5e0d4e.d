@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-1146e22dac5e0d4e.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-1146e22dac5e0d4e: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

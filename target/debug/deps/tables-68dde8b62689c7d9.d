@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-68dde8b62689c7d9.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-68dde8b62689c7d9: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-eaaff00a72903c60.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-eaaff00a72903c60.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_generation-13b3136abf49c16f.d: crates/bench/benches/trace_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_generation-13b3136abf49c16f.rmeta: crates/bench/benches/trace_generation.rs Cargo.toml
+
+crates/bench/benches/trace_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

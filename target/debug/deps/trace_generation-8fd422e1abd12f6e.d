@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_generation-8fd422e1abd12f6e.d: crates/bench/benches/trace_generation.rs
+
+/root/repo/target/debug/deps/trace_generation-8fd422e1abd12f6e: crates/bench/benches/trace_generation.rs
+
+crates/bench/benches/trace_generation.rs:

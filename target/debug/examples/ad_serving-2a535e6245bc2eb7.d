@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ad_serving-2a535e6245bc2eb7.d: examples/ad_serving.rs
+
+/root/repo/target/debug/examples/ad_serving-2a535e6245bc2eb7: examples/ad_serving.rs
+
+examples/ad_serving.rs:

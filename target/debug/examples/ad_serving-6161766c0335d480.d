@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ad_serving-6161766c0335d480.d: examples/ad_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libad_serving-6161766c0335d480.rmeta: examples/ad_serving.rs Cargo.toml
+
+examples/ad_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ad_serving-bdfa4cdcea3f14b4.d: examples/ad_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libad_serving-bdfa4cdcea3f14b4.rmeta: examples/ad_serving.rs Cargo.toml
+
+examples/ad_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

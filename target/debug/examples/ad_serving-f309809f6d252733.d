@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ad_serving-f309809f6d252733.d: examples/ad_serving.rs
+
+/root/repo/target/debug/examples/ad_serving-f309809f6d252733: examples/ad_serving.rs
+
+examples/ad_serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space_exploration-127c3e1293161580.d: examples/design_space_exploration.rs
+
+/root/repo/target/debug/examples/design_space_exploration-127c3e1293161580: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

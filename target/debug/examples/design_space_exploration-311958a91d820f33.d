@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space_exploration-311958a91d820f33.d: examples/design_space_exploration.rs
+
+/root/repo/target/debug/examples/design_space_exploration-311958a91d820f33: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space_exploration-743914641382de91.d: examples/design_space_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space_exploration-743914641382de91.rmeta: examples/design_space_exploration.rs Cargo.toml
+
+examples/design_space_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space_exploration-f6b417e12ae03979.d: examples/design_space_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space_exploration-f6b417e12ae03979.rmeta: examples/design_space_exploration.rs Cargo.toml
+
+examples/design_space_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profiling_framework-20ce870ebd8a5d31.d: examples/profiling_framework.rs
+
+/root/repo/target/debug/examples/profiling_framework-20ce870ebd8a5d31: examples/profiling_framework.rs
+
+examples/profiling_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profiling_framework-22130ddc69b1f380.d: examples/profiling_framework.rs
+
+/root/repo/target/debug/examples/profiling_framework-22130ddc69b1f380: examples/profiling_framework.rs
+
+examples/profiling_framework.rs:

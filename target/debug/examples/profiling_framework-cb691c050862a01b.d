@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profiling_framework-cb691c050862a01b.d: examples/profiling_framework.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofiling_framework-cb691c050862a01b.rmeta: examples/profiling_framework.rs Cargo.toml
+
+examples/profiling_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profiling_framework-f66f674f868d7d28.d: examples/profiling_framework.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofiling_framework-f66f674f868d7d28.rmeta: examples/profiling_framework.rs Cargo.toml
+
+examples/profiling_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-663083832c6b7347.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-663083832c6b7347.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

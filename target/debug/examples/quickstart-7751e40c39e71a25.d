@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7751e40c39e71a25.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7751e40c39e71a25: examples/quickstart.rs
+
+examples/quickstart.rs:

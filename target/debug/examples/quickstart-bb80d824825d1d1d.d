@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bb80d824825d1d1d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bb80d824825d1d1d: examples/quickstart.rs
+
+examples/quickstart.rs:

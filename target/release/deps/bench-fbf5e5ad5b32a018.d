@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bench-fbf5e5ad5b32a018.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libbench-fbf5e5ad5b32a018.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libbench-fbf5e5ad5b32a018.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/options.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/options.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign-7497641094898451.d: crates/bench/benches/campaign.rs
+
+/root/repo/target/release/deps/campaign-7497641094898451: crates/bench/benches/campaign.rs
+
+crates/bench/benches/campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_determinism-ace00ca2c86cc015.d: tests/campaign_determinism.rs
+
+/root/repo/target/release/deps/campaign_determinism-ace00ca2c86cc015: tests/campaign_determinism.rs
+
+tests/campaign_determinism.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dlrm-0117c3759b33d361.d: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+/root/repo/target/release/deps/libdlrm-0117c3759b33d361.rlib: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+/root/repo/target/release/deps/libdlrm-0117c3759b33d361.rmeta: crates/dlrm/src/lib.rs crates/dlrm/src/forward.rs crates/dlrm/src/interaction.rs crates/dlrm/src/latency.rs crates/dlrm/src/mlp.rs crates/dlrm/src/model.rs crates/dlrm/src/timing.rs
+
+crates/dlrm/src/lib.rs:
+crates/dlrm/src/forward.rs:
+crates/dlrm/src/interaction.rs:
+crates/dlrm/src/latency.rs:
+crates/dlrm/src/mlp.rs:
+crates/dlrm/src/model.rs:
+crates/dlrm/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dlrm_datasets-a8db486cc2457314.d: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/release/deps/libdlrm_datasets-a8db486cc2457314.rlib: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+/root/repo/target/release/deps/libdlrm_datasets-a8db486cc2457314.rmeta: crates/datasets/src/lib.rs crates/datasets/src/coverage.rs crates/datasets/src/mix.rs crates/datasets/src/pattern.rs crates/datasets/src/trace.rs crates/datasets/src/zipf.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/coverage.rs:
+crates/datasets/src/mix.rs:
+crates/datasets/src/pattern.rs:
+crates/datasets/src/trace.rs:
+crates/datasets/src/zipf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dlrm_gpu_repro-6a3839a6d8ff076e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdlrm_gpu_repro-6a3839a6d8ff076e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdlrm_gpu_repro-6a3839a6d8ff076e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/embedding_kernels-312ca0b3099dd9b5.d: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+/root/repo/target/release/deps/libembedding_kernels-312ca0b3099dd9b5.rlib: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+/root/repo/target/release/deps/libembedding_kernels-312ca0b3099dd9b5.rmeta: crates/kernels/src/lib.rs crates/kernels/src/kernel.rs crates/kernels/src/l2pin.rs crates/kernels/src/layout.rs crates/kernels/src/reference.rs crates/kernels/src/spec.rs crates/kernels/src/workload.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/kernel.rs:
+crates/kernels/src/l2pin.rs:
+crates/kernels/src/layout.rs:
+crates/kernels/src/reference.rs:
+crates/kernels/src/spec.rs:
+crates/kernels/src/workload.rs:

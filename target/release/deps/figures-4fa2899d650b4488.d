@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-4fa2899d650b4488.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-4fa2899d650b4488: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/gpu_sim-4671bb1c4673522b.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs
+
+/root/repo/target/release/deps/libgpu_sim-4671bb1c4673522b.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs
+
+/root/repo/target/release/deps/libgpu_sim-4671bb1c4673522b.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/hierarchy.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/programs.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/warp.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/isa.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/mem/mod.rs:
+crates/gpu-sim/src/mem/cache.rs:
+crates/gpu-sim/src/mem/dram.rs:
+crates/gpu-sim/src/mem/hierarchy.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/programs.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/stats.rs:
+crates/gpu-sim/src/warp.rs:

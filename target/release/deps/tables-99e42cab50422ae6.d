@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-99e42cab50422ae6.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-99e42cab50422ae6: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

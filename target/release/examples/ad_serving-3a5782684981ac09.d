@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ad_serving-3a5782684981ac09.d: examples/ad_serving.rs
+
+/root/repo/target/release/examples/ad_serving-3a5782684981ac09: examples/ad_serving.rs
+
+examples/ad_serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space_exploration-c26ea5c20853fdfc.d: examples/design_space_exploration.rs
+
+/root/repo/target/release/examples/design_space_exploration-c26ea5c20853fdfc: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

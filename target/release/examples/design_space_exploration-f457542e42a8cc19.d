@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space_exploration-f457542e42a8cc19.d: examples/design_space_exploration.rs
+
+/root/repo/target/release/examples/design_space_exploration-f457542e42a8cc19: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profiling_framework-54a0b3aa71691780.d: examples/profiling_framework.rs
+
+/root/repo/target/release/examples/profiling_framework-54a0b3aa71691780: examples/profiling_framework.rs
+
+examples/profiling_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2ebf0b843d3df7bd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2ebf0b843d3df7bd: examples/quickstart.rs
+
+examples/quickstart.rs:

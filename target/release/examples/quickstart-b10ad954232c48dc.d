@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b10ad954232c48dc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b10ad954232c48dc: examples/quickstart.rs
+
+examples/quickstart.rs:
