@@ -1,18 +1,22 @@
 //! Criterion benchmark of the `Campaign` executor: the same ≥12-cell grid
-//! run serially (one worker) and in parallel (all cores), demonstrating the
-//! wall-clock win of parallel grid execution.
+//! run serially (one worker), in parallel (all cores), and with the result
+//! cache attached (steady-state re-runs are served from cache).
+//!
+//! The `wall_clock` binary (`cargo run --release -p bench --bin
+//! wall_clock`) measures this same grid against the cycle-accurate
+//! reference engine and emits machine-readable `BENCH_engine.json`.
 
+use bench::options::campaign_bench_grid;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlrm::WorkloadScale;
-use dlrm_datasets::AccessPattern;
 use gpu_sim::GpuConfig;
-use perf_envelope::{Campaign, Experiment, Scheme, Workload};
+use perf_envelope::{Campaign, CampaignCache, Experiment};
 
 fn grid() -> Campaign {
-    let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
-    Campaign::new(experiment)
-        .workloads(AccessPattern::EVALUATED.map(Workload::stage))
-        .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
+    campaign_bench_grid(Experiment::new(
+        GpuConfig::test_small(),
+        WorkloadScale::Test,
+    ))
 }
 
 fn campaign_scaling(c: &mut Criterion) {
@@ -35,6 +39,18 @@ fn campaign_scaling(c: &mut Criterion) {
             },
         );
     }
+    // Steady state with the campaign cache: every iteration after the first
+    // is served entirely from cache, the regime of re-run sweeps.
+    let cached = campaign_bench_grid(
+        Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+            .with_cache(CampaignCache::new()),
+    )
+    .threads(1);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("serial_cached"),
+        &(),
+        |b, ()| b.iter(|| cached.run()),
+    );
     group.finish();
 }
 

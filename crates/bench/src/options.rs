@@ -1,8 +1,10 @@
 //! Command-line options shared by the `figures` and `tables` binaries.
 
+use std::sync::Arc;
+
 use dlrm::WorkloadScale;
 use gpu_sim::GpuConfig;
-use perf_envelope::{Campaign, Experiment};
+use perf_envelope::{Campaign, CampaignCache, Experiment};
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -17,6 +19,10 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Worker threads for campaign grids; `0` = available parallelism.
     pub jobs: usize,
+    /// Result cache shared by every experiment this harness invocation
+    /// builds, so figures and tables whose grids overlap (the base-scheme
+    /// columns especially) run each distinct cell once.
+    pub cache: Arc<CampaignCache>,
 }
 
 impl Default for HarnessOptions {
@@ -27,6 +33,7 @@ impl Default for HarnessOptions {
             device: "a100".to_string(),
             seed: 0x5EED,
             jobs: 0,
+            cache: CampaignCache::new(),
         }
     }
 }
@@ -103,6 +110,7 @@ impl HarnessOptions {
         Experiment::new(self.gpu(), self.scale)
             .with_seed(self.seed)
             .with_threads(self.jobs)
+            .with_cache(self.cache.clone())
     }
 
     /// Starts a campaign over [`HarnessOptions::experiment`]; campaigns
@@ -121,6 +129,19 @@ impl HarnessOptions {
             self.seed
         )
     }
+}
+
+/// The grid measured by both the `campaign` criterion bench and the
+/// `wall_clock` binary (which emits `BENCH_engine.json`): every evaluated
+/// access pattern as an embedding-stage workload × the base, OptMT and
+/// combined schemes. One definition so the two benchmarks cannot drift
+/// apart.
+pub fn campaign_bench_grid(experiment: Experiment) -> Campaign {
+    use dlrm_datasets::AccessPattern;
+    use perf_envelope::{Scheme, Workload};
+    Campaign::new(experiment)
+        .workloads(AccessPattern::EVALUATED.map(Workload::stage))
+        .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
 }
 
 #[cfg(test)]

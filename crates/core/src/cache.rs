@@ -1,0 +1,233 @@
+//! Campaign result caching: [`CampaignCache`].
+//!
+//! The paper's evaluation keeps re-running the same cells: a grid with a
+//! duplicated axis value revisits cells inside one run, the five DSE sweeps
+//! all contain the base-scheme column for the same patterns, and benchmark /
+//! figure regeneration re-executes entire grids. Since every cell is a pure
+//! function of its inputs — the experiment's device and model configuration,
+//! scale, seed, pooling factor, plus the workload and scheme — its
+//! [`RunReport`] can be memoized on that fingerprint and served from cache
+//! on every later request.
+//!
+//! A cache is attached to an [`Experiment`] with
+//! [`Experiment::with_cache`]; every [`Experiment::run`] call through that
+//! experiment (including every [`crate::Campaign`] built over it, which
+//! clones the experiment per cell) consults the cache first. Reports are
+//! exact clones of the originals, so cached campaigns remain deterministic
+//! and thread-count-independent.
+//!
+//! ```
+//! use dlrm::WorkloadScale;
+//! use dlrm_datasets::AccessPattern;
+//! use gpu_sim::GpuConfig;
+//! use perf_envelope::{CampaignCache, Experiment, Scheme, Workload};
+//!
+//! let cache = CampaignCache::new();
+//! let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+//!     .with_cache(cache.clone());
+//! let workload = Workload::kernel(AccessPattern::MedHot);
+//! let first = experiment.run(&workload, &Scheme::base());
+//! let second = experiment.run(&workload, &Scheme::base());
+//! assert_eq!(first, second);
+//! assert_eq!(cache.hits(), 1);
+//! assert_eq!(cache.misses(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::report::RunReport;
+use crate::runner::Experiment;
+use crate::scheme::Scheme;
+use crate::workload::Workload;
+
+/// A thread-safe memo of [`RunReport`]s keyed by the full cell fingerprint
+/// (workload, scheme, seed, pooling factor, device and model configuration,
+/// scale, engine mode).
+#[derive(Debug, Default)]
+pub struct CampaignCache {
+    map: Mutex<HashMap<String, RunReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CampaignCache {
+    /// Creates an empty cache, shareable across experiments, campaigns and
+    /// worker threads.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the cached report for the cell, or runs it and caches the
+    /// result. Two workers racing on the same cold cell both execute it;
+    /// determinism makes the duplicate insert harmless.
+    pub(crate) fn get_or_run(
+        &self,
+        experiment: &Experiment,
+        workload: &Workload,
+        scheme: &Scheme,
+    ) -> RunReport {
+        let key = experiment.cell_fingerprint(workload, scheme);
+        if let Some(report) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return report.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = experiment.run_uncached(workload, scheme);
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, report.clone());
+        report
+    }
+
+    /// Number of requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that had to execute their cell.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cells currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached report (statistics are preserved).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use dlrm::WorkloadScale;
+    use dlrm_datasets::AccessPattern;
+    use gpu_sim::{EngineMode, GpuConfig};
+
+    fn cached_experiment(cache: &Arc<CampaignCache>) -> Experiment {
+        Experiment::new(GpuConfig::test_small(), WorkloadScale::Test).with_cache(cache.clone())
+    }
+
+    #[test]
+    fn identical_cells_hit() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let w = Workload::kernel(AccessPattern::MedHot);
+        let a = e.run(&w, &Scheme::base());
+        let b = e.run(&w, &Scheme::base());
+        assert_eq!(a, b);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn changed_seed_misses() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let w = Workload::kernel(AccessPattern::MedHot);
+        let a = e.run(&w, &Scheme::base());
+        let b = e.clone().with_seed(99).run(&w, &Scheme::base());
+        assert_ne!(a.stats, b.stats);
+        assert_eq!((cache.misses(), cache.hits()), (2, 0));
+    }
+
+    #[test]
+    fn changed_pooling_factor_misses() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let w = Workload::kernel(AccessPattern::MedHot);
+        let _ = e.clone().with_pooling_factor(4).run(&w, &Scheme::base());
+        let _ = e.clone().with_pooling_factor(16).run(&w, &Scheme::base());
+        assert_eq!((cache.misses(), cache.hits()), (2, 0));
+    }
+
+    #[test]
+    fn workload_scheme_device_and_mode_distinguish_cells() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let w = Workload::kernel(AccessPattern::MedHot);
+        let _ = e.run(&w, &Scheme::base());
+        let _ = e.run(&w, &Scheme::optmt());
+        let _ = e.run(&Workload::kernel(AccessPattern::Random), &Scheme::base());
+        let _ = e.run(&Workload::stage(AccessPattern::MedHot), &Scheme::base());
+        let other_device =
+            Experiment::new(GpuConfig::test_small().with_num_sms(2), WorkloadScale::Test)
+                .with_cache(cache.clone());
+        let _ = other_device.run(&w, &Scheme::base());
+        let reference = e.clone().with_engine_mode(EngineMode::CycleAccurate);
+        let _ = reference.run(&w, &Scheme::base());
+        assert_eq!((cache.misses(), cache.hits()), (6, 0));
+    }
+
+    #[test]
+    fn cached_report_is_bit_identical_to_uncached() {
+        let cache = CampaignCache::new();
+        let cached = cached_experiment(&cache);
+        let plain = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+        let w = Workload::stage(AccessPattern::LowHot);
+        let warm = cached.run(&w, &Scheme::combined());
+        let warm_again = cached.run(&w, &Scheme::combined());
+        assert_eq!(warm, warm_again);
+        assert_eq!(warm, plain.run(&w, &Scheme::combined()));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn campaigns_share_the_cache_across_runs() {
+        let cache = CampaignCache::new();
+        let grid = || {
+            Campaign::new(cached_experiment(&cache))
+                .workloads([
+                    Workload::kernel(AccessPattern::HighHot),
+                    Workload::kernel(AccessPattern::Random),
+                ])
+                .schemes([Scheme::base(), Scheme::optmt()])
+        };
+        let first = grid().run();
+        assert_eq!((cache.misses(), cache.hits()), (4, 0));
+        // The re-run (e.g. a second sweep overlapping the first) is served
+        // entirely from cache and stays deterministic across thread counts.
+        let second = grid().threads(3).run();
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn duplicated_grid_axis_values_are_served_from_cache() {
+        let cache = CampaignCache::new();
+        let run = Campaign::new(cached_experiment(&cache))
+            .workload(Workload::kernel(AccessPattern::MedHot))
+            .scheme(Scheme::base())
+            .seeds([7, 7, 7])
+            .run();
+        assert_eq!(run.len(), 3);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(run.reports()[0], run.reports()[2]);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let _ = e.run(&Workload::kernel(AccessPattern::MedHot), &Scheme::base());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        let _ = e.run(&Workload::kernel(AccessPattern::MedHot), &Scheme::base());
+        assert_eq!(cache.misses(), 2);
+    }
+}

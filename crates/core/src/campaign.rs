@@ -26,8 +26,9 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::cache::CampaignCache;
 use crate::report::RunReport;
 use crate::runner::Experiment;
 use crate::scheme::Scheme;
@@ -106,6 +107,18 @@ impl Campaign {
     /// parallelism. The default is inherited from the base experiment.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a [`CampaignCache`] to the campaign's base experiment:
+    /// cells whose fingerprint (workload, scheme, seed, pooling factor,
+    /// device/model configuration, scale, engine mode) was already executed
+    /// — inside this grid, by an overlapping campaign sharing the cache, or
+    /// by an earlier run — are served from the cache instead of
+    /// re-simulating. Results are exact clones, so grid determinism is
+    /// unaffected.
+    pub fn with_cache(mut self, cache: Arc<CampaignCache>) -> Self {
+        self.base = self.base.with_cache(cache);
         self
     }
 
@@ -345,5 +358,15 @@ mod tests {
         let run = small_grid().run();
         let reports = CampaignRun::from_json(&run.to_json()).unwrap();
         assert_eq!(reports, run.reports());
+    }
+
+    #[test]
+    fn with_cache_serves_repeated_grids() {
+        let cache = crate::cache::CampaignCache::new();
+        let first = small_grid().with_cache(cache.clone()).run();
+        assert_eq!(cache.misses() as usize, first.len());
+        let second = small_grid().with_cache(cache.clone()).threads(2).run();
+        assert_eq!(cache.hits() as usize, second.len());
+        assert_eq!(first, second);
     }
 }

@@ -13,7 +13,9 @@
 //!   NCU-style counters and full metadata, serializable to JSON,
 //! * [`Campaign`]: **how many** to run — a declarative grid of schemes ×
 //!   workloads × seeds × pooling factors, executed in parallel across
-//!   threads with deterministic, thread-count-independent results.
+//!   threads with deterministic, thread-count-independent results, with
+//!   repeated and re-run cells served from an optional [`CampaignCache`]
+//!   ([`Experiment::with_cache`]).
 //!
 //! The remaining modules supply the pieces experiments are made of:
 //!
@@ -65,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod campaign;
 pub mod dse;
 pub mod json;
@@ -74,6 +77,7 @@ pub mod runner;
 pub mod scheme;
 pub mod workload;
 
+pub use cache::CampaignCache;
 pub use campaign::{Campaign, CampaignRun};
 pub use dse::{
     buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,

@@ -12,12 +12,15 @@
 //! ([`EmbeddingStageResult`], [`EndToEndResult`]) survive as thin
 //! `#[deprecated]` shims over [`Experiment::run`].
 
+use std::sync::Arc;
+
 use dlrm::{BatchLatency, DlrmConfig, NonEmbeddingTimingModel, WorkloadScale};
 use dlrm_datasets::{AccessPattern, HeterogeneousMix};
 use embedding_kernels::{EmbeddingWorkload, PinPlan};
 use gpu_sim::mem::MemorySystem;
-use gpu_sim::{GpuConfig, KernelStats, Simulator};
+use gpu_sim::{EngineMode, GpuConfig, KernelStats, Simulator};
 
+use crate::cache::CampaignCache;
 use crate::report::{EndToEndBreakdown, RunReport, TableBreakdown};
 use crate::scheme::Scheme;
 use crate::workload::Workload;
@@ -34,6 +37,7 @@ pub struct Experiment {
     tables_to_simulate: u32,
     seed: u64,
     threads: usize,
+    cache: Option<Arc<CampaignCache>>,
 }
 
 impl Experiment {
@@ -53,7 +57,35 @@ impl Experiment {
             tables_to_simulate,
             seed: 0x5EED,
             threads: 0,
+            cache: None,
         }
+    }
+
+    /// Selects the simulator engine mode ([`EngineMode::EventDriven`] by
+    /// default; the cycle-accurate reference loop is for equivalence
+    /// checking and benchmarking).
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.sim = self.sim.with_mode(mode);
+        self
+    }
+
+    /// The simulator engine mode this experiment runs.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.sim.mode()
+    }
+
+    /// Attaches a [`CampaignCache`]: every later [`Experiment::run`] call —
+    /// including the cells of every [`crate::Campaign`] built over this
+    /// experiment — is served from the cache when an identical cell was
+    /// already executed.
+    pub fn with_cache(mut self, cache: Arc<CampaignCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached campaign cache, if any.
+    pub fn cache(&self) -> Option<&Arc<CampaignCache>> {
+        self.cache.as_ref()
     }
 
     /// Overrides the DLRM model configuration.
@@ -137,7 +169,46 @@ impl Experiment {
     /// * [`Workload::EmbeddingStage`] over a mix — Table VII / Figure 17,
     /// * [`Workload::EndToEnd`] — embedding stage plus the analytic
     ///   non-embedding pipeline (Figures 1/13/14).
+    ///
+    /// With a [`CampaignCache`] attached ([`Experiment::with_cache`]), a
+    /// cell that was already executed is served from the cache; the report
+    /// is a clone of the original, so results stay bit-identical.
     pub fn run(&self, workload: &Workload, scheme: &Scheme) -> RunReport {
+        match &self.cache {
+            Some(cache) => cache.get_or_run(self, workload, scheme),
+            None => self.run_uncached(workload, scheme),
+        }
+    }
+
+    /// The fingerprint that identifies one experiment cell for caching:
+    /// everything the resulting [`RunReport`] is a pure function of — the
+    /// full device and model configurations (which embed the pooling
+    /// factor), scale, seed, tables-to-simulate, engine mode, workload and
+    /// scheme. Execution knobs that cannot change results (worker threads,
+    /// the attached cache itself) are excluded.
+    ///
+    /// Keys lean on `Debug` formatting, which is convenient but not a
+    /// stable serialization — fine for the in-memory cache, where every
+    /// key is produced and consumed by the same build, but a persistent
+    /// (on-disk) cache must first switch to a canonical encoding such as
+    /// the JSON codec used by [`RunReport`].
+    pub(crate) fn cell_fingerprint(&self, workload: &Workload, scheme: &Scheme) -> String {
+        format!(
+            "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}",
+            self.gpu,
+            self.model,
+            self.scale.name(),
+            self.seed,
+            self.tables_to_simulate,
+            self.sim.mode().name(),
+            workload,
+            scheme
+        )
+    }
+
+    /// Executes the cell unconditionally (the non-memoized path behind
+    /// [`Experiment::run`]).
+    pub(crate) fn run_uncached(&self, workload: &Workload, scheme: &Scheme) -> RunReport {
         match workload {
             Workload::Kernel(pattern) => self.run_kernel_report(*pattern, scheme),
             Workload::EmbeddingStage(dataset) => {

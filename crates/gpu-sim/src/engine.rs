@@ -1,5 +1,35 @@
-//! The simulation engine: dispatches thread blocks onto SMs, drives the
-//! per-cycle issue loop, and assembles [`KernelStats`].
+//! The simulation engine: dispatches thread blocks onto SMs, drives warp
+//! issue, and assembles [`KernelStats`].
+//!
+//! Two observably identical execution loops are provided:
+//!
+//! * [`EngineMode::CycleAccurate`] — the reference loop. Every device cycle,
+//!   every SM sub-partition is polled for a ready warp. Simple, obviously
+//!   correct, and O(schedulers × resident warps) per simulated cycle even
+//!   when every warp is stalled on a 200+-cycle DRAM access — the dominant
+//!   state in the memory-bound embedding kernels this repository models.
+//! * [`EngineMode::EventDriven`] — the default. Each sub-partition exposes
+//!   the earliest cycle at which it can issue ([`SmspState::next_issue_at`]);
+//!   the engine keeps those deadlines in an ordered event queue, jumps the
+//!   clock straight to the next deadline, and touches only the
+//!   sub-partitions that can actually issue there. Sub-partitions whose
+//!   warps are all waiting on memory cost nothing until their responses
+//!   arrive.
+//!
+//! The two modes produce **bit-identical** [`KernelStats`] (cycles, issue
+//! and stall counters, cache and DRAM counters). The invariants that make
+//! this hold, and that any future scheduler change must preserve:
+//!
+//! 1. A sub-partition issues at most one warp per cycle, and its next issue
+//!    opportunity is fully determined by its own resident warps' `ready_at`
+//!    cycles — so `max(min ready_at, last issue + 1)` is exactly the next
+//!    cycle on which the cycle-accurate loop would pick a warp from it.
+//! 2. Within one cycle, sub-partitions issue in `(sm, smsp)` order. The
+//!    event queue is keyed `(cycle, sm, smsp)`, so draining it preserves the
+//!    order of memory-system side effects (cache state, DRAM queueing).
+//! 3. Warps created by a block dispatched at cycle `t` first become ready at
+//!    `t + 1` or later, so a dispatch can never add work to the cycle that
+//!    triggered it.
 
 use crate::config::GpuConfig;
 use crate::launch::{KernelLaunch, KernelProgram, WarpInfo};
@@ -13,16 +43,53 @@ use crate::warp::WarpContext;
 /// livelocked program and aborts the simulation with a panic.
 const MAX_CYCLES: u64 = 50_000_000_000;
 
+/// Which execution loop [`Simulator`] uses. Both produce identical
+/// statistics; see the module documentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Poll every SM sub-partition every cycle (reference loop).
+    CycleAccurate,
+    /// Jump the clock between per-sub-partition issue deadlines (default).
+    #[default]
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Stable machine-readable name (used in benchmark reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineMode::CycleAccurate => "cycle_accurate",
+            EngineMode::EventDriven => "event_driven",
+        }
+    }
+}
+
 /// The GPU simulator: owns a device configuration and runs kernels on it.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: GpuConfig,
+    mode: EngineMode,
 }
 
 impl Simulator {
-    /// Creates a simulator for the given device.
+    /// Creates a simulator for the given device, using the event-driven
+    /// engine.
     pub fn new(cfg: GpuConfig) -> Self {
-        Simulator { cfg }
+        Simulator {
+            cfg,
+            mode: EngineMode::EventDriven,
+        }
+    }
+
+    /// Returns a copy of this simulator using the given engine mode.
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The engine mode this simulator runs.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// The device configuration this simulator uses.
@@ -57,139 +124,227 @@ impl Simulator {
         let dram_read0 = mem.dram().bytes_read;
         let dram_write0 = mem.dram().bytes_written;
 
-        let mut counters = RawCounters::default();
-        let mut warps: Vec<WarpContext> = Vec::new();
-        let mut sms: Vec<SmState> = (0..cfg.num_sms)
-            .map(|_| SmState::new(cfg.smsps_per_sm))
-            .collect();
-        // Which block each warp belongs to, and which SM it runs on.
-        let mut warp_home: Vec<(usize, u32)> = Vec::new();
+        let mut run = Run::new(cfg, launch, program, occ, start_cycle);
+        let end_cycle = match self.mode {
+            EngineMode::CycleAccurate => run.run_cycle_accurate(mem, start_cycle),
+            EngineMode::EventDriven => run.run_event_driven(mem, start_cycle),
+        };
 
-        let warps_per_block = occ.warps_per_block;
+        // Account residency for any warps that never retired (impossible in
+        // practice but keeps the accounting robust).
+        for w in run.warps.iter().filter(|w| !w.is_exited()) {
+            run.counters.resident_warp_cycles += end_cycle.saturating_sub(w.spawn_cycle);
+        }
+
+        let mut stats = KernelStats::empty(&launch.name, cfg);
+        stats.set_occupancy(&occ);
+        stats.elapsed_cycles = end_cycle.saturating_sub(start_cycle);
+        stats.counters = run.counters;
+        let (l1_acc, l1_hit) = mem.l1_totals();
+        stats.l1_accesses = l1_acc - l1_acc0;
+        stats.l1_hits = l1_hit - l1_hit0;
+        stats.l2_accesses = mem.l2().stats.accesses - l2_acc0;
+        stats.l2_hits = mem.l2().stats.hits - l2_hit0;
+        stats.dram_bytes_read = mem.dram().bytes_read - dram_read0;
+        stats.dram_bytes_written = mem.dram().bytes_written - dram_write0;
+        stats
+    }
+}
+
+/// Mutable state of one kernel execution, shared by both engine loops.
+struct Run<'a> {
+    cfg: &'a GpuConfig,
+    launch: &'a KernelLaunch,
+    program: &'a dyn KernelProgram,
+    occ: Occupancy,
+    counters: RawCounters,
+    warps: Vec<WarpContext>,
+    sms: Vec<SmState>,
+    /// Which (SM, block) each warp belongs to.
+    warp_home: Vec<(usize, u32)>,
+    next_block: u32,
+    total_blocks: u32,
+    warps_per_block: u32,
+    active_warps: u64,
+    /// `(smsp index, warp id)` of the warps placed by the most recent
+    /// [`Run::dispatch_block`] call (reused across dispatches to avoid
+    /// per-block allocation).
+    placements: Vec<(usize, usize)>,
+}
+
+impl<'a> Run<'a> {
+    fn new(
+        cfg: &'a GpuConfig,
+        launch: &'a KernelLaunch,
+        program: &'a dyn KernelProgram,
+        occ: Occupancy,
+        start_cycle: u64,
+    ) -> Self {
         let total_blocks = launch.grid_blocks;
-        let mut next_block: u32 = 0;
-
-        let dispatch_block = |sm_id: usize,
-                              block_id: u32,
-                              cycle: u64,
-                              warps: &mut Vec<WarpContext>,
-                              warp_home: &mut Vec<(usize, u32)>,
-                              sms: &mut Vec<SmState>,
-                              counters: &mut RawCounters| {
-            sms[sm_id].begin_block(block_id, warps_per_block);
-            counters.blocks_launched += 1;
-            for w in 0..warps_per_block {
-                let info = WarpInfo {
-                    block_id,
-                    warp_in_block: w,
-                    warps_per_block,
-                    threads_per_block: launch.threads_per_block,
-                    global_warp_id: block_id as u64 * warps_per_block as u64 + w as u64,
-                    sm_id: sm_id as u32,
-                };
-                let ctx = WarpContext::new(info, program.warp_program(info), cycle);
-                counters.warps_launched += 1;
-                let warp_id = warps.len();
-                warps.push(ctx);
-                warp_home.push((sm_id, block_id));
-                sms[sm_id].place_warp(warp_id);
-            }
+        let warps_per_block = occ.warps_per_block;
+        // Every block of the grid is eventually dispatched and its warps stay
+        // in the arena until the kernel completes, so the final length is
+        // known exactly up front.
+        let total_warps = total_blocks as usize * warps_per_block as usize;
+        let mut run = Run {
+            cfg,
+            launch,
+            program,
+            occ,
+            counters: RawCounters::default(),
+            warps: Vec::with_capacity(total_warps),
+            sms: (0..cfg.num_sms)
+                .map(|_| SmState::new(cfg.smsps_per_sm))
+                .collect(),
+            warp_home: Vec::with_capacity(total_warps),
+            next_block: 0,
+            total_blocks,
+            warps_per_block,
+            active_warps: 0,
+            placements: Vec::with_capacity(warps_per_block as usize),
         };
 
         // Initial wave: fill every SM up to its occupancy limit, round-robin
         // over SMs the way the GigaThread engine distributes blocks.
-        'outer: for _slot in 0..occ.blocks_per_sm {
+        'outer: for _slot in 0..run.occ.blocks_per_sm {
             for sm_id in 0..cfg.num_sms {
-                if next_block >= total_blocks {
+                if run.next_block >= run.total_blocks {
                     break 'outer;
                 }
-                dispatch_block(
-                    sm_id,
-                    next_block,
-                    start_cycle,
-                    &mut warps,
-                    &mut warp_home,
-                    &mut sms,
-                    &mut counters,
-                );
-                next_block += 1;
+                let block = run.next_block;
+                run.next_block += 1;
+                run.dispatch_block(sm_id, block, start_cycle);
             }
         }
 
-        let mut cycle = start_cycle;
-        let mut active_warps: u64 = warps.iter().filter(|w| !w.is_exited()).count() as u64;
+        run.active_warps = run.warps.iter().filter(|w| !w.is_exited()).count() as u64;
         // Warps whose programs are empty retire instantly; account for their
         // blocks so replacement blocks can still be dispatched.
-        for wid in 0..warps.len() {
-            if warps[wid].is_exited() {
-                let (sm_id, block_id) = warp_home[wid];
-                let _ = sms[sm_id].warp_retired(block_id);
+        for wid in 0..run.warps.len() {
+            if run.warps[wid].is_exited() {
+                let (sm_id, block_id) = run.warp_home[wid];
+                let _ = run.sms[sm_id].warp_retired(block_id);
             }
         }
+        run
+    }
 
-        while active_warps > 0 || next_block < total_blocks {
-            if active_warps == 0 && next_block < total_blocks {
-                // All resident warps retired but blocks remain (can happen
-                // with degenerate empty programs): dispatch onto SM 0.
-                for sm_id in 0..cfg.num_sms {
-                    while sms[sm_id].resident_blocks < occ.blocks_per_sm
-                        && next_block < total_blocks
-                    {
-                        dispatch_block(
-                            sm_id,
-                            next_block,
-                            cycle,
-                            &mut warps,
-                            &mut warp_home,
-                            &mut sms,
-                            &mut counters,
-                        );
-                        next_block += 1;
-                    }
+    /// Dispatches one thread block onto `sm_id` at `cycle`, recording the
+    /// placements of its warps in [`Run::placements`].
+    fn dispatch_block(&mut self, sm_id: usize, block_id: u32, cycle: u64) {
+        self.sms[sm_id].begin_block(block_id, self.warps_per_block);
+        self.counters.blocks_launched += 1;
+        self.placements.clear();
+        for w in 0..self.warps_per_block {
+            let info = WarpInfo {
+                block_id,
+                warp_in_block: w,
+                warps_per_block: self.warps_per_block,
+                threads_per_block: self.launch.threads_per_block,
+                global_warp_id: block_id as u64 * self.warps_per_block as u64 + w as u64,
+                sm_id: sm_id as u32,
+            };
+            let ctx = WarpContext::new(info, self.program.warp_program(info), cycle);
+            self.counters.warps_launched += 1;
+            let ready = if ctx.is_exited() {
+                u64::MAX
+            } else {
+                ctx.ready_at()
+            };
+            let warp_id = self.warps.len();
+            self.warps.push(ctx);
+            self.warp_home.push((sm_id, block_id));
+            let smsp = self.sms[sm_id].place_warp(warp_id, ready);
+            self.placements.push((smsp, warp_id));
+        }
+    }
+
+    /// Handles the degenerate "all resident warps retired but blocks remain"
+    /// state (possible with empty warp programs): refills every SM at
+    /// `cycle`. Returns `true` if the whole launch turned out to be empty
+    /// and the engine should stop.
+    fn degenerate_refill(&mut self, cycle: u64) -> bool {
+        for sm_id in 0..self.cfg.num_sms {
+            while self.sms[sm_id].resident_blocks < self.occ.blocks_per_sm
+                && self.next_block < self.total_blocks
+            {
+                let block = self.next_block;
+                self.next_block += 1;
+                self.dispatch_block(sm_id, block, cycle);
+            }
+        }
+        let newly_active = self.warps.iter().filter(|w| !w.is_exited()).count() as u64;
+        if newly_active == 0 {
+            // Every program in this launch is empty.
+            for wid in 0..self.warps.len() {
+                if self.warps[wid].is_exited() {
+                    let (sm_id, block_id) = self.warp_home[wid];
+                    let _ = self.sms[sm_id].warp_retired(block_id);
                 }
-                let newly_active = warps.iter().filter(|w| !w.is_exited()).count() as u64;
-                if newly_active == 0 {
-                    // Every program in this launch is empty.
-                    for wid in 0..warps.len() {
-                        if warps[wid].is_exited() {
-                            let (sm_id, block_id) = warp_home[wid];
-                            let _ = sms[sm_id].warp_retired(block_id);
-                        }
-                    }
+            }
+            return true;
+        }
+        self.active_warps = newly_active;
+        false
+    }
+
+    /// Issues warp `wid` (already selected by sub-partition `(sm, smsp)`) at
+    /// cycle `now`, handling retirement, block completion and replacement
+    /// dispatch. Returns `true` if the warp retired.
+    fn issue_selected(
+        &mut self,
+        wid: usize,
+        sm: usize,
+        smsp: usize,
+        now: u64,
+        mem: &mut MemorySystem,
+    ) -> bool {
+        let retired = self.warps[wid].issue(now, mem, self.cfg, &mut self.counters);
+        if !retired {
+            let ready = self.warps[wid].ready_at();
+            self.sms[sm].smsps[smsp].note_ready(wid, ready);
+            return false;
+        }
+        self.active_warps -= 1;
+        self.counters.resident_warp_cycles += now + 1 - self.warps[wid].spawn_cycle;
+        let (home_sm, block_id) = self.warp_home[wid];
+        let block_done = self.sms[home_sm].warp_retired(block_id);
+        self.sms[sm].smsps[smsp].prune_exited(&self.warps);
+        if block_done && self.next_block < self.total_blocks {
+            let block = self.next_block;
+            self.next_block += 1;
+            self.dispatch_block(home_sm, block, now + 1);
+            self.active_warps += self
+                .placements
+                .iter()
+                .filter(|&&(_, w)| !self.warps[w].is_exited())
+                .count() as u64;
+        } else {
+            self.placements.clear();
+        }
+        true
+    }
+
+    /// The reference loop: poll every sub-partition every cycle, jumping the
+    /// clock only when the whole device is stalled.
+    fn run_cycle_accurate(&mut self, mem: &mut MemorySystem, start_cycle: u64) -> u64 {
+        let mut cycle = start_cycle;
+        while self.active_warps > 0 || self.next_block < self.total_blocks {
+            if self.active_warps == 0 && self.next_block < self.total_blocks {
+                // All resident warps retired but blocks remain (can happen
+                // with degenerate empty programs).
+                if self.degenerate_refill(cycle) {
                     break;
                 }
-                active_warps = newly_active;
             }
 
             let mut issued_any = false;
-            for sm_id in 0..cfg.num_sms {
-                for smsp_idx in 0..cfg.smsps_per_sm {
-                    let pick = sms[sm_id].smsps[smsp_idx].select_ready(&warps, cycle);
+            for sm_id in 0..self.cfg.num_sms {
+                for smsp_idx in 0..self.cfg.smsps_per_sm {
+                    let pick = self.sms[sm_id].smsps[smsp_idx].select_ready(cycle);
                     let Some(wid) = pick else { continue };
                     issued_any = true;
-                    let retired = warps[wid].issue(cycle, mem, cfg, &mut counters);
-                    if retired {
-                        active_warps -= 1;
-                        counters.resident_warp_cycles += cycle + 1 - warps[wid].spawn_cycle;
-                        let (home_sm, block_id) = warp_home[wid];
-                        let block_done = sms[home_sm].warp_retired(block_id);
-                        sms[sm_id].smsps[smsp_idx].prune_exited(&warps);
-                        if block_done && next_block < total_blocks {
-                            dispatch_block(
-                                home_sm,
-                                next_block,
-                                cycle + 1,
-                                &mut warps,
-                                &mut warp_home,
-                                &mut sms,
-                                &mut counters,
-                            );
-                            next_block += 1;
-                            active_warps += (warps.len() - warps_per_block as usize..warps.len())
-                                .filter(|&i| !warps[i].is_exited())
-                                .count() as u64;
-                        }
-                    }
+                    self.issue_selected(wid, sm_id, smsp_idx, cycle, mem);
                 }
             }
 
@@ -198,10 +353,11 @@ impl Simulator {
             } else {
                 // Nothing could issue: fast-forward to the earliest cycle at
                 // which any warp becomes ready.
-                let next_ready = sms
+                let next_ready = self
+                    .sms
                     .iter()
                     .flat_map(|sm| sm.smsps.iter())
-                    .filter_map(|smsp| smsp.min_ready_at(&warps))
+                    .filter_map(|smsp| smsp.min_ready_at())
                     .min();
                 match next_ready {
                     Some(c) if c > cycle => cycle = c,
@@ -212,28 +368,109 @@ impl Simulator {
             assert!(
                 cycle - start_cycle < MAX_CYCLES,
                 "kernel '{}' exceeded {MAX_CYCLES} simulated cycles; the program is livelocked",
-                launch.name
+                self.launch.name
             );
         }
+        cycle
+    }
 
-        // Account residency for any warps that never retired (impossible in
-        // practice but keeps the accounting robust).
-        for w in warps.iter().filter(|w| !w.is_exited()) {
-            counters.resident_warp_cycles += cycle.saturating_sub(w.spawn_cycle);
+    /// The event-driven loop: keep every sub-partition's next issue deadline
+    /// in a flat per-sub-partition array and jump the clock straight to the
+    /// smallest deadline, touching only the sub-partitions that can issue
+    /// there. A linear min/match scan over a few hundred contiguous `u64`s
+    /// beats an ordered queue at this size and trivially preserves the
+    /// cycle-accurate loop's `(sm, smsp)` issue order. See the module
+    /// documentation for the invariants that keep this bit-exact with
+    /// [`Run::run_cycle_accurate`].
+    fn run_event_driven(&mut self, mem: &mut MemorySystem, start_cycle: u64) -> u64 {
+        let smsps_per_sm = self.cfg.smsps_per_sm;
+        let n = self.cfg.num_sms * smsps_per_sm;
+        // Next issue deadline per sub-partition (u64::MAX = no active warps).
+        let mut sched: Vec<u64> = vec![u64::MAX; n];
+
+        let mut cycle = start_cycle;
+        self.reschedule_all(&mut sched, cycle);
+
+        loop {
+            if self.active_warps == 0 && self.next_block < self.total_blocks {
+                if self.degenerate_refill(cycle) {
+                    break;
+                }
+                self.reschedule_all(&mut sched, cycle);
+            }
+            if self.active_warps == 0 {
+                break;
+            }
+            let t = sched.iter().copied().min().unwrap_or(u64::MAX);
+            if t == u64::MAX {
+                debug_assert!(false, "active warps but no scheduled deadlines");
+                break;
+            }
+            if t > cycle {
+                // The clock is about to jump past `t - cycle` stalled
+                // cycles; let the memory hierarchy retire the in-flight
+                // fills whose reported deadlines have passed.
+                mem.retire_completed_fills(t);
+            }
+
+            // Drain every sub-partition scheduled at `t`, in (sm, smsp)
+            // order. Dispatches triggered here only create deadlines at
+            // `t + 1` or later (invariant 3), so the batch is stable.
+            for idx in 0..n {
+                if sched[idx] != t {
+                    continue;
+                }
+                let (sm, smsp) = (idx / smsps_per_sm, idx % smsps_per_sm);
+                sched[idx] = u64::MAX;
+
+                if let Some(wid) = self.sms[sm].smsps[smsp].select_ready(t) {
+                    let retired = self.issue_selected(wid, sm, smsp, t, mem);
+                    if retired && !self.placements.is_empty() {
+                        // A replacement block landed on this warp's SM: give
+                        // its sub-partitions deadlines for the new warps.
+                        let (home_sm, _) = self.warp_home[wid];
+                        for i in 0..self.placements.len() {
+                            let (psmsp, pwid) = self.placements[i];
+                            if self.warps[pwid].is_exited() {
+                                continue;
+                            }
+                            let pidx = home_sm * smsps_per_sm + psmsp;
+                            let ready = self.warps[pwid].ready_at();
+                            if ready < sched[pidx] {
+                                sched[pidx] = ready;
+                            }
+                        }
+                    }
+                }
+
+                // One issue per sub-partition per cycle: its next deadline
+                // is clamped to t + 1 even if another warp is already ready.
+                if let Some(next) = self.sms[sm].smsps[smsp].next_issue_at(t + 1) {
+                    sched[idx] = next;
+                }
+            }
+
+            cycle = t + 1;
+            assert!(
+                cycle - start_cycle < MAX_CYCLES,
+                "kernel '{}' exceeded {MAX_CYCLES} simulated cycles; the program is livelocked",
+                self.launch.name
+            );
         }
+        cycle
+    }
 
-        let mut stats = KernelStats::empty(&launch.name, cfg);
-        stats.set_occupancy(&occ);
-        stats.elapsed_cycles = cycle.saturating_sub(start_cycle);
-        stats.counters = counters;
-        let (l1_acc, l1_hit) = mem.l1_totals();
-        stats.l1_accesses = l1_acc - l1_acc0;
-        stats.l1_hits = l1_hit - l1_hit0;
-        stats.l2_accesses = mem.l2().stats.accesses - l2_acc0;
-        stats.l2_hits = mem.l2().stats.hits - l2_hit0;
-        stats.dram_bytes_read = mem.dram().bytes_read - dram_read0;
-        stats.dram_bytes_written = mem.dram().bytes_written - dram_write0;
-        stats
+    /// Recomputes every sub-partition's issue deadline from scratch (used at
+    /// startup and after a degenerate refill; the hot path maintains
+    /// deadlines incrementally).
+    fn reschedule_all(&self, sched: &mut [u64], floor: u64) {
+        for sm in 0..self.cfg.num_sms {
+            for smsp in 0..self.cfg.smsps_per_sm {
+                sched[sm * self.cfg.smsps_per_sm + smsp] = self.sms[sm].smsps[smsp]
+                    .next_issue_at(floor)
+                    .unwrap_or(u64::MAX);
+            }
+        }
     }
 }
 
@@ -327,5 +564,42 @@ mod tests {
         let stats = sim.run(&launch, &StreamKernel::new(64));
         let util = stats.issued_per_scheduler_per_cycle();
         assert!(util > 0.0 && util <= 1.0, "utilization {util} out of range");
+    }
+
+    #[test]
+    fn engine_modes_agree_on_synthetic_kernels() {
+        let cfg = GpuConfig::test_small();
+        let reference = Simulator::new(cfg.clone()).with_mode(EngineMode::CycleAccurate);
+        let event = Simulator::new(cfg);
+        assert_eq!(event.mode(), EngineMode::EventDriven);
+        let launch = KernelLaunch::new("agree", 8, 128).with_regs_per_thread(32);
+        for (name, kernel) in [
+            ("stream", &StreamKernel::new(24) as &dyn KernelProgram),
+            ("chase", &PointerChaseKernel::new(24, 1 << 22)),
+        ] {
+            let a = reference.run(&launch, kernel);
+            let b = event.run(&launch, kernel);
+            assert_eq!(a, b, "engine modes diverged on '{name}'");
+        }
+    }
+
+    #[test]
+    fn engine_modes_agree_across_chained_kernels() {
+        let cfg = GpuConfig::test_small();
+        let reference = Simulator::new(cfg.clone()).with_mode(EngineMode::CycleAccurate);
+        let event = Simulator::new(cfg.clone());
+        let launch = KernelLaunch::new("chained", 4, 128).with_regs_per_thread(32);
+        let kernel = StreamKernel::new(16);
+
+        let mut mem_a = MemorySystem::new(&cfg);
+        let a1 = reference.run_with_memory(&launch, &kernel, &mut mem_a, 0);
+        let a2 = reference.run_with_memory(&launch, &kernel, &mut mem_a, a1.elapsed_cycles);
+
+        let mut mem_b = MemorySystem::new(&cfg);
+        let b1 = event.run_with_memory(&launch, &kernel, &mut mem_b, 0);
+        let b2 = event.run_with_memory(&launch, &kernel, &mut mem_b, b1.elapsed_cycles);
+
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
     }
 }

@@ -42,31 +42,74 @@ impl CacheStats {
     }
 }
 
+/// One cache way, packed into 16 bytes: the tag shares a word with the
+/// valid/persistent flags (bits 63/62 — tags are line addresses divided by
+/// line size and set count, far below 2^62). Halving the per-way footprint
+/// halves the host cache lines touched by set scans, which dominate the
+/// simulated L2's cost (an A100 L2 is 20 480 sets × 16 ways).
 #[derive(Debug, Clone, Copy)]
 struct CacheLine {
-    tag: u64,
-    valid: bool,
-    persistent: bool,
+    tag_flags: u64,
     last_use: u64,
 }
 
 impl CacheLine {
+    const VALID: u64 = 1 << 63;
+    const PERSISTENT: u64 = 1 << 62;
+    const TAG_MASK: u64 = (1 << 62) - 1;
+
     fn empty() -> Self {
         CacheLine {
-            tag: 0,
-            valid: false,
-            persistent: false,
+            tag_flags: 0,
             last_use: 0,
         }
+    }
+
+    fn occupied(tag: u64, persistent: bool) -> Self {
+        debug_assert!(tag & !Self::TAG_MASK == 0, "tag overflows the packing");
+        CacheLine {
+            tag_flags: tag | Self::VALID | if persistent { Self::PERSISTENT } else { 0 },
+            last_use: 0,
+        }
+    }
+
+    #[inline]
+    fn valid(&self) -> bool {
+        self.tag_flags & Self::VALID != 0
+    }
+
+    #[inline]
+    fn persistent(&self) -> bool {
+        self.tag_flags & Self::PERSISTENT != 0
+    }
+
+    #[inline]
+    fn matches(&self, tag: u64) -> bool {
+        self.tag_flags & (Self::VALID | Self::TAG_MASK) == tag | Self::VALID
+    }
+
+    fn set_persistent(&mut self) {
+        self.tag_flags |= Self::PERSISTENT;
     }
 }
 
 /// A set-associative, LRU cache with an optional persisting carve-out.
+///
+/// Lines are stored as one contiguous array with `ways` entries per set
+/// (instead of one heap allocation per set): an A100-sized L2 has 20 480
+/// sets, and a per-set `Vec` would cost an allocation each at construction
+/// and a pointer chase on every lookup.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<CacheLine>>,
+    lines: Vec<CacheLine>,
+    ways: usize,
     num_sets: u64,
+    /// `log2(line_bytes)` when the line size is a power of two, so the hot
+    /// lookup path shifts instead of dividing.
+    line_shift: Option<u32>,
+    /// `log2(num_sets)` when the set count is a power of two.
+    set_shift: Option<u32>,
     /// Current number of resident persistent lines.
     persistent_lines: u64,
     /// Maximum number of persistent lines allowed (carve-out).
@@ -82,17 +125,37 @@ impl Cache {
         // A degenerate configuration (associativity larger than the line
         // count) must not inflate the capacity beyond what was configured.
         let ways = cfg.associativity.min(cfg.num_lines().max(1) as usize);
-        let sets = (0..num_sets)
-            .map(|_| vec![CacheLine::empty(); ways])
-            .collect();
+        let lines = vec![CacheLine::empty(); num_sets as usize * ways];
+        let line_shift = cfg
+            .line_bytes
+            .is_power_of_two()
+            .then(|| cfg.line_bytes.trailing_zeros());
+        let set_shift = num_sets
+            .is_power_of_two()
+            .then(|| num_sets.trailing_zeros());
         Cache {
             cfg,
-            sets,
+            lines,
+            ways,
             num_sets,
+            line_shift,
+            set_shift,
             persistent_lines: 0,
             persistent_capacity_lines: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// The ways of one set as a mutable slice.
+    #[inline]
+    fn set_mut(&mut self, set_idx: usize) -> &mut [CacheLine] {
+        &mut self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
+    }
+
+    /// The ways of one set as a shared slice.
+    #[inline]
+    fn set(&self, set_idx: usize) -> &[CacheLine] {
+        &self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
     }
 
     /// Sets the persisting carve-out capacity in bytes (rounded down to whole
@@ -122,22 +185,32 @@ impl Cache {
         self.cfg.hit_latency
     }
 
-    fn set_index(&self, line_addr: u64) -> usize {
-        ((line_addr / self.cfg.line_bytes) % self.num_sets) as usize
-    }
-
-    fn tag(&self, line_addr: u64) -> u64 {
-        line_addr / self.cfg.line_bytes / self.num_sets
+    /// Maps a line address to `(set index, tag)` with a single line-index
+    /// computation, shifting instead of dividing for power-of-two
+    /// geometries (every lookup goes through here, so this is the hottest
+    /// arithmetic in the memory hierarchy).
+    #[inline]
+    fn locate(&self, line_addr: u64) -> (usize, u64) {
+        let line_index = match self.line_shift {
+            Some(s) => line_addr >> s,
+            None => line_addr / self.cfg.line_bytes,
+        };
+        match self.set_shift {
+            Some(s) => ((line_index & (self.num_sets - 1)) as usize, line_index >> s),
+            None => (
+                (line_index % self.num_sets) as usize,
+                line_index / self.num_sets,
+            ),
+        }
     }
 
     /// Looks up a line, updating LRU state and hit/miss statistics.
     /// Returns `true` on a hit.
     pub fn access(&mut self, line_addr: u64, now: u64) -> bool {
         self.stats.accesses += 1;
-        let set_idx = self.set_index(line_addr);
-        let tag = self.tag(line_addr);
-        for way in self.sets[set_idx].iter_mut() {
-            if way.valid && way.tag == tag {
+        let (set_idx, tag) = self.locate(line_addr);
+        for way in self.set_mut(set_idx).iter_mut() {
+            if way.matches(tag) {
                 way.last_use = now;
                 self.stats.hits += 1;
                 return true;
@@ -148,55 +221,49 @@ impl Cache {
 
     /// Probes for a line without updating statistics or LRU state.
     pub fn probe(&self, line_addr: u64) -> bool {
-        let set_idx = self.set_index(line_addr);
-        let tag = self.tag(line_addr);
-        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+        let (set_idx, tag) = self.locate(line_addr);
+        self.set(set_idx).iter().any(|w| w.matches(tag))
     }
 
     /// Returns whether the given line is resident *and* marked persistent.
     pub fn is_persistent(&self, line_addr: u64) -> bool {
-        let set_idx = self.set_index(line_addr);
-        let tag = self.tag(line_addr);
-        self.sets[set_idx]
+        let (set_idx, tag) = self.locate(line_addr);
+        self.set(set_idx)
             .iter()
-            .any(|w| w.valid && w.tag == tag && w.persistent)
+            .any(|w| w.matches(tag) && w.persistent())
     }
 
     /// Installs a line. If `persistent` is requested and the carve-out has
     /// room, the line is marked evict-last; otherwise it is installed as a
     /// normal line. Returns `true` if the line was installed as persistent.
     pub fn fill(&mut self, line_addr: u64, persistent: bool, now: u64) -> bool {
-        let set_idx = self.set_index(line_addr);
-        let tag = self.tag(line_addr);
+        let (set_idx, tag) = self.locate(line_addr);
         self.stats.fills += 1;
 
         // Already resident: update flags in place (a prefetch may promote a
         // resident line to persistent).
         let can_pin_more = self.persistent_lines < self.persistent_capacity_lines;
-        if let Some(way) = self.sets[set_idx]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-        {
+        if let Some(way) = self.set_mut(set_idx).iter_mut().find(|w| w.matches(tag)) {
             way.last_use = now;
-            if persistent && !way.persistent && can_pin_more {
-                way.persistent = true;
+            if persistent && !way.persistent() && can_pin_more {
+                way.set_persistent();
                 self.persistent_lines += 1;
                 return true;
             }
-            return way.persistent;
+            return way.persistent();
         }
 
         let install_persistent = persistent && can_pin_more;
 
         // Choose a victim: invalid first, then LRU among non-persistent,
         // then LRU among persistent (evict-last behaviour).
-        let set = &mut self.sets[set_idx];
-        let victim_idx = if let Some(i) = set.iter().position(|w| !w.valid) {
+        let set = self.set_mut(set_idx);
+        let victim_idx = if let Some(i) = set.iter().position(|w| !w.valid()) {
             i
         } else if let Some(i) = set
             .iter()
             .enumerate()
-            .filter(|(_, w)| !w.persistent)
+            .filter(|(_, w)| !w.persistent())
             .min_by_key(|(_, w)| w.last_use)
             .map(|(i, _)| i)
         {
@@ -210,20 +277,17 @@ impl Cache {
                 .unwrap()
         };
 
-        let victim = &mut set[victim_idx];
-        if victim.valid {
+        let evicted = set[victim_idx];
+        let mut fresh = CacheLine::occupied(tag, install_persistent);
+        fresh.last_use = now;
+        set[victim_idx] = fresh;
+        if evicted.valid() {
             self.stats.evictions += 1;
-            if victim.persistent {
+            if evicted.persistent() {
                 self.stats.persistent_evictions += 1;
                 self.persistent_lines -= 1;
             }
         }
-        *victim = CacheLine {
-            tag,
-            valid: true,
-            persistent: install_persistent,
-            last_use: now,
-        };
         if install_persistent {
             self.persistent_lines += 1;
         }
@@ -233,10 +297,8 @@ impl Cache {
     /// Invalidates every line and resets persistence bookkeeping (statistics
     /// are preserved).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = CacheLine::empty();
-            }
+        for way in self.lines.iter_mut() {
+            *way = CacheLine::empty();
         }
         self.persistent_lines = 0;
     }
@@ -244,7 +306,7 @@ impl Cache {
     /// Number of valid lines currently resident (O(capacity); intended for
     /// tests and diagnostics).
     pub fn resident_lines(&self) -> u64 {
-        self.sets.iter().flatten().filter(|w| w.valid).count() as u64
+        self.lines.iter().filter(|w| w.valid()).count() as u64
     }
 }
 
@@ -342,6 +404,26 @@ mod tests {
         assert!(!c.probe(0));
         assert_eq!(c.persistent_lines(), 0);
         assert_eq!(c.stats.accesses, 1);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_maps_like_the_division_formula() {
+        // The A100 L2 has 20480 sets — not a power of two — so the lookup
+        // must fall back to division and agree with the reference mapping.
+        let mut c = Cache::new(CacheConfig {
+            capacity_bytes: 3 * 128 * 16, // 3 sets of 16 ways
+            line_bytes: 128,
+            associativity: 16,
+            hit_latency: 10,
+        });
+        assert_eq!(c.num_sets, 3);
+        for i in 0..64u64 {
+            let addr = i * 128;
+            c.fill(addr, false, i);
+            assert!(c.probe(addr));
+            // Distinct lines mapping to the same set must not alias.
+            assert!(!c.probe(addr + 3 * 128 * 64));
+        }
     }
 
     #[test]

@@ -76,6 +76,13 @@ impl Dram {
         self.latency
     }
 
+    /// The cycle at which the bandwidth pipe drains: transfers issued before
+    /// this deadline queue behind the in-flight ones. Reported (rather than
+    /// polled) so callers jumping the clock know when DRAM state changes.
+    pub fn busy_until(&self) -> u64 {
+        self.next_free.ceil() as u64
+    }
+
     /// Average read bandwidth in GB/s over `elapsed_cycles` at `clock_ghz`.
     pub fn avg_read_bandwidth_gbps(&self, elapsed_cycles: u64, clock_ghz: f64) -> f64 {
         if elapsed_cycles == 0 {
@@ -129,6 +136,21 @@ mod tests {
         d.write(1024, 0);
         assert_eq!(d.bytes_written, 1024);
         assert!(d.busy_cycles > 0.0);
+    }
+
+    #[test]
+    fn busy_until_tracks_the_pipe_deadline() {
+        let mut d = dram();
+        assert_eq!(d.busy_until(), 0);
+        // Saturate the pipe: 10_000 * 128 B at 1375 B/cycle ≈ 931 cycles.
+        for _ in 0..10_000 {
+            d.read(128, 0);
+        }
+        assert!(d.busy_until() > 900);
+        // An idle gap later than the deadline does not move it.
+        let deadline = d.busy_until();
+        d.read(1, deadline + 100);
+        assert!(d.busy_until() >= deadline + 100);
     }
 
     #[test]

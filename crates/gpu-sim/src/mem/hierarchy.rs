@@ -1,7 +1,8 @@
 //! The per-device memory system: per-SM L1 data caches, a shared L2 with a
 //! persisting carve-out, shared memory, and HBM.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::config::GpuConfig;
 use crate::isa::{LineSet, MemSpace, PrefetchTarget};
@@ -21,6 +22,16 @@ pub enum AccessOutcome {
     DramAccess,
 }
 
+/// Where an in-flight prefetch fill will land, used to key its reported
+/// completion deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FillSite {
+    /// An L1 fill for `(sm, line)`.
+    L1 { sm: usize, line: u64 },
+    /// An L2 fill for `line`.
+    L2 { line: u64 },
+}
+
 /// The complete memory hierarchy of one simulated device.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -37,6 +48,15 @@ pub struct MemorySystem {
     l1_pending: HashMap<(usize, u64), u64>,
     /// Same bookkeeping for lines being installed into L2 by a prefetch.
     l2_pending: HashMap<u64, u64>,
+    /// Completion deadlines of the in-flight fills above, ordered soonest
+    /// first, so the hierarchy reports its pending work as deadlines rather
+    /// than being polled per cycle. The event-driven engine consumes
+    /// [`MemorySystem::retire_completed_fills`] at every clock jump
+    /// (bounding the pending maps); [`MemorySystem::earliest_pending_response`]
+    /// is the read side for diagnostics and future memory-side event
+    /// sources (warp wakeups themselves need no memory events, because
+    /// completion cycles are computed at issue).
+    fill_deadlines: BinaryHeap<Reverse<(u64, FillSite)>>,
     /// Number of warp-level shared-memory accesses.
     pub shared_accesses: u64,
     /// Number of warp-level local-memory load accesses (register spills).
@@ -60,6 +80,7 @@ impl MemorySystem {
             shared_latency: cfg.shared_mem_latency,
             l1_pending: HashMap::new(),
             l2_pending: HashMap::new(),
+            fill_deadlines: BinaryHeap::new(),
             shared_accesses: 0,
             local_load_accesses: 0,
             prefetch_lines: 0,
@@ -175,11 +196,13 @@ impl MemorySystem {
                     } else {
                         let done = self.dram.read(self.l2.line_bytes(), now);
                         self.l2.fill(line, false, now);
-                        self.l2_pending.insert(line, done);
+                        self.record_l2_fill(line, done);
                         done
                     };
                     self.l1[sm].fill(line, false, now);
                     self.l1_pending.insert((sm, line), ready);
+                    self.fill_deadlines
+                        .push(Reverse((ready, FillSite::L1 { sm, line })));
                 }
                 PrefetchTarget::L2EvictLast => {
                     if self.l2.probe(line) {
@@ -189,7 +212,63 @@ impl MemorySystem {
                     }
                     let done = self.dram.read(self.l2.line_bytes(), now);
                     self.l2.fill(line, true, now);
-                    self.l2_pending.insert(line, done);
+                    self.record_l2_fill(line, done);
+                }
+            }
+        }
+    }
+
+    /// Records an in-flight L2 fill completing at `done`.
+    fn record_l2_fill(&mut self, line: u64, done: u64) {
+        self.l2_pending.insert(line, done);
+        self.fill_deadlines
+            .push(Reverse((done, FillSite::L2 { line })));
+    }
+
+    /// The earliest cycle at which an in-flight prefetch fill completes, or
+    /// `None` when nothing is outstanding. Deadlines superseded by a newer
+    /// fill of the same line are discarded on the way.
+    ///
+    /// The engine itself does not schedule on this value — every warp
+    /// wakeup is already a precomputed completion cycle — so this is the
+    /// introspective half of the deadline registry (tests, diagnostics, and
+    /// any future event source that models memory-side state changes);
+    /// [`MemorySystem::retire_completed_fills`] is the half the
+    /// event-driven engine drives.
+    pub fn earliest_pending_response(&mut self) -> Option<u64> {
+        while let Some(&Reverse((ready, site))) = self.fill_deadlines.peek() {
+            let live = match site {
+                FillSite::L1 { sm, line } => self.l1_pending.get(&(sm, line)) == Some(&ready),
+                FillSite::L2 { line } => self.l2_pending.get(&line) == Some(&ready),
+            };
+            if live {
+                return Some(ready);
+            }
+            self.fill_deadlines.pop();
+        }
+        None
+    }
+
+    /// Retires every in-flight fill whose reported deadline has passed by
+    /// `now`. The event-driven engine calls this when it jumps the clock;
+    /// retiring is observably identical to the lazy per-lookup pruning (a
+    /// completed fill delays nothing) but keeps the pending maps bounded.
+    pub fn retire_completed_fills(&mut self, now: u64) {
+        while let Some(&Reverse((ready, site))) = self.fill_deadlines.peek() {
+            if ready > now {
+                break;
+            }
+            self.fill_deadlines.pop();
+            match site {
+                FillSite::L1 { sm, line } => {
+                    if self.l1_pending.get(&(sm, line)).is_some_and(|&r| r <= now) {
+                        self.l1_pending.remove(&(sm, line));
+                    }
+                }
+                FillSite::L2 { line } => {
+                    if self.l2_pending.get(&line).is_some_and(|&r| r <= now) {
+                        self.l2_pending.remove(&line);
+                    }
                 }
             }
         }
@@ -198,6 +277,11 @@ impl MemorySystem {
     /// Returns (and prunes) the completion cycle of an in-flight L1 prefetch
     /// fill for `(sm, line)`, or `now` if none is outstanding.
     fn pending_l1_ready(&mut self, sm: usize, line: u64, now: u64) -> u64 {
+        // Fast path: no prefetches in flight anywhere (always true for the
+        // non-prefetching schemes), so skip the hash lookup on every hit.
+        if self.l1_pending.is_empty() {
+            return now;
+        }
         match self.l1_pending.get(&(sm, line)).copied() {
             Some(ready) if ready > now => ready,
             Some(_) => {
@@ -211,6 +295,9 @@ impl MemorySystem {
     /// Returns (and prunes) the completion cycle of an in-flight L2 prefetch
     /// fill for `line`, or `now` if none is outstanding.
     fn pending_l2_ready(&mut self, line: u64, now: u64) -> u64 {
+        if self.l2_pending.is_empty() {
+            return now;
+        }
         match self.l2_pending.get(&line).copied() {
             Some(ready) if ready > now => ready,
             Some(_) => {
@@ -375,6 +462,50 @@ mod tests {
         both.push(1 << 20);
         let (_, outcome) = m.load(0, MemSpace::Global, &both, 256, 1000);
         assert_eq!(outcome, AccessOutcome::DramAccess);
+    }
+
+    #[test]
+    fn pending_fills_report_their_deadlines() {
+        let (mut m, _cfg) = mem();
+        assert_eq!(m.earliest_pending_response(), None);
+        m.prefetch(0, PrefetchTarget::L1, &LineSet::single(4096), 0);
+        let deadline = m.earliest_pending_response().expect("fill in flight");
+        assert!(deadline > 0, "a cold prefetch must take time to land");
+        // Before the deadline nothing retires; after it the registry drains.
+        m.retire_completed_fills(deadline - 1);
+        assert_eq!(m.earliest_pending_response(), Some(deadline));
+        m.retire_completed_fills(deadline);
+        assert_eq!(m.earliest_pending_response(), None);
+    }
+
+    #[test]
+    fn retiring_fills_does_not_change_load_timing() {
+        let (mut m1, _) = mem();
+        let (mut m2, _) = mem();
+        let lines = LineSet::single(8192);
+        m1.prefetch(0, PrefetchTarget::L1, &lines, 0);
+        m2.prefetch(0, PrefetchTarget::L1, &lines, 0);
+        let deadline = m1.earliest_pending_response().unwrap();
+        // m1 retires eagerly (event-driven engine), m2 prunes lazily.
+        m1.retire_completed_fills(deadline + 10);
+        let a = m1.load(0, MemSpace::Global, &lines, 128, deadline + 10);
+        let b = m2.load(0, MemSpace::Global, &lines, 128, deadline + 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn superseded_fill_deadlines_are_discarded() {
+        let (mut m, _cfg) = mem();
+        let lines = LineSet::single(1 << 16);
+        m.prefetch(0, PrefetchTarget::L2EvictLast, &lines, 0);
+        let first = m.earliest_pending_response().unwrap();
+        // A demand load hits the L2 line, evicting nothing; re-prefetching
+        // much later re-registers the pending fill with a later deadline
+        // only if the line left the cache. Force that by flushing.
+        m.retire_completed_fills(first);
+        m.prefetch(0, PrefetchTarget::L1, &lines, first + 1000);
+        let second = m.earliest_pending_response().unwrap();
+        assert!(second > first);
     }
 
     #[test]

@@ -5,11 +5,26 @@ use std::collections::HashMap;
 
 use crate::warp::WarpContext;
 
+/// One resident-warp slot: the warp's arena index plus a cached copy of its
+/// next-ready cycle, so scheduler scans stay inside this contiguous array
+/// instead of chasing into the (much larger) warp arena. Retired warps are
+/// cached as [`Slot::NEVER`].
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    warp: usize,
+    ready_at: u64,
+}
+
+impl Slot {
+    /// Cached readiness of a retired warp: never ready again.
+    const NEVER: u64 = u64::MAX;
+}
+
 /// One SM sub-partition: a warp scheduler with its queue of resident warps.
 #[derive(Debug, Default)]
 pub struct SmspState {
-    /// Indices into the simulator's warp arena, in residency (age) order.
-    slots: Vec<usize>,
+    /// Resident warps in residency (age) order.
+    slots: Vec<Slot>,
     /// Warp most recently issued from (greedy-then-oldest policy).
     last_issued: Option<usize>,
 }
@@ -26,26 +41,48 @@ impl SmspState {
         self.slots.len()
     }
 
-    /// Adds a newly spawned warp to this scheduler's queue.
-    pub fn add_warp(&mut self, warp_id: usize) {
-        self.slots.push(warp_id);
+    /// Adds a newly spawned warp to this scheduler's queue. `ready_at` is
+    /// the warp's current [`WarpContext::ready_at`] (or [`u64::MAX`] if it
+    /// spawned already retired).
+    pub fn add_warp(&mut self, warp_id: usize, ready_at: u64) {
+        self.slots.push(Slot {
+            warp: warp_id,
+            ready_at,
+        });
+    }
+
+    /// Refreshes the cached readiness of `warp_id` after it issued: its next
+    /// instruction's ready cycle, or [`u64::MAX`] if it retired. The engine
+    /// must call this after every issue so the cache stays exact.
+    pub fn note_ready(&mut self, warp_id: usize, ready_at: u64) {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.warp == warp_id) {
+            slot.ready_at = ready_at;
+        }
     }
 
     /// Removes retired warps from the queue.
     pub fn prune_exited(&mut self, warps: &[WarpContext]) {
-        self.slots.retain(|&w| !warps[w].is_exited());
+        self.slots.retain(|s| !warps[s.warp].is_exited());
     }
 
     /// Selects a warp to issue at cycle `now` using a greedy-then-oldest
     /// policy: keep issuing from the same warp while it stays ready,
     /// otherwise fall back to the oldest ready warp.
-    pub fn select_ready(&mut self, warps: &[WarpContext], now: u64) -> Option<usize> {
+    pub fn select_ready(&mut self, now: u64) -> Option<usize> {
         if let Some(last) = self.last_issued {
-            if self.slots.contains(&last) && warps[last].is_ready(now) {
+            if self
+                .slots
+                .iter()
+                .any(|s| s.warp == last && s.ready_at <= now)
+            {
                 return Some(last);
             }
         }
-        let pick = self.slots.iter().copied().find(|&w| warps[w].is_ready(now));
+        let pick = self
+            .slots
+            .iter()
+            .find(|s| s.ready_at <= now)
+            .map(|s| s.warp);
         if pick.is_some() {
             self.last_issued = pick;
         }
@@ -53,17 +90,28 @@ impl SmspState {
     }
 
     /// Earliest cycle at which any resident, non-retired warp becomes ready.
-    pub fn min_ready_at(&self, warps: &[WarpContext]) -> Option<u64> {
-        self.slots
+    pub fn min_ready_at(&self) -> Option<u64> {
+        let min = self
+            .slots
             .iter()
-            .filter(|&&w| !warps[w].is_exited())
-            .map(|&w| warps[w].ready_at())
+            .map(|s| s.ready_at)
             .min()
+            .unwrap_or(Slot::NEVER);
+        (min != Slot::NEVER).then_some(min)
+    }
+
+    /// Earliest cycle `>= floor` at which this sub-partition can issue a
+    /// warp, or `None` if it holds no active warps. This is the deadline the
+    /// event-driven engine queues: a sub-partition issues at most one warp
+    /// per cycle, so after issuing at cycle `t` its next opportunity is
+    /// `next_issue_at(t + 1)`.
+    pub fn next_issue_at(&self, floor: u64) -> Option<u64> {
+        self.min_ready_at().map(|r| r.max(floor))
     }
 
     /// Whether this sub-partition still has non-retired warps.
     pub fn has_active(&self, warps: &[WarpContext]) -> bool {
-        self.slots.iter().any(|&w| !warps[w].is_exited())
+        self.slots.iter().any(|s| !warps[s.warp].is_exited())
     }
 }
 
@@ -98,10 +146,12 @@ impl SmState {
     }
 
     /// Places a warp of a resident block onto the next sub-partition in
-    /// round-robin order. Returns the chosen sub-partition index.
-    pub fn place_warp(&mut self, warp_id: usize) -> usize {
+    /// round-robin order, caching its current readiness (`u64::MAX` for a
+    /// warp that spawned already retired). Returns the chosen sub-partition
+    /// index.
+    pub fn place_warp(&mut self, warp_id: usize, ready_at: u64) -> usize {
         let idx = self.next_smsp;
-        self.smsps[idx].add_warp(warp_id);
+        self.smsps[idx].add_warp(warp_id, ready_at);
         self.next_smsp = (self.next_smsp + 1) % self.smsps.len();
         idx
     }
@@ -162,6 +212,17 @@ mod tests {
         WarpContext::new(info, Box::new(VecProgram::new(insts)), 0)
     }
 
+    /// Adds a warp to the scheduler, caching its live readiness the way the
+    /// engine does.
+    fn enlist(smsp: &mut SmspState, warps: &[WarpContext], wid: usize) {
+        let ready = if warps[wid].is_exited() {
+            u64::MAX
+        } else {
+            warps[wid].ready_at()
+        };
+        smsp.add_warp(wid, ready);
+    }
+
     #[test]
     fn scheduler_prefers_last_issued_warp() {
         let cfg = GpuConfig::test_small();
@@ -169,14 +230,15 @@ mod tests {
         let mut counters = RawCounters::default();
         let mut warps = vec![warp_with_alu_chain(0, 1, 4), warp_with_alu_chain(1, 1, 4)];
         let mut smsp = SmspState::new();
-        smsp.add_warp(0);
-        smsp.add_warp(1);
+        enlist(&mut smsp, &warps, 0);
+        enlist(&mut smsp, &warps, 1);
 
-        let first = smsp.select_ready(&warps, 1).unwrap();
+        let first = smsp.select_ready(1).unwrap();
         warps[first].issue(1, &mut mem, &cfg, &mut counters);
+        smsp.note_ready(first, warps[first].ready_at());
         // With a 1-cycle ALU latency the same warp is ready again next cycle
         // and the greedy policy sticks with it.
-        let second = smsp.select_ready(&warps, 2).unwrap();
+        let second = smsp.select_ready(2).unwrap();
         assert_eq!(first, second);
     }
 
@@ -187,14 +249,15 @@ mod tests {
         let mut counters = RawCounters::default();
         let mut warps = vec![warp_with_alu_chain(0, 50, 2), warp_with_alu_chain(1, 50, 2)];
         let mut smsp = SmspState::new();
-        smsp.add_warp(0);
-        smsp.add_warp(1);
+        enlist(&mut smsp, &warps, 0);
+        enlist(&mut smsp, &warps, 1);
 
-        let w0 = smsp.select_ready(&warps, 1).unwrap();
+        let w0 = smsp.select_ready(1).unwrap();
         assert_eq!(w0, 0);
         warps[0].issue(1, &mut mem, &cfg, &mut counters);
+        smsp.note_ready(0, warps[0].ready_at());
         // Warp 0 now stalls on its 50-cycle dependence; warp 1 is selected.
-        let w1 = smsp.select_ready(&warps, 2).unwrap();
+        let w1 = smsp.select_ready(2).unwrap();
         assert_eq!(w1, 1);
     }
 
@@ -202,10 +265,14 @@ mod tests {
     fn min_ready_at_and_pruning() {
         let warps = vec![warp_with_alu_chain(0, 1, 0), warp_with_alu_chain(1, 1, 2)];
         let mut smsp = SmspState::new();
-        smsp.add_warp(0);
-        smsp.add_warp(1);
+        enlist(&mut smsp, &warps, 0);
+        enlist(&mut smsp, &warps, 1);
         assert!(warps[0].is_exited());
-        assert_eq!(smsp.min_ready_at(&warps), Some(warps[1].ready_at()));
+        assert_eq!(smsp.min_ready_at(), Some(warps[1].ready_at()));
+        assert_eq!(
+            smsp.next_issue_at(warps[1].ready_at() + 7),
+            Some(warps[1].ready_at() + 7)
+        );
         smsp.prune_exited(&warps);
         assert_eq!(smsp.resident(), 1);
         assert!(smsp.has_active(&warps));
@@ -225,7 +292,7 @@ mod tests {
     fn warps_are_distributed_round_robin() {
         let mut sm = SmState::new(4);
         sm.begin_block(0, 8);
-        let placements: Vec<usize> = (0..8).map(|w| sm.place_warp(w)).collect();
+        let placements: Vec<usize> = (0..8).map(|w| sm.place_warp(w, 1)).collect();
         assert_eq!(placements, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 }

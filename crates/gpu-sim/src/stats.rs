@@ -250,6 +250,46 @@ impl KernelStats {
         }
     }
 
+    /// Names the first field in which `other` differs from `self`, with both
+    /// values, or `None` when the records are identical. Used by the engine
+    /// equivalence suite to turn "two 20-field structs differ" into an
+    /// actionable message.
+    pub fn first_difference(&self, other: &KernelStats) -> Option<String> {
+        macro_rules! cmp {
+            ($($field:ident).+) => {
+                if self.$($field).+ != other.$($field).+ {
+                    return Some(format!(
+                        "{}: {:?} vs {:?}",
+                        stringify!($($field).+),
+                        self.$($field).+,
+                        other.$($field).+
+                    ));
+                }
+            };
+        }
+        cmp!(elapsed_cycles);
+        cmp!(counters.insts_issued);
+        cmp!(counters.load_insts);
+        cmp!(counters.local_load_insts);
+        cmp!(counters.store_insts);
+        cmp!(counters.prefetch_insts);
+        cmp!(counters.long_scoreboard_cycles);
+        cmp!(counters.short_scoreboard_cycles);
+        cmp!(counters.not_selected_cycles);
+        cmp!(counters.resident_warp_cycles);
+        cmp!(counters.warps_launched);
+        cmp!(counters.blocks_launched);
+        cmp!(l1_accesses);
+        cmp!(l1_hits);
+        cmp!(l2_accesses);
+        cmp!(l2_hits);
+        cmp!(dram_bytes_read);
+        cmp!(dram_bytes_written);
+        cmp!(theoretical_warps_per_sm);
+        cmp!(allocated_regs_per_thread);
+        None
+    }
+
     /// Renders the statistics as the rows used by the paper's NCU tables.
     pub fn ncu_rows(&self) -> Vec<(String, String)> {
         vec![

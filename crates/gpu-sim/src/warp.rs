@@ -22,6 +22,45 @@ pub enum DepKind {
     Long,
 }
 
+/// Per-register readiness tracking, boxed as one unit so that spawning a
+/// warp costs a single scoreboard allocation on the launch path.
+///
+/// Each entry packs the cycle at which the register's most recent writer
+/// completes (low 63 bits) with a flag in the top bit marking that writer as
+/// a long-latency (global/local) load. One packed word per register means
+/// one cache line touched per operand instead of two — measurable on the
+/// issue path, where the scoreboards of thousands of resident warps are
+/// visited in data-dependent order.
+struct Scoreboard {
+    packed: [u64; TRACKED_REGS],
+}
+
+impl Scoreboard {
+    /// Top-bit flag: the register's last writer was a global/local load.
+    const LONG: u64 = 1 << 63;
+
+    fn fresh() -> Box<Self> {
+        Box::new(Scoreboard {
+            packed: [0; TRACKED_REGS],
+        })
+    }
+
+    /// `(ready cycle, was written by a long-latency load)` for `reg`.
+    #[inline]
+    fn get(&self, reg: u8) -> (u64, bool) {
+        let v = self.packed[reg as usize];
+        (v & !Self::LONG, v & Self::LONG != 0)
+    }
+
+    /// Records that `reg`'s writer completes at `ready` (`ready` must stay
+    /// below 2^63, which [`crate::engine`]'s cycle cap guarantees).
+    #[inline]
+    fn set(&mut self, reg: u8, ready: u64, long: bool) {
+        debug_assert!(ready & Self::LONG == 0, "cycle overflows the packing");
+        self.packed[reg as usize] = ready | if long { Self::LONG } else { 0 };
+    }
+}
+
 /// Execution state of one resident warp.
 pub struct WarpContext {
     /// Static identity of the warp.
@@ -29,11 +68,8 @@ pub struct WarpContext {
     program: Box<dyn WarpProgram>,
     /// The next instruction to issue, if the warp has not exited.
     pending: Option<Instruction>,
-    /// Cycle at which each register's most recent writer completes.
-    reg_ready: Box<[u64; TRACKED_REGS]>,
-    /// Whether the most recent writer of each register was a long-latency
-    /// (global/local) load.
-    reg_long: Box<[bool; TRACKED_REGS]>,
+    /// The register scoreboard.
+    board: Box<Scoreboard>,
     /// Cycle at which the pending instruction's operands are ready.
     ready_at: u64,
     /// What the pending instruction is waiting on.
@@ -68,8 +104,7 @@ impl WarpContext {
             info,
             program,
             pending: None,
-            reg_ready: Box::new([0; TRACKED_REGS]),
-            reg_long: Box::new([false; TRACKED_REGS]),
+            board: Scoreboard::fresh(),
             ready_at: spawn_cycle,
             dep_kind: DepKind::None,
             last_issue: spawn_cycle,
@@ -118,30 +153,26 @@ impl WarpContext {
     fn operand_readiness(&self, inst: &Instruction) -> (u64, DepKind) {
         let mut ready = 0u64;
         let mut kind = DepKind::None;
-        let mut consider =
-            |reg: u8, reg_ready: &[u64; TRACKED_REGS], reg_long: &[bool; TRACKED_REGS]| {
-                let r = reg_ready[reg as usize];
-                if r > ready {
-                    ready = r;
-                    kind = if reg_long[reg as usize] {
-                        DepKind::Long
-                    } else {
-                        DepKind::Short
-                    };
-                }
-            };
+        let board = &self.board;
+        let mut consider = |reg: u8| {
+            let (r, long) = board.get(reg);
+            if r > ready {
+                ready = r;
+                kind = if long { DepKind::Long } else { DepKind::Short };
+            }
+        };
         match inst {
             Instruction::Load { addr_dep, .. } | Instruction::Prefetch { addr_dep, .. } => {
                 // Indirect accesses cannot issue until their address operand
                 // (e.g. the loaded embedding index) is available.
                 if let Some(reg) = addr_dep {
-                    consider(*reg, &self.reg_ready, &self.reg_long);
+                    consider(*reg);
                 }
             }
-            Instruction::Store { src, .. } => consider(*src, &self.reg_ready, &self.reg_long),
+            Instruction::Store { src, .. } => consider(*src),
             Instruction::Alu { srcs, .. } => {
                 for s in srcs.iter() {
-                    consider(s, &self.reg_ready, &self.reg_long);
+                    consider(s);
                 }
             }
         }
@@ -202,8 +233,7 @@ impl WarpContext {
                 }
                 let (done, _outcome) =
                     mem.load(self.info.sm_id as usize, space, &lines, bytes, now);
-                self.reg_ready[dst as usize] = done;
-                self.reg_long[dst as usize] = space.is_long_scoreboard();
+                self.board.set(dst, done, space.is_long_scoreboard());
             }
             Instruction::Store {
                 space,
@@ -232,8 +262,7 @@ impl WarpContext {
                 } else {
                     latency as u64
                 };
-                self.reg_ready[dst as usize] = now + lat;
-                self.reg_long[dst as usize] = false;
+                self.board.set(dst, now + lat, false);
             }
         }
 

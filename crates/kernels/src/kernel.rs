@@ -49,16 +49,27 @@ pub struct EmbeddingBagKernel {
     workload: EmbeddingWorkload,
     spec: EmbeddingKernelSpec,
     name: String,
+    /// Upper bound on the instructions one [`EmbeddingWarp::refill`] call
+    /// enqueues, so every warp's instruction buffer is allocated once at
+    /// spawn instead of growing through reallocation on the launch path
+    /// (thousands of warps spawn per kernel).
+    queue_capacity: usize,
 }
 
 impl EmbeddingBagKernel {
     /// Creates the kernel for a workload and build specification.
     pub fn new(workload: EmbeddingWorkload, spec: EmbeddingKernelSpec) -> Self {
         let name = spec.name();
+        // Worst-case instructions per lookup (overhead ALUs, index load,
+        // address ALU, gather, reduce, buffer-station moves, spill traffic),
+        // times the lookups one refill covers (the prefetch distance, or 1).
+        let per_lookup = 8 + 2 * spec.spills_per_iteration() as usize;
+        let lookups_per_refill = spec.prefetch().map_or(1, |p| p.distance.max(1) as usize);
         EmbeddingBagKernel {
             workload,
             spec,
             name,
+            queue_capacity: per_lookup * lookups_per_refill,
         }
     }
 
@@ -90,7 +101,7 @@ impl KernelProgram for EmbeddingBagKernel {
                 next_lookup: 0,
                 emitted_prologue: false,
                 emitted_epilogue: false,
-                queue: VecDeque::new(),
+                queue: VecDeque::with_capacity(self.queue_capacity),
             }),
         }
     }

@@ -16,7 +16,7 @@ use embedding_kernels::BufferStation;
 use gpu_sim::GpuConfig;
 use perf_envelope::{
     buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,
-    prefetch_distance_sweep, register_sweep, Experiment, PAPER_WARP_SWEEP,
+    prefetch_distance_sweep, register_sweep, CampaignCache, Experiment, PAPER_WARP_SWEEP,
 };
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
         .nth(1)
         .and_then(|s| WorkloadScale::from_name(&s))
         .unwrap_or(WorkloadScale::Test);
-    let experiment = Experiment::new(GpuConfig::a100(), scale);
+    // One shared result cache: the sweeps below overlap (every sweep
+    // re-evaluates the base scheme on the same patterns), so overlapping
+    // cells execute once and later sweeps reuse them.
+    let experiment = Experiment::new(GpuConfig::a100(), scale).with_cache(CampaignCache::new());
     let patterns = [AccessPattern::HighHot, AccessPattern::Random];
 
     println!("== step 1: warp-level parallelism sweep (-maxrregcount) ==");
