@@ -8,6 +8,8 @@
 //!
 //! The NCU tables run their dataset columns as one [`Campaign`] grid, so
 //! the kernels simulate in parallel (`--jobs` controls the worker count).
+//!
+//! [`Campaign`]: perf_envelope::Campaign
 
 use dlrm_datasets::AccessPattern;
 use perf_envelope::{RunReport, Scheme, Workload};

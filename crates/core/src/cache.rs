@@ -12,9 +12,17 @@
 //! A cache is attached to an [`Experiment`] with
 //! [`Experiment::with_cache`]; every [`Experiment::run`] call through that
 //! experiment (including every [`crate::Campaign`] built over it, which
-//! clones the experiment per cell) consults the cache first. Reports are
-//! exact clones of the originals, so cached campaigns remain deterministic
-//! and thread-count-independent.
+//! clones the experiment per cell, and every per-shard cell of a sharded
+//! workload) consults the cache first. Reports are exact clones of the
+//! originals, so cached campaigns remain deterministic and
+//! thread-count-independent.
+//!
+//! Keys are a canonical fingerprint encoding (a JSON rendering with sorted
+//! keys and shortest-round-trip floats, replacing the seed's `Debug`-string
+//! keys) — byte-identical across processes — so a cache can be persisted with
+//! [`CampaignCache::save_to`] and reloaded with [`CampaignCache::load_from`]
+//! for incremental re-runs across processes: a sweep that overlaps an
+//! earlier archived sweep only executes its genuinely new cells.
 //!
 //! ```
 //! use dlrm::WorkloadScale;
@@ -34,17 +42,24 @@
 //! ```
 
 use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::json::{Json, JsonError};
 use crate::report::RunReport;
 use crate::runner::Experiment;
 use crate::scheme::Scheme;
 use crate::workload::Workload;
 
-/// A thread-safe memo of [`RunReport`]s keyed by the full cell fingerprint
-/// (workload, scheme, seed, pooling factor, device and model configuration,
-/// scale, engine mode).
+/// Identifier of the persisted-cache JSON schema produced by this crate
+/// version.
+pub const CAMPAIGN_CACHE_SCHEMA: &str = "perf-envelope/campaign-cache/v1";
+
+/// A thread-safe memo of [`RunReport`]s keyed by the canonical cell
+/// fingerprint (workload incl. sharding spec, scheme, seed, pooling factor,
+/// cluster topology and model configuration, scale, engine mode).
 #[derive(Debug, Default)]
 pub struct CampaignCache {
     map: Mutex<HashMap<String, RunReport>>,
@@ -105,6 +120,125 @@ impl CampaignCache {
     /// Drops every cached report (statistics are preserved).
     pub fn clear(&self) {
         self.map.lock().expect("cache poisoned").clear();
+    }
+
+    /// Serializes the cache as a JSON document: every cell's canonical
+    /// fingerprint key together with its report, sorted by key so the
+    /// rendering is stable for identical contents.
+    pub fn to_json(&self) -> String {
+        let mut cells: Vec<(String, RunReport)> = self
+            .map
+            .lock()
+            .expect("cache poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut doc = Json::object();
+        doc.set("schema", Json::Str(CAMPAIGN_CACHE_SCHEMA.to_string()));
+        doc.set(
+            "cells",
+            Json::Arr(
+                cells
+                    .into_iter()
+                    .map(|(key, report)| {
+                        let mut cell = Json::object();
+                        cell.set("key", Json::Str(key));
+                        cell.set("report", report.to_json_value());
+                        cell
+                    })
+                    .collect(),
+            ),
+        );
+        doc.render()
+    }
+
+    /// Parses a cache back from [`CampaignCache::to_json`] output. The
+    /// returned cache starts with fresh hit/miss statistics.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors, a wrong `schema` tag, or
+    /// malformed cells.
+    pub fn from_json(text: &str) -> Result<Arc<Self>, JsonError> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(CAMPAIGN_CACHE_SCHEMA) => {}
+            Some(other) => {
+                return Err(JsonError::schema(format!(
+                    "unsupported cache schema '{other}'"
+                )))
+            }
+            None => return Err(JsonError::schema("missing field 'schema'")),
+        }
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError::schema("field 'cells' is not an array"))?;
+        let mut map = HashMap::with_capacity(cells.len());
+        for cell in cells {
+            let key = cell
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError::schema("cell is missing a string 'key'"))?;
+            let report = cell
+                .get("report")
+                .ok_or_else(|| JsonError::schema("cell is missing its 'report'"))?;
+            map.insert(key.to_string(), RunReport::from_json_value(report)?);
+        }
+        Ok(Arc::new(CampaignCache {
+            map: Mutex::new(map),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }))
+    }
+
+    /// Writes the cache to `path` (see [`CampaignCache::to_json`]) so a
+    /// later process can pick up where this one left off.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be written.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a cache previously written by [`CampaignCache::save_to`].
+    /// Attach the result with [`Experiment::with_cache`] (or
+    /// [`crate::Campaign::with_cache`]) and previously executed cells are
+    /// served without re-simulation.
+    ///
+    /// # Errors
+    /// Returns a [`CacheLoadError`] if the file cannot be read or does not
+    /// parse as a persisted cache.
+    pub fn load_from(path: impl AsRef<Path>) -> Result<Arc<Self>, CacheLoadError> {
+        let text = std::fs::read_to_string(path).map_err(CacheLoadError::Io)?;
+        Self::from_json(&text).map_err(CacheLoadError::Json)
+    }
+}
+
+/// Why [`CampaignCache::load_from`] failed.
+#[derive(Debug)]
+pub enum CacheLoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file's contents are not a valid persisted cache.
+    Json(JsonError),
+}
+
+impl fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheLoadError::Io(e) => write!(f, "failed to read the cache file: {e}"),
+            CacheLoadError::Json(e) => write!(f, "failed to parse the cache file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheLoadError::Io(e) => Some(e),
+            CacheLoadError::Json(e) => Some(e),
+        }
     }
 }
 
@@ -217,6 +351,57 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 2);
         assert_eq!(run.reports()[0], run.reports()[2]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_cell() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let w = Workload::stage(AccessPattern::MedHot);
+        let original = e.run(&w, &Scheme::combined());
+        let _ = e.run(&Workload::kernel(AccessPattern::Random), &Scheme::base());
+
+        let reloaded = CampaignCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!((reloaded.hits(), reloaded.misses()), (0, 0));
+        // A fresh experiment over the reloaded cache serves both cells
+        // without re-simulating, bit-identically.
+        let e2 = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+            .with_cache(reloaded.clone());
+        assert_eq!(e2.run(&w, &Scheme::combined()), original);
+        assert_eq!((reloaded.hits(), reloaded.misses()), (1, 0));
+        // Rendering is canonical: a second trip is byte-identical.
+        assert_eq!(reloaded.to_json(), cache.to_json());
+    }
+
+    #[test]
+    fn save_and_load_work_across_the_filesystem() {
+        let cache = CampaignCache::new();
+        let e = cached_experiment(&cache);
+        let w = Workload::kernel(AccessPattern::MedHot);
+        let original = e.run(&w, &Scheme::base());
+
+        let path = std::env::temp_dir().join(format!(
+            "perf-envelope-cache-test-{}.json",
+            std::process::id()
+        ));
+        cache.save_to(&path).unwrap();
+        let reloaded = CampaignCache::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let e2 = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+            .with_cache(reloaded.clone());
+        assert_eq!(e2.run(&w, &Scheme::base()), original);
+        assert_eq!((reloaded.hits(), reloaded.misses()), (1, 0));
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_wrong_schemas() {
+        assert!(CampaignCache::from_json("not json").is_err());
+        assert!(CampaignCache::from_json("{\"schema\":\"other/v9\",\"cells\":[]}").is_err());
+        assert!(CampaignCache::from_json("{\"cells\":[]}").is_err());
+        let missing = CampaignCache::load_from("/nonexistent/path/cache.json");
+        assert!(matches!(missing, Err(CacheLoadError::Io(_))));
     }
 
     #[test]

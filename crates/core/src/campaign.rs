@@ -7,6 +7,9 @@
 //! returned in deterministic grid order regardless of the thread count:
 //! every cell builds its own [`Experiment`] clone (and therefore its own
 //! simulated memory system), so no cell observes another cell's execution.
+//! The same machinery is what a sharded workload's per-shard fan-out rides
+//! on, so campaigns over sharded workloads nest naturally and per-shard
+//! cells hit an attached [`CampaignCache`] individually.
 //!
 //! ```
 //! use dlrm::WorkloadScale;
@@ -32,7 +35,55 @@ use crate::cache::CampaignCache;
 use crate::report::RunReport;
 use crate::runner::Experiment;
 use crate::scheme::Scheme;
+use crate::topology::Cluster;
 use crate::workload::Workload;
+
+/// Resolves a requested worker-thread count (`0` = available parallelism)
+/// against the number of independent jobs.
+pub(crate) fn resolve_worker_count(threads: usize, jobs: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(jobs)
+    .max(1)
+}
+
+/// Executes `count` independent jobs over at most `threads` workers (`0` =
+/// available parallelism) and returns the results in job order, whatever
+/// the worker count. The worker-pool machinery shared by [`Campaign::run`]
+/// and the heterogeneous per-shard fan-out in
+/// [`crate::Experiment`](Experiment).
+pub(crate) fn run_jobs<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let worker_count = resolve_worker_count(threads, count);
+    let next_job = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| loop {
+                let index = next_job.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                *slots[index].lock().expect("worker panicked") = Some(job(index));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("lock poisoned")
+                .expect("job not executed")
+        })
+        .collect()
+}
 
 /// A declarative grid of experiment cells and how to execute it.
 #[derive(Debug, Clone)]
@@ -110,6 +161,15 @@ impl Campaign {
         self
     }
 
+    /// Replaces the base experiment's topology
+    /// ([`Experiment::with_cluster`]): sharded workloads in the grid then
+    /// fan out across this cluster's devices, each cell reducing its shards
+    /// with the cluster's interconnect model.
+    pub fn on_cluster(mut self, cluster: Cluster) -> Self {
+        self.base = self.base.with_cluster(cluster);
+        self
+    }
+
     /// Attaches a [`CampaignCache`] to the campaign's base experiment:
     /// cells whose fingerprint (workload, scheme, seed, pooling factor,
     /// device/model configuration, scale, engine mode) was already executed
@@ -158,47 +218,30 @@ impl Campaign {
             }
         }
 
-        let worker_count = match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-            n => n,
-        }
-        .min(cells.len())
-        .max(1);
-
-        let next_cell = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let index = next_cell.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(workload, scheme, seed, pooling)) = cells.get(index) else {
-                        break;
-                    };
-                    let mut experiment = self.base.clone().with_seed(seed);
-                    if let Some(pooling) = pooling {
-                        experiment = experiment.with_pooling_factor(pooling);
-                    }
-                    let report = experiment.run(workload, scheme);
-                    *slots[index].lock().expect("campaign worker panicked") = Some(report);
-                });
+        // When this campaign already runs cells in parallel, the cells
+        // themselves (and thus the per-shard fan-out of a sharded cell) run
+        // serially so worker counts do not multiply past the configured
+        // cap; a single-worker campaign hands its thread budget down
+        // instead.
+        let cell_threads = if resolve_worker_count(self.threads, cells.len()) > 1 {
+            1
+        } else {
+            self.threads
+        };
+        let reports = run_jobs(self.threads, cells.len(), |index| {
+            let (workload, scheme, seed, pooling) = cells[index];
+            let mut experiment = self.base.clone().with_threads(cell_threads).with_seed(seed);
+            if let Some(pooling) = pooling {
+                experiment = experiment.with_pooling_factor(pooling);
             }
+            experiment.run(workload, scheme)
         });
 
         CampaignRun {
             schemes: self.schemes.len(),
             seeds: seeds.len(),
             pooling_factors: self.pooling_factors.len(),
-            reports: slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("lock poisoned")
-                        .expect("cell not executed")
-                })
-                .collect(),
+            reports,
         }
     }
 }
@@ -358,6 +401,24 @@ mod tests {
         let run = small_grid().run();
         let reports = CampaignRun::from_json(&run.to_json()).unwrap();
         assert_eq!(reports, run.reports());
+    }
+
+    #[test]
+    fn on_cluster_reaches_sharded_cells() {
+        use crate::topology::{InterconnectConfig, ShardingSpec};
+        use dlrm_datasets::HeterogeneousMix;
+        let mix = HeterogeneousMix::paper_mix(dlrm_datasets::MixKind::Mix2, 0.02);
+        let run = Campaign::new(base())
+            .on_cluster(Cluster::homogeneous(
+                GpuConfig::test_small(),
+                2,
+                InterconnectConfig::nvlink3(),
+            ))
+            .workload(Workload::stage(mix).with_sharding(ShardingSpec::RoundRobin))
+            .scheme(Scheme::base())
+            .run();
+        let cluster = run.reports()[0].devices.as_ref().unwrap();
+        assert_eq!(cluster.num_devices(), 2);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Canonical cell-fingerprint encoding for [`crate::CampaignCache`].
+//!
+//! A cache key must identify everything a [`crate::RunReport`] is a pure
+//! function of: the full cluster topology (device configurations and
+//! interconnect), the model configuration (which embeds the pooling
+//! factor), scale, seed, tables-to-simulate, engine mode, workload
+//! (including its sharding spec) and scheme. The previous in-memory cache
+//! leaned on `Debug` formatting; this module replaces that with a canonical
+//! JSON encoding rendered through [`crate::json`] — objects keep their keys
+//! sorted and floats render with shortest-round-trip formatting, so the
+//! same cell produces byte-identical keys in every process, which is what
+//! makes [`crate::CampaignCache::save_to`] / [`load_from`] usable for
+//! cross-process incremental re-runs.
+//!
+//! [`load_from`]: crate::CampaignCache::load_from
+
+use dlrm::DlrmConfig;
+use gpu_sim::{CacheConfig, EngineMode, GpuConfig};
+
+use crate::json::Json;
+use crate::scheme::{Multithreading, Scheme};
+use crate::topology::Cluster;
+use crate::workload::{Dataset, Workload, WorkloadTarget};
+
+/// Identifier of the fingerprint encoding; bump when the encoding changes
+/// so persisted caches from older encodings are not silently misread.
+pub(crate) const FINGERPRINT_SCHEMA: &str = "perf-envelope/cell-fingerprint/v1";
+
+/// Renders the canonical key of one experiment cell.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cell_key(
+    cluster: &Cluster,
+    model: &DlrmConfig,
+    scale_name: &str,
+    seed: u64,
+    tables_to_simulate: u32,
+    mode: EngineMode,
+    workload: &Workload,
+    scheme: &Scheme,
+) -> String {
+    let mut doc = Json::object();
+    doc.set("schema", Json::Str(FINGERPRINT_SCHEMA.to_string()));
+    doc.set("gpu", gpu_to_json(cluster.root()));
+    // Single-device clusters are canonically equivalent to a plain device:
+    // the interconnect is never exercised, so two experiments that differ
+    // only in how the lone device was wrapped share their cells.
+    doc.set(
+        "cluster",
+        if cluster.is_single() {
+            Json::Null
+        } else {
+            cluster_to_json(cluster)
+        },
+    );
+    doc.set("model", model_to_json(model));
+    doc.set("scale", Json::Str(scale_name.to_string()));
+    doc.set("seed", Json::UInt(seed));
+    doc.set("tables_to_simulate", Json::UInt(tables_to_simulate as u64));
+    doc.set("engine_mode", Json::Str(mode.name().to_string()));
+    doc.set("workload", workload_to_json(workload));
+    doc.set("scheme", scheme_to_json(scheme));
+    doc.render()
+}
+
+fn cache_to_json(cache: &CacheConfig) -> Json {
+    let mut doc = Json::object();
+    doc.set("capacity_bytes", Json::UInt(cache.capacity_bytes));
+    doc.set("line_bytes", Json::UInt(cache.line_bytes));
+    doc.set("associativity", Json::UInt(cache.associativity as u64));
+    doc.set("hit_latency", Json::UInt(cache.hit_latency));
+    doc
+}
+
+fn gpu_to_json(gpu: &GpuConfig) -> Json {
+    let mut doc = Json::object();
+    doc.set("name", Json::Str(gpu.name.clone()));
+    doc.set("num_sms", Json::UInt(gpu.num_sms as u64));
+    doc.set("smsps_per_sm", Json::UInt(gpu.smsps_per_sm as u64));
+    doc.set("max_warps_per_sm", Json::UInt(gpu.max_warps_per_sm as u64));
+    doc.set(
+        "max_blocks_per_sm",
+        Json::UInt(gpu.max_blocks_per_sm as u64),
+    );
+    doc.set("registers_per_sm", Json::UInt(gpu.registers_per_sm as u64));
+    doc.set(
+        "register_alloc_granularity",
+        Json::UInt(gpu.register_alloc_granularity as u64),
+    );
+    doc.set("warp_size", Json::UInt(gpu.warp_size as u64));
+    doc.set("clock_ghz", Json::Num(gpu.clock_ghz));
+    doc.set("shared_mem_per_sm", Json::UInt(gpu.shared_mem_per_sm));
+    doc.set("shared_mem_latency", Json::UInt(gpu.shared_mem_latency));
+    doc.set("register_latency", Json::UInt(gpu.register_latency));
+    doc.set("l1", cache_to_json(&gpu.l1));
+    doc.set("l2", cache_to_json(&gpu.l2));
+    doc.set(
+        "l2_max_persisting_fraction",
+        Json::Num(gpu.l2_max_persisting_fraction),
+    );
+    let mut dram = Json::object();
+    dram.set("capacity_bytes", Json::UInt(gpu.dram.capacity_bytes));
+    dram.set("latency", Json::UInt(gpu.dram.latency));
+    dram.set(
+        "peak_bandwidth_gbps",
+        Json::Num(gpu.dram.peak_bandwidth_gbps),
+    );
+    doc.set("dram", dram);
+    doc.set("alu_latency", Json::UInt(gpu.alu_latency));
+    doc
+}
+
+fn cluster_to_json(cluster: &Cluster) -> Json {
+    let mut doc = Json::object();
+    doc.set(
+        "devices",
+        Json::Arr(cluster.devices().iter().map(gpu_to_json).collect()),
+    );
+    let ic = cluster.interconnect();
+    let mut fabric = Json::object();
+    fabric.set("name", Json::Str(ic.name.clone()));
+    fabric.set("link_latency_us", Json::Num(ic.link_latency_us));
+    fabric.set("link_bandwidth_gbps", Json::Num(ic.link_bandwidth_gbps));
+    doc.set("interconnect", fabric);
+    doc
+}
+
+fn model_to_json(model: &DlrmConfig) -> Json {
+    let mut doc = Json::object();
+    doc.set(
+        "bottom_mlp",
+        Json::Arr(
+            model
+                .bottom_mlp
+                .iter()
+                .map(|&n| Json::UInt(n as u64))
+                .collect(),
+        ),
+    );
+    doc.set(
+        "top_mlp",
+        Json::Arr(
+            model
+                .top_mlp
+                .iter()
+                .map(|&n| Json::UInt(n as u64))
+                .collect(),
+        ),
+    );
+    doc.set("num_tables", Json::UInt(model.num_tables as u64));
+    let mut emb = Json::object();
+    emb.set("num_rows", Json::UInt(model.embedding.trace.num_rows));
+    emb.set(
+        "batch_size",
+        Json::UInt(model.embedding.trace.batch_size as u64),
+    );
+    emb.set(
+        "pooling_factor",
+        Json::UInt(model.embedding.trace.pooling_factor as u64),
+    );
+    emb.set(
+        "embedding_dim",
+        Json::UInt(model.embedding.embedding_dim as u64),
+    );
+    doc.set("embedding", emb);
+    doc
+}
+
+fn dataset_to_json(dataset: &Dataset) -> Json {
+    let mut doc = Json::object();
+    match dataset {
+        Dataset::Homogeneous(pattern) => {
+            doc.set("pattern", Json::Str(pattern.paper_name().to_string()));
+        }
+        Dataset::Mix(mix) => {
+            let mut m = Json::object();
+            m.set("name", Json::Str(mix.name().to_string()));
+            m.set(
+                "composition",
+                Json::Arr(
+                    mix.composition()
+                        .iter()
+                        .map(|&(pattern, count)| {
+                            Json::Arr(vec![
+                                Json::Str(pattern.paper_name().to_string()),
+                                Json::UInt(count as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            doc.set("mix", m);
+        }
+    }
+    doc
+}
+
+fn workload_to_json(workload: &Workload) -> Json {
+    let mut doc = Json::object();
+    doc.set("kind", Json::Str(workload.kind().name().to_string()));
+    match workload.target() {
+        WorkloadTarget::Kernel(pattern) => {
+            doc.set("pattern", Json::Str(pattern.paper_name().to_string()));
+        }
+        WorkloadTarget::EmbeddingStage(dataset) | WorkloadTarget::EndToEnd(dataset) => {
+            doc.set("dataset", dataset_to_json(dataset));
+        }
+    }
+    doc.set(
+        "sharding",
+        match workload.sharding() {
+            Some(spec) => Json::Str(spec.name().to_string()),
+            None => Json::Null,
+        },
+    );
+    doc
+}
+
+fn scheme_to_json(scheme: &Scheme) -> Json {
+    let mut doc = Json::object();
+    doc.set(
+        "multithreading",
+        Json::Str(match scheme.multithreading() {
+            Multithreading::Default => "default".to_string(),
+            Multithreading::OptMt => "optmt".to_string(),
+            Multithreading::MaxRegisters(r) => format!("maxrreg{r}"),
+        }),
+    );
+    doc.set(
+        "prefetch",
+        match scheme.prefetch() {
+            Some(p) => {
+                let mut obj = Json::object();
+                obj.set("station", Json::Str(p.station.abbreviation().to_string()));
+                obj.set("distance", Json::UInt(p.distance as u64));
+                obj
+            }
+            None => Json::Null,
+        },
+    );
+    doc.set(
+        "l2_pinning",
+        match scheme.l2_pinning() {
+            Some(p) => {
+                let mut obj = Json::object();
+                obj.set(
+                    "carveout_bytes",
+                    match p.carveout_bytes {
+                        Some(b) => Json::UInt(b),
+                        None => Json::Null,
+                    },
+                );
+                obj
+            }
+            None => Json::Null,
+        },
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::WorkloadScale;
+    use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
+
+    use crate::topology::{InterconnectConfig, ShardingSpec};
+
+    fn key(workload: &Workload, scheme: &Scheme) -> String {
+        cell_key(
+            &Cluster::single(GpuConfig::test_small()),
+            &DlrmConfig::at_scale(WorkloadScale::Test),
+            "test",
+            0x5EED,
+            1,
+            EngineMode::EventDriven,
+            workload,
+            scheme,
+        )
+    }
+
+    #[test]
+    fn keys_are_valid_canonical_json() {
+        let k = key(
+            &Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02)),
+            &Scheme::combined(),
+        );
+        let parsed = Json::parse(&k).unwrap();
+        assert_eq!(parsed.render(), k, "rendering must be canonical");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(FINGERPRINT_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn every_axis_distinguishes_keys() {
+        let base = key(&Workload::kernel(AccessPattern::MedHot), &Scheme::base());
+        assert_ne!(
+            base,
+            key(&Workload::kernel(AccessPattern::Random), &Scheme::base())
+        );
+        assert_ne!(
+            base,
+            key(&Workload::kernel(AccessPattern::MedHot), &Scheme::optmt())
+        );
+        assert_ne!(
+            base,
+            key(&Workload::stage(AccessPattern::MedHot), &Scheme::base())
+        );
+        let sharded = key(
+            &Workload::stage(AccessPattern::MedHot).with_sharding(ShardingSpec::RoundRobin),
+            &Scheme::base(),
+        );
+        assert_ne!(
+            sharded,
+            key(&Workload::stage(AccessPattern::MedHot), &Scheme::base())
+        );
+        assert_ne!(
+            sharded,
+            key(
+                &Workload::stage(AccessPattern::MedHot).with_sharding(ShardingSpec::HotCold),
+                &Scheme::base(),
+            )
+        );
+    }
+
+    #[test]
+    fn single_device_clusters_encode_like_plain_devices() {
+        let gpu = GpuConfig::test_small();
+        let workload = Workload::kernel(AccessPattern::MedHot);
+        let model = DlrmConfig::at_scale(WorkloadScale::Test);
+        let plain = cell_key(
+            &Cluster::single(gpu.clone()),
+            &model,
+            "test",
+            1,
+            1,
+            EngineMode::EventDriven,
+            &workload,
+            &Scheme::base(),
+        );
+        let wrapped = cell_key(
+            &Cluster::new(vec![gpu.clone()], InterconnectConfig::pcie_gen4()),
+            &model,
+            "test",
+            1,
+            1,
+            EngineMode::EventDriven,
+            &workload,
+            &Scheme::base(),
+        );
+        assert_eq!(plain, wrapped);
+        let multi = cell_key(
+            &Cluster::homogeneous(gpu, 2, InterconnectConfig::nvlink3()),
+            &model,
+            "test",
+            1,
+            1,
+            EngineMode::EventDriven,
+            &workload,
+            &Scheme::base(),
+        );
+        assert_ne!(plain, multi);
+    }
+}

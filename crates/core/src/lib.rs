@@ -15,7 +15,16 @@
 //!   workloads × seeds × pooling factors, executed in parallel across
 //!   threads with deterministic, thread-count-independent results, with
 //!   repeated and re-run cells served from an optional [`CampaignCache`]
-//!   ([`Experiment::with_cache`]).
+//!   ([`Experiment::with_cache`]) that persists across processes
+//!   ([`CampaignCache::save_to`] / [`CampaignCache::load_from`]).
+//!
+//! Beyond the paper's single-GPU envelope, the [`topology`] module scales
+//! experiments out: a [`Cluster`] of devices with an interconnect model, and
+//! sharding strategies ([`ShardingSpec`]) that distribute a workload's
+//! embedding tables across the cluster. A sharded [`Workload`] fans out as
+//! one simulation per shard and reduces across devices (critical-path max
+//! plus the pooled-embedding all-to-all); on a single-device cluster the
+//! result is bit-exact with the unsharded run.
 //!
 //! The remaining modules supply the pieces experiments are made of:
 //!
@@ -70,14 +79,16 @@
 pub mod cache;
 pub mod campaign;
 pub mod dse;
+mod fingerprint;
 pub mod json;
 pub mod profiler;
 pub mod report;
 pub mod runner;
 pub mod scheme;
+pub mod topology;
 pub mod workload;
 
-pub use cache::CampaignCache;
+pub use cache::{CacheLoadError, CampaignCache, CAMPAIGN_CACHE_SCHEMA};
 pub use campaign::{Campaign, CampaignRun};
 pub use dse::{
     buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,
@@ -85,9 +96,14 @@ pub use dse::{
     PoolingSweepPoint, RegisterSweepPoint, StationComparisonPoint, PAPER_WARP_SWEEP,
 };
 pub use profiler::{ProfilerReport, ProfilingStep, StaticProfiler, WorkloadHint};
-pub use report::{EndToEndBreakdown, RunReport, TableBreakdown, RUN_REPORT_SCHEMA};
-#[allow(deprecated)]
-pub use runner::ExperimentContext;
-pub use runner::{EmbeddingStageResult, EndToEndResult, Experiment};
+pub use report::{
+    ClusterBreakdown, DeviceBreakdown, EndToEndBreakdown, RunReport, TableBreakdown,
+    RUN_REPORT_SCHEMA,
+};
+pub use runner::Experiment;
 pub use scheme::{Multithreading, Scheme};
-pub use workload::{Dataset, Workload, WorkloadKind};
+pub use topology::{
+    Cluster, HotColdSharding, InterconnectConfig, RoundRobinSharding, ShardPlan, ShardingSpec,
+    ShardingStrategy, SizeBalancedSharding, TableProfile,
+};
+pub use workload::{Dataset, Workload, WorkloadKind, WorkloadTarget};

@@ -46,6 +46,48 @@ impl EndToEndBreakdown {
     }
 }
 
+/// One device's share of a sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceBreakdown {
+    /// Device name (from its [`gpu_sim::GpuConfig`]).
+    pub device: String,
+    /// Number of tables the shard plan assigned to this device.
+    pub tables: u32,
+    /// Number of those tables actually simulated before extrapolation.
+    pub tables_simulated: u32,
+    /// Extrapolated embedding-stage latency of this device's shard, in
+    /// microseconds.
+    pub embedding_us: f64,
+}
+
+/// Cross-device breakdown of a sharded run: per-device latencies plus the
+/// reduction that models the all-to-all and takes the critical-path max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBreakdown {
+    /// Name of the sharding strategy that produced the plan.
+    pub strategy: String,
+    /// Per-device shard results, in device order (root first).
+    pub per_device: Vec<DeviceBreakdown>,
+    /// The embedding-stage critical path: the maximum per-device latency,
+    /// in microseconds (devices execute their shards concurrently).
+    pub critical_path_us: f64,
+    /// Modelled all-to-all time gathering pooled embeddings to the root
+    /// device, in microseconds (exactly zero on a single-device cluster).
+    pub all_to_all_us: f64,
+}
+
+impl ClusterBreakdown {
+    /// Number of devices that executed the run.
+    pub fn num_devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Total sharded embedding-stage latency: critical path plus all-to-all.
+    pub fn embedding_stage_us(&self) -> f64 {
+        self.critical_path_us + self.all_to_all_us
+    }
+}
+
 /// The unified result of one [`crate::Experiment::run`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -71,7 +113,11 @@ pub struct RunReport {
     pub tables: Option<TableBreakdown>,
     /// End-to-end latency split (end-to-end workloads only).
     pub end_to_end: Option<EndToEndBreakdown>,
-    /// Merged NCU-style statistics over the simulated kernels.
+    /// Cross-device breakdown (sharded workloads only). Unsharded runs —
+    /// including any archived before sharding existed — carry `None`.
+    pub devices: Option<ClusterBreakdown>,
+    /// Merged NCU-style statistics over the simulated kernels (summed
+    /// across devices for sharded runs).
     pub stats: KernelStats,
 }
 
@@ -150,6 +196,39 @@ impl RunReport {
                 None => Json::Null,
             },
         );
+        doc.set(
+            "devices",
+            match &self.devices {
+                Some(cluster) => {
+                    let mut obj = Json::object();
+                    obj.set("strategy", Json::Str(cluster.strategy.clone()));
+                    obj.set("critical_path_us", Json::Num(cluster.critical_path_us));
+                    obj.set("all_to_all_us", Json::Num(cluster.all_to_all_us));
+                    obj.set(
+                        "per_device",
+                        Json::Arr(
+                            cluster
+                                .per_device
+                                .iter()
+                                .map(|d| {
+                                    let mut dev = Json::object();
+                                    dev.set("device", Json::Str(d.device.clone()));
+                                    dev.set("tables", Json::UInt(d.tables as u64));
+                                    dev.set(
+                                        "tables_simulated",
+                                        Json::UInt(d.tables_simulated as u64),
+                                    );
+                                    dev.set("embedding_us", Json::Num(d.embedding_us));
+                                    dev
+                                })
+                                .collect(),
+                        ),
+                    );
+                    obj
+                }
+                None => Json::Null,
+            },
+        );
         doc.set("stats", stats_to_json(&self.stats));
         doc
     }
@@ -191,6 +270,31 @@ impl RunReport {
                 non_embedding_us: req_f64(e, "non_embedding_us")?,
             }),
         };
+        let devices = match doc.get("devices") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let per_device = c
+                    .get("per_device")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| JsonError::schema("field 'per_device' is not an array"))?
+                    .iter()
+                    .map(|d| {
+                        Ok(DeviceBreakdown {
+                            device: req_str(d, "device")?.to_string(),
+                            tables: req_u32(d, "tables")?,
+                            tables_simulated: req_u32(d, "tables_simulated")?,
+                            embedding_us: req_f64(d, "embedding_us")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Some(ClusterBreakdown {
+                    strategy: req_str(c, "strategy")?.to_string(),
+                    per_device,
+                    critical_path_us: req_f64(c, "critical_path_us")?,
+                    all_to_all_us: req_f64(c, "all_to_all_us")?,
+                })
+            }
+        };
         let stats_doc = doc
             .get("stats")
             .ok_or_else(|| JsonError::schema("missing field 'stats'"))?;
@@ -205,6 +309,7 @@ impl RunReport {
             latency_us: req_f64(doc, "latency_us")?,
             tables,
             end_to_end,
+            devices,
             stats: stats_from_json(stats_doc)?,
         })
     }
@@ -376,6 +481,7 @@ mod tests {
                 embedding_us: 1000.1,
                 non_embedding_us: 234.46779012340002,
             }),
+            devices: None,
             stats,
         }
     }
@@ -388,6 +494,45 @@ mod tests {
         assert_eq!(back, report);
         // And the rendered form is stable across a second trip.
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn device_breakdowns_round_trip() {
+        let mut report = sample_report();
+        report.devices = Some(ClusterBreakdown {
+            strategy: "hot_cold".to_string(),
+            per_device: vec![
+                DeviceBreakdown {
+                    device: "A100-SXM4-80GB".to_string(),
+                    tables: 4,
+                    tables_simulated: 2,
+                    embedding_us: 750.25,
+                },
+                DeviceBreakdown {
+                    device: "A100-SXM4-80GB".to_string(),
+                    tables: 2,
+                    tables_simulated: 1,
+                    embedding_us: 1000.1,
+                },
+            ],
+            critical_path_us: 1000.1,
+            all_to_all_us: 12.5,
+        });
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        let cluster = back.devices.unwrap();
+        assert_eq!(cluster.num_devices(), 2);
+        assert_eq!(cluster.embedding_stage_us(), 1012.6);
+    }
+
+    #[test]
+    fn reports_without_devices_parse_as_unsharded() {
+        // Archives written before the topology layer existed have no
+        // "devices" key at all; they must keep parsing.
+        let text = sample_report().to_json().replace(",\"devices\":null", "");
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back.devices, None);
     }
 
     #[test]

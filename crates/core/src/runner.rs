@@ -1,6 +1,6 @@
 //! The experiment runner: [`Experiment`] executes any [`Workload`] under an
-//! optimization [`Scheme`] on the simulated GPU and returns a unified
-//! [`RunReport`].
+//! optimization [`Scheme`] on a simulated device — or a simulated
+//! [`Cluster`] of devices — and returns a unified [`RunReport`].
 //!
 //! Tables on one GPU execute sequentially (paper Section II-A), sharing the
 //! L2 and HBM. Because the tables of a homogeneous group are statistically
@@ -8,9 +8,16 @@
 //! extrapolates the group's latency, which keeps paper-scale experiments
 //! (250 tables) tractable without changing any per-table behaviour.
 //!
-//! The legacy `run_*` methods and their per-shape result types
-//! ([`EmbeddingStageResult`], [`EndToEndResult`]) survive as thin
-//! `#[deprecated]` shims over [`Experiment::run`].
+//! A workload carrying a sharding spec ([`Workload::with_sharding`]) fans
+//! out as one embedding-stage simulation per shard — reusing the parallel
+//! [`crate::Campaign`] worker-pool machinery, with per-shard cells cached
+//! individually — followed by a cross-device reduction: the
+//! embedding stage's latency is the per-device critical path (devices run
+//! concurrently) plus the modelled all-to-all that gathers pooled
+//! embeddings to the root device, which then runs the dense pipeline. On a
+//! single-device cluster the trivial plan and the exactly-zero all-to-all
+//! make the sharded report bit-exact with the unsharded one; the
+//! `sharding_equivalence` integration suite holds that line.
 
 use std::sync::Arc;
 
@@ -21,16 +28,19 @@ use gpu_sim::mem::MemorySystem;
 use gpu_sim::{EngineMode, GpuConfig, KernelStats, Simulator};
 
 use crate::cache::CampaignCache;
-use crate::report::{EndToEndBreakdown, RunReport, TableBreakdown};
+use crate::report::{
+    ClusterBreakdown, DeviceBreakdown, EndToEndBreakdown, RunReport, TableBreakdown,
+};
 use crate::scheme::Scheme;
-use crate::workload::Workload;
+use crate::topology::{shard_mix, Cluster, ShardPlan};
+use crate::workload::{Workload, WorkloadKind, WorkloadTarget};
 
-/// A reusable experiment: device, model, workload scale and seeds. Its one
-/// entry point, [`Experiment::run`], executes any [`Workload`] under any
-/// [`Scheme`].
+/// A reusable experiment: cluster (a single device by default), model,
+/// workload scale and seeds. Its one entry point, [`Experiment::run`],
+/// executes any [`Workload`] under any [`Scheme`].
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    gpu: GpuConfig,
+    cluster: Cluster,
     sim: Simulator,
     model: DlrmConfig,
     scale: WorkloadScale,
@@ -41,7 +51,8 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Creates an experiment for `gpu` at the given workload scale.
+    /// Creates an experiment for a single `gpu` at the given workload scale
+    /// (the implicit single-device [`Cluster`]).
     pub fn new(gpu: GpuConfig, scale: WorkloadScale) -> Self {
         let model = DlrmConfig::at_scale(scale);
         let tables_to_simulate = match scale {
@@ -51,7 +62,7 @@ impl Experiment {
         };
         Experiment {
             sim: Simulator::new(gpu.clone()),
-            gpu,
+            cluster: Cluster::single(gpu),
             model,
             scale,
             tables_to_simulate,
@@ -59,6 +70,21 @@ impl Experiment {
             threads: 0,
             cache: None,
         }
+    }
+
+    /// Replaces the topology this experiment runs on. Unsharded workloads
+    /// execute entirely on the cluster's root device; sharded workloads
+    /// distribute their tables across every device.
+    pub fn with_cluster(mut self, cluster: Cluster) -> Self {
+        let mode = self.sim.mode();
+        self.sim = Simulator::new(cluster.root().clone()).with_mode(mode);
+        self.cluster = cluster;
+        self
+    }
+
+    /// The topology this experiment runs on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
     }
 
     /// Selects the simulator engine mode ([`EngineMode::EventDriven`] by
@@ -76,8 +102,8 @@ impl Experiment {
 
     /// Attaches a [`CampaignCache`]: every later [`Experiment::run`] call —
     /// including the cells of every [`crate::Campaign`] built over this
-    /// experiment — is served from the cache when an identical cell was
-    /// already executed.
+    /// experiment, and the per-shard cells of sharded workloads — is served
+    /// from the cache when an identical cell was already executed.
     pub fn with_cache(mut self, cache: Arc<CampaignCache>) -> Self {
         self.cache = Some(cache);
         self
@@ -122,9 +148,10 @@ impl Experiment {
         self
     }
 
-    /// The device configuration.
+    /// The root device configuration (the only device of an unclustered
+    /// experiment; the device running the dense pipeline otherwise).
     pub fn gpu(&self) -> &GpuConfig {
-        &self.gpu
+        self.cluster.root()
     }
 
     /// The DLRM model configuration.
@@ -143,9 +170,10 @@ impl Experiment {
     }
 
     /// Sets the preferred worker-thread count for [`crate::Campaign`]s built
-    /// over this experiment (including the DSE sweeps); `0` (the default)
-    /// uses the machine's available parallelism. A single `run` call is
-    /// unaffected — tables on one GPU execute sequentially by design.
+    /// over this experiment (including the DSE sweeps and the per-shard
+    /// fan-out of sharded workloads); `0` (the default) uses the machine's
+    /// available parallelism. An unsharded `run` call is unaffected —
+    /// tables on one GPU execute sequentially by design.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -159,16 +187,19 @@ impl Experiment {
 
     /// Runs `workload` under `scheme` and reports the outcome.
     ///
-    /// This is the single entry point that covers all four of the paper's
-    /// run targets:
+    /// This is the single entry point that covers all of the paper's run
+    /// targets:
     ///
-    /// * [`Workload::Kernel`] — one embedding-bag kernel, the unit of the
+    /// * a kernel workload — one embedding-bag kernel, the unit of the
     ///   NCU characterisation tables (IV/V/VIII/IX),
-    /// * [`Workload::EmbeddingStage`] over a homogeneous dataset — the
+    /// * an embedding-stage workload over a homogeneous dataset — the
     ///   embedding stage of Figures 12/16b/19,
-    /// * [`Workload::EmbeddingStage`] over a mix — Table VII / Figure 17,
-    /// * [`Workload::EndToEnd`] — embedding stage plus the analytic
-    ///   non-embedding pipeline (Figures 1/13/14).
+    /// * an embedding-stage workload over a mix — Table VII / Figure 17,
+    /// * an end-to-end workload — embedding stage plus the analytic
+    ///   non-embedding pipeline (Figures 1/13/14),
+    ///
+    /// plus, beyond the paper, any stage or end-to-end workload **sharded
+    /// across the experiment's cluster** ([`Workload::with_sharding`]).
     ///
     /// With a [`CampaignCache`] attached ([`Experiment::with_cache`]), a
     /// cell that was already executed is served from the cache; the report
@@ -180,45 +211,45 @@ impl Experiment {
         }
     }
 
-    /// The fingerprint that identifies one experiment cell for caching:
-    /// everything the resulting [`RunReport`] is a pure function of — the
-    /// full device and model configurations (which embed the pooling
-    /// factor), scale, seed, tables-to-simulate, engine mode, workload and
-    /// scheme. Execution knobs that cannot change results (worker threads,
-    /// the attached cache itself) are excluded.
-    ///
-    /// Keys lean on `Debug` formatting, which is convenient but not a
-    /// stable serialization — fine for the in-memory cache, where every
-    /// key is produced and consumed by the same build, but a persistent
-    /// (on-disk) cache must first switch to a canonical encoding such as
-    /// the JSON codec used by [`RunReport`].
+    /// The canonical fingerprint that identifies one experiment cell for
+    /// caching: everything the resulting [`RunReport`] is a pure function
+    /// of — the full cluster topology and model configuration (which embeds
+    /// the pooling factor), scale, seed, tables-to-simulate, engine mode,
+    /// workload (including its sharding spec) and scheme. Execution knobs
+    /// that cannot change results (worker threads, the attached cache
+    /// itself) are excluded. The encoding is a canonical JSON rendering
+    /// (sorted keys, shortest-round-trip floats), stable across processes,
+    /// which is what lets [`CampaignCache::save_to`] /
+    /// [`CampaignCache::load_from`] reuse results between runs.
     pub(crate) fn cell_fingerprint(&self, workload: &Workload, scheme: &Scheme) -> String {
-        format!(
-            "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}",
-            self.gpu,
-            self.model,
+        crate::fingerprint::cell_key(
+            &self.cluster,
+            &self.model,
             self.scale.name(),
             self.seed,
             self.tables_to_simulate,
-            self.sim.mode().name(),
+            self.sim.mode(),
             workload,
-            scheme
+            scheme,
         )
     }
 
     /// Executes the cell unconditionally (the non-memoized path behind
     /// [`Experiment::run`]).
     pub(crate) fn run_uncached(&self, workload: &Workload, scheme: &Scheme) -> RunReport {
-        match workload {
-            Workload::Kernel(pattern) => self.run_kernel_report(*pattern, scheme),
-            Workload::EmbeddingStage(dataset) => {
+        if workload.sharding().is_some() {
+            return self.run_sharded_report(workload, scheme);
+        }
+        match workload.target() {
+            WorkloadTarget::Kernel(pattern) => self.run_kernel_report(*pattern, scheme),
+            WorkloadTarget::EmbeddingStage(dataset) => {
                 let mix = dataset.to_mix(self.model.num_tables);
                 self.run_stage_report(workload, &mix, scheme)
             }
-            Workload::EndToEnd(dataset) => {
+            WorkloadTarget::EndToEnd(dataset) => {
                 let mix = dataset.to_mix(self.model.num_tables);
                 let mut report = self.run_stage_report(workload, &mix, scheme);
-                let timing = NonEmbeddingTimingModel::new(&self.gpu);
+                let timing = NonEmbeddingTimingModel::new(self.gpu());
                 let non_embedding_us = timing.non_embedding_time_us(&self.model);
                 report.end_to_end = Some(EndToEndBreakdown {
                     embedding_us: report.latency_us,
@@ -241,13 +272,14 @@ impl Experiment {
             kind: workload.kind(),
             workload: workload.dataset_label(),
             scheme: scheme.paper_label(),
-            device: self.gpu.name.clone(),
+            device: self.gpu().name.clone(),
             scale: self.scale.name().to_string(),
             seed: self.seed,
             pooling_factor: self.model.embedding.trace.pooling_factor,
             latency_us: 0.0,
             tables: None,
             end_to_end: None,
+            devices: None,
             stats,
         }
     }
@@ -255,18 +287,18 @@ impl Experiment {
     fn run_kernel_report(&self, pattern: AccessPattern, scheme: &Scheme) -> RunReport {
         let stats = self.kernel_stats(pattern, scheme);
         let latency_us = stats.kernel_time_us();
-        let mut report = self.report_skeleton(&Workload::Kernel(pattern), scheme, stats);
+        let mut report = self.report_skeleton(&Workload::kernel(pattern), scheme, stats);
         report.latency_us = latency_us;
         report
     }
 
     fn kernel_stats(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
         let workload = EmbeddingWorkload::generate(self.model.embedding, pattern, 0, self.seed);
-        let spec = scheme.kernel_spec(&self.gpu);
-        let mut mem = MemorySystem::new(&self.gpu);
-        if let Some(carveout) = scheme.carveout_bytes(&self.gpu) {
+        let spec = scheme.kernel_spec(self.gpu());
+        let mut mem = MemorySystem::new(self.gpu());
+        if let Some(carveout) = scheme.carveout_bytes(self.gpu()) {
             let plan = PinPlan::for_workload(&workload, carveout);
-            plan.apply(&mut mem, &self.gpu, 0);
+            plan.apply(&mut mem, self.gpu(), 0);
         }
         self.sim.run_with_memory(
             &spec.launch(&workload),
@@ -282,10 +314,10 @@ impl Experiment {
         mix: &HeterogeneousMix,
         scheme: &Scheme,
     ) -> RunReport {
-        let spec = scheme.kernel_spec(&self.gpu);
-        let mut mem = MemorySystem::new(&self.gpu);
+        let spec = scheme.kernel_spec(self.gpu());
+        let mut mem = MemorySystem::new(self.gpu());
         let mut clock: u64 = 0;
-        let mut merged = KernelStats::empty(&scheme.paper_label(), &self.gpu);
+        let mut merged = KernelStats::empty(&scheme.paper_label(), self.gpu());
         let mut total_latency_us = 0.0;
         let mut tables_simulated = 0u32;
 
@@ -299,9 +331,9 @@ impl Experiment {
                     t,
                     self.seed.wrapping_add(pattern.hotness_rank() as u64 * 1000),
                 );
-                if let Some(carveout) = scheme.carveout_bytes(&self.gpu) {
+                if let Some(carveout) = scheme.carveout_bytes(self.gpu()) {
                     let plan = PinPlan::for_workload(&table, carveout);
-                    plan.apply(&mut mem, &self.gpu, clock);
+                    plan.apply(&mut mem, self.gpu(), clock);
                 }
                 let stats = self.sim.run_with_memory(
                     &spec.launch(&table),
@@ -310,7 +342,7 @@ impl Experiment {
                     clock,
                 );
                 clock += stats.elapsed_cycles;
-                group_simulated_us += self.gpu.cycles_to_us(stats.elapsed_cycles);
+                group_simulated_us += self.gpu().cycles_to_us(stats.elapsed_cycles);
                 merged.merge_sequential(&stats);
                 tables_simulated += 1;
             }
@@ -327,140 +359,147 @@ impl Experiment {
         report
     }
 
-    /// Runs a single embedding-bag kernel (one table) under `scheme`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Experiment::run(&Workload::kernel(pattern), scheme).stats"
-    )]
-    pub fn run_embedding_kernel(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
-        self.run(&Workload::kernel(pattern), scheme).stats
+    /// A single-device experiment for one shard: the shard's device with
+    /// this experiment's model, scale, seeds, engine mode and cache.
+    fn shard_experiment(&self, device: usize) -> Experiment {
+        self.clone()
+            .with_cluster(Cluster::single(self.cluster.device(device).clone()))
     }
 
-    /// Runs the full (homogeneous) embedding stage under `scheme`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Experiment::run(&Workload::stage(pattern), scheme)"
-    )]
-    pub fn run_embedding_stage(
+    /// Executes a sharded workload: plans the shard layout, runs one
+    /// embedding-stage simulation per shard, and reduces across devices.
+    fn run_sharded_report(&self, workload: &Workload, scheme: &Scheme) -> RunReport {
+        let spec = workload
+            .sharding()
+            .expect("run_sharded_report requires a sharded workload");
+        let dataset = match workload.target() {
+            WorkloadTarget::EmbeddingStage(dataset) | WorkloadTarget::EndToEnd(dataset) => dataset,
+            WorkloadTarget::Kernel(_) => {
+                unreachable!("kernel workloads reject sharding specs on construction")
+            }
+        };
+        let mix = dataset.to_mix(self.model.num_tables);
+        let plan = spec.plan(&mix, self.cluster.num_devices());
+        let shard_workloads: Vec<Workload> = (0..plan.num_devices())
+            .map(|d| Workload::stage(shard_mix(&mix, &plan, d)))
+            .collect();
+
+        // Shards whose sub-mix AND device configuration are equal are the
+        // identical simulation (round-robin over a homogeneous mix produces
+        // at most a few distinct shard shapes however many devices there
+        // are), so only distinct shards execute — with or without a cache —
+        // and every other shard clones its representative's report.
+        let mut distinct: Vec<usize> = Vec::new();
+        let mut rep_of: Vec<usize> = Vec::with_capacity(shard_workloads.len());
+        for (d, workload) in shard_workloads.iter().enumerate() {
+            let existing = distinct.iter().position(|&e| {
+                shard_workloads[e] == *workload && self.cluster.device(e) == self.cluster.device(d)
+            });
+            match existing {
+                Some(i) => rep_of.push(i),
+                None => {
+                    rep_of.push(distinct.len());
+                    distinct.push(d);
+                }
+            }
+        }
+
+        // Fan the distinct shards out over the Campaign worker-pool
+        // machinery (`campaign::run_jobs`): parallel workers bounded by the
+        // experiment's thread setting, results in deterministic device
+        // order whatever the worker count. Each shard is a single-device
+        // `Experiment::run` call and therefore hits the cache individually.
+        let distinct_reports: Vec<RunReport> =
+            crate::campaign::run_jobs(self.threads, distinct.len(), |i| {
+                let d = distinct[i];
+                self.shard_experiment(d).run(&shard_workloads[d], scheme)
+            });
+        let shard_reports: Vec<RunReport> = rep_of
+            .iter()
+            .map(|&i| distinct_reports[i].clone())
+            .collect();
+
+        self.reduce_shard_reports(workload, scheme, &mix, &plan, &shard_reports)
+    }
+
+    /// The cross-device reduction: merges per-shard statistics, takes the
+    /// critical-path max over per-device latencies, adds the modelled
+    /// all-to-all, and (for end-to-end workloads) composes the dense
+    /// pipeline on the root device.
+    fn reduce_shard_reports(
         &self,
-        pattern: AccessPattern,
+        workload: &Workload,
         scheme: &Scheme,
-    ) -> EmbeddingStageResult {
-        EmbeddingStageResult::from_report(&self.run(&Workload::stage(pattern), scheme))
-    }
-
-    /// Runs the embedding stage over a heterogeneous table mix under
-    /// `scheme`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Experiment::run(&Workload::stage(mix.clone()), scheme)"
-    )]
-    pub fn run_embedding_stage_mix(
-        &self,
         mix: &HeterogeneousMix,
-        scheme: &Scheme,
-    ) -> EmbeddingStageResult {
-        EmbeddingStageResult::from_report(&self.run(&Workload::stage(mix.clone()), scheme))
-    }
-
-    /// Runs end-to-end DLRM inference for a homogeneous dataset.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Experiment::run(&Workload::end_to_end(pattern), scheme)"
-    )]
-    pub fn run_end_to_end(&self, pattern: AccessPattern, scheme: &Scheme) -> EndToEndResult {
-        EndToEndResult::from_report(&self.run(&Workload::end_to_end(pattern), scheme))
-    }
-
-    /// Runs end-to-end DLRM inference for a heterogeneous mix.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Experiment::run(&Workload::end_to_end(mix.clone()), scheme)"
-    )]
-    pub fn run_end_to_end_mix(&self, mix: &HeterogeneousMix, scheme: &Scheme) -> EndToEndResult {
-        EndToEndResult::from_report(&self.run(&Workload::end_to_end(mix.clone()), scheme))
-    }
-}
-
-/// The pre-0.2 name of [`Experiment`].
-#[deprecated(since = "0.2.0", note = "renamed to Experiment")]
-pub type ExperimentContext = Experiment;
-
-/// Legacy result of running the embedding stage under one scheme.
-///
-/// Superseded by [`RunReport`], which additionally carries device/seed
-/// metadata and serializes to JSON.
-#[derive(Debug, Clone)]
-pub struct EmbeddingStageResult {
-    /// The scheme's paper-style label.
-    pub scheme_label: String,
-    /// Description of the dataset or mix that was run.
-    pub dataset_label: String,
-    /// Extrapolated latency of the full embedding stage, in microseconds.
-    pub latency_us: f64,
-    /// Average simulated latency of one table, in microseconds.
-    pub per_table_us: f64,
-    /// Number of tables in the model.
-    pub tables_total: u32,
-    /// Number of tables actually simulated.
-    pub tables_simulated: u32,
-    /// Merged NCU-style statistics over the simulated tables.
-    pub stats: KernelStats,
-}
-
-impl EmbeddingStageResult {
-    fn from_report(report: &RunReport) -> Self {
-        let tables = report
-            .tables
-            .expect("stage reports carry a table breakdown");
-        EmbeddingStageResult {
-            scheme_label: report.scheme.clone(),
-            dataset_label: report.workload.clone(),
-            latency_us: report.embedding_latency_us(),
-            per_table_us: tables.per_table_us,
-            tables_total: tables.tables_total,
-            tables_simulated: tables.tables_simulated,
-            stats: report.stats.clone(),
+        plan: &ShardPlan,
+        shard_reports: &[RunReport],
+    ) -> RunReport {
+        let mut merged = KernelStats::empty(&scheme.paper_label(), self.gpu());
+        let mut per_device = Vec::with_capacity(shard_reports.len());
+        let mut bytes_per_device = Vec::with_capacity(shard_reports.len());
+        let mut critical_path_us = 0.0f64;
+        let mut device_total_us = 0.0;
+        let mut tables_simulated = 0u32;
+        for (d, shard) in shard_reports.iter().enumerate() {
+            merged.merge_across_devices(&shard.stats);
+            critical_path_us = critical_path_us.max(shard.latency_us);
+            device_total_us += shard.latency_us;
+            let breakdown = shard
+                .tables
+                .expect("shard runs are embedding-stage runs with a table breakdown");
+            tables_simulated += breakdown.tables_simulated;
+            per_device.push(DeviceBreakdown {
+                device: self.cluster.device(d).name.clone(),
+                tables: plan.device_tables(d).len() as u32,
+                tables_simulated: breakdown.tables_simulated,
+                embedding_us: shard.latency_us,
+            });
+            bytes_per_device.push(
+                plan.device_tables(d).len() as u64 * self.model.pooled_embedding_bytes_per_table(),
+            );
         }
-    }
+        let all_to_all_us = self
+            .cluster
+            .interconnect()
+            .all_to_all_us(&bytes_per_device, 0);
 
-    /// Embedding-stage speedup of this result over a baseline run.
-    pub fn speedup_over(&self, baseline: &EmbeddingStageResult) -> f64 {
-        baseline.latency_us / self.latency_us
-    }
-}
-
-/// Legacy result of an end-to-end DLRM inference run under one scheme.
-///
-/// Superseded by [`RunReport`].
-#[derive(Debug, Clone)]
-pub struct EndToEndResult {
-    /// The embedding-stage breakdown.
-    pub embedding: EmbeddingStageResult,
-    /// The end-to-end latency breakdown.
-    pub latency: BatchLatency,
-}
-
-impl EndToEndResult {
-    fn from_report(report: &RunReport) -> Self {
-        let latency = report
-            .batch_latency()
-            .expect("end-to-end reports carry a latency split");
-        EndToEndResult {
-            embedding: EmbeddingStageResult::from_report(report),
-            latency,
+        let mut report = self.report_skeleton(workload, scheme, merged);
+        report.tables = Some(TableBreakdown {
+            per_table_us: device_total_us / mix.total_tables() as f64,
+            tables_total: mix.total_tables(),
+            tables_simulated,
+        });
+        report.devices = Some(ClusterBreakdown {
+            strategy: plan.strategy().to_string(),
+            per_device,
+            critical_path_us,
+            all_to_all_us,
+        });
+        match workload.kind() {
+            WorkloadKind::EmbeddingStage => {
+                report.latency_us = critical_path_us + all_to_all_us;
+            }
+            WorkloadKind::EndToEnd => {
+                let timing = NonEmbeddingTimingModel::new(self.gpu());
+                let non_embedding_us = timing.non_embedding_time_us(&self.model);
+                let batch =
+                    BatchLatency::sharded(critical_path_us, all_to_all_us, non_embedding_us);
+                report.end_to_end = Some(EndToEndBreakdown {
+                    embedding_us: batch.embedding_us,
+                    non_embedding_us: batch.non_embedding_us,
+                });
+                report.latency_us = batch.total_us();
+            }
+            WorkloadKind::Kernel => unreachable!("kernel workloads are never sharded"),
         }
-    }
-
-    /// End-to-end speedup over a baseline run.
-    pub fn speedup_over(&self, baseline: &EndToEndResult) -> f64 {
-        self.latency.speedup_over(&baseline.latency)
+        report
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{InterconnectConfig, ShardingSpec};
     use dlrm_datasets::MixKind;
 
     fn exp() -> Experiment {
@@ -475,7 +514,7 @@ mod tests {
         assert!(r.stats.elapsed_cycles > 0);
         assert_eq!(r.stats.theoretical_warps_per_sm % 8, 0);
         assert!((r.latency_us - r.stats.kernel_time_us()).abs() < 1e-12);
-        assert!(r.tables.is_none() && r.end_to_end.is_none());
+        assert!(r.tables.is_none() && r.end_to_end.is_none() && r.devices.is_none());
     }
 
     #[test]
@@ -588,26 +627,87 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_entry_point() {
-        let e = exp();
-        let kernel = e.run_embedding_kernel(AccessPattern::MedHot, &Scheme::base());
-        assert_eq!(
-            kernel,
-            e.run(&Workload::kernel(AccessPattern::MedHot), &Scheme::base())
-                .stats
-        );
-
-        let stage = e.run_embedding_stage(AccessPattern::HighHot, &Scheme::optmt());
-        let report = e.run(&Workload::stage(AccessPattern::HighHot), &Scheme::optmt());
-        assert_eq!(stage.latency_us, report.latency_us);
-        assert_eq!(stage.dataset_label, report.workload);
-
-        let e2e = e.run_end_to_end(AccessPattern::MedHot, &Scheme::base());
-        let e2e_report = e.run(
-            &Workload::end_to_end(AccessPattern::MedHot),
+    fn sharded_runs_carry_a_device_breakdown() {
+        let e = exp().with_cluster(Cluster::homogeneous(
+            GpuConfig::test_small(),
+            2,
+            InterconnectConfig::nvlink3(),
+        ));
+        let mix = HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02);
+        let r = e.run(
+            &Workload::stage(mix.clone()).with_sharding(ShardingSpec::RoundRobin),
             &Scheme::base(),
         );
-        assert_eq!(e2e.latency.total_us(), e2e_report.latency_us);
+        let cluster = r.devices.as_ref().unwrap();
+        assert_eq!(cluster.num_devices(), 2);
+        assert_eq!(cluster.strategy, "round_robin");
+        assert!(cluster.all_to_all_us > 0.0);
+        assert_eq!(
+            cluster.per_device.iter().map(|d| d.tables).sum::<u32>(),
+            mix.total_tables()
+        );
+        assert_eq!(r.latency_us, cluster.embedding_stage_us());
+        assert_eq!(r.workload, "Mix2");
+    }
+
+    #[test]
+    fn sharding_shortens_the_embedding_stage_on_enough_devices() {
+        let workload = Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02));
+        let single = exp().run(&workload, &Scheme::base());
+        let quad = exp()
+            .with_cluster(Cluster::homogeneous(
+                GpuConfig::test_small(),
+                4,
+                InterconnectConfig::nvlink3(),
+            ))
+            .run(
+                &workload.clone().with_sharding(ShardingSpec::SizeBalanced),
+                &Scheme::base(),
+            );
+        assert!(
+            quad.latency_us < single.latency_us,
+            "4 devices ({:.1} us) should beat 1 ({:.1} us)",
+            quad.latency_us,
+            single.latency_us
+        );
+    }
+
+    #[test]
+    fn sharded_end_to_end_composes_the_dense_pipeline_once() {
+        let e = exp().with_cluster(Cluster::homogeneous(
+            GpuConfig::test_small(),
+            2,
+            InterconnectConfig::nvlink3(),
+        ));
+        let r = e.run(
+            &Workload::end_to_end(AccessPattern::MedHot).with_sharding(ShardingSpec::RoundRobin),
+            &Scheme::base(),
+        );
+        let e2e = r.end_to_end.unwrap();
+        let cluster = r.devices.unwrap();
+        assert_eq!(
+            e2e.embedding_us,
+            cluster.critical_path_us + cluster.all_to_all_us
+        );
+        assert_eq!(r.latency_us, e2e.embedding_us + e2e.non_embedding_us);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_run_each_shard_on_its_device() {
+        let fast = GpuConfig::test_small().with_num_sms(8);
+        let slow = GpuConfig::test_small();
+        let e = exp().with_cluster(Cluster::new(
+            vec![fast.clone(), slow.clone()],
+            InterconnectConfig::nvlink3(),
+        ));
+        let r = e.run(
+            &Workload::stage(AccessPattern::MedHot).with_sharding(ShardingSpec::RoundRobin),
+            &Scheme::base(),
+        );
+        let cluster = r.devices.unwrap();
+        assert_eq!(cluster.per_device[0].device, fast.name);
+        assert_eq!(cluster.per_device[1].device, slow.name);
+        // The report is attributed to the root device.
+        assert_eq!(r.device, fast.name);
     }
 }

@@ -7,8 +7,16 @@
 //! (Figures 1/13/14). [`Workload`] unifies all four behind one value so that
 //! [`crate::Experiment::run`] is the single entry point for every
 //! experiment, and [`crate::Campaign`] can treat them as one grid axis.
+//!
+//! A workload additionally carries an **optional sharding spec**
+//! ([`Workload::with_sharding`]): a sharded embedding-stage or end-to-end
+//! workload distributes its tables across the experiment's
+//! [`crate::Cluster`] with the chosen [`ShardingSpec`] and is executed as
+//! one simulation per shard plus a cross-device reduction.
 
 use dlrm_datasets::{AccessPattern, HeterogeneousMix};
+
+use crate::topology::ShardingSpec;
 
 /// The dataset an embedding-stage or end-to-end workload runs over: either
 /// one access pattern applied to every table (homogeneous) or a named
@@ -52,56 +60,118 @@ impl From<HeterogeneousMix> for Dataset {
     }
 }
 
-/// One run target: what [`crate::Experiment::run`] simulates under a scheme.
+/// The simulation target of a [`Workload`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum Workload {
+pub enum WorkloadTarget {
     /// A single embedding-bag kernel (one table) — the unit of the paper's
     /// NCU characterisation tables.
     Kernel(AccessPattern),
     /// The full embedding stage: every table of the model, simulated
-    /// sequentially on one device and extrapolated per homogeneous group.
+    /// sequentially per device and extrapolated per homogeneous group.
     EmbeddingStage(Dataset),
     /// End-to-end DLRM inference: the embedding stage plus the analytic
     /// non-embedding pipeline (MLPs, feature interaction).
     EndToEnd(Dataset),
 }
 
+/// One run target: what [`crate::Experiment::run`] simulates under a scheme
+/// — a [`WorkloadTarget`] plus an optional sharding spec that distributes
+/// the target's tables across the experiment's cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    target: WorkloadTarget,
+    sharding: Option<ShardingSpec>,
+}
+
 impl Workload {
     /// A single-kernel workload.
     pub fn kernel(pattern: AccessPattern) -> Self {
-        Workload::Kernel(pattern)
+        Workload {
+            target: WorkloadTarget::Kernel(pattern),
+            sharding: None,
+        }
     }
 
     /// An embedding-stage workload over a pattern or mix.
     pub fn stage(dataset: impl Into<Dataset>) -> Self {
-        Workload::EmbeddingStage(dataset.into())
+        Workload {
+            target: WorkloadTarget::EmbeddingStage(dataset.into()),
+            sharding: None,
+        }
     }
 
     /// An end-to-end workload over a pattern or mix.
     pub fn end_to_end(dataset: impl Into<Dataset>) -> Self {
-        Workload::EndToEnd(dataset.into())
+        Workload {
+            target: WorkloadTarget::EndToEnd(dataset.into()),
+            sharding: None,
+        }
+    }
+
+    /// Shards this workload's tables across the experiment's
+    /// [`crate::Cluster`] with the given strategy. On a single-device
+    /// cluster the resulting report is bit-exact with the unsharded run
+    /// (the trivial plan puts everything on the one device and the
+    /// all-to-all contributes exactly zero).
+    ///
+    /// # Panics
+    /// Panics for kernel workloads: a kernel is one table on one device and
+    /// cannot be sharded.
+    pub fn with_sharding(mut self, spec: ShardingSpec) -> Self {
+        assert!(
+            !matches!(self.target, WorkloadTarget::Kernel(_)),
+            "kernel workloads run one table on one device and cannot be sharded"
+        );
+        self.sharding = Some(spec);
+        self
+    }
+
+    /// Removes the sharding spec.
+    pub fn unsharded(mut self) -> Self {
+        self.sharding = None;
+        self
+    }
+
+    /// The simulation target.
+    pub fn target(&self) -> &WorkloadTarget {
+        &self.target
+    }
+
+    /// The sharding spec, if the workload is sharded.
+    pub fn sharding(&self) -> Option<ShardingSpec> {
+        self.sharding
     }
 
     /// The workload kind, as recorded in [`crate::RunReport`]s.
     pub fn kind(&self) -> WorkloadKind {
-        match self {
-            Workload::Kernel(_) => WorkloadKind::Kernel,
-            Workload::EmbeddingStage(_) => WorkloadKind::EmbeddingStage,
-            Workload::EndToEnd(_) => WorkloadKind::EndToEnd,
+        match &self.target {
+            WorkloadTarget::Kernel(_) => WorkloadKind::Kernel,
+            WorkloadTarget::EmbeddingStage(_) => WorkloadKind::EmbeddingStage,
+            WorkloadTarget::EndToEnd(_) => WorkloadKind::EndToEnd,
         }
     }
 
-    /// The dataset label (`"random"`, `"Mix1"`, ...).
+    /// The dataset label (`"random"`, `"Mix1"`, ...). Sharding does not
+    /// change the label: a sharded run is the same workload executed on a
+    /// different topology, and reports carry the topology breakdown
+    /// separately ([`crate::RunReport::devices`]).
     pub fn dataset_label(&self) -> String {
-        match self {
-            Workload::Kernel(pattern) => pattern.paper_name().to_string(),
-            Workload::EmbeddingStage(dataset) | Workload::EndToEnd(dataset) => dataset.label(),
+        match &self.target {
+            WorkloadTarget::Kernel(pattern) => pattern.paper_name().to_string(),
+            WorkloadTarget::EmbeddingStage(dataset) | WorkloadTarget::EndToEnd(dataset) => {
+                dataset.label()
+            }
         }
     }
 
-    /// A full label combining kind and dataset, e.g. `"kernel/random"`.
+    /// A full label combining kind and dataset, e.g. `"kernel/random"`;
+    /// sharded workloads append the strategy, e.g.
+    /// `"embedding_stage/Mix2@round_robin"`.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.kind().name(), self.dataset_label())
+        match self.sharding {
+            None => format!("{}/{}", self.kind().name(), self.dataset_label()),
+            Some(spec) => format!("{}/{}@{}", self.kind().name(), self.dataset_label(), spec),
+        }
     }
 }
 
@@ -160,6 +230,23 @@ mod tests {
         );
         let mix = HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02);
         assert_eq!(Workload::end_to_end(mix).label(), "end_to_end/Mix2");
+    }
+
+    #[test]
+    fn sharded_labels_append_the_strategy() {
+        let w = Workload::stage(AccessPattern::Random).with_sharding(ShardingSpec::RoundRobin);
+        assert_eq!(w.label(), "embedding_stage/random@round_robin");
+        // The dataset label (and thus the report's workload field) is
+        // unchanged by sharding.
+        assert_eq!(w.dataset_label(), "random");
+        assert_eq!(w.sharding(), Some(ShardingSpec::RoundRobin));
+        assert_eq!(w.clone().unsharded().sharding(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be sharded")]
+    fn kernel_workloads_reject_sharding() {
+        let _ = Workload::kernel(AccessPattern::MedHot).with_sharding(ShardingSpec::HotCold);
     }
 
     #[test]

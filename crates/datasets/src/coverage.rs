@@ -3,6 +3,22 @@
 
 use std::collections::HashMap;
 
+use crate::pattern::AccessPattern;
+use crate::trace::TraceConfig;
+
+/// Deterministic hotness score of an access pattern in `[0, 1]`: the
+/// [`CoverageCurve::skew`] of a small synthetic probe trace generated with a
+/// fixed seed. Hot (strongly Zipf-skewed) patterns score high, uniformly
+/// random ones score near zero, so the score orders patterns the way the
+/// paper's Figure 5 coverage curves do. Sharding strategies use it to split
+/// hot tables from cold ones without simulating anything.
+pub fn pattern_coverage_skew(pattern: AccessPattern) -> f64 {
+    // Small enough to be negligible next to any simulation, large enough
+    // that the skew estimate separates the paper's hotness classes.
+    let probe = TraceConfig::new(4096, 64, 8);
+    probe.generate(pattern, 0xC0FF_EE00).coverage_curve().skew()
+}
+
 /// A coverage curve: for each fraction of unique accesses (hottest first),
 /// the fraction of total accesses they account for.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,5 +176,29 @@ mod tests {
     fn out_of_range_percentage_panics() {
         let c = CoverageCurve::from_indices(&[1, 2, 3]);
         let _ = c.coverage_at(120.0);
+    }
+
+    #[test]
+    fn pattern_skew_orders_by_hotness_and_is_deterministic() {
+        let scores: Vec<f64> = AccessPattern::ALL
+            .iter()
+            .map(|&p| pattern_coverage_skew(p))
+            .collect();
+        for w in scores.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "skew must not increase as hotness drops: {scores:?}"
+            );
+        }
+        assert!(scores[0] > 0.9, "one_item is maximally skewed");
+        assert!(
+            pattern_coverage_skew(AccessPattern::HighHot)
+                > pattern_coverage_skew(AccessPattern::Random) + 0.2,
+            "hot and cold classes must be separable"
+        );
+        assert_eq!(
+            pattern_coverage_skew(AccessPattern::MedHot),
+            pattern_coverage_skew(AccessPattern::MedHot)
+        );
     }
 }

@@ -34,7 +34,7 @@ pub mod pattern;
 pub mod trace;
 pub mod zipf;
 
-pub use coverage::CoverageCurve;
+pub use coverage::{pattern_coverage_skew, CoverageCurve};
 pub use mix::{HeterogeneousMix, MixKind};
 pub use pattern::AccessPattern;
 pub use trace::{EmbeddingTrace, TraceConfig};

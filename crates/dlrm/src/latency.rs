@@ -32,6 +32,21 @@ impl BatchLatency {
         }
     }
 
+    /// Composes a *sharded* embedding stage with the dense non-embedding
+    /// pipeline: the embedding component becomes the per-device critical
+    /// path plus the all-to-all gather of pooled embeddings, after which the
+    /// interaction stage and MLPs run on one device as usual.
+    ///
+    /// # Panics
+    /// Panics if any component is negative or not finite.
+    pub fn sharded(critical_path_us: f64, all_to_all_us: f64, non_embedding_us: f64) -> Self {
+        assert!(
+            all_to_all_us.is_finite() && all_to_all_us >= 0.0,
+            "all-to-all latency must be finite and non-negative"
+        );
+        BatchLatency::new(critical_path_us + all_to_all_us, non_embedding_us)
+    }
+
     /// Total batch latency in microseconds.
     pub fn total_us(&self) -> f64 {
         self.embedding_us + self.non_embedding_us
@@ -124,5 +139,22 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_latency_rejected() {
         let _ = BatchLatency::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn sharded_composition_adds_the_all_to_all_to_the_embedding_stage() {
+        let l = BatchLatency::sharded(10_000.0, 500.0, 20_000.0);
+        assert_eq!(l.embedding_us, 10_500.0);
+        assert_eq!(l.total_us(), 30_500.0);
+        // A zero all-to-all (single device) is bit-exact with the unsharded
+        // composition — the safety net the sharding equivalence tests rely on.
+        let single = BatchLatency::sharded(10_000.0, 0.0, 20_000.0);
+        assert_eq!(single, BatchLatency::new(10_000.0, 20_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "all-to-all latency")]
+    fn negative_all_to_all_rejected() {
+        let _ = BatchLatency::sharded(1.0, -0.5, 1.0);
     }
 }

@@ -126,6 +126,15 @@ impl DlrmConfig {
         f * (f - 1) / 2 + self.bottom_mlp_output_dim()
     }
 
+    /// Bytes of pooled embedding output one table produces for one batch at
+    /// fp32 (`batch_size * embedding_dim * 4`). When tables are sharded
+    /// across devices, this is the unit of all-to-all traffic: every remote
+    /// device ships its tables' pooled outputs to the device running the
+    /// interaction stage.
+    pub fn pooled_embedding_bytes_per_table(&self) -> u64 {
+        self.batch_size() as u64 * self.embedding.embedding_dim as u64 * 4
+    }
+
     /// Parameter count of one embedding table.
     pub fn table_parameters(&self) -> u64 {
         self.embedding.trace.num_rows * self.embedding.embedding_dim as u64
@@ -177,6 +186,17 @@ mod tests {
         assert_eq!(emb_bytes, 64_000_000_000);
         assert!(m.model_bytes() >= emb_bytes);
         assert!(m.model_bytes() < emb_bytes + 1_000_000_000);
+    }
+
+    #[test]
+    fn pooled_embedding_bytes_follow_batch_and_dim() {
+        let m = DlrmConfig::paper_model();
+        assert_eq!(m.pooled_embedding_bytes_per_table(), 2048 * 128 * 4);
+        let t = DlrmConfig::at_scale(WorkloadScale::Test);
+        assert_eq!(
+            t.pooled_embedding_bytes_per_table(),
+            t.batch_size() as u64 * t.embedding.embedding_dim as u64 * 4
+        );
     }
 
     #[test]

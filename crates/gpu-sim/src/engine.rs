@@ -9,7 +9,7 @@
 //!   when every warp is stalled on a 200+-cycle DRAM access — the dominant
 //!   state in the memory-bound embedding kernels this repository models.
 //! * [`EngineMode::EventDriven`] — the default. Each sub-partition exposes
-//!   the earliest cycle at which it can issue ([`SmspState::next_issue_at`]);
+//!   the earliest cycle at which it can issue (`SmspState::next_issue_at`);
 //!   the engine keeps those deadlines in an ordered event queue, jumps the
 //!   clock straight to the next deadline, and touches only the
 //!   sub-partitions that can actually issue there. Sub-partitions whose

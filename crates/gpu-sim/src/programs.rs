@@ -12,7 +12,7 @@ const STREAM_WINDOW: u32 = 4;
 
 /// A bandwidth-friendly streaming kernel: every warp loads a private,
 /// sequential range of cache lines and accumulates them with a software
-/// pipeline of [`STREAM_WINDOW`] outstanding loads, so ample instruction- and
+/// pipeline of `STREAM_WINDOW` outstanding loads, so ample instruction- and
 /// warp-level parallelism hides latency.
 #[derive(Debug, Clone)]
 pub struct StreamKernel {

@@ -235,6 +235,19 @@ impl KernelStats {
             self.device_name, other.device_name,
             "cannot merge statistics from different devices"
         );
+        self.merge_across_devices(other);
+    }
+
+    /// Merges a kernel execution that ran on a *different* device into this
+    /// record: work and traffic counters are summed exactly like
+    /// [`KernelStats::merge_sequential`], while the device metadata (name,
+    /// clock, scheduler count, peak bandwidth) keeps `self`'s values — the
+    /// caller picks the record, typically the cluster's root device, that
+    /// the aggregate is reported against. With heterogeneous clocks the
+    /// summed `elapsed_cycles` is a work total, not a wall-clock quantity;
+    /// sharded runs carry the wall-clock answer separately as the per-device
+    /// critical path.
+    pub fn merge_across_devices(&mut self, other: &KernelStats) {
         self.elapsed_cycles += other.elapsed_cycles;
         self.counters.accumulate(&other.counters);
         self.l1_accesses += other.l1_accesses;

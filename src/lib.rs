@@ -14,9 +14,11 @@
 //! * [`perf_envelope`] — the paper's contribution behind the unified
 //!   experiment API: `Experiment::run(&Workload, &Scheme) -> RunReport`
 //!   covers every run target (kernel / embedding stage / heterogeneous mix /
-//!   end-to-end), `Campaign` executes scheme × workload × seed × pooling
-//!   grids in parallel with deterministic results, and `RunReport`
-//!   serializes to JSON. The DSE sweeps and the static profiling framework
+//!   end-to-end, unsharded or sharded across a multi-GPU `Cluster`),
+//!   `Campaign` executes scheme × workload × seed × pooling grids in
+//!   parallel with deterministic results, and `RunReport` serializes to
+//!   JSON. The topology layer (`Cluster`, sharding strategies, the
+//!   interconnect model), the DSE sweeps and the static profiling framework
 //!   build on the same surface.
 
 #![warn(missing_docs)]
