@@ -12,6 +12,12 @@
 //! makes [`crate::CampaignCache::save_to`] / [`load_from`] usable for
 //! cross-process incremental re-runs.
 //!
+//! The [`crate::serving`] layer's batch shapes ride on this encoding for
+//! free: a priced batch is an experiment whose model carries the shape as
+//! its batch size (`Experiment::with_batch_size`), and the batch size is
+//! part of the model object below — so every distinct shape is a distinct
+//! cell key and repeated shapes dedup in the cache.
+//!
 //! [`load_from`]: crate::CampaignCache::load_from
 
 use dlrm::DlrmConfig;
@@ -322,6 +328,20 @@ mod tests {
                 &Scheme::base(),
             )
         );
+    }
+
+    #[test]
+    fn batch_shapes_distinguish_cells_through_the_model() {
+        // The serving layer prices batch shapes via Experiment::with_batch_size;
+        // the shape must (and does) reach the key through the model encoding.
+        let workload = Workload::stage(AccessPattern::MedHot);
+        let key_at = |batch: u32| {
+            crate::runner::Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+                .with_batch_size(batch)
+                .cell_fingerprint(&workload, &Scheme::base())
+        };
+        assert_ne!(key_at(64), key_at(256));
+        assert_eq!(key_at(128), key_at(128));
     }
 
     #[test]

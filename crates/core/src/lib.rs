@@ -26,6 +26,17 @@
 //! plus the pooled-embedding all-to-all); on a single-device cluster the
 //! result is bit-exact with the unsharded run.
 //!
+//! The [`serving`] module lifts single-batch experiments to SLA-aware
+//! serving studies: a seeded [`TrafficModel`] arrival trace is batched by a
+//! [`BatchingPolicy`], priced through [`Experiment::run`] (one simulation
+//! per distinct batch shape, via the cache), and drained through a
+//! deterministic queue model into a [`ServingReport`] — percentile
+//! latencies, achieved QPS, SLA-violation rate, per-device utilization.
+//! [`select_scheme`] and [`max_sustainable_qps`] answer the production
+//! questions on top: which scheme is enough for this load, and how much
+//! load this deployment sustains. A single-request fixed-size scenario is
+//! bit-exact with the plain experiment run.
+//!
 //! The remaining modules supply the pieces experiments are made of:
 //!
 //! * [`Scheme`]: the plug-and-play optimization schemes the paper evaluates —
@@ -85,6 +96,7 @@ pub mod profiler;
 pub mod report;
 pub mod runner;
 pub mod scheme;
+pub mod serving;
 pub mod topology;
 pub mod workload;
 
@@ -102,6 +114,11 @@ pub use report::{
 };
 pub use runner::Experiment;
 pub use scheme::{Multithreading, Scheme};
+pub use serving::{
+    max_sustainable_qps, select_scheme, BatchShapeStats, BatchingPolicy, CapacityResult,
+    DeviceUtilization, LatencyStats, SchemeChoice, ServingReport, ServingScenario, TrafficModel,
+    SERVING_REPORT_SCHEMA,
+};
 pub use topology::{
     Cluster, HotColdSharding, InterconnectConfig, RoundRobinSharding, ShardPlan, ShardingSpec,
     ShardingStrategy, SizeBalancedSharding, TableProfile,

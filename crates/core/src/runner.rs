@@ -148,6 +148,24 @@ impl Experiment {
         self
     }
 
+    /// Returns a copy of this experiment with a different inference batch
+    /// size (samples per batch). This is how the [`crate::serving`] layer
+    /// prices formed batches: each distinct batch shape becomes a distinct
+    /// experiment cell (the batch size is part of the model configuration
+    /// and therefore of the cell fingerprint), so with a [`CampaignCache`]
+    /// attached every shape simulates exactly once.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: u32) -> Self {
+        let trace = self.model.embedding.trace;
+        self.model.embedding = embedding_kernels::EmbeddingConfig::new(
+            dlrm_datasets::TraceConfig::new(trace.num_rows, batch_size, trace.pooling_factor),
+            self.model.embedding.embedding_dim,
+        );
+        self
+    }
+
     /// The root device configuration (the only device of an unclustered
     /// experiment; the device running the dense pipeline otherwise).
     pub fn gpu(&self) -> &GpuConfig {
@@ -624,6 +642,25 @@ mod tests {
     #[should_panic(expected = "at least one table")]
     fn zero_simulated_tables_rejected() {
         let _ = exp().with_tables_to_simulate(0);
+    }
+
+    #[test]
+    fn batch_size_override_scales_work() {
+        let workload = Workload::kernel(AccessPattern::MedHot);
+        let small = exp().with_batch_size(64).run(&workload, &Scheme::base());
+        let large = exp().with_batch_size(256).run(&workload, &Scheme::base());
+        assert!(large.stats.counters.load_insts > small.stats.counters.load_insts);
+        // The configured batch size is the model's default, so overriding
+        // with it reproduces the unmodified experiment bit-exactly — the
+        // degenerate anchor the serving layer's equivalence suite relies on.
+        let e = exp();
+        let configured = e.model().batch_size();
+        assert_eq!(
+            e.clone()
+                .with_batch_size(configured)
+                .run(&workload, &Scheme::base()),
+            e.run(&workload, &Scheme::base())
+        );
     }
 
     #[test]

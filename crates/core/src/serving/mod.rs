@@ -1,0 +1,552 @@
+//! SLA-aware serving simulation: request queues, batching and scheme
+//! selection on top of [`Experiment::run`].
+//!
+//! The paper measures the latency of **one** inference batch; production
+//! recommendation systems care about what a *stream* of requests
+//! experiences under a latency SLA. This module closes that gap with a
+//! deterministic discrete-event simulator:
+//!
+//! 1. a seeded [`TrafficModel`] generates a request-arrival trace
+//!    (uniform / Poisson / bursty / diurnal),
+//! 2. a [`BatchingPolicy`] groups arrivals into inference batches
+//!    (fixed-size, timeout-bounded or adaptive) and pads each batch to a
+//!    launch **shape**,
+//! 3. every distinct shape is priced by [`Experiment::run`] — through the
+//!    attached [`crate::CampaignCache`] when there is one, so repeated
+//!    shapes simulate exactly once — and batches drain FIFO through the
+//!    deployment's one logical execution stream,
+//! 4. the per-request queueing + service delays accumulate into a
+//!    [`ServingReport`]: p50/p95/p99/max latency, achieved QPS,
+//!    SLA-violation rate and per-device utilization, all JSON-serializable.
+//!
+//! Because pricing goes through the ordinary experiment path, a serving
+//! scenario composes with everything the experiment layer can express: a
+//! sharded [`Workload`] on a multi-device [`crate::Cluster`] feeds its
+//! critical-path batch latency (embedding critical path + all-to-all +
+//! dense pipeline) straight into the queue model, and per-device
+//! utilization is derived from the priced report's cluster breakdown.
+//!
+//! **Degenerate-equivalence invariant** (mirrors the engine- and
+//! sharding-equivalence anchors): a trace containing a single request under
+//! a [`BatchingPolicy::fixed_size`] policy at the model's configured batch
+//! size forms one batch with zero batching and zero queueing delay, so its
+//! service latency — and therefore every percentile of the report — is
+//! **bit-exact** with `Experiment::run(&workload, &scheme).latency_us`, on
+//! both engine modes, unsharded and on a 1-device cluster.
+//! `tests/serving_simulation.rs` holds that line and CI runs it in release.
+//!
+//! On top of the simulator, [`select_scheme`] picks the cheapest
+//! [`Scheme`] meeting the SLA at a target load, and [`max_sustainable_qps`]
+//! binary-searches a deployment's capacity: the highest offered QPS whose
+//! p99 still meets the SLA.
+//!
+//! # Worked example
+//!
+//! ```
+//! use dlrm::WorkloadScale;
+//! use dlrm_datasets::AccessPattern;
+//! use gpu_sim::GpuConfig;
+//! use perf_envelope::{
+//!     BatchingPolicy, Experiment, Scheme, ServingScenario, TrafficModel, Workload,
+//! };
+//!
+//! let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+//! let workload = Workload::end_to_end(AccessPattern::MedHot);
+//! // 512 requests of Poisson traffic at 2000 qps, batched 256 at a time,
+//! // against a 25 ms latency SLA.
+//! let scenario = ServingScenario::new(
+//!     TrafficModel::poisson(2_000.0),
+//!     BatchingPolicy::fixed_size(256),
+//! )
+//! .with_requests(512)
+//! .with_sla_us(25_000.0);
+//! let report = scenario.simulate(&experiment, &workload, &Scheme::combined());
+//! assert_eq!(report.requests, 512);
+//! assert!(report.latency.p50_us <= report.latency.p99_us);
+//! assert!(report.batches >= 2);
+//! // The same scenario re-simulated is bit-identical.
+//! assert_eq!(report, scenario.simulate(&experiment, &workload, &Scheme::combined()));
+//! ```
+
+mod batching;
+mod report;
+mod traffic;
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::runner::Experiment;
+use crate::scheme::Scheme;
+use crate::workload::Workload;
+
+pub use batching::BatchingPolicy;
+pub use report::{
+    BatchShapeStats, DeviceUtilization, LatencyStats, ServingReport, SERVING_REPORT_SCHEMA,
+};
+pub use traffic::TrafficModel;
+
+/// Default arrival-trace seed (distinct from the experiment's embedding
+/// trace seed so the two streams never alias by default).
+const DEFAULT_ARRIVAL_SEED: u64 = 0xAD_5EED;
+
+/// One serving what-if: traffic, request count, batching policy, SLA and
+/// arrival seed. A scenario is pure data; [`ServingScenario::simulate`]
+/// evaluates it against any experiment × workload × scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingScenario {
+    traffic: TrafficModel,
+    policy: BatchingPolicy,
+    requests: u32,
+    sla_us: f64,
+    seed: u64,
+}
+
+impl ServingScenario {
+    /// Creates a scenario with 1024 requests, a 25 ms SLA and the default
+    /// arrival seed.
+    pub fn new(traffic: TrafficModel, policy: BatchingPolicy) -> Self {
+        ServingScenario {
+            traffic,
+            policy,
+            requests: 1024,
+            sla_us: 25_000.0,
+            seed: DEFAULT_ARRIVAL_SEED,
+        }
+    }
+
+    /// Replaces the traffic model (used by the capacity search to sweep the
+    /// offered rate while keeping the traffic shape).
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Replaces the batching policy.
+    pub fn with_policy(mut self, policy: BatchingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets how many requests the arrival trace contains.
+    ///
+    /// # Panics
+    /// Panics if `requests` is zero.
+    pub fn with_requests(mut self, requests: u32) -> Self {
+        assert!(requests > 0, "a scenario needs at least one request");
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the per-request latency SLA in microseconds.
+    ///
+    /// # Panics
+    /// Panics unless the SLA is finite and positive.
+    pub fn with_sla_us(mut self, sla_us: f64) -> Self {
+        assert!(
+            sla_us.is_finite() && sla_us > 0.0,
+            "the SLA must be finite and positive"
+        );
+        self.sla_us = sla_us;
+        self
+    }
+
+    /// Sets the arrival-trace seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The traffic model.
+    pub fn traffic(&self) -> TrafficModel {
+        self.traffic
+    }
+
+    /// The batching policy.
+    pub fn policy(&self) -> BatchingPolicy {
+        self.policy
+    }
+
+    /// Number of requests in the arrival trace.
+    pub fn requests(&self) -> u32 {
+        self.requests
+    }
+
+    /// The per-request latency SLA in microseconds.
+    pub fn sla_us(&self) -> f64 {
+        self.sla_us
+    }
+
+    /// The arrival-trace seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Runs the discrete-event serving simulation of this scenario for
+    /// `workload` under `scheme` on `experiment`'s deployment (device or
+    /// cluster) and reports what the request stream experienced.
+    ///
+    /// Batches are priced by [`Experiment::run`] with the batch's padded
+    /// shape as the model's batch size; each distinct shape is priced once
+    /// per call (and once *ever* when a [`crate::CampaignCache`] is
+    /// attached). The simulation itself is single-threaded and pure, so
+    /// reports are deterministic and — because the experiment layer is
+    /// thread-count-invariant — independent of the worker-thread setting
+    /// even for sharded workloads.
+    pub fn simulate(
+        &self,
+        experiment: &Experiment,
+        workload: &Workload,
+        scheme: &Scheme,
+    ) -> ServingReport {
+        let arrivals = self.traffic.arrival_times_us(self.requests, self.seed);
+        let num_devices = experiment.cluster().num_devices();
+
+        // What the queue model needs from one priced batch shape: its
+        // service latency and the per-device busy time one such batch
+        // contributes (the full RunReport is not kept per batch).
+        struct PricedShape {
+            latency_us: f64,
+            busy_us_per_device: Vec<f64>,
+        }
+        // Price each distinct shape once per simulation; the experiment's
+        // cache (when attached) extends that to once per process or beyond.
+        let mut priced: HashMap<u32, PricedShape> = HashMap::new();
+
+        let mut latencies = Vec::with_capacity(arrivals.len());
+        let mut batch_wait_sum = 0.0;
+        let mut queue_wait_sum = 0.0;
+        let mut busy_us = vec![0.0f64; num_devices];
+        let mut shape_counts: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut batches = 0u32;
+        let mut stream_free = 0.0f64;
+        let mut first = 0usize;
+
+        while first < arrivals.len() {
+            let batch = self.policy.form(&arrivals, first, stream_free);
+            let shape = self.policy.shape(batch.len as u32);
+            let priced_shape = priced.entry(shape).or_insert_with(|| {
+                let report = experiment
+                    .clone()
+                    .with_batch_size(shape)
+                    .run(workload, scheme);
+                let mut busy = vec![0.0f64; num_devices];
+                match &report.devices {
+                    Some(cluster) => {
+                        for (d, device) in cluster.per_device.iter().enumerate() {
+                            busy[d] += device.embedding_us;
+                        }
+                        if let Some(e2e) = report.end_to_end {
+                            busy[0] += e2e.non_embedding_us;
+                        }
+                    }
+                    None => busy[0] = report.latency_us,
+                }
+                PricedShape {
+                    latency_us: report.latency_us,
+                    busy_us_per_device: busy,
+                }
+            });
+            let service_us = priced_shape.latency_us;
+            let start = if stream_free > batch.close_us {
+                stream_free
+            } else {
+                batch.close_us
+            };
+            // Latency is accumulated from its components (rather than as
+            // completion - arrival) so that a request with zero batching and
+            // zero queueing delay experiences *bit-exactly* the service
+            // latency — the degenerate-equivalence anchor.
+            let queue_wait = start - batch.close_us;
+            for &arrival in &arrivals[first..first + batch.len] {
+                let batch_wait = batch.close_us - arrival;
+                batch_wait_sum += batch_wait;
+                queue_wait_sum += queue_wait;
+                latencies.push(batch_wait + queue_wait + service_us);
+            }
+            for (total, delta) in busy_us.iter_mut().zip(&priced_shape.busy_us_per_device) {
+                *total += delta;
+            }
+            *shape_counts.entry(shape).or_insert(0) += 1;
+            batches += 1;
+            stream_free = start + service_us;
+            first += batch.len;
+        }
+
+        let makespan_us = stream_free;
+        let requests = arrivals.len() as f64;
+        let violations = latencies.iter().filter(|&&l| l > self.sla_us).count();
+        let mut sorted = latencies;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+        ServingReport {
+            workload: workload.dataset_label(),
+            scheme: scheme.paper_label(),
+            device: experiment.gpu().name.clone(),
+            scale: experiment.scale().name().to_string(),
+            seed: self.seed,
+            traffic: self.traffic.name().to_string(),
+            offered_qps: self.traffic.offered_qps(),
+            policy: self.policy.label(),
+            sla_us: self.sla_us,
+            requests: self.requests,
+            batches,
+            shapes: shape_counts
+                .iter()
+                .map(|(&shape, &count)| BatchShapeStats {
+                    shape,
+                    batches: count,
+                    latency_us: priced[&shape].latency_us,
+                })
+                .collect(),
+            achieved_qps: requests / makespan_us * 1e6,
+            latency: LatencyStats::from_sorted(&sorted),
+            mean_batch_wait_us: batch_wait_sum / requests,
+            mean_queue_wait_us: queue_wait_sum / requests,
+            sla_violation_rate: violations as f64 / requests,
+            utilization: (0..num_devices)
+                .map(|d| DeviceUtilization {
+                    device: experiment.cluster().device(d).name.clone(),
+                    busy_us: busy_us[d],
+                    utilization: busy_us[d] / makespan_us,
+                })
+                .collect(),
+            makespan_us,
+        }
+    }
+}
+
+/// The scheme [`select_scheme`] settled on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeChoice {
+    /// Index of the chosen scheme in the caller's candidate slice.
+    pub index: usize,
+    /// The serving report that qualified it.
+    pub report: ServingReport,
+}
+
+/// Picks the cheapest [`Scheme`] that meets the scenario's SLA (p99 within
+/// `sla_us`) at the scenario's offered load: candidates are evaluated in
+/// the given order — list them cheapest-first (e.g. `base` before `OptMT`
+/// before the combined scheme, mirroring engineering cost) — and the first
+/// one whose simulated p99 meets the SLA wins. Returns `None` when no
+/// candidate qualifies.
+pub fn select_scheme(
+    experiment: &Experiment,
+    workload: &Workload,
+    schemes: &[Scheme],
+    scenario: &ServingScenario,
+) -> Option<SchemeChoice> {
+    schemes.iter().enumerate().find_map(|(index, scheme)| {
+        let report = scenario.simulate(experiment, workload, scheme);
+        report.meets_sla().then_some(SchemeChoice { index, report })
+    })
+}
+
+/// The result of a [`max_sustainable_qps`] capacity search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityResult {
+    /// Highest probed offered QPS whose p99 met the SLA (`0.0` when even
+    /// the lightest probed load violates it).
+    pub max_qps: f64,
+    /// Number of serving simulations the search ran.
+    pub probes: u32,
+    /// The serving report at `max_qps` (at the lightest probed load when
+    /// `max_qps` is `0.0`).
+    pub report: ServingReport,
+}
+
+/// Binary-searches the highest offered QPS the deployment sustains while
+/// meeting the scenario's SLA (p99 within `sla_us`), holding the
+/// scenario's traffic *shape*, policy, request count and seed fixed and
+/// sweeping only the rate ([`TrafficModel::at_qps`]).
+///
+/// The search seeds itself with the deployment's saturation throughput
+/// (`max_batch / full-batch service latency`), brackets the SLA boundary by
+/// doubling/halving, then bisects. Every step is a deterministic serving
+/// simulation, so the result is reproducible bit-for-bit; distinct batch
+/// shapes are priced through the experiment's cache, so the sweep re-prices
+/// nothing it has already seen.
+pub fn max_sustainable_qps(
+    experiment: &Experiment,
+    workload: &Workload,
+    scheme: &Scheme,
+    scenario: &ServingScenario,
+) -> CapacityResult {
+    let probes = std::cell::Cell::new(0u32);
+    let probe = |qps: f64| -> ServingReport {
+        probes.set(probes.get() + 1);
+        scenario
+            .clone()
+            .with_traffic(scenario.traffic().at_qps(qps))
+            .simulate(experiment, workload, scheme)
+    };
+
+    // Saturation throughput of back-to-back full batches: the natural
+    // starting guess for the bracket.
+    let max_batch = scenario.policy().max_batch();
+    let full_batch_service_us = experiment
+        .clone()
+        .with_batch_size(scenario.policy().shape(max_batch))
+        .run(workload, scheme)
+        .latency_us;
+    let saturation_qps = max_batch as f64 / full_batch_service_us * 1e6;
+
+    // Bracket the boundary: grow/shrink by powers of two until it flips.
+    let (mut lo, mut hi);
+    let mut lo_report;
+    let first = probe(saturation_qps);
+    if first.meets_sla() {
+        lo = saturation_qps;
+        lo_report = first;
+        hi = lo * 2.0;
+        loop {
+            let report = probe(hi);
+            if !report.meets_sla() {
+                break;
+            }
+            lo = hi;
+            lo_report = report;
+            hi *= 2.0;
+            if probes.get() > 64 {
+                // Effectively unbounded capacity for this scenario.
+                return CapacityResult {
+                    max_qps: lo,
+                    probes: probes.get(),
+                    report: lo_report,
+                };
+            }
+        }
+    } else {
+        hi = saturation_qps;
+        lo = hi / 2.0;
+        let mut lightest = first;
+        loop {
+            if lo < 1e-3 {
+                // Even (near) zero load violates the SLA: a single batch's
+                // service latency already exceeds it.
+                return CapacityResult {
+                    max_qps: 0.0,
+                    probes: probes.get(),
+                    report: lightest,
+                };
+            }
+            let report = probe(lo);
+            if report.meets_sla() {
+                lo_report = report;
+                break;
+            }
+            lightest = report;
+            lo /= 2.0;
+        }
+    }
+
+    // Bisect the bracket down to ~0.1% of the capacity.
+    for _ in 0..16 {
+        let mid = (lo + hi) / 2.0;
+        let report = probe(mid);
+        if report.meets_sla() {
+            lo = mid;
+            lo_report = report;
+        } else {
+            hi = mid;
+        }
+    }
+
+    CapacityResult {
+        max_qps: lo,
+        probes: probes.get(),
+        report: lo_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::WorkloadScale;
+    use dlrm_datasets::AccessPattern;
+    use gpu_sim::GpuConfig;
+
+    fn exp() -> Experiment {
+        Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+    }
+
+    fn stage() -> Workload {
+        Workload::stage(AccessPattern::MedHot)
+    }
+
+    #[test]
+    fn reports_account_for_every_request_and_batch() {
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(5_000.0),
+            BatchingPolicy::adaptive(4, 64),
+        )
+        .with_requests(200);
+        let report = scenario.simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(report.requests, 200);
+        assert_eq!(
+            report.shapes.iter().map(|s| s.batches).sum::<u32>(),
+            report.batches
+        );
+        assert!(report.batches >= 4, "64-cap batching of 200 requests");
+        assert!(report.makespan_us > 0.0);
+        assert!(report.achieved_qps > 0.0);
+        assert_eq!(report.utilization.len(), 1);
+        let u = &report.utilization[0];
+        assert!(u.utilization > 0.0 && u.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn scenario_accessors_round_trip() {
+        let scenario =
+            ServingScenario::new(TrafficModel::uniform(10.0), BatchingPolicy::fixed_size(8))
+                .with_requests(16)
+                .with_sla_us(1_000.0)
+                .with_seed(9);
+        assert_eq!(scenario.requests(), 16);
+        assert_eq!(scenario.sla_us(), 1_000.0);
+        assert_eq!(scenario.seed(), 9);
+        assert_eq!(scenario.traffic(), TrafficModel::uniform(10.0));
+        assert_eq!(scenario.policy(), BatchingPolicy::fixed_size(8));
+    }
+
+    #[test]
+    fn fixed_size_policies_price_one_shape() {
+        let scenario = ServingScenario::new(
+            TrafficModel::uniform(50_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(300);
+        let report = scenario.simulate(&exp(), &stage(), &Scheme::base());
+        // 300 requests in batches of 64 -> 5 batches (the last padded), all
+        // priced at the one configured shape.
+        assert_eq!(report.batches, 5);
+        assert_eq!(report.shapes.len(), 1);
+        assert_eq!(report.shapes[0].shape, 64);
+    }
+
+    #[test]
+    fn selection_returns_none_when_nothing_qualifies() {
+        let scenario = ServingScenario::new(
+            TrafficModel::uniform(1_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(64)
+        .with_sla_us(0.001); // nothing serves a batch in a nanosecond
+        assert_eq!(
+            select_scheme(&exp(), &stage(), &[Scheme::base()], &scenario),
+            None
+        );
+    }
+
+    #[test]
+    fn infeasible_slas_report_zero_capacity() {
+        let scenario = ServingScenario::new(
+            TrafficModel::uniform(1_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(32)
+        .with_sla_us(0.001);
+        let capacity = max_sustainable_qps(&exp(), &stage(), &Scheme::base(), &scenario);
+        assert_eq!(capacity.max_qps, 0.0);
+        assert!(!capacity.report.meets_sla());
+    }
+}

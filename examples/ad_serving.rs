@@ -1,20 +1,28 @@
 //! An ad-serving style scenario: a production model whose embedding tables
 //! differ in hotness (the paper's heterogeneous mixes, Table VII), served
-//! under an SLA.
+//! under a latency SLA.
 //!
 //! The example (1) runs the functional DLRM forward pass to rank ads for a
-//! batch of requests, and (2) runs one `Campaign` — mixes × schemes,
-//! end-to-end, in parallel across cores — comparing every deployment's
-//! batch latency against the SLA.
+//! batch of requests, then drives the real serving layer
+//! (`perf_envelope::serving`): (2) for every paper mix it simulates Poisson
+//! traffic through an adaptive batcher on each optimization scheme and
+//! picks the cheapest scheme meeting the SLA, and (3) it binary-searches
+//! the chosen deployment's capacity — the max sustainable QPS under the
+//! SLA — unsharded and sharded across a 2-GPU cluster. A shared
+//! `CampaignCache` prices every distinct batch shape exactly once across
+//! the whole study.
 //!
 //! ```text
-//! cargo run --release --example ad_serving
+//! cargo run --release --example ad_serving [SCALE] [SLA_MS] [QPS]
 //! ```
 
 use dlrm::{DlrmConfig, DlrmForward, WorkloadScale};
 use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
 use gpu_sim::GpuConfig;
-use perf_envelope::{Campaign, CampaignCache, Experiment, Scheme, Workload};
+use perf_envelope::{
+    max_sustainable_qps, select_scheme, BatchingPolicy, CampaignCache, Cluster, Experiment,
+    InterconnectConfig, Scheme, ServingScenario, ShardingSpec, TrafficModel, Workload,
+};
 
 fn main() {
     // --- 1. Functional pass: rank ads for a small batch of requests. ------
@@ -45,7 +53,7 @@ fn main() {
         );
     }
 
-    // --- 2. Serving latency under heterogeneous table mixes. --------------
+    // --- 2. SLA-aware serving: pick the cheapest qualifying scheme. -------
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| WorkloadScale::from_name(&s))
@@ -54,75 +62,119 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0f64);
+    let qps = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000.0f64);
     println!(
-        "\nserving-latency study at {} scale (SLA {sla_ms:.1} ms per batch):",
+        "\nserving study at {} scale: Poisson traffic at {qps:.0} qps, \
+         adaptive batching, SLA p99 <= {sla_ms:.1} ms:",
         scale.name()
     );
 
-    let mixes: Vec<HeterogeneousMix> = MixKind::ALL
-        .into_iter()
-        .map(|kind| HeterogeneousMix::paper_mix(kind, 1.0))
-        .collect();
+    // Cheapest first: every scheme to the right costs more engineering
+    // (register tuning, prefetch stations, L2 carve-outs) than the ones
+    // before it, so the selection stops at the first that qualifies.
     let schemes = [
         Scheme::base(),
         Scheme::optmt(),
         Scheme::rpf_optmt(),
         Scheme::combined(),
     ];
-    // One shared cache for every campaign this process runs: the paper
-    // mixes share their base-scheme cells across what-if re-runs, so each
-    // distinct cell is simulated exactly once.
     let cache = CampaignCache::new();
-    let campaign = Campaign::new(Experiment::new(GpuConfig::a100(), scale))
-        .with_cache(cache.clone())
-        .workloads(mixes.iter().cloned().map(Workload::end_to_end))
-        .schemes(schemes);
-    let run = campaign.run();
+    let experiment = Experiment::new(GpuConfig::a100(), scale).with_cache(cache.clone());
+    let policy = BatchingPolicy::adaptive(16, 256);
 
-    for (w, mix) in mixes.iter().enumerate() {
+    let scenario_for = |experiment: &Experiment, workload: &Workload| {
+        // Size the trace so a saturated backlog overshoots the SLA: the
+        // boundary must sit inside the simulated horizon.
+        let service_us = experiment
+            .run(workload, &Scheme::base())
+            .latency_us
+            .max(1.0);
+        let batches = (sla_ms * 1e3 * 3.0 / service_us).ceil() as u32 + 2;
+        ServingScenario::new(TrafficModel::poisson(qps), policy)
+            .with_requests(batches * 256)
+            .with_sla_us(sla_ms * 1e3)
+    };
+
+    let mixes: Vec<HeterogeneousMix> = MixKind::ALL
+        .into_iter()
+        .map(|kind| HeterogeneousMix::paper_mix(kind, 1.0))
+        .collect();
+    for mix in &mixes {
+        let workload = Workload::end_to_end(mix.clone());
+        let scenario = scenario_for(&experiment, &workload);
         println!("\n--- {} ({} tables) ---", mix.name(), mix.total_tables());
-        let base = run.get(w, 0, 0, 0);
-        for s in 0..schemes.len() {
-            let report = run.get(w, s, 0, 0);
-            let latency = report.batch_latency().expect("end-to-end run");
-            let meets = if latency.total_ms() <= sla_ms {
-                "meets SLA"
-            } else {
-                "violates SLA"
-            };
+        for scheme in &schemes {
+            let report = scenario.simulate(&experiment, &workload, scheme);
             println!(
-                "{:<16} {:>8.2} ms  (emb {:>5.1}%, {:.2}x vs base)  {}",
+                "{:<16} p99 {:>7.2} ms  viol {:>5.1}%  util {:>5.1}%  {}",
                 report.scheme,
-                latency.total_ms(),
-                latency.embedding_share_pct(),
-                report.speedup_over(base),
-                meets
+                report.latency.p99_us / 1e3,
+                report.sla_violation_rate * 100.0,
+                report.utilization[0].utilization * 100.0,
+                if report.meets_sla() {
+                    "meets SLA"
+                } else {
+                    "violates SLA"
+                }
             );
+        }
+        match select_scheme(&experiment, &workload, &schemes, &scenario) {
+            Some(choice) => println!(
+                "=> cheapest qualifying scheme: {} (p99 {:.2} ms)",
+                choice.report.scheme,
+                choice.report.latency.p99_us / 1e3
+            ),
+            None => println!("=> no scheme meets the SLA at {qps:.0} qps"),
         }
     }
 
-    // --- 3. What-if: re-check the fleet against a peak-traffic SLA. -------
-    // The re-run revisits exactly the same cells; with the shared cache
-    // attached nothing is re-simulated.
-    let peak_sla_ms = sla_ms / 2.0;
-    let rerun = campaign.run();
-    let compliant = rerun
-        .reports()
-        .iter()
-        .filter(|r| r.latency_ms() <= peak_sla_ms)
-        .count();
+    // --- 3. Capacity: how much traffic does the deployment sustain? -------
+    let workload = Workload::end_to_end(mixes[1].clone());
+    let scheme = Scheme::combined();
+    let scenario = scenario_for(&experiment, &workload);
+    let unsharded = max_sustainable_qps(&experiment, &workload, &scheme, &scenario);
+
+    let sharded_experiment = experiment.clone().with_cluster(Cluster::homogeneous(
+        GpuConfig::a100(),
+        2,
+        InterconnectConfig::nvlink3(),
+    ));
+    let sharded_workload = workload.clone().with_sharding(ShardingSpec::SizeBalanced);
+    let sharded_scenario = scenario_for(&sharded_experiment, &sharded_workload);
+    let sharded = max_sustainable_qps(
+        &sharded_experiment,
+        &sharded_workload,
+        &scheme,
+        &sharded_scenario,
+    );
+
     println!(
-        "\npeak-traffic what-if (SLA {peak_sla_ms:.1} ms): {compliant}/{} deployments comply",
-        rerun.len()
+        "\ncapacity under the {sla_ms:.1} ms SLA ({} under {}):",
+        mixes[1].name(),
+        scheme.paper_label()
     );
     println!(
-        "cache: {} cells simulated once, {} served from cache",
+        "  1x {:<16} {:>9.0} qps  ({} search probes)",
+        experiment.gpu().name,
+        unsharded.max_qps,
+        unsharded.probes
+    );
+    println!(
+        "  2x {:<16} {:>9.0} qps  ({:.2}x, size-balanced sharding)",
+        experiment.gpu().name,
+        sharded.max_qps,
+        sharded.max_qps / unsharded.max_qps.max(1.0)
+    );
+    println!(
+        "\ncache: {} distinct cells simulated once, {} requests served from cache",
         cache.misses(),
         cache.hits()
     );
-    assert_eq!(
-        cache.hits(),
-        run.len() as u64,
-        "the re-run must be served entirely from cache"
+    assert!(
+        cache.hits() > cache.misses(),
+        "the shared cache must collapse repeated batch shapes across the study"
     );
 }

@@ -70,30 +70,20 @@ fn grid_cells_carry_their_coordinates() {
     assert!(run.get(0, 0, 0, 0).tables.is_none());
 }
 
-/// Acceptance check for parallel execution: a ≥12-cell Default-scale grid is
-/// wall-clock faster in parallel than serially, with identical results.
-/// `#[ignore]`d because Default scale takes tens of seconds serially; run
-/// with `cargo test --release -- --ignored campaign_parallel`.
-#[test]
-#[ignore = "Default-scale wall-clock comparison; run explicitly with --ignored"]
-fn campaign_parallel_beats_serial_wall_clock() {
-    let grid = || {
-        let experiment = Experiment::new(GpuConfig::a100(), WorkloadScale::Default);
-        Campaign::new(experiment)
-            .workloads(AccessPattern::EVALUATED.map(Workload::stage))
-            .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
-    };
+/// Runs `grid` serially and in parallel, asserting identical results and a
+/// parallel wall-clock win. Returns `false` (skipping the timing assertion)
+/// on single-core machines.
+fn assert_parallel_beats_serial(grid: &dyn Fn() -> Campaign) -> bool {
     assert!(
         grid().len() >= 12,
         "the acceptance grid must have at least 12 cells"
     );
-
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     if threads < 2 {
         eprintln!("skipping wall-clock comparison: only one core available");
-        return;
+        return false;
     }
 
     let start = std::time::Instant::now();
@@ -114,4 +104,39 @@ fn campaign_parallel_beats_serial_wall_clock() {
          ({serial_elapsed:?}) on a {}-cell grid",
         serial.len()
     );
+    true
+}
+
+/// Always-run acceptance check for parallel execution at Test scale: a
+/// 24-cell grid of embedding-stage workloads is wall-clock faster in
+/// parallel than serially, with identical results — so CI exercises the
+/// parallel speedup path on every push, not only when `--ignored` runs.
+#[test]
+fn campaign_parallel_beats_serial_wall_clock_at_test_scale() {
+    let grid = || {
+        let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+        Campaign::new(experiment)
+            .workloads(AccessPattern::EVALUATED.map(Workload::stage))
+            .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
+            .seeds([1, 2])
+    };
+    assert_eq!(grid().len(), 24);
+    assert_parallel_beats_serial(&grid);
+}
+
+/// Acceptance check for parallel execution at Default scale (the original
+/// paper-sized grid). `#[ignore]`d because Default scale takes tens of
+/// seconds serially; run with `cargo test --release -- --ignored
+/// campaign_parallel`. The always-run Test-scale variant above covers the
+/// speedup path in normal CI runs.
+#[test]
+#[ignore = "Default-scale wall-clock comparison; run explicitly with --ignored"]
+fn campaign_parallel_beats_serial_wall_clock() {
+    let grid = || {
+        let experiment = Experiment::new(GpuConfig::a100(), WorkloadScale::Default);
+        Campaign::new(experiment)
+            .workloads(AccessPattern::EVALUATED.map(Workload::stage))
+            .schemes([Scheme::base(), Scheme::optmt(), Scheme::combined()])
+    };
+    assert_parallel_beats_serial(&grid);
 }

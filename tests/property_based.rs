@@ -12,7 +12,11 @@ use embedding_kernels::{embedding_bag_forward, embedding_bag_forward_simt, Synth
 use gpu_sim::config::CacheConfig;
 use gpu_sim::mem::Cache;
 use gpu_sim::occupancy::Occupancy;
-use gpu_sim::{GpuConfig, KernelLaunch};
+use gpu_sim::{GpuConfig, KernelLaunch, KernelStats};
+use perf_envelope::json::Json;
+use perf_envelope::{
+    ClusterBreakdown, DeviceBreakdown, EndToEndBreakdown, RunReport, TableBreakdown, WorkloadKind,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,6 +57,24 @@ impl Cases {
     fn vec(&mut self, max_len: u64, lo: u64, hi: u64) -> Vec<u64> {
         let len = self.range(1, max_len);
         (0..len).map(|_| self.range(lo, hi)).collect()
+    }
+
+    /// An arbitrary finite `f64`: a uniform bit pattern with NaNs and
+    /// infinities rejected, so the full space — subnormals, negative zero,
+    /// extreme exponents — is exercised.
+    fn finite_f64(&mut self) -> f64 {
+        loop {
+            let f = f64::from_bits(self.next_u64());
+            if f.is_finite() {
+                return f;
+            }
+        }
+    }
+
+    /// A finite positive latency-like `f64` (what report latency fields
+    /// hold in practice).
+    fn latency_us(&mut self) -> f64 {
+        self.range(1, 1_000_000_000) as f64 / 1024.0
     }
 }
 
@@ -204,6 +226,120 @@ fn embedding_bag_partitioning_is_exact() {
             embedding_bag_forward(&table, &trace),
             embedding_bag_forward_simt(&table, &trace)
         );
+    });
+}
+
+#[test]
+fn fingerprint_floats_canonicalize_exactly() {
+    // The fingerprint/report codec renders floats with shortest-round-trip
+    // formatting; the rendering must parse back to the identical bits and
+    // be stable across a re-encode — including the awkward corners of the
+    // f64 space (negative zero, subnormals, extreme exponents).
+    let edge_cases = [
+        -0.0,
+        0.0,
+        f64::MIN_POSITIVE, // smallest normal
+        -f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        -5e-324,
+        2.225_073_858_507_201e-308, // largest subnormal
+        f64::MAX,
+        f64::MIN,
+        0.1,
+        1.0 / 3.0,
+    ];
+    let assert_canonical = |f: f64| {
+        let rendered = Json::Num(f).render();
+        let parsed = Json::parse(&rendered).expect("canonical floats parse");
+        match parsed {
+            Json::Num(back) => {
+                assert_eq!(
+                    back.to_bits(),
+                    f.to_bits(),
+                    "{rendered} must round-trip to the identical bits"
+                );
+                assert_eq!(
+                    Json::Num(back).render(),
+                    rendered,
+                    "re-encoding must be byte-stable"
+                );
+            }
+            other => panic!("{rendered} re-parsed as a non-float: {other:?}"),
+        }
+    };
+    for f in edge_cases {
+        assert_canonical(f);
+    }
+    check("fingerprint_floats_canonicalize_exactly", |g| {
+        for _ in 0..8 {
+            assert_canonical(g.finite_f64());
+        }
+    });
+}
+
+#[test]
+fn run_reports_with_cluster_breakdowns_round_trip() {
+    // The serving layer archives sharded RunReports (per-device
+    // breakdowns); arbitrary well-formed reports must survive the JSON
+    // round trip bit-for-bit, with canonical (re-encode-stable) rendering.
+    check("run_reports_with_cluster_breakdowns_round_trip", |g| {
+        let mut stats = KernelStats::empty("prop", &GpuConfig::test_small());
+        stats.elapsed_cycles = g.next_u64() >> 8;
+        stats.counters.insts_issued = g.next_u64() >> 8;
+        stats.counters.load_insts = g.range(0, 1 << 40);
+        stats.l2_accesses = g.range(0, 1 << 40);
+        stats.l2_hits = g.range(0, stats.l2_accesses + 1);
+        stats.dram_bytes_read = g.next_u64() >> 16;
+        stats.theoretical_occupancy_pct = g.range(0, 101) as f64;
+
+        let devices = g.range(1, 5) as usize;
+        let per_device: Vec<DeviceBreakdown> = (0..devices)
+            .map(|d| DeviceBreakdown {
+                device: format!("GPU-{d}"),
+                tables: g.range(1, 64) as u32,
+                tables_simulated: g.range(1, 8) as u32,
+                embedding_us: g.latency_us(),
+            })
+            .collect();
+        let critical_path_us = per_device
+            .iter()
+            .map(|d| d.embedding_us)
+            .fold(0.0f64, f64::max);
+        let embedding_us = critical_path_us + g.latency_us();
+        let non_embedding_us = g.latency_us();
+        let report = RunReport {
+            kind: WorkloadKind::EndToEnd,
+            workload: format!("mix-{}", g.range(0, 100)),
+            scheme: "RPF+L2P+OptMT".to_string(),
+            device: "GPU-0".to_string(),
+            scale: "test".to_string(),
+            seed: g.next_u64(),
+            pooling_factor: g.range(1, 256) as u32,
+            latency_us: embedding_us + non_embedding_us,
+            tables: Some(TableBreakdown {
+                per_table_us: g.latency_us(),
+                tables_total: g.range(1, 256) as u32,
+                tables_simulated: g.range(1, 16) as u32,
+            }),
+            end_to_end: Some(EndToEndBreakdown {
+                embedding_us,
+                non_embedding_us,
+            }),
+            devices: Some(ClusterBreakdown {
+                strategy: "round_robin".to_string(),
+                per_device,
+                critical_path_us,
+                all_to_all_us: g.latency_us(),
+            }),
+            stats,
+        };
+
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).expect("report JSON parses back");
+        assert_eq!(back, report, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+        let cluster = back.devices.expect("breakdown survives");
+        assert_eq!(cluster.num_devices(), devices);
     });
 }
 
