@@ -3,12 +3,15 @@
 //! Evaluates the serving layer end to end: QPS-vs-p99 latency curves for
 //! every batching policy × scheme combination on a heavy heterogeneous-mix
 //! deployment, plus a capacity search (max sustainable QPS under a 25 ms
-//! p99 SLA) for one unsharded and one 2-device sharded deployment, emitted
-//! as machine-readable `BENCH_serving.json` (override the path with the
-//! first CLI argument). Beyond the numbers the binary *asserts* the layer's
-//! contracts: serving reports are deterministic, identical for any
-//! worker-thread count, and the degenerate single-request scenario is
-//! bit-exact with the plain `Experiment::run` latency.
+//! p99 SLA) for one unsharded and one 2-device sharded deployment, plus a
+//! capacity-vs-K curve over concurrent kernel streams (K ∈ {1, 2, 4},
+//! interleaved issue), emitted as machine-readable `BENCH_serving.json`
+//! (override the path with the first CLI argument). Beyond the numbers the
+//! binary *asserts* the layer's contracts: serving reports are
+//! deterministic, identical for any worker-thread count, the degenerate
+//! single-request scenario is bit-exact with the plain `Experiment::run`
+//! latency, and a second stream buys capacity without exceeding the 2x
+//! ideal.
 //!
 //! ```text
 //! cargo run --release -p bench --bin serving [-- OUT.json]
@@ -16,11 +19,12 @@
 
 use dlrm::WorkloadScale;
 use dlrm_datasets::{HeterogeneousMix, MixKind};
-use gpu_sim::GpuConfig;
+use gpu_sim::{GpuConfig, StreamPartition};
 use perf_envelope::json::Json;
 use perf_envelope::{
-    max_sustainable_qps, BatchingPolicy, CampaignCache, Cluster, Experiment, InterconnectConfig,
-    Scheme, ServingScenario, ShardingSpec, TrafficModel, Workload,
+    max_sustainable_qps, stream_capacity_sweep, BatchingPolicy, CampaignCache, Cluster, Experiment,
+    InterconnectConfig, Scheme, ServingScenario, ShardingSpec, StreamConfig, TrafficModel,
+    Workload,
 };
 
 /// The p99 latency SLA every deployment is evaluated against.
@@ -200,6 +204,85 @@ fn main() {
     );
     doc.set("capacity", capacity_doc);
 
+    // ---- capacity-vs-K curve: concurrent streams on the unsharded deployment ----
+    // Interleaved issue-slot sharing is the headline: co-resident batches
+    // fill each other's stall cycles, so K batches finish in less than K
+    // service times and the queue drains faster than one stream ever could.
+    let stream_candidates: Vec<StreamConfig> = [1u32, 2, 4]
+        .iter()
+        .map(|&k| StreamConfig::new(k, StreamPartition::Interleaved))
+        .collect();
+    let stream_sweep = stream_capacity_sweep(
+        &e1,
+        &stage,
+        &scheme,
+        &scenario(policy, requests1),
+        &stream_candidates,
+    );
+    let mut stream_doc = Json::object();
+    stream_doc.set(
+        "partition",
+        Json::Str(StreamPartition::Interleaved.name().to_string()),
+    );
+    stream_doc.set(
+        "points",
+        Json::Arr(
+            stream_sweep
+                .iter()
+                .map(|point| {
+                    let mut obj = Json::object();
+                    obj.set("streams", Json::UInt(point.streams.streams() as u64));
+                    obj.set("config", Json::Str(point.streams.name()));
+                    obj.set("max_sustainable_qps", Json::Num(point.capacity.max_qps));
+                    obj.set("probes", Json::UInt(point.capacity.probes as u64));
+                    obj.set(
+                        "p99_us_at_capacity",
+                        Json::Num(point.capacity.report.latency.p99_us),
+                    );
+                    obj.set(
+                        "stream_utilization_at_capacity",
+                        Json::Arr(
+                            point
+                                .capacity
+                                .report
+                                .stream_utilization
+                                .iter()
+                                .map(|s| Json::Num(s.utilization))
+                                .collect(),
+                        ),
+                    );
+                    obj
+                })
+                .collect(),
+        ),
+    );
+    let (k1_qps, k2_qps) = (
+        stream_sweep[0].capacity.max_qps,
+        stream_sweep[1].capacity.max_qps,
+    );
+    stream_doc.set("k2_capacity_gain", Json::Num(k2_qps / k1_qps));
+    doc.set("stream_scaling", stream_doc);
+
+    // Multi-stream serving must be as deterministic and thread-invariant
+    // as the single-stream path.
+    let k2 = StreamConfig::new(2, StreamPartition::Interleaved);
+    let stream_probe = scenario(policy, requests1.min(2048));
+    let stream_report = stream_probe.simulate(
+        &e1.clone().with_streams(k2).with_threads(1),
+        &stage,
+        &scheme,
+    );
+    deterministic &= stream_probe.simulate(
+        &e1.clone().with_streams(k2).with_threads(1),
+        &stage,
+        &scheme,
+    ) == stream_report;
+    thread_invariant &= stream_probe.simulate(
+        &e1.clone().with_streams(k2).with_threads(4),
+        &stage,
+        &scheme,
+    ) == stream_report;
+
     // Thread-count invariance: the sharded per-shard fan-out must not leak
     // into serving percentiles.
     let probe = scenario(policy, requests2.min(2048));
@@ -236,14 +319,19 @@ fn main() {
     println!();
     println!(
         "serving sweep: {} policies x {} schemes on {} ({} tables); \
-         capacity {:.0} qps unsharded vs {:.0} qps on 2 devices ({:.2}x); wrote {out_path}",
+         capacity {:.0} qps unsharded vs {:.0} qps on 2 devices ({:.2}x); \
+         streams K=1/2/4: {:.0}/{:.0}/{:.0} qps (K=2 gain {:.2}x); wrote {out_path}",
         policies.len(),
         schemes.len(),
         mix().name(),
         mix().total_tables(),
         cap1.max_qps,
         cap2.max_qps,
-        cap2.max_qps / cap1.max_qps
+        cap2.max_qps / cap1.max_qps,
+        k1_qps,
+        k2_qps,
+        stream_sweep[2].capacity.max_qps,
+        k2_qps / k1_qps
     );
     assert!(deterministic, "serving simulations must be deterministic");
     assert!(
@@ -257,5 +345,15 @@ fn main() {
     assert!(
         cap1.max_qps > 0.0 && cap2.max_qps > 0.0,
         "both deployments must sustain a positive load under the 25 ms SLA"
+    );
+    assert!(
+        k2_qps > k1_qps,
+        "a second concurrent stream must buy capacity under the 25 ms SLA \
+         ({k2_qps:.0} vs {k1_qps:.0} qps)"
+    );
+    assert!(
+        k2_qps <= 2.0 * k1_qps,
+        "two streams cannot more than double the capacity \
+         ({k2_qps:.0} vs {k1_qps:.0} qps)"
     );
 }

@@ -25,7 +25,7 @@ use gpu_sim::{CacheConfig, EngineMode, GpuConfig};
 
 use crate::json::Json;
 use crate::scheme::{Multithreading, Scheme};
-use crate::topology::Cluster;
+use crate::topology::{Cluster, StreamConfig};
 use crate::workload::{Dataset, Workload, WorkloadTarget};
 
 /// Identifier of the fingerprint encoding; bump when the encoding changes
@@ -41,6 +41,7 @@ pub(crate) fn cell_key(
     seed: u64,
     tables_to_simulate: u32,
     mode: EngineMode,
+    streams: StreamConfig,
     workload: &Workload,
     scheme: &Scheme,
 ) -> String {
@@ -63,6 +64,18 @@ pub(crate) fn cell_key(
     doc.set("seed", Json::UInt(seed));
     doc.set("tables_to_simulate", Json::UInt(tables_to_simulate as u64));
     doc.set("engine_mode", Json::Str(mode.name().to_string()));
+    // A single stream is canonically the pre-stream experiment: the key
+    // omits the axis entirely, so K=1 keys stay byte-identical with the
+    // earlier encoding and persisted caches remain loadable.
+    if !streams.is_single() {
+        let mut s = Json::object();
+        s.set("streams", Json::UInt(streams.streams() as u64));
+        s.set(
+            "partition",
+            Json::Str(streams.partition().name().to_string()),
+        );
+        doc.set("streams", s);
+    }
     doc.set("workload", workload_to_json(workload));
     doc.set("scheme", scheme_to_json(scheme));
     doc.render()
@@ -272,6 +285,10 @@ mod tests {
     use crate::topology::{InterconnectConfig, ShardingSpec};
 
     fn key(workload: &Workload, scheme: &Scheme) -> String {
+        key_with_streams(StreamConfig::single(), workload, scheme)
+    }
+
+    fn key_with_streams(streams: StreamConfig, workload: &Workload, scheme: &Scheme) -> String {
         cell_key(
             &Cluster::single(GpuConfig::test_small()),
             &DlrmConfig::at_scale(WorkloadScale::Test),
@@ -279,6 +296,7 @@ mod tests {
             0x5EED,
             1,
             EngineMode::EventDriven,
+            streams,
             workload,
             scheme,
         )
@@ -356,6 +374,7 @@ mod tests {
             1,
             1,
             EngineMode::EventDriven,
+            StreamConfig::single(),
             &workload,
             &Scheme::base(),
         );
@@ -366,6 +385,7 @@ mod tests {
             1,
             1,
             EngineMode::EventDriven,
+            StreamConfig::single(),
             &workload,
             &Scheme::base(),
         );
@@ -377,9 +397,51 @@ mod tests {
             1,
             1,
             EngineMode::EventDriven,
+            StreamConfig::single(),
             &workload,
             &Scheme::base(),
         );
         assert_ne!(plain, multi);
+    }
+
+    #[test]
+    fn stream_configs_distinguish_keys_except_the_single_stream() {
+        use gpu_sim::StreamPartition;
+
+        let workload = Workload::stage(AccessPattern::MedHot);
+        let base = key(&workload, &Scheme::base());
+        // K=1 is canonically the pre-stream cell: no `streams` key at all,
+        // whatever partition the configuration was built with.
+        let single = key_with_streams(
+            StreamConfig::new(1, StreamPartition::Interleaved),
+            &workload,
+            &Scheme::base(),
+        );
+        assert_eq!(base, single);
+        assert!(!base.contains("\"streams\""));
+        // K>1 is always a distinct cell, per partition and per K.
+        let dual = key_with_streams(
+            StreamConfig::new(2, StreamPartition::Interleaved),
+            &workload,
+            &Scheme::base(),
+        );
+        assert_ne!(base, dual);
+        assert!(dual.contains("\"streams\""));
+        assert_ne!(
+            dual,
+            key_with_streams(
+                StreamConfig::new(2, StreamPartition::SmPartitioned),
+                &workload,
+                &Scheme::base(),
+            )
+        );
+        assert_ne!(
+            dual,
+            key_with_streams(
+                StreamConfig::new(4, StreamPartition::Interleaved),
+                &workload,
+                &Scheme::base(),
+            )
+        );
     }
 }

@@ -23,17 +23,24 @@ use std::sync::Arc;
 
 use dlrm::{BatchLatency, DlrmConfig, NonEmbeddingTimingModel, WorkloadScale};
 use dlrm_datasets::{AccessPattern, HeterogeneousMix};
-use embedding_kernels::{EmbeddingWorkload, PinPlan};
+use embedding_kernels::{EmbeddingKernelSpec, EmbeddingWorkload, PinPlan};
 use gpu_sim::mem::MemorySystem;
-use gpu_sim::{EngineMode, GpuConfig, KernelStats, Simulator};
+use gpu_sim::{EngineMode, GpuConfig, KernelLaunch, KernelProgram, KernelStats, Simulator};
 
 use crate::cache::CampaignCache;
 use crate::report::{
     ClusterBreakdown, DeviceBreakdown, EndToEndBreakdown, RunReport, TableBreakdown,
 };
 use crate::scheme::Scheme;
-use crate::topology::{shard_mix, Cluster, ShardPlan};
+use crate::topology::{shard_mix, Cluster, ShardPlan, StreamConfig};
 use crate::workload::{Workload, WorkloadKind, WorkloadTarget};
+
+/// Seed salt separating the co-resident streams of a `K > 1` experiment:
+/// stream `s` draws its embedding trace from
+/// `base_seed ^ (s * STREAM_SEED_SALT)`, so the extra streams model
+/// *other* in-flight batches rather than bit-identical mirrors of the
+/// primary one. Stream 0 always keeps the unsalted seed.
+const STREAM_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A reusable experiment: cluster (a single device by default), model,
 /// workload scale and seeds. Its one entry point, [`Experiment::run`],
@@ -47,6 +54,7 @@ pub struct Experiment {
     tables_to_simulate: u32,
     seed: u64,
     threads: usize,
+    streams: StreamConfig,
     cache: Option<Arc<CampaignCache>>,
 }
 
@@ -68,6 +76,7 @@ impl Experiment {
             tables_to_simulate,
             seed: 0x5EED,
             threads: 0,
+            streams: StreamConfig::single(),
             cache: None,
         }
     }
@@ -203,6 +212,34 @@ impl Experiment {
         self.threads
     }
 
+    /// Sets how many kernel streams are concurrently resident per device
+    /// and how they share it (a single stream — the pre-stream behaviour —
+    /// by default). With `K > 1` every priced kernel runs alongside `K - 1`
+    /// co-resident copies modelling other in-flight batches, and the
+    /// [`crate::serving`] layer dispatches batches across K per-device
+    /// streams instead of one. The configuration is part of the cell
+    /// fingerprint, so concurrent results cache like everything else.
+    ///
+    /// # Panics
+    /// Panics if the configuration asks for more streams than every device
+    /// of the cluster supports ([`Cluster::stream_capacity`]); set the
+    /// cluster before the streams.
+    pub fn with_streams(mut self, streams: StreamConfig) -> Self {
+        let capacity = self.cluster.stream_capacity();
+        assert!(
+            streams.streams() as usize <= capacity,
+            "{} concurrent streams exceed the cluster's capacity of {capacity}",
+            streams.streams()
+        );
+        self.streams = streams;
+        self
+    }
+
+    /// The per-device stream configuration.
+    pub fn streams(&self) -> StreamConfig {
+        self.streams
+    }
+
     /// Runs `workload` under `scheme` and reports the outcome.
     ///
     /// This is the single entry point that covers all of the paper's run
@@ -247,6 +284,7 @@ impl Experiment {
             self.seed,
             self.tables_to_simulate,
             self.sim.mode(),
+            self.streams,
             workload,
             scheme,
         )
@@ -311,19 +349,70 @@ impl Experiment {
     }
 
     fn kernel_stats(&self, pattern: AccessPattern, scheme: &Scheme) -> KernelStats {
-        let workload = EmbeddingWorkload::generate(self.model.embedding, pattern, 0, self.seed);
         let spec = scheme.kernel_spec(self.gpu());
         let mut mem = MemorySystem::new(self.gpu());
+        self.priced_stats(&spec, pattern, 0, self.seed, scheme, &mut mem, 0)
+    }
+
+    /// Prices one embedding table under this experiment's stream
+    /// configuration.
+    ///
+    /// `K = 1` runs the kernel alone through `run_with_memory` — the exact
+    /// pre-stream path, so single-stream experiments stay bit-exact with
+    /// it. `K > 1` generates K co-resident copies of the table's workload
+    /// (stream 0 keeps `base_seed`; the extras draw seeds salted by
+    /// [`STREAM_SEED_SALT`], modelling *other* in-flight batches) and runs
+    /// them concurrently under the configured partition, reporting
+    /// stream 0's statistics: the primary batch's latency as degraded by
+    /// the co-residents' contention for issue slots, L2 and DRAM. The L2
+    /// pin plan (when the scheme carves out) is computed from the primary
+    /// copy only, mirroring a server whose persisting window tracks the
+    /// batch being served.
+    #[allow(clippy::too_many_arguments)]
+    fn priced_stats(
+        &self,
+        spec: &EmbeddingKernelSpec,
+        pattern: AccessPattern,
+        table: u32,
+        base_seed: u64,
+        scheme: &Scheme,
+        mem: &mut MemorySystem,
+        clock: u64,
+    ) -> KernelStats {
+        let primary = EmbeddingWorkload::generate(self.model.embedding, pattern, table, base_seed);
         if let Some(carveout) = scheme.carveout_bytes(self.gpu()) {
-            let plan = PinPlan::for_workload(&workload, carveout);
-            plan.apply(&mut mem, self.gpu(), 0);
+            let plan = PinPlan::for_workload(&primary, carveout);
+            plan.apply(mem, self.gpu(), clock);
         }
-        self.sim.run_with_memory(
-            &spec.launch(&workload),
-            &spec.kernel(&workload),
-            &mut mem,
-            0,
-        )
+        if self.streams.is_single() {
+            return self.sim.run_with_memory(
+                &spec.launch(&primary),
+                &spec.kernel(&primary),
+                mem,
+                clock,
+            );
+        }
+        let mut workloads = vec![primary];
+        workloads.extend((1..self.streams.streams()).map(|s| {
+            EmbeddingWorkload::generate(
+                self.model.embedding,
+                pattern,
+                table,
+                base_seed ^ (s as u64).wrapping_mul(STREAM_SEED_SALT),
+            )
+        }));
+        let launches: Vec<KernelLaunch> = workloads.iter().map(|w| spec.launch(w)).collect();
+        let kernels: Vec<_> = workloads.iter().map(|w| spec.kernel(w)).collect();
+        let pairs: Vec<(&KernelLaunch, &dyn KernelProgram)> = launches
+            .iter()
+            .zip(&kernels)
+            .map(|(launch, kernel)| (launch, kernel as &dyn KernelProgram))
+            .collect();
+        self.sim
+            .run_concurrent(&pairs, self.streams.partition(), mem, clock)
+            .into_iter()
+            .next()
+            .expect("run_concurrent returns one statistics record per stream")
     }
 
     fn run_stage_report(
@@ -343,19 +432,12 @@ impl Experiment {
             let n_sim = group_count.min(self.tables_to_simulate);
             let mut group_simulated_us = 0.0;
             for t in 0..n_sim {
-                let table = EmbeddingWorkload::generate(
-                    self.model.embedding,
+                let stats = self.priced_stats(
+                    &spec,
                     pattern,
                     t,
                     self.seed.wrapping_add(pattern.hotness_rank() as u64 * 1000),
-                );
-                if let Some(carveout) = scheme.carveout_bytes(self.gpu()) {
-                    let plan = PinPlan::for_workload(&table, carveout);
-                    plan.apply(&mut mem, self.gpu(), clock);
-                }
-                let stats = self.sim.run_with_memory(
-                    &spec.launch(&table),
-                    &spec.kernel(&table),
+                    scheme,
                     &mut mem,
                     clock,
                 );

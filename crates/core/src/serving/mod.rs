@@ -13,11 +13,22 @@
 //!    launch **shape**,
 //! 3. every distinct shape is priced by [`Experiment::run`] — through the
 //!    attached [`crate::CampaignCache`] when there is one, so repeated
-//!    shapes simulate exactly once — and batches drain FIFO through the
-//!    deployment's one logical execution stream,
+//!    shapes simulate exactly once — and batches drain through the
+//!    deployment's K per-device execution streams
+//!    ([`Experiment::with_streams`]; one stream, i.e. plain FIFO, by
+//!    default): each batch is dispatched to the earliest-free stream,
+//!    ties breaking deterministically to the lowest stream index,
 //! 4. the per-request queueing + service delays accumulate into a
 //!    [`ServingReport`]: p50/p95/p99/max latency, achieved QPS,
-//!    SLA-violation rate and per-device utilization, all JSON-serializable.
+//!    SLA-violation rate, per-device and per-stream utilization, all
+//!    JSON-serializable.
+//!
+//! With `K > 1` the pricing layer models the co-residency cost too: every
+//! priced batch runs alongside `K - 1` co-resident kernel copies in the
+//! engine (see [`crate::StreamConfig`]), so a batch's service latency is
+//! its *contended* latency, and the K-fold dispatch overlap is what the
+//! deployment gains on top. [`stream_capacity_sweep`] /
+//! [`best_stream_config`] search that trade-off over candidate K.
 //!
 //! Because pricing goes through the ordinary experiment path, a serving
 //! scenario composes with everything the experiment layer can express: a
@@ -76,11 +87,13 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::runner::Experiment;
 use crate::scheme::Scheme;
+use crate::topology::StreamConfig;
 use crate::workload::Workload;
 
 pub use batching::BatchingPolicy;
 pub use report::{
-    BatchShapeStats, DeviceUtilization, LatencyStats, ServingReport, SERVING_REPORT_SCHEMA,
+    BatchShapeStats, DeviceUtilization, LatencyStats, ServingReport, StreamUtilization,
+    SERVING_REPORT_SCHEMA,
 };
 pub use traffic::TrafficModel;
 
@@ -98,11 +111,14 @@ pub struct ServingScenario {
     requests: u32,
     sla_us: f64,
     seed: u64,
+    bisection_steps: u32,
+    relative_tolerance: Option<f64>,
 }
 
 impl ServingScenario {
-    /// Creates a scenario with 1024 requests, a 25 ms SLA and the default
-    /// arrival seed.
+    /// Creates a scenario with 1024 requests, a 25 ms SLA, the default
+    /// arrival seed and the default capacity-search precision (16
+    /// bisection steps, no early-stop tolerance).
     pub fn new(traffic: TrafficModel, policy: BatchingPolicy) -> Self {
         ServingScenario {
             traffic,
@@ -110,6 +126,8 @@ impl ServingScenario {
             requests: 1024,
             sla_us: 25_000.0,
             seed: DEFAULT_ARRIVAL_SEED,
+            bisection_steps: 16,
+            relative_tolerance: None,
         }
     }
 
@@ -155,6 +173,31 @@ impl ServingScenario {
         self
     }
 
+    /// Sets how many bisection steps the [`max_sustainable_qps`] capacity
+    /// search runs after bracketing the SLA boundary. The default of 16
+    /// lands within ~0.1% of the capacity; fewer steps trade precision
+    /// for probes.
+    pub fn with_bisection_steps(mut self, steps: u32) -> Self {
+        self.bisection_steps = steps;
+        self
+    }
+
+    /// Sets a relative tolerance at which the capacity search's bisection
+    /// stops early: once the bracket is within `tolerance * hi` of
+    /// converged, remaining steps are skipped. Unset by default (every
+    /// configured step runs — the original fixed-step behaviour).
+    ///
+    /// # Panics
+    /// Panics unless the tolerance is finite and positive.
+    pub fn with_relative_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "the relative tolerance must be finite and positive"
+        );
+        self.relative_tolerance = Some(tolerance);
+        self
+    }
+
     /// The traffic model.
     pub fn traffic(&self) -> TrafficModel {
         self.traffic
@@ -178,6 +221,17 @@ impl ServingScenario {
     /// The arrival-trace seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Number of bisection steps the capacity search runs after
+    /// bracketing.
+    pub fn bisection_steps(&self) -> u32 {
+        self.bisection_steps
+    }
+
+    /// The capacity search's early-stop relative tolerance, if any.
+    pub fn relative_tolerance(&self) -> Option<f64> {
+        self.relative_tolerance
     }
 
     /// Runs the discrete-event serving simulation of this scenario for
@@ -217,11 +271,25 @@ impl ServingScenario {
         let mut busy_us = vec![0.0f64; num_devices];
         let mut shape_counts: BTreeMap<u32, u32> = BTreeMap::new();
         let mut batches = 0u32;
-        let mut stream_free = 0.0f64;
+        // One execution horizon per concurrent stream: each batch is
+        // dispatched to the earliest-free stream, ties breaking
+        // deterministically to the lowest stream index. With one stream
+        // this degenerates to the plain FIFO pipeline.
+        let k = experiment.streams().streams() as usize;
+        let mut stream_free = vec![0.0f64; k];
+        let mut stream_busy_us = vec![0.0f64; k];
+        let mut stream_batches = vec![0u32; k];
         let mut first = 0usize;
 
         while first < arrivals.len() {
-            let batch = self.policy.form(&arrivals, first, stream_free);
+            let stream = (0..k)
+                .min_by(|&a, &b| {
+                    stream_free[a]
+                        .partial_cmp(&stream_free[b])
+                        .expect("stream horizons are finite")
+                })
+                .expect("an experiment has at least one stream");
+            let batch = self.policy.form(&arrivals, first, stream_free[stream]);
             let shape = self.policy.shape(batch.len as u32);
             let priced_shape = priced.entry(shape).or_insert_with(|| {
                 let report = experiment
@@ -246,8 +314,8 @@ impl ServingScenario {
                 }
             });
             let service_us = priced_shape.latency_us;
-            let start = if stream_free > batch.close_us {
-                stream_free
+            let start = if stream_free[stream] > batch.close_us {
+                stream_free[stream]
             } else {
                 batch.close_us
             };
@@ -267,11 +335,13 @@ impl ServingScenario {
             }
             *shape_counts.entry(shape).or_insert(0) += 1;
             batches += 1;
-            stream_free = start + service_us;
+            stream_free[stream] = start + service_us;
+            stream_busy_us[stream] += service_us;
+            stream_batches[stream] += 1;
             first += batch.len;
         }
 
-        let makespan_us = stream_free;
+        let makespan_us = stream_free.iter().copied().fold(0.0f64, f64::max);
         let requests = arrivals.len() as f64;
         let violations = latencies.iter().filter(|&&l| l > self.sla_us).count();
         let mut sorted = latencies;
@@ -306,7 +376,16 @@ impl ServingScenario {
                 .map(|d| DeviceUtilization {
                     device: experiment.cluster().device(d).name.clone(),
                     busy_us: busy_us[d],
-                    utilization: busy_us[d] / makespan_us,
+                    utilization: busy_us[d] / (makespan_us * k as f64),
+                })
+                .collect(),
+            streams: k as u32,
+            stream_utilization: (0..k)
+                .map(|s| StreamUtilization {
+                    stream: s as u32,
+                    busy_us: stream_busy_us[s],
+                    batches: stream_batches[s],
+                    utilization: stream_busy_us[s] / makespan_us,
                 })
                 .collect(),
             makespan_us,
@@ -439,8 +518,15 @@ pub fn max_sustainable_qps(
         }
     }
 
-    // Bisect the bracket down to ~0.1% of the capacity.
-    for _ in 0..16 {
+    // Bisect the bracket down: 16 steps (the default) land within ~0.1%
+    // of the capacity; a relative tolerance, when set, stops early once
+    // the bracket is tight enough.
+    for _ in 0..scenario.bisection_steps() {
+        if let Some(tolerance) = scenario.relative_tolerance() {
+            if hi - lo <= tolerance * hi {
+                break;
+            }
+        }
         let mid = (lo + hi) / 2.0;
         let report = probe(mid);
         if report.meets_sla() {
@@ -456,6 +542,74 @@ pub fn max_sustainable_qps(
         probes: probes.get(),
         report: lo_report,
     }
+}
+
+/// One point of a [`stream_capacity_sweep`]: the capacity search's result
+/// under a particular concurrent-stream configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCapacityPoint {
+    /// The stream configuration this point was searched under.
+    pub streams: StreamConfig,
+    /// The capacity search's result at that configuration.
+    pub capacity: CapacityResult,
+}
+
+/// Runs the [`max_sustainable_qps`] capacity search once per candidate
+/// stream configuration and returns the capacity-vs-K curve in candidate
+/// order. Each point re-prices batches under co-residency contention
+/// (K kernels share the device), so the curve shows the real trade: more
+/// streams drain the queue in parallel but each batch runs slower.
+///
+/// # Panics
+/// Panics when `candidates` is empty or any candidate exceeds the
+/// experiment cluster's [`stream capacity`](crate::Cluster::stream_capacity).
+pub fn stream_capacity_sweep(
+    experiment: &Experiment,
+    workload: &Workload,
+    scheme: &Scheme,
+    scenario: &ServingScenario,
+    candidates: &[StreamConfig],
+) -> Vec<StreamCapacityPoint> {
+    assert!(
+        !candidates.is_empty(),
+        "a stream sweep needs at least one candidate configuration"
+    );
+    candidates
+        .iter()
+        .map(|&streams| StreamCapacityPoint {
+            streams,
+            capacity: max_sustainable_qps(
+                &experiment.clone().with_streams(streams),
+                workload,
+                scheme,
+                scenario,
+            ),
+        })
+        .collect()
+}
+
+/// Sweeps the candidate stream configurations and returns the point with
+/// the highest sustainable QPS; ties go to the earliest candidate.
+///
+/// # Panics
+/// Panics when `candidates` is empty (via [`stream_capacity_sweep`]).
+pub fn best_stream_config(
+    experiment: &Experiment,
+    workload: &Workload,
+    scheme: &Scheme,
+    scenario: &ServingScenario,
+    candidates: &[StreamConfig],
+) -> StreamCapacityPoint {
+    stream_capacity_sweep(experiment, workload, scheme, scenario, candidates)
+        .into_iter()
+        .reduce(|best, point| {
+            if point.capacity.max_qps > best.capacity.max_qps {
+                point
+            } else {
+                best
+            }
+        })
+        .expect("the sweep returns one point per candidate")
 }
 
 #[cfg(test)]
@@ -548,5 +702,144 @@ mod tests {
         let capacity = max_sustainable_qps(&exp(), &stage(), &Scheme::base(), &scenario);
         assert_eq!(capacity.max_qps, 0.0);
         assert!(!capacity.report.meets_sla());
+    }
+
+    /// A scenario whose capacity search actually brackets and bisects: the
+    /// SLA allows a couple of queued services but not a pile-up, so the
+    /// boundary is finite.
+    fn bounded_scenario() -> ServingScenario {
+        let service_us = exp()
+            .with_batch_size(64)
+            .run(&stage(), &Scheme::base())
+            .latency_us;
+        ServingScenario::new(
+            TrafficModel::poisson(2_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(512)
+        .with_sla_us(3.0 * service_us)
+    }
+
+    #[test]
+    fn default_search_precision_matches_the_original_fixed_steps() {
+        // The precision knobs default to the pre-knob behaviour: 16
+        // bisection steps, no early stop. An explicitly-spelled-out
+        // default must land on the bit-exact same capacity.
+        let base = bounded_scenario();
+        assert_eq!(base.bisection_steps(), 16);
+        assert_eq!(base.relative_tolerance(), None);
+        let explicit = base.clone().with_bisection_steps(16);
+        let a = max_sustainable_qps(&exp(), &stage(), &Scheme::base(), &base);
+        let b = max_sustainable_qps(&exp(), &stage(), &Scheme::base(), &explicit);
+        assert!(a.max_qps > 0.0, "the search must bracket a finite boundary");
+        assert!(a.probes < 64, "the search must not hit the doubling cap");
+        assert_eq!(a.max_qps.to_bits(), b.max_qps.to_bits());
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    fn a_relative_tolerance_spends_fewer_probes() {
+        let precise = bounded_scenario();
+        let loose = precise.clone().with_relative_tolerance(0.25);
+        let a = max_sustainable_qps(&exp(), &stage(), &Scheme::base(), &precise);
+        let b = max_sustainable_qps(&exp(), &stage(), &Scheme::base(), &loose);
+        assert!(
+            b.probes < a.probes,
+            "a 25% tolerance should stop the bisection early ({} vs {})",
+            b.probes,
+            a.probes
+        );
+        // The loose answer still sits within its promised band.
+        assert!(b.max_qps > 0.0);
+        assert!((a.max_qps - b.max_qps).abs() <= 0.25 * a.max_qps * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_tolerances_are_rejected() {
+        let _ = ServingScenario::new(
+            TrafficModel::uniform(1_000.0),
+            BatchingPolicy::fixed_size(8),
+        )
+        .with_relative_tolerance(0.0);
+    }
+
+    #[test]
+    fn multi_stream_reports_expose_per_stream_utilization() {
+        use crate::topology::StreamConfig;
+        use gpu_sim::StreamPartition;
+
+        let experiment = exp().with_streams(StreamConfig::new(2, StreamPartition::Interleaved));
+        let scenario = ServingScenario::new(
+            TrafficModel::uniform(50_000.0),
+            BatchingPolicy::fixed_size(32),
+        )
+        .with_requests(160);
+        let report = scenario.simulate(&experiment, &stage(), &Scheme::base());
+        assert_eq!(report.streams, 2);
+        assert_eq!(report.stream_utilization.len(), 2);
+        assert_eq!(
+            report
+                .stream_utilization
+                .iter()
+                .map(|s| s.batches)
+                .sum::<u32>(),
+            report.batches
+        );
+        // At heavy uniform load both streams should get work, and each
+        // stream's horizon is bounded by the makespan.
+        for stream in &report.stream_utilization {
+            assert!(stream.batches > 0, "stream {} starved", stream.stream);
+            assert!(stream.utilization > 0.0 && stream.utilization <= 1.0 + 1e-12);
+        }
+        // Device utilization normalizes by the stream count, so it stays
+        // a fraction of [0, 1] even with two busy streams.
+        assert!(report.utilization[0].utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_stream_reports_collapse_to_the_fifo_pipeline() {
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(5_000.0),
+            BatchingPolicy::adaptive(4, 64),
+        )
+        .with_requests(200);
+        let report = scenario.simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(report.streams, 1);
+        assert_eq!(report.stream_utilization.len(), 1);
+        let stream = &report.stream_utilization[0];
+        assert_eq!(stream.batches, report.batches);
+        // With one stream the last completion IS the stream's horizon.
+        assert!(stream.busy_us <= report.makespan_us);
+    }
+
+    #[test]
+    fn stream_sweeps_cover_every_candidate_in_order() {
+        use crate::topology::StreamConfig;
+        use gpu_sim::StreamPartition;
+
+        let candidates = [
+            StreamConfig::single(),
+            StreamConfig::new(2, StreamPartition::Interleaved),
+        ];
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(2_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(128)
+        .with_bisection_steps(4);
+        let sweep =
+            stream_capacity_sweep(&exp(), &stage(), &Scheme::base(), &scenario, &candidates);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].streams, candidates[0]);
+        assert_eq!(sweep[1].streams, candidates[1]);
+        assert_eq!(sweep[0].capacity.report.streams, 1);
+        assert_eq!(sweep[1].capacity.report.streams, 2);
+        let best = best_stream_config(&exp(), &stage(), &Scheme::base(), &scenario, &candidates);
+        let max = sweep
+            .iter()
+            .map(|p| p.capacity.max_qps)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best.capacity.max_qps, max);
     }
 }

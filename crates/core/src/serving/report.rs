@@ -5,7 +5,8 @@
 //! the full per-request latency distribution (p50/p95/p99/max/mean),
 //! achieved throughput, the SLA-violation rate, the wait decomposition
 //! (batch-formation vs queueing), the distinct batch shapes that were
-//! priced, and per-device utilization. Reports serialize to JSON
+//! priced, and per-device plus per-stream utilization. Reports serialize to
+//! JSON
 //! ([`ServingReport::to_json`]) with the same canonical codec as run
 //! reports, so serving studies can be archived and diffed.
 
@@ -71,9 +72,24 @@ pub struct BatchShapeStats {
 pub struct DeviceUtilization {
     /// Device name (from its [`gpu_sim::GpuConfig`]).
     pub device: String,
-    /// Total simulated busy time across every served batch, in
+    /// Total simulated busy time across every served batch (summed over
+    /// the device's execution streams), in microseconds.
+    pub busy_us: f64,
+    /// `busy_us` over the serving makespan times the stream count, in
+    /// `[0, 1]` (with one stream this is plain busy-over-makespan).
+    pub utilization: f64,
+}
+
+/// One execution stream's share of the serving horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamUtilization {
+    /// Stream index, `0..streams`.
+    pub stream: u32,
+    /// Total service time of the batches this stream executed, in
     /// microseconds.
     pub busy_us: f64,
+    /// Number of batches dispatched to this stream.
+    pub batches: u32,
     /// `busy_us` over the serving makespan, in `[0, 1]`.
     pub utilization: f64,
 }
@@ -119,6 +135,11 @@ pub struct ServingReport {
     pub sla_violation_rate: f64,
     /// Per-device busy time and utilization, in device order (root first).
     pub utilization: Vec<DeviceUtilization>,
+    /// Number of concurrent execution streams batches were dispatched
+    /// across (`1` for the plain FIFO pipeline).
+    pub streams: u32,
+    /// Per-stream busy time, batch count and utilization, in stream order.
+    pub stream_utilization: Vec<StreamUtilization>,
     /// End of the simulation: completion time of the last batch, in
     /// microseconds from the first arrival.
     pub makespan_us: f64,
@@ -193,6 +214,23 @@ impl ServingReport {
                     .collect(),
             ),
         );
+        doc.set("streams", Json::UInt(self.streams as u64));
+        doc.set(
+            "stream_utilization",
+            Json::Arr(
+                self.stream_utilization
+                    .iter()
+                    .map(|s| {
+                        let mut obj = Json::object();
+                        obj.set("stream", Json::UInt(s.stream as u64));
+                        obj.set("busy_us", Json::Num(s.busy_us));
+                        obj.set("batches", Json::UInt(s.batches as u64));
+                        obj.set("utilization", Json::Num(s.utilization));
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
         doc.set("makespan_us", Json::Num(self.makespan_us));
         doc
     }
@@ -253,6 +291,31 @@ impl ServingReport {
                 })
             })
             .collect::<Result<Vec<_>, JsonError>>()?;
+        // Stream fields are optional so reports archived before the
+        // concurrent-stream refactor (same schema tag) still parse: a
+        // missing block means the plain single-stream pipeline.
+        let streams = match doc.get("streams") {
+            Some(value) => value.as_u32().ok_or_else(|| {
+                JsonError::schema("field 'streams' is not a 32-bit unsigned integer")
+            })?,
+            None => 1,
+        };
+        let stream_utilization = match doc.get("stream_utilization") {
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| JsonError::schema("field 'stream_utilization' is not an array"))?
+                .iter()
+                .map(|s| {
+                    Ok(StreamUtilization {
+                        stream: req_u32(s, "stream")?,
+                        busy_us: req_f64(s, "busy_us")?,
+                        batches: req_u32(s, "batches")?,
+                        utilization: req_f64(s, "utilization")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            None => Vec::new(),
+        };
         Ok(ServingReport {
             workload: req_str(doc, "workload")?.to_string(),
             scheme: req_str(doc, "scheme")?.to_string(),
@@ -272,6 +335,8 @@ impl ServingReport {
             mean_queue_wait_us: req_f64(doc, "mean_queue_wait_us")?,
             sla_violation_rate: req_f64(doc, "sla_violation_rate")?,
             utilization,
+            streams,
+            stream_utilization,
             makespan_us: req_f64(doc, "makespan_us")?,
         })
     }
@@ -373,6 +438,21 @@ mod tests {
                     utilization: 0.75,
                 },
             ],
+            streams: 2,
+            stream_utilization: vec![
+                StreamUtilization {
+                    stream: 0,
+                    busy_us: 4200.5,
+                    batches: 4,
+                    utilization: 0.525,
+                },
+                StreamUtilization {
+                    stream: 1,
+                    busy_us: 3100.25,
+                    batches: 3,
+                    utilization: 0.3875,
+                },
+            ],
             makespan_us: 8000.5,
         }
     }
@@ -384,6 +464,26 @@ mod tests {
         let back = ServingReport::from_json(&text).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn reports_without_stream_fields_parse_as_single_stream() {
+        // Reports archived before the concurrent-stream refactor carry the
+        // same schema tag but no stream block.
+        let report = sample_report();
+        let text = report.to_json();
+        // Cut the stream block out of the rendered document to
+        // reconstruct the archived layout; keys render sorted, so
+        // "stream_utilization" and "streams" sit back-to-back right
+        // before "traffic".
+        let start = text.find("\"stream_utilization\"").unwrap();
+        let end = text.find("\"traffic\"").unwrap();
+        let legacy = format!("{}{}", &text[..start], &text[end..]);
+        let back = ServingReport::from_json(&legacy).unwrap();
+        assert_eq!(back.streams, 1);
+        assert!(back.stream_utilization.is_empty());
+        assert_eq!(back.latency, report.latency);
+        assert_eq!(back.utilization, report.utilization);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! plan regardless of thread count or process.
 
 use dlrm_datasets::{pattern_coverage_skew, AccessPattern, HeterogeneousMix};
-use gpu_sim::GpuConfig;
+use gpu_sim::{GpuConfig, StreamPartition};
 
 /// The inter-device fabric: one full-duplex link per device with a fixed
 /// per-collective latency. See the [module docs](self) for the model's
@@ -205,6 +205,116 @@ impl Cluster {
     /// Whether every device has the same configuration.
     pub fn is_homogeneous(&self) -> bool {
         self.devices.iter().all(|d| *d == self.devices[0])
+    }
+
+    /// The largest number of concurrently resident kernel streams every
+    /// device of this cluster supports: the minimum of the per-device
+    /// [`GpuConfig::max_concurrent_streams`] capabilities, since a
+    /// [`StreamConfig`] applies uniformly across the cluster.
+    pub fn stream_capacity(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.max_concurrent_streams)
+            .min()
+            .expect("a cluster holds at least one device")
+    }
+}
+
+/// How many kernel streams are concurrently resident on each device of an
+/// [`crate::Experiment`], and how they share the device — the serializable
+/// counterpart of the engine's [`StreamPartition`], carried by experiments
+/// and encoded into campaign cache keys.
+///
+/// A single stream is the degenerate configuration every pre-stream
+/// experiment implicitly ran: constructors canonicalize `K = 1` to one
+/// identity (the partition policy is meaningless when nothing shares the
+/// device), so `StreamConfig::single()` compares equal to any 1-stream
+/// configuration and fingerprints stay byte-identical with the pre-stream
+/// encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamConfig {
+    streams: u32,
+    partition: StreamPartition,
+}
+
+impl StreamConfig {
+    /// The degenerate single-stream configuration (the default).
+    pub fn single() -> Self {
+        StreamConfig {
+            streams: 1,
+            partition: StreamPartition::SmPartitioned,
+        }
+    }
+
+    /// `streams` concurrently resident streams under `partition`.
+    ///
+    /// `K = 1` canonicalizes to [`StreamConfig::single`] whatever the
+    /// partition: a lone stream is the identical simulation under either
+    /// policy, and one identity keeps `Eq`/cache keys honest.
+    ///
+    /// # Panics
+    /// Panics if `streams` is zero.
+    pub fn new(streams: u32, partition: StreamPartition) -> Self {
+        assert!(streams > 0, "an experiment needs at least one stream");
+        if streams == 1 {
+            StreamConfig::single()
+        } else {
+            StreamConfig { streams, partition }
+        }
+    }
+
+    /// Number of concurrently resident streams (K).
+    pub fn streams(&self) -> u32 {
+        self.streams
+    }
+
+    /// How the streams share each device.
+    pub fn partition(&self) -> StreamPartition {
+        self.partition
+    }
+
+    /// Whether this is the degenerate single-stream configuration.
+    pub fn is_single(&self) -> bool {
+        self.streams == 1
+    }
+
+    /// Stable machine-readable name: `"single"`, or
+    /// `"<partition>_<K>"` (e.g. `"interleaved_4"`).
+    pub fn name(&self) -> String {
+        if self.is_single() {
+            "single".to_string()
+        } else {
+            format!("{}_{}", self.partition.name(), self.streams)
+        }
+    }
+
+    /// Parses a [`StreamConfig::name`] back (leniently: an explicit
+    /// `"<partition>_1"` canonicalizes to `"single"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        if name == "single" {
+            return Some(StreamConfig::single());
+        }
+        let (partition, streams) = name.rsplit_once('_')?;
+        let streams: u32 = streams.parse().ok()?;
+        if streams == 0 {
+            return None;
+        }
+        Some(StreamConfig::new(
+            streams,
+            StreamPartition::from_name(partition)?,
+        ))
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig::single()
+    }
+}
+
+impl std::fmt::Display for StreamConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
     }
 }
 
@@ -855,5 +965,62 @@ mod tests {
             assert_eq!(format!("{spec}"), spec.name());
         }
         assert_eq!(ShardingSpec::from_name("nope"), None);
+    }
+
+    #[test]
+    fn stream_config_canonicalizes_the_single_stream() {
+        let single = StreamConfig::single();
+        assert!(single.is_single());
+        assert_eq!(single, StreamConfig::default());
+        // K=1 is one identity whatever partition was asked for.
+        assert_eq!(StreamConfig::new(1, StreamPartition::Interleaved), single);
+        assert_eq!(StreamConfig::new(1, StreamPartition::SmPartitioned), single);
+        assert_eq!(single.name(), "single");
+        let dual = StreamConfig::new(2, StreamPartition::Interleaved);
+        assert!(!dual.is_single());
+        assert_eq!(dual.streams(), 2);
+        assert_eq!(dual.partition(), StreamPartition::Interleaved);
+    }
+
+    #[test]
+    fn stream_config_names_round_trip() {
+        for partition in StreamPartition::ALL {
+            for k in [1u32, 2, 3, 4, 7] {
+                let config = StreamConfig::new(k, partition);
+                assert_eq!(StreamConfig::from_name(&config.name()), Some(config));
+                assert_eq!(format!("{config}"), config.name());
+            }
+        }
+        // Lenient parse: an explicit K=1 canonicalizes to "single".
+        assert_eq!(
+            StreamConfig::from_name("interleaved_1"),
+            Some(StreamConfig::single())
+        );
+        assert_eq!(StreamConfig::from_name("interleaved_0"), None);
+        assert_eq!(StreamConfig::from_name("nope_2"), None);
+        assert_eq!(StreamConfig::from_name("interleaved"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = StreamConfig::new(0, StreamPartition::SmPartitioned);
+    }
+
+    #[test]
+    fn cluster_stream_capacity_is_the_weakest_device() {
+        let small = Cluster::single(GpuConfig::test_small());
+        assert_eq!(
+            small.stream_capacity(),
+            GpuConfig::test_small().max_concurrent_streams
+        );
+        let hetero = Cluster::new(
+            vec![GpuConfig::a100(), GpuConfig::test_small()],
+            InterconnectConfig::nvlink3(),
+        );
+        assert_eq!(
+            hetero.stream_capacity(),
+            GpuConfig::test_small().max_concurrent_streams
+        );
     }
 }

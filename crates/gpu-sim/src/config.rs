@@ -81,6 +81,10 @@ pub struct GpuConfig {
     pub dram: DramConfig,
     /// Default ALU result latency in cycles (dependent-issue distance).
     pub alu_latency: u64,
+    /// Maximum number of concurrently resident kernel streams the device
+    /// supports (the 7 MIG compute instances of an A100/H100). The engine's
+    /// [`crate::Simulator::run_concurrent`] refuses launches beyond this.
+    pub max_concurrent_streams: usize,
 }
 
 impl GpuConfig {
@@ -120,6 +124,7 @@ impl GpuConfig {
                 peak_bandwidth_gbps: 1940.0,
             },
             alu_latency: 4,
+            max_concurrent_streams: 7,
         }
     }
 
@@ -158,6 +163,7 @@ impl GpuConfig {
                 peak_bandwidth_gbps: 3840.0,
             },
             alu_latency: 4,
+            max_concurrent_streams: 7,
         }
     }
 
@@ -169,6 +175,7 @@ impl GpuConfig {
         cfg.num_sms = 4;
         cfg.l1.capacity_bytes = 16 * 1024;
         cfg.l2.capacity_bytes = 256 * 1024;
+        cfg.max_concurrent_streams = 4;
         cfg
     }
 
@@ -182,6 +189,13 @@ impl GpuConfig {
     /// Returns a copy with a different L2 capacity in bytes.
     pub fn with_l2_capacity(mut self, bytes: u64) -> Self {
         self.l2.capacity_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different concurrent-stream capacity.
+    pub fn with_max_concurrent_streams(mut self, streams: usize) -> Self {
+        assert!(streams > 0, "a GPU must support at least one stream");
+        self.max_concurrent_streams = streams;
         self
     }
 
@@ -291,5 +305,22 @@ mod tests {
     #[should_panic(expected = "at least one SM")]
     fn zero_sms_rejected() {
         let _ = GpuConfig::a100().with_num_sms(0);
+    }
+
+    #[test]
+    fn stream_capacity_matches_mig_instance_counts() {
+        // A100 and H100 expose 7 MIG compute instances; the test device is
+        // capped at its SM count so partitioned streams always get an SM.
+        assert_eq!(GpuConfig::a100().max_concurrent_streams, 7);
+        assert_eq!(GpuConfig::h100_nvl().max_concurrent_streams, 7);
+        assert_eq!(GpuConfig::test_small().max_concurrent_streams, 4);
+        let cfg = GpuConfig::a100().with_max_concurrent_streams(2);
+        assert_eq!(cfg.max_concurrent_streams, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = GpuConfig::a100().with_max_concurrent_streams(0);
     }
 }

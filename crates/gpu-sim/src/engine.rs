@@ -30,6 +30,36 @@
 //! 3. Warps created by a block dispatched at cycle `t` first become ready at
 //!    `t + 1` or later, so a dispatch can never add work to the cycle that
 //!    triggered it.
+//!
+//! # Concurrent kernel streams
+//!
+//! [`Simulator::run_concurrent`] runs K kernels as co-resident streams on
+//! one device, sharing the memory hierarchy (and therefore contending for
+//! L2 capacity and DRAM bandwidth). Two residency policies exist
+//! ([`StreamPartition`]):
+//!
+//! * **SM-partitioned** (MIG-style): each stream owns a contiguous,
+//!   disjoint slice of the device's SMs. L1 caches are private per stream
+//!   because warps route memory through their home SM's L1.
+//! * **Interleaved** (MPS-style): every stream dispatches blocks onto every
+//!   SM and their warps compete for the same sub-partition issue slots;
+//!   each stream's residency is capped at `max(1, blocks_per_sm / K)`
+//!   blocks per SM so K streams roughly share the occupancy budget.
+//!
+//! The stream dimension is a restructuring of launch/occupancy/statistics
+//! bookkeeping, not a new engine: both execution loops are stream-agnostic
+//! and preserve invariants 1–3 unchanged, so the engine modes stay
+//! bit-identical at every K. A single-stream `run_concurrent` call executes
+//! the exact issue/dispatch sequence of [`Simulator::run_with_memory`]
+//! (which now delegates to it), keeping K=1 bit-exact with the historical
+//! single-stream path.
+//!
+//! Per-stream statistics: issue/stall counters, occupancy and elapsed
+//! cycles are exact per stream (a stream's `elapsed_cycles` run from the
+//! shared `start_cycle` to the retirement of its last warp). Cache and DRAM
+//! counters are device-wide deltas over that same window — with K > 1 the
+//! windows overlap, so shared-level counters describe the device while the
+//! stream ran, not the stream's own traffic.
 
 use crate::config::GpuConfig;
 use crate::launch::{KernelLaunch, KernelProgram, WarpInfo};
@@ -61,6 +91,44 @@ impl EngineMode {
             EngineMode::CycleAccurate => "cycle_accurate",
             EngineMode::EventDriven => "event_driven",
         }
+    }
+}
+
+/// How K co-resident kernel streams share one device in
+/// [`Simulator::run_concurrent`]; see the module documentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StreamPartition {
+    /// Each stream owns a disjoint, contiguous subset of the SMs
+    /// (MIG-style spatial partitioning).
+    #[default]
+    SmPartitioned,
+    /// All streams share every SM and compete for issue slots
+    /// (MPS-style temporal sharing).
+    Interleaved,
+}
+
+impl StreamPartition {
+    /// Every partition policy, for sweeps.
+    pub const ALL: [StreamPartition; 2] =
+        [StreamPartition::SmPartitioned, StreamPartition::Interleaved];
+
+    /// Stable machine-readable name (used in fingerprints and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamPartition::SmPartitioned => "sm_partitioned",
+            StreamPartition::Interleaved => "interleaved",
+        }
+    }
+
+    /// Parses a name produced by [`StreamPartition::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for StreamPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -114,17 +182,58 @@ impl Simulator {
         mem: &mut MemorySystem,
         start_cycle: u64,
     ) -> KernelStats {
-        let cfg = &self.cfg;
-        let occ = Occupancy::compute(cfg, launch);
+        self.run_concurrent(
+            &[(launch, program)],
+            StreamPartition::SmPartitioned,
+            mem,
+            start_cycle,
+        )
+        .pop()
+        .expect("one stream produces one statistics record")
+    }
 
-        // Snapshot memory-system counters so this run reports deltas only.
-        let (l1_acc0, l1_hit0) = mem.l1_totals();
-        let l2_acc0 = mem.l2().stats.accesses;
-        let l2_hit0 = mem.l2().stats.hits;
-        let dram_read0 = mem.dram().bytes_read;
-        let dram_write0 = mem.dram().bytes_written;
+    /// Runs K kernels as concurrently resident streams against one memory
+    /// system, returning one [`KernelStats`] per stream (in input order).
+    ///
+    /// The streams share L2 and DRAM; `partition` decides whether they split
+    /// the SMs (MIG-style) or interleave on all of them (MPS-style). With a
+    /// single kernel this is exactly [`Simulator::run_with_memory`] under
+    /// either policy. See the module documentation for the statistics
+    /// semantics at K > 1.
+    ///
+    /// # Panics
+    /// Panics if no kernel is given, if more streams are requested than
+    /// [`GpuConfig::max_concurrent_streams`], or (SM-partitioned) if there
+    /// are more streams than SMs.
+    pub fn run_concurrent(
+        &self,
+        kernels: &[(&KernelLaunch, &dyn KernelProgram)],
+        partition: StreamPartition,
+        mem: &mut MemorySystem,
+        start_cycle: u64,
+    ) -> Vec<KernelStats> {
+        assert!(
+            !kernels.is_empty(),
+            "run_concurrent needs at least one kernel stream"
+        );
+        assert!(
+            kernels.len() <= self.cfg.max_concurrent_streams,
+            "device '{}' supports at most {} concurrent streams (asked for {})",
+            self.cfg.name,
+            self.cfg.max_concurrent_streams,
+            kernels.len()
+        );
+        if partition == StreamPartition::SmPartitioned {
+            assert!(
+                kernels.len() <= self.cfg.num_sms,
+                "cannot SM-partition {} streams across {} SMs",
+                kernels.len(),
+                self.cfg.num_sms
+            );
+        }
 
-        let mut run = Run::new(cfg, launch, program, occ, start_cycle);
+        let start_snap = MemSnapshot::take(mem);
+        let mut run = Run::new(&self.cfg, kernels, partition, start_cycle);
         let end_cycle = match self.mode {
             EngineMode::CycleAccurate => run.run_cycle_accurate(mem, start_cycle),
             EngineMode::EventDriven => run.run_event_driven(mem, start_cycle),
@@ -132,39 +241,105 @@ impl Simulator {
 
         // Account residency for any warps that never retired (impossible in
         // practice but keeps the accounting robust).
-        for w in run.warps.iter().filter(|w| !w.is_exited()) {
-            run.counters.resident_warp_cycles += end_cycle.saturating_sub(w.spawn_cycle);
+        for wid in 0..run.warps.len() {
+            if !run.warps[wid].is_exited() {
+                let (_, stream, _) = run.warp_home[wid];
+                run.streams[stream].counters.resident_warp_cycles +=
+                    end_cycle.saturating_sub(run.warps[wid].spawn_cycle);
+            }
         }
 
-        let mut stats = KernelStats::empty(&launch.name, cfg);
-        stats.set_occupancy(&occ);
-        stats.elapsed_cycles = end_cycle.saturating_sub(start_cycle);
-        stats.counters = run.counters;
-        let (l1_acc, l1_hit) = mem.l1_totals();
-        stats.l1_accesses = l1_acc - l1_acc0;
-        stats.l1_hits = l1_hit - l1_hit0;
-        stats.l2_accesses = mem.l2().stats.accesses - l2_acc0;
-        stats.l2_hits = mem.l2().stats.hits - l2_hit0;
-        stats.dram_bytes_read = mem.dram().bytes_read - dram_read0;
-        stats.dram_bytes_written = mem.dram().bytes_written - dram_write0;
-        stats
+        let final_snap = MemSnapshot::take(mem);
+        run.streams
+            .iter()
+            .map(|s| {
+                let (end, snap) = s.end.unwrap_or((end_cycle, final_snap));
+                let mut stats = KernelStats::empty(&s.launch.name, &s.view);
+                stats.set_occupancy(&s.occ);
+                stats.elapsed_cycles = end.saturating_sub(start_cycle);
+                stats.counters = s.counters;
+                stats.l1_accesses = snap.l1_accesses - start_snap.l1_accesses;
+                stats.l1_hits = snap.l1_hits - start_snap.l1_hits;
+                stats.l2_accesses = snap.l2_accesses - start_snap.l2_accesses;
+                stats.l2_hits = snap.l2_hits - start_snap.l2_hits;
+                stats.dram_bytes_read = snap.dram_bytes_read - start_snap.dram_bytes_read;
+                stats.dram_bytes_written = snap.dram_bytes_written - start_snap.dram_bytes_written;
+                stats
+            })
+            .collect()
     }
 }
 
-/// Mutable state of one kernel execution, shared by both engine loops.
-struct Run<'a> {
-    cfg: &'a GpuConfig,
+/// A snapshot of the memory hierarchy's cumulative counters, used to report
+/// per-window deltas.
+#[derive(Debug, Clone, Copy)]
+struct MemSnapshot {
+    l1_accesses: u64,
+    l1_hits: u64,
+    l2_accesses: u64,
+    l2_hits: u64,
+    dram_bytes_read: u64,
+    dram_bytes_written: u64,
+}
+
+impl MemSnapshot {
+    fn take(mem: &MemorySystem) -> Self {
+        let (l1_accesses, l1_hits) = mem.l1_totals();
+        MemSnapshot {
+            l1_accesses,
+            l1_hits,
+            l2_accesses: mem.l2().stats.accesses,
+            l2_hits: mem.l2().stats.hits,
+            dram_bytes_read: mem.dram().bytes_read,
+            dram_bytes_written: mem.dram().bytes_written,
+        }
+    }
+}
+
+/// Packs a stream index and the stream's own block id into the opaque block
+/// key [`SmState`] tracks, so co-resident streams never collide.
+fn block_key(stream: usize, block: u32) -> u64 {
+    ((stream as u64) << 32) | block as u64
+}
+
+/// Per-stream launch state: one kernel of a (possibly concurrent) run.
+struct StreamRun<'a> {
     launch: &'a KernelLaunch,
     program: &'a dyn KernelProgram,
+    /// Device view this stream's occupancy and statistics are computed
+    /// against: its SM slice when partitioned, the whole device otherwise.
+    view: GpuConfig,
     occ: Occupancy,
+    /// Residency cap per SM for this stream (`occ.blocks_per_sm`, split K
+    /// ways for interleaved streams).
+    blocks_cap: u32,
+    /// First global SM id this stream may dispatch onto.
+    sm_base: usize,
+    /// Number of contiguous SMs from `sm_base` this stream may use.
+    sm_count: usize,
+    /// Resident blocks of *this stream* per local SM (index `sm - sm_base`).
+    resident: Vec<u32>,
     counters: RawCounters,
-    warps: Vec<WarpContext>,
-    sms: Vec<SmState>,
-    /// Which (SM, block) each warp belongs to.
-    warp_home: Vec<(usize, u32)>,
     next_block: u32,
     total_blocks: u32,
     warps_per_block: u32,
+    active_warps: u64,
+    /// Completion cycle and memory snapshot, recorded when the stream's last
+    /// warp retires.
+    end: Option<(u64, MemSnapshot)>,
+}
+
+/// Mutable state of one (possibly multi-stream) kernel execution, shared by
+/// both engine loops.
+struct Run<'a> {
+    cfg: &'a GpuConfig,
+    streams: Vec<StreamRun<'a>>,
+    /// Display label for diagnostics ("+"-joined kernel names).
+    label: String,
+    warps: Vec<WarpContext>,
+    sms: Vec<SmState>,
+    /// Which (SM, stream, block) each warp belongs to.
+    warp_home: Vec<(usize, usize, u32)>,
     active_warps: u64,
     /// `(smsp index, warp id)` of the warps placed by the most recent
     /// [`Run::dispatch_block`] call (reused across dispatches to avoid
@@ -175,77 +350,151 @@ struct Run<'a> {
 impl<'a> Run<'a> {
     fn new(
         cfg: &'a GpuConfig,
-        launch: &'a KernelLaunch,
-        program: &'a dyn KernelProgram,
-        occ: Occupancy,
+        kernels: &[(&'a KernelLaunch, &'a dyn KernelProgram)],
+        partition: StreamPartition,
         start_cycle: u64,
     ) -> Self {
-        let total_blocks = launch.grid_blocks;
-        let warps_per_block = occ.warps_per_block;
-        // Every block of the grid is eventually dispatched and its warps stay
-        // in the arena until the kernel completes, so the final length is
-        // known exactly up front.
-        let total_warps = total_blocks as usize * warps_per_block as usize;
+        let k = kernels.len();
+        // Contiguous, near-even SM split for partitioned streams; every
+        // stream sees the whole device when interleaved.
+        let mut streams = Vec::with_capacity(k);
+        let mut next_base = 0usize;
+        for (i, &(launch, program)) in kernels.iter().enumerate() {
+            let (sm_base, sm_count) = match partition {
+                StreamPartition::SmPartitioned => {
+                    let count = cfg.num_sms / k + usize::from(i < cfg.num_sms % k);
+                    let base = next_base;
+                    next_base += count;
+                    (base, count)
+                }
+                StreamPartition::Interleaved => (0, cfg.num_sms),
+            };
+            let view = cfg.clone().with_num_sms(sm_count);
+            let occ = Occupancy::compute(&view, launch);
+            let blocks_cap = match partition {
+                StreamPartition::SmPartitioned => occ.blocks_per_sm,
+                StreamPartition::Interleaved => (occ.blocks_per_sm / k as u32).max(1),
+            };
+            streams.push(StreamRun {
+                launch,
+                program,
+                view,
+                occ,
+                blocks_cap,
+                sm_base,
+                sm_count,
+                resident: vec![0; sm_count],
+                counters: RawCounters::default(),
+                next_block: 0,
+                total_blocks: launch.grid_blocks,
+                warps_per_block: occ.warps_per_block,
+                active_warps: 0,
+                end: None,
+            });
+        }
+
+        // Every block of every grid is eventually dispatched and its warps
+        // stay in the arena until the kernel completes, so the final length
+        // is known exactly up front.
+        let total_warps: usize = streams
+            .iter()
+            .map(|s| s.total_blocks as usize * s.warps_per_block as usize)
+            .sum();
+        let max_wpb = streams.iter().map(|s| s.warps_per_block).max().unwrap_or(0);
+        let label = kernels
+            .iter()
+            .map(|(l, _)| l.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
         let mut run = Run {
             cfg,
-            launch,
-            program,
-            occ,
-            counters: RawCounters::default(),
+            streams,
+            label,
             warps: Vec::with_capacity(total_warps),
             sms: (0..cfg.num_sms)
                 .map(|_| SmState::new(cfg.smsps_per_sm))
                 .collect(),
             warp_home: Vec::with_capacity(total_warps),
-            next_block: 0,
-            total_blocks,
-            warps_per_block,
             active_warps: 0,
-            placements: Vec::with_capacity(warps_per_block as usize),
+            placements: Vec::with_capacity(max_wpb as usize),
         };
 
-        // Initial wave: fill every SM up to its occupancy limit, round-robin
-        // over SMs the way the GigaThread engine distributes blocks.
-        'outer: for _slot in 0..run.occ.blocks_per_sm {
-            for sm_id in 0..cfg.num_sms {
-                if run.next_block >= run.total_blocks {
-                    break 'outer;
+        // Initial wave: fill every SM of each stream up to the stream's
+        // residency cap, round-robin over the stream's SMs the way the
+        // GigaThread engine distributes blocks.
+        for s in 0..run.streams.len() {
+            'outer: for _slot in 0..run.streams[s].blocks_cap {
+                for local in 0..run.streams[s].sm_count {
+                    if run.streams[s].next_block >= run.streams[s].total_blocks {
+                        break 'outer;
+                    }
+                    let sm_id = run.streams[s].sm_base + local;
+                    let block = run.streams[s].next_block;
+                    run.streams[s].next_block += 1;
+                    run.dispatch_block(s, sm_id, block, start_cycle);
                 }
-                let block = run.next_block;
-                run.next_block += 1;
-                run.dispatch_block(sm_id, block, start_cycle);
             }
         }
 
-        run.active_warps = run.warps.iter().filter(|w| !w.is_exited()).count() as u64;
+        run.recount_active_warps();
         // Warps whose programs are empty retire instantly; account for their
         // blocks so replacement blocks can still be dispatched.
         for wid in 0..run.warps.len() {
             if run.warps[wid].is_exited() {
-                let (sm_id, block_id) = run.warp_home[wid];
-                let _ = run.sms[sm_id].warp_retired(block_id);
+                let (sm_id, stream, block_id) = run.warp_home[wid];
+                if run.sms[sm_id].warp_retired(block_key(stream, block_id)) {
+                    let local = sm_id - run.streams[stream].sm_base;
+                    run.streams[stream].resident[local] -= 1;
+                }
             }
         }
         run
     }
 
-    /// Dispatches one thread block onto `sm_id` at `cycle`, recording the
-    /// placements of its warps in [`Run::placements`].
-    fn dispatch_block(&mut self, sm_id: usize, block_id: u32, cycle: u64) {
-        self.sms[sm_id].begin_block(block_id, self.warps_per_block);
-        self.counters.blocks_launched += 1;
+    /// Recomputes the global and per-stream active-warp counts from the
+    /// arena (used at startup and after a degenerate refill).
+    fn recount_active_warps(&mut self) {
+        for s in self.streams.iter_mut() {
+            s.active_warps = 0;
+        }
+        let mut total = 0u64;
+        for wid in 0..self.warps.len() {
+            if !self.warps[wid].is_exited() {
+                let (_, stream, _) = self.warp_home[wid];
+                self.streams[stream].active_warps += 1;
+                total += 1;
+            }
+        }
+        self.active_warps = total;
+    }
+
+    /// Whether any stream still has undispatched blocks.
+    fn blocks_pending(&self) -> bool {
+        self.streams.iter().any(|s| s.next_block < s.total_blocks)
+    }
+
+    /// Dispatches one thread block of `stream` onto `sm_id` at `cycle`,
+    /// recording the placements of its warps in [`Run::placements`].
+    fn dispatch_block(&mut self, stream: usize, sm_id: usize, block_id: u32, cycle: u64) {
+        let warps_per_block = self.streams[stream].warps_per_block;
+        let threads_per_block = self.streams[stream].launch.threads_per_block;
+        self.sms[sm_id].begin_block(block_key(stream, block_id), warps_per_block);
+        self.streams[stream].counters.blocks_launched += 1;
+        let local = sm_id - self.streams[stream].sm_base;
+        self.streams[stream].resident[local] += 1;
         self.placements.clear();
-        for w in 0..self.warps_per_block {
+        for w in 0..warps_per_block {
             let info = WarpInfo {
                 block_id,
                 warp_in_block: w,
-                warps_per_block: self.warps_per_block,
-                threads_per_block: self.launch.threads_per_block,
-                global_warp_id: block_id as u64 * self.warps_per_block as u64 + w as u64,
+                warps_per_block,
+                threads_per_block,
+                global_warp_id: block_id as u64 * warps_per_block as u64 + w as u64,
                 sm_id: sm_id as u32,
             };
-            let ctx = WarpContext::new(info, self.program.warp_program(info), cycle);
-            self.counters.warps_launched += 1;
+            let ctx =
+                WarpContext::new(info, self.streams[stream].program.warp_program(info), cycle);
+            self.streams[stream].counters.warps_launched += 1;
             let ready = if ctx.is_exited() {
                 u64::MAX
             } else {
@@ -253,24 +502,27 @@ impl<'a> Run<'a> {
             };
             let warp_id = self.warps.len();
             self.warps.push(ctx);
-            self.warp_home.push((sm_id, block_id));
+            self.warp_home.push((sm_id, stream, block_id));
             let smsp = self.sms[sm_id].place_warp(warp_id, ready);
             self.placements.push((smsp, warp_id));
         }
     }
 
     /// Handles the degenerate "all resident warps retired but blocks remain"
-    /// state (possible with empty warp programs): refills every SM at
+    /// state (possible with empty warp programs): refills every stream at
     /// `cycle`. Returns `true` if the whole launch turned out to be empty
     /// and the engine should stop.
     fn degenerate_refill(&mut self, cycle: u64) -> bool {
-        for sm_id in 0..self.cfg.num_sms {
-            while self.sms[sm_id].resident_blocks < self.occ.blocks_per_sm
-                && self.next_block < self.total_blocks
-            {
-                let block = self.next_block;
-                self.next_block += 1;
-                self.dispatch_block(sm_id, block, cycle);
+        for s in 0..self.streams.len() {
+            for local in 0..self.streams[s].sm_count {
+                let sm_id = self.streams[s].sm_base + local;
+                while self.streams[s].resident[local] < self.streams[s].blocks_cap
+                    && self.streams[s].next_block < self.streams[s].total_blocks
+                {
+                    let block = self.streams[s].next_block;
+                    self.streams[s].next_block += 1;
+                    self.dispatch_block(s, sm_id, block, cycle);
+                }
             }
         }
         let newly_active = self.warps.iter().filter(|w| !w.is_exited()).count() as u64;
@@ -278,13 +530,16 @@ impl<'a> Run<'a> {
             // Every program in this launch is empty.
             for wid in 0..self.warps.len() {
                 if self.warps[wid].is_exited() {
-                    let (sm_id, block_id) = self.warp_home[wid];
-                    let _ = self.sms[sm_id].warp_retired(block_id);
+                    let (sm_id, stream, block_id) = self.warp_home[wid];
+                    if self.sms[sm_id].warp_retired(block_key(stream, block_id)) {
+                        let local = sm_id - self.streams[stream].sm_base;
+                        self.streams[stream].resident[local] -= 1;
+                    }
                 }
             }
             return true;
         }
-        self.active_warps = newly_active;
+        self.recount_active_warps();
         false
     }
 
@@ -299,28 +554,45 @@ impl<'a> Run<'a> {
         now: u64,
         mem: &mut MemorySystem,
     ) -> bool {
-        let retired = self.warps[wid].issue(now, mem, self.cfg, &mut self.counters);
+        let (home_sm, stream, block_id) = self.warp_home[wid];
+        let cfg = self.cfg;
+        let retired = self.warps[wid].issue(now, mem, cfg, &mut self.streams[stream].counters);
         if !retired {
             let ready = self.warps[wid].ready_at();
             self.sms[sm].smsps[smsp].note_ready(wid, ready);
             return false;
         }
         self.active_warps -= 1;
-        self.counters.resident_warp_cycles += now + 1 - self.warps[wid].spawn_cycle;
-        let (home_sm, block_id) = self.warp_home[wid];
-        let block_done = self.sms[home_sm].warp_retired(block_id);
+        self.streams[stream].active_warps -= 1;
+        self.streams[stream].counters.resident_warp_cycles += now + 1 - self.warps[wid].spawn_cycle;
+        let block_done = self.sms[home_sm].warp_retired(block_key(stream, block_id));
         self.sms[sm].smsps[smsp].prune_exited(&self.warps);
-        if block_done && self.next_block < self.total_blocks {
-            let block = self.next_block;
-            self.next_block += 1;
-            self.dispatch_block(home_sm, block, now + 1);
-            self.active_warps += self
+        if block_done {
+            let local = home_sm - self.streams[stream].sm_base;
+            self.streams[stream].resident[local] -= 1;
+        }
+        if block_done && self.streams[stream].next_block < self.streams[stream].total_blocks {
+            let block = self.streams[stream].next_block;
+            self.streams[stream].next_block += 1;
+            self.dispatch_block(stream, home_sm, block, now + 1);
+            let newly = self
                 .placements
                 .iter()
                 .filter(|&&(_, w)| !self.warps[w].is_exited())
                 .count() as u64;
+            self.active_warps += newly;
+            self.streams[stream].active_warps += newly;
         } else {
             self.placements.clear();
+        }
+        if self.streams[stream].active_warps == 0
+            && self.streams[stream].next_block >= self.streams[stream].total_blocks
+            && self.streams[stream].end.is_none()
+        {
+            // The stream just finished: its last issue landed at `now`, so
+            // its clock stops at `now + 1` (exactly where a single-stream
+            // run's loop would exit).
+            self.streams[stream].end = Some((now + 1, MemSnapshot::take(mem)));
         }
         true
     }
@@ -329,8 +601,8 @@ impl<'a> Run<'a> {
     /// clock only when the whole device is stalled.
     fn run_cycle_accurate(&mut self, mem: &mut MemorySystem, start_cycle: u64) -> u64 {
         let mut cycle = start_cycle;
-        while self.active_warps > 0 || self.next_block < self.total_blocks {
-            if self.active_warps == 0 && self.next_block < self.total_blocks {
+        while self.active_warps > 0 || self.blocks_pending() {
+            if self.active_warps == 0 && self.blocks_pending() {
                 // All resident warps retired but blocks remain (can happen
                 // with degenerate empty programs).
                 if self.degenerate_refill(cycle) {
@@ -368,7 +640,7 @@ impl<'a> Run<'a> {
             assert!(
                 cycle - start_cycle < MAX_CYCLES,
                 "kernel '{}' exceeded {MAX_CYCLES} simulated cycles; the program is livelocked",
-                self.launch.name
+                self.label
             );
         }
         cycle
@@ -392,7 +664,7 @@ impl<'a> Run<'a> {
         self.reschedule_all(&mut sched, cycle);
 
         loop {
-            if self.active_warps == 0 && self.next_block < self.total_blocks {
+            if self.active_warps == 0 && self.blocks_pending() {
                 if self.degenerate_refill(cycle) {
                     break;
                 }
@@ -428,7 +700,7 @@ impl<'a> Run<'a> {
                     if retired && !self.placements.is_empty() {
                         // A replacement block landed on this warp's SM: give
                         // its sub-partitions deadlines for the new warps.
-                        let (home_sm, _) = self.warp_home[wid];
+                        let (home_sm, _, _) = self.warp_home[wid];
                         for i in 0..self.placements.len() {
                             let (psmsp, pwid) = self.placements[i];
                             if self.warps[pwid].is_exited() {
@@ -454,7 +726,7 @@ impl<'a> Run<'a> {
             assert!(
                 cycle - start_cycle < MAX_CYCLES,
                 "kernel '{}' exceeded {MAX_CYCLES} simulated cycles; the program is livelocked",
-                self.launch.name
+                self.label
             );
         }
         cycle
@@ -601,5 +873,126 @@ mod tests {
 
         assert_eq!(a1, b1);
         assert_eq!(a2, b2);
+    }
+
+    #[test]
+    fn single_stream_run_concurrent_matches_run_with_memory() {
+        let cfg = GpuConfig::test_small();
+        let launch = KernelLaunch::new("solo", 8, 128).with_regs_per_thread(32);
+        let kernel = StreamKernel::new(24);
+        for mode in [EngineMode::CycleAccurate, EngineMode::EventDriven] {
+            let sim = Simulator::new(cfg.clone()).with_mode(mode);
+            let direct = sim.run(&launch, &kernel);
+            for partition in StreamPartition::ALL {
+                let mut mem = MemorySystem::new(&cfg);
+                let stats = sim.run_concurrent(&[(&launch, &kernel)], partition, &mut mem, 0);
+                assert_eq!(stats.len(), 1);
+                assert_eq!(
+                    stats[0], direct,
+                    "K=1 {partition} diverged from the single-stream path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_streams_agree_across_engine_modes() {
+        let cfg = GpuConfig::test_small();
+        let la = KernelLaunch::new("a", 6, 128).with_regs_per_thread(32);
+        let lb = KernelLaunch::new("b", 4, 256).with_regs_per_thread(64);
+        let ka = StreamKernel::new(20);
+        let kb = PointerChaseKernel::new(12, 1 << 20);
+        for partition in StreamPartition::ALL {
+            let run = |mode: EngineMode| {
+                let sim = Simulator::new(cfg.clone()).with_mode(mode);
+                let mut mem = MemorySystem::new(&cfg);
+                sim.run_concurrent(&[(&la, &ka), (&lb, &kb)], partition, &mut mem, 0)
+            };
+            let reference = run(EngineMode::CycleAccurate);
+            let event = run(EngineMode::EventDriven);
+            for (i, (a, b)) in reference.iter().zip(event.iter()).enumerate() {
+                if let Some(diff) = a.first_difference(b) {
+                    panic!("engine modes diverged on {partition} stream {i}: {diff}");
+                }
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_streams_split_the_sms() {
+        // Two identical kernels on a 4-SM device: each stream gets 2 SMs and
+        // performs exactly the same work, so their issue counters match.
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg.clone());
+        let launch = KernelLaunch::new("half", 8, 128).with_regs_per_thread(32);
+        let kernel = StreamKernel::new(16);
+        let mut mem = MemorySystem::new(&cfg);
+        let stats = sim.run_concurrent(
+            &[(&launch, &kernel), (&launch, &kernel)],
+            StreamPartition::SmPartitioned,
+            &mut mem,
+            0,
+        );
+        assert_eq!(
+            stats[0].counters.insts_issued,
+            stats[1].counters.insts_issued
+        );
+        assert_eq!(stats[0].counters.blocks_launched, 8);
+        assert_eq!(stats[1].counters.blocks_launched, 8);
+        // Each stream's view is its 2-SM slice.
+        assert_eq!(stats[0].total_schedulers, 2 * 4);
+        assert!(stats[0].elapsed_cycles > 0 && stats[1].elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn interleaved_streams_share_issue_slots() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg.clone());
+        let launch = KernelLaunch::new("mix", 8, 128).with_regs_per_thread(32);
+        let kernel = PointerChaseKernel::new(24, 1 << 20);
+        let solo = sim.run(&launch, &kernel);
+        let mut mem = MemorySystem::new(&cfg);
+        let stats = sim.run_concurrent(
+            &[(&launch, &kernel), (&launch, &kernel)],
+            StreamPartition::Interleaved,
+            &mut mem,
+            0,
+        );
+        // Co-residency slows each stream down, but filling each other's
+        // stall cycles keeps the pair faster than running serially.
+        let slowest = stats.iter().map(|s| s.elapsed_cycles).max().unwrap();
+        assert!(slowest >= solo.elapsed_cycles);
+        assert!(
+            slowest < 2 * solo.elapsed_cycles,
+            "interleaving two latency-bound kernels must beat running them \
+             back-to-back ({slowest} vs 2x{})",
+            solo.elapsed_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent streams")]
+    fn stream_capacity_is_enforced() {
+        let cfg = GpuConfig::test_small().with_max_concurrent_streams(1);
+        let sim = Simulator::new(cfg.clone());
+        let launch = KernelLaunch::new("over", 2, 64);
+        let kernel = StreamKernel::new(4);
+        let mut mem = MemorySystem::new(&cfg);
+        let _ = sim.run_concurrent(
+            &[(&launch, &kernel), (&launch, &kernel)],
+            StreamPartition::Interleaved,
+            &mut mem,
+            0,
+        );
+    }
+
+    #[test]
+    fn stream_partition_names_round_trip() {
+        for p in StreamPartition::ALL {
+            assert_eq!(StreamPartition::from_name(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(StreamPartition::from_name("bogus"), None);
     }
 }

@@ -54,7 +54,7 @@ pub mod stats;
 pub mod warp;
 
 pub use config::{CacheConfig, DramConfig, GpuConfig};
-pub use engine::{EngineMode, Simulator};
+pub use engine::{EngineMode, Simulator, StreamPartition};
 pub use isa::{Instruction, LineSet, MemSpace, PrefetchTarget, Reg};
 pub use launch::{KernelLaunch, KernelProgram, WarpInfo, WarpProgram};
 pub use occupancy::Occupancy;

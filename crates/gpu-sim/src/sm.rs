@@ -117,14 +117,18 @@ impl SmspState {
 
 /// One streaming multiprocessor: its sub-partitions plus block bookkeeping
 /// used by the engine to decide when new thread blocks can be dispatched.
+///
+/// Blocks are keyed by an opaque `u64` so that co-resident kernel streams
+/// (which each number their blocks from zero) can share one SM without
+/// colliding: the engine packs `(stream, block)` into the key.
 #[derive(Debug)]
 pub struct SmState {
     /// The SM's sub-partitions (warp schedulers).
     pub smsps: Vec<SmspState>,
-    /// Currently resident thread blocks.
+    /// Currently resident thread blocks (across all streams).
     pub resident_blocks: u32,
-    /// Remaining (non-retired) warps per resident block.
-    block_remaining: HashMap<u32, u32>,
+    /// Remaining (non-retired) warps per resident block key.
+    block_remaining: HashMap<u64, u32>,
     next_smsp: usize,
 }
 
@@ -139,10 +143,10 @@ impl SmState {
         }
     }
 
-    /// Registers a dispatched block with `warps` warps.
-    pub fn begin_block(&mut self, block_id: u32, warps: u32) {
+    /// Registers a dispatched block with `warps` warps under `block_key`.
+    pub fn begin_block(&mut self, block_key: u64, warps: u32) {
         self.resident_blocks += 1;
-        self.block_remaining.insert(block_id, warps);
+        self.block_remaining.insert(block_key, warps);
     }
 
     /// Places a warp of a resident block onto the next sub-partition in
@@ -156,16 +160,17 @@ impl SmState {
         idx
     }
 
-    /// Records that one warp of `block_id` retired. Returns `true` if the
-    /// whole block has now finished (freeing a block slot on this SM).
-    pub fn warp_retired(&mut self, block_id: u32) -> bool {
+    /// Records that one warp of the block under `block_key` retired. Returns
+    /// `true` if the whole block has now finished (freeing a block slot on
+    /// this SM).
+    pub fn warp_retired(&mut self, block_key: u64) -> bool {
         let remaining = self
             .block_remaining
-            .get_mut(&block_id)
+            .get_mut(&block_key)
             .expect("retired warp's block must be resident");
         *remaining -= 1;
         if *remaining == 0 {
-            self.block_remaining.remove(&block_id);
+            self.block_remaining.remove(&block_key);
             self.resident_blocks -= 1;
             true
         } else {

@@ -7,15 +7,19 @@
 //! from the small [`Cases`] generator below. Failures print the case number
 //! and drawn values, which (being deterministic) reproduce exactly.
 
+use dlrm::WorkloadScale;
 use dlrm_datasets::{AccessPattern, CoverageCurve, TraceConfig, ZipfSampler};
 use embedding_kernels::{embedding_bag_forward, embedding_bag_forward_simt, SyntheticTable};
 use gpu_sim::config::CacheConfig;
 use gpu_sim::mem::Cache;
 use gpu_sim::occupancy::Occupancy;
+use gpu_sim::StreamPartition;
 use gpu_sim::{GpuConfig, KernelLaunch, KernelStats};
 use perf_envelope::json::Json;
 use perf_envelope::{
-    ClusterBreakdown, DeviceBreakdown, EndToEndBreakdown, RunReport, TableBreakdown, WorkloadKind,
+    BatchShapeStats, CampaignCache, ClusterBreakdown, DeviceBreakdown, DeviceUtilization,
+    EndToEndBreakdown, Experiment, LatencyStats, RunReport, Scheme, ServingReport, StreamConfig,
+    StreamUtilization, TableBreakdown, Workload, WorkloadKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -340,6 +344,145 @@ fn run_reports_with_cluster_breakdowns_round_trip() {
         assert_eq!(back.to_json(), text, "rendering must be canonical");
         let cluster = back.devices.expect("breakdown survives");
         assert_eq!(cluster.num_devices(), devices);
+    });
+}
+
+#[test]
+fn stream_config_names_round_trip() {
+    // Every constructible stream configuration survives the name
+    // round trip — the encoding the cell fingerprint and bench reports
+    // use — and one stream always canonicalizes to the single identity.
+    check("stream_config_names_round_trip", |g| {
+        let streams = g.range(1, 9) as u32;
+        let partition = if g.range(0, 2) == 0 {
+            StreamPartition::SmPartitioned
+        } else {
+            StreamPartition::Interleaved
+        };
+        let config = StreamConfig::new(streams, partition);
+        let back = StreamConfig::from_name(&config.name());
+        assert_eq!(
+            back,
+            Some(config),
+            "name {:?} must parse back",
+            config.name()
+        );
+        if streams == 1 {
+            assert_eq!(config, StreamConfig::single());
+            assert!(config.is_single());
+            assert_eq!(config.name(), "single");
+        } else {
+            assert_eq!(config.streams(), streams);
+            assert_eq!(config.partition(), partition);
+        }
+    });
+}
+
+#[test]
+fn stream_configs_partition_the_campaign_cache() {
+    // K=1 shares the pre-stream cache cell (persisted campaigns stay warm
+    // across the refactor); every distinct K>1 configuration gets its own
+    // cell and never collides with the single-stream one.
+    check("stream_configs_partition_the_campaign_cache", |g| {
+        let cache = CampaignCache::new();
+        let base =
+            Experiment::new(GpuConfig::test_small(), WorkloadScale::Test).with_cache(cache.clone());
+        let workload = Workload::kernel(g.pattern());
+        let scheme = Scheme::base();
+
+        let default = base.run(&workload, &scheme);
+        assert_eq!(cache.len(), 1, "one kernel workload is one cell");
+        let single = base
+            .clone()
+            .with_streams(StreamConfig::single())
+            .run(&workload, &scheme);
+        assert_eq!(
+            cache.len(),
+            1,
+            "an explicit single stream must hit the pre-stream cell"
+        );
+        assert_eq!(single, default);
+
+        let streams = g.range(2, 5) as u32; // test_small holds 4 streams
+        let partition = if g.range(0, 2) == 0 {
+            StreamPartition::SmPartitioned
+        } else {
+            StreamPartition::Interleaved
+        };
+        base.clone()
+            .with_streams(StreamConfig::new(streams, partition))
+            .run(&workload, &scheme);
+        assert_eq!(cache.len(), 2, "K={streams} must occupy a distinct cell");
+
+        // The other partition policy at the same K is distinct again.
+        let other = match partition {
+            StreamPartition::SmPartitioned => StreamPartition::Interleaved,
+            StreamPartition::Interleaved => StreamPartition::SmPartitioned,
+        };
+        base.clone()
+            .with_streams(StreamConfig::new(streams, other))
+            .run(&workload, &scheme);
+        assert_eq!(cache.len(), 3, "the partition policy is part of the key");
+    });
+}
+
+#[test]
+fn serving_reports_with_stream_utilization_round_trip() {
+    // Arbitrary well-formed serving reports — including the PR 6 stream
+    // block — survive the JSON round trip bit-for-bit with canonical
+    // rendering.
+    check("serving_reports_with_stream_utilization_round_trip", |g| {
+        let streams = g.range(1, 8) as u32;
+        let stream_utilization: Vec<StreamUtilization> = (0..streams)
+            .map(|stream| StreamUtilization {
+                stream,
+                busy_us: g.latency_us(),
+                batches: g.range(0, 1000) as u32,
+                utilization: g.range(0, 1025) as f64 / 1024.0,
+            })
+            .collect();
+        let report = ServingReport {
+            workload: format!("mix-{}", g.range(0, 100)),
+            scheme: "RPF+L2P".to_string(),
+            device: "Test GPU".to_string(),
+            scale: "test".to_string(),
+            seed: g.next_u64(),
+            traffic: "poisson".to_string(),
+            offered_qps: g.latency_us(),
+            policy: "fixed_size(64)".to_string(),
+            sla_us: g.latency_us(),
+            requests: g.range(1, 10_000) as u32,
+            batches: g.range(1, 1_000) as u32,
+            shapes: vec![BatchShapeStats {
+                shape: 1 << g.range(0, 9),
+                batches: g.range(1, 1_000) as u32,
+                latency_us: g.latency_us(),
+            }],
+            achieved_qps: g.latency_us(),
+            latency: LatencyStats {
+                p50_us: g.latency_us(),
+                p95_us: g.latency_us(),
+                p99_us: g.latency_us(),
+                max_us: g.latency_us(),
+                mean_us: g.latency_us(),
+            },
+            mean_batch_wait_us: g.latency_us(),
+            mean_queue_wait_us: g.latency_us(),
+            sla_violation_rate: g.range(0, 1025) as f64 / 1024.0,
+            utilization: vec![DeviceUtilization {
+                device: "Test GPU".to_string(),
+                busy_us: g.latency_us(),
+                utilization: g.range(0, 1025) as f64 / 1024.0,
+            }],
+            streams,
+            stream_utilization,
+            makespan_us: g.latency_us(),
+        };
+        let text = report.to_json();
+        let back = ServingReport::from_json(&text).expect("serving JSON parses back");
+        assert_eq!(back, report, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+        assert_eq!(back.stream_utilization.len(), back.streams as usize);
     });
 }
 

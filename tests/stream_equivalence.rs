@@ -1,0 +1,389 @@
+//! The concurrent-stream refactor's bit-exactness anchor.
+//!
+//! PR 6 threads a stream dimension (K concurrently-resident kernels per
+//! device) from the engine's launch/occupancy bookkeeping up through the
+//! experiment runner and into the serving queue model. The refactor's
+//! contract, proven here end to end: **one stream is not a special case
+//! that is merely close — it is bit-exact with the pre-stream pipeline**,
+//! on every layer:
+//!
+//! * engine: a single-kernel [`Simulator::run_concurrent`] call returns
+//!   the identical [`KernelStats`] as [`Simulator::run_with_memory`], on
+//!   both engine modes and under both [`StreamPartition`] policies;
+//! * experiment: `with_streams(StreamConfig::single())` reproduces the
+//!   default run report bit-for-bit, unsharded and on a 1-device cluster;
+//! * serving: the K-stream dispatch loop at K=1 reproduces a hand-rolled
+//!   scalar-FIFO reference simulation to the bit, and the degenerate
+//!   single-request anchor of PR 5 still collapses to a plain
+//!   `Experiment::run`.
+//!
+//! Beyond the anchor, multi-stream runs must be deterministic and
+//! engine-mode-invariant (the event-driven engine's cycle skipping may
+//! not change co-residency interleaving), and per-stream accounting must
+//! add up. This suite runs in release mode in CI.
+
+use dlrm::WorkloadScale;
+use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind, TraceConfig};
+use embedding_kernels::{
+    BufferStation, EmbeddingConfig, EmbeddingKernelSpec, EmbeddingWorkload, PrefetchConfig,
+};
+use gpu_sim::mem::MemorySystem;
+use gpu_sim::{EngineMode, GpuConfig, KernelProgram, KernelStats, Simulator, StreamPartition};
+use perf_envelope::{
+    BatchingPolicy, Cluster, Experiment, Scheme, ServingScenario, StreamConfig, TrafficModel,
+    Workload,
+};
+
+fn exp() -> Experiment {
+    Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+}
+
+/// Panics with the first differing statistics field if `a` and `b` are not
+/// bit-identical.
+fn assert_stats_equal(a: &KernelStats, b: &KernelStats, label: &str) {
+    if let Some(diff) = a.first_difference(b) {
+        panic!("stream paths diverged on {label}: {diff}");
+    }
+    assert_eq!(
+        a, b,
+        "stream paths diverged on {label} outside compared fields"
+    );
+}
+
+/// A cross-section of the embedding-bag kernel builds the schemes produce.
+fn kernel_variants() -> Vec<(String, EmbeddingKernelSpec)> {
+    vec![
+        ("base".to_string(), EmbeddingKernelSpec::base()),
+        (
+            "maxrreg48".to_string(),
+            EmbeddingKernelSpec::base().with_max_registers(48),
+        ),
+        (
+            "prefetch+OptMT".to_string(),
+            EmbeddingKernelSpec::base()
+                .with_max_registers(48)
+                .with_prefetch(PrefetchConfig::new(BufferStation::ALL[0], 4)),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Engine layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_kernel_run_concurrent_is_bit_exact_on_embedding_kernels() {
+    let cfg = GpuConfig::test_small();
+    let embedding = EmbeddingConfig::new(TraceConfig::new(20_000, 64, 10), 64);
+    for mode in [EngineMode::CycleAccurate, EngineMode::EventDriven] {
+        let sim = Simulator::new(cfg.clone()).with_mode(mode);
+        for pattern in [AccessPattern::MedHot, AccessPattern::Random] {
+            let workload = EmbeddingWorkload::generate(embedding, pattern, 0, 0x51);
+            for (name, spec) in kernel_variants() {
+                let launch = spec.launch(&workload);
+                let kernel = spec.kernel(&workload);
+                let mut direct_mem = MemorySystem::new(&cfg);
+                let direct = sim.run_with_memory(&launch, &kernel, &mut direct_mem, 0);
+                for partition in [StreamPartition::SmPartitioned, StreamPartition::Interleaved] {
+                    let mut mem = MemorySystem::new(&cfg);
+                    let streamed = sim.run_concurrent(
+                        &[(&launch, &kernel as &dyn KernelProgram)],
+                        partition,
+                        &mut mem,
+                        0,
+                    );
+                    assert_eq!(streamed.len(), 1);
+                    let label = format!(
+                        "{name}/{}/{}/{partition}",
+                        pattern.paper_name(),
+                        mode.name()
+                    );
+                    assert_stats_equal(&streamed[0], &direct, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_embedding_kernels_agree_across_engine_modes() {
+    // The event-driven engine's cycle skipping must not change how two
+    // co-resident embedding kernels interleave, under either partition.
+    let cfg = GpuConfig::test_small();
+    let embedding = EmbeddingConfig::new(TraceConfig::new(20_000, 64, 10), 64);
+    let spec = EmbeddingKernelSpec::base().with_max_registers(48);
+    let a = EmbeddingWorkload::generate(embedding, AccessPattern::MedHot, 0, 0x52);
+    let b = EmbeddingWorkload::generate(embedding, AccessPattern::Random, 1, 0x53);
+    let (launch_a, kernel_a) = (spec.launch(&a), spec.kernel(&a));
+    let (launch_b, kernel_b) = (spec.launch(&b), spec.kernel(&b));
+    for partition in [StreamPartition::SmPartitioned, StreamPartition::Interleaved] {
+        let run = |mode: EngineMode| -> Vec<KernelStats> {
+            let sim = Simulator::new(cfg.clone()).with_mode(mode);
+            let mut mem = MemorySystem::new(&cfg);
+            sim.run_concurrent(
+                &[
+                    (&launch_a, &kernel_a as &dyn KernelProgram),
+                    (&launch_b, &kernel_b as &dyn KernelProgram),
+                ],
+                partition,
+                &mut mem,
+                0,
+            )
+        };
+        let reference = run(EngineMode::CycleAccurate);
+        let event = run(EngineMode::EventDriven);
+        for (stream, (r, e)) in reference.iter().zip(event.iter()).enumerate() {
+            assert!(r.counters.insts_issued > 0, "stream {stream} ran nothing");
+            assert_stats_equal(r, e, &format!("{partition} stream {stream}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_single_stream_experiments_reproduce_the_default_reports() {
+    // `with_streams(single)` — and the canonicalized 1-stream spelling of
+    // either partition — must leave every run report bit-identical.
+    for mode in [EngineMode::EventDriven, EngineMode::CycleAccurate] {
+        let base = exp().with_engine_mode(mode);
+        for workload in [
+            Workload::kernel(AccessPattern::Random),
+            Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02)),
+            Workload::end_to_end(AccessPattern::MedHot),
+        ] {
+            for scheme in [Scheme::base(), Scheme::combined()] {
+                let default = base.run(&workload, &scheme);
+                for streams in [
+                    StreamConfig::single(),
+                    StreamConfig::new(1, StreamPartition::SmPartitioned),
+                    StreamConfig::new(1, StreamPartition::Interleaved),
+                ] {
+                    let streamed = base.clone().with_streams(streams).run(&workload, &scheme);
+                    if let Some(diff) = default.stats.first_difference(&streamed.stats) {
+                        panic!(
+                            "K=1 diverged on {workload}/{scheme}/{}: {diff}",
+                            mode.name()
+                        );
+                    }
+                    assert_eq!(
+                        streamed,
+                        default,
+                        "K=1 report diverged on {workload}/{scheme}/{}",
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn explicit_single_stream_is_bit_exact_on_a_single_device_cluster() {
+    let workload = Workload::end_to_end(HeterogeneousMix::paper_mix(MixKind::Mix1, 0.02));
+    let base = exp().with_cluster(Cluster::single(GpuConfig::test_small()));
+    let default = base.run(&workload, &Scheme::combined());
+    let streamed = base
+        .clone()
+        .with_streams(StreamConfig::single())
+        .run(&workload, &Scheme::combined());
+    assert_eq!(streamed, default);
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer
+// ---------------------------------------------------------------------------
+
+/// A hand-rolled scalar-FIFO serving simulation for fixed-size batching:
+/// the exact pre-stream pipeline, reimplemented independently of the
+/// production dispatch loop. One execution horizon, batches of
+/// `min(batch, remaining)` closing at their filling arrival, every batch
+/// priced at the configured shape.
+struct ScalarReference {
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    mean_us: f64,
+    batches: u32,
+    makespan_us: f64,
+    achieved_qps: f64,
+}
+
+fn scalar_fifo_reference(
+    experiment: &Experiment,
+    workload: &Workload,
+    scheme: &Scheme,
+    traffic: &TrafficModel,
+    batch: u32,
+    requests: u32,
+    seed: u64,
+) -> ScalarReference {
+    let arrivals = traffic.arrival_times_us(requests, seed);
+    let service_us = experiment
+        .clone()
+        .with_batch_size(batch)
+        .run(workload, scheme)
+        .latency_us;
+
+    let mut latencies = Vec::with_capacity(arrivals.len());
+    let mut stream_free = 0.0f64;
+    let mut batches = 0u32;
+    let mut first = 0usize;
+    while first < arrivals.len() {
+        let len = (batch as usize).min(arrivals.len() - first);
+        let close_us = arrivals[first + len - 1];
+        let start = if stream_free > close_us {
+            stream_free
+        } else {
+            close_us
+        };
+        let queue_wait = start - close_us;
+        for &arrival in &arrivals[first..first + len] {
+            latencies.push((close_us - arrival) + queue_wait + service_us);
+        }
+        stream_free = start + service_us;
+        batches += 1;
+        first += len;
+    }
+
+    let mut sorted = latencies;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = |p: f64| -> f64 {
+        let r = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[r.clamp(1, sorted.len()) - 1]
+    };
+    ScalarReference {
+        p50_us: rank(50.0),
+        p95_us: rank(95.0),
+        p99_us: rank(99.0),
+        max_us: sorted[sorted.len() - 1],
+        mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        batches,
+        makespan_us: stream_free,
+        achieved_qps: sorted.len() as f64 / stream_free * 1e6,
+    }
+}
+
+fn assert_matches_scalar_reference(experiment: &Experiment, workload: &Workload, scheme: &Scheme) {
+    let traffic = TrafficModel::poisson(30_000.0);
+    let (batch, requests, seed) = (64u32, 300u32, 0x54u64);
+    let reference = scalar_fifo_reference(
+        experiment, workload, scheme, &traffic, batch, requests, seed,
+    );
+    let report = ServingScenario::new(traffic, BatchingPolicy::fixed_size(batch))
+        .with_requests(requests)
+        .with_seed(seed)
+        .simulate(experiment, workload, scheme);
+    assert_eq!(report.batches, reference.batches);
+    assert_eq!(report.streams, 1);
+    for (name, got, want) in [
+        ("p50", report.latency.p50_us, reference.p50_us),
+        ("p95", report.latency.p95_us, reference.p95_us),
+        ("p99", report.latency.p99_us, reference.p99_us),
+        ("max", report.latency.max_us, reference.max_us),
+        ("mean", report.latency.mean_us, reference.mean_us),
+        ("makespan", report.makespan_us, reference.makespan_us),
+        ("achieved_qps", report.achieved_qps, reference.achieved_qps),
+    ] {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{name} diverged from the scalar-FIFO reference on {workload}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn single_stream_serving_is_bit_exact_with_a_scalar_fifo_reference() {
+    for mode in [EngineMode::EventDriven, EngineMode::CycleAccurate] {
+        assert_matches_scalar_reference(
+            &exp().with_engine_mode(mode),
+            &Workload::stage(AccessPattern::MedHot),
+            &Scheme::base(),
+        );
+    }
+    // Through the cluster path too: a 1-device cluster serves identically.
+    assert_matches_scalar_reference(
+        &exp().with_cluster(Cluster::single(GpuConfig::test_small())),
+        &Workload::end_to_end(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02)),
+        &Scheme::combined(),
+    );
+    // And under an explicit (canonicalized) single-stream config.
+    assert_matches_scalar_reference(
+        &exp().with_streams(StreamConfig::single()),
+        &Workload::stage(AccessPattern::HighHot),
+        &Scheme::optmt(),
+    );
+}
+
+#[test]
+fn degenerate_single_request_still_collapses_to_experiment_run() {
+    // PR 5's anchor, re-proven through the stream dispatch loop: one
+    // request, one batch, zero waits — every percentile IS the service
+    // latency from a plain `Experiment::run`.
+    let experiment = exp().with_streams(StreamConfig::single());
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let direct = experiment.run(&workload, &Scheme::base());
+    let batch = experiment.model().batch_size();
+    let report = ServingScenario::new(
+        TrafficModel::poisson(100.0),
+        BatchingPolicy::fixed_size(batch),
+    )
+    .with_requests(1)
+    .with_seed(7)
+    .simulate(&experiment, &workload, &Scheme::base());
+    assert_eq!(report.batches, 1);
+    assert_eq!(report.mean_batch_wait_us, 0.0);
+    assert_eq!(report.mean_queue_wait_us, 0.0);
+    assert_eq!(report.latency.p99_us.to_bits(), direct.latency_us.to_bits());
+    assert_eq!(report.latency.max_us.to_bits(), direct.latency_us.to_bits());
+    assert_eq!(report.stream_utilization.len(), 1);
+    assert_eq!(report.stream_utilization[0].batches, 1);
+}
+
+#[test]
+fn multi_stream_serving_is_deterministic_and_engine_mode_invariant() {
+    let streams = StreamConfig::new(2, StreamPartition::Interleaved);
+    let workload = Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02));
+    let scenario = ServingScenario::new(
+        TrafficModel::bursty(40_000.0, 24),
+        BatchingPolicy::fixed_size(64),
+    )
+    .with_requests(320)
+    .with_seed(11);
+
+    let event = scenario.simulate(&exp().with_streams(streams), &workload, &Scheme::optmt());
+    let repeat = scenario.simulate(&exp().with_streams(streams), &workload, &Scheme::optmt());
+    let reference = scenario.simulate(
+        &exp()
+            .with_streams(streams)
+            .with_engine_mode(EngineMode::CycleAccurate),
+        &workload,
+        &Scheme::optmt(),
+    );
+    assert_eq!(event, repeat, "multi-stream serving must be deterministic");
+    assert_eq!(
+        event, reference,
+        "the engine mode must not change multi-stream serving reports"
+    );
+
+    // Per-stream accounting adds up and both streams participate under
+    // bursty load.
+    assert_eq!(event.streams, 2);
+    assert_eq!(event.stream_utilization.len(), 2);
+    assert_eq!(
+        event
+            .stream_utilization
+            .iter()
+            .map(|s| s.batches)
+            .sum::<u32>(),
+        event.batches
+    );
+    for stream in &event.stream_utilization {
+        assert!(stream.batches > 0, "stream {} starved", stream.stream);
+        assert!(stream.busy_us <= event.makespan_us * (1.0 + 1e-12));
+    }
+}
