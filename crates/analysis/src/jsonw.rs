@@ -1,0 +1,55 @@
+//! Minimal JSON emission — just enough to render `AUDIT.json` without any
+//! external dependency (mirroring the no-deps policy of
+//! `perf_envelope::json` on the parsing side).
+
+/// Renders `s` as a JSON string literal (quotes included).
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a JSON array of pre-rendered values, one per line, indented.
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent + 2);
+    let close = " ".repeat(indent);
+    let body = items
+        .iter()
+        .map(|item| format!("{pad}{item}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n{close}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(str_lit("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(str_lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_render_multiline() {
+        assert_eq!(array(&[], 0), "[]");
+        let a = array(&["1".to_string(), "2".to_string()], 2);
+        assert_eq!(a, "[\n    1,\n    2\n  ]");
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded-violation fixture: every token rule must fire on this file.
+//! Not compiled — read as text by tests/analyzer.rs.
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn unordered() {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    let s: std::collections::HashSet<u32> = Default::default();
+    let _ = (m, s);
+    let in_string = "HashMap and HashSet and Instant in a string literal";
+    /* HashMap inside a block comment */
+    // SystemTime inside a line comment
+    let _ = in_string;
+}
+
+pub fn clocks() {
+    let t = std::time::Instant::now();
+    let u = std::time::SystemTime::now();
+    let _ = (t, u);
+}
+
+pub struct Accumulator {
+    pub values: Mutex<Vec<u32>>,
+    pub counter: AtomicU64,
+}
+
+pub fn accumulate(a: &Accumulator) {
+    a.counter.fetch_add(1, Ordering::Relaxed);
+    a.counter.fetch_sub(1, Ordering::Relaxed);
+}

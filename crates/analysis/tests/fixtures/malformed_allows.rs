@@ -1,0 +1,10 @@
+//! Malformed-directive fixture: a reason-less directive and an
+//! unknown-rule directive must each produce a `malformed_allow` finding
+//! AND fail to suppress the violation on their line. Not compiled — read
+//! as text by tests/analyzer.rs.
+
+pub fn broken_directives() {
+    let m: std::collections::HashMap<u32, u32> = Default::default(); // audit:allow(unordered_collection):
+    let s: std::collections::HashSet<u32> = Default::default(); // audit:allow(no_such_rule): justification
+    let _ = (m, s);
+}

@@ -1,0 +1,15 @@
+//! Suppression fixture: every violation here carries a valid
+//! `audit:allow`, so a scan must report zero findings and three
+//! suppressions. Not compiled — read as text by tests/analyzer.rs.
+
+pub fn all_allowed() {
+    // audit:allow(unordered_collection): keyed lookups only, never iterated
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    let t = std::time::Instant::now(); // audit:allow(wall_clock): harness-side timing
+    // audit:allow(thread_accumulation): monotonic counter, order-insensitive
+    // (the directive also covers multi-line comments like this one)
+    COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let _ = (m, t);
+}
+
+static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);

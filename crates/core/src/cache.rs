@@ -62,6 +62,8 @@ pub const CAMPAIGN_CACHE_SCHEMA: &str = "perf-envelope/campaign-cache/v1";
 /// cluster topology and model configuration, scale, engine mode).
 #[derive(Debug, Default)]
 pub struct CampaignCache {
+    // audit:allow(unordered_collection): keyed fingerprint lookups only;
+    // to_json sorts cells by key before rendering
     map: Mutex<HashMap<String, RunReport>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -85,9 +87,12 @@ impl CampaignCache {
     ) -> RunReport {
         let key = experiment.cell_fingerprint(workload, scheme);
         if let Some(report) = self.map.lock().expect("cache poisoned").get(&key) {
+            // audit:allow(thread_accumulation): monotonic counter; the total
+            // is order-insensitive and never feeds a simulated result
             self.hits.fetch_add(1, Ordering::Relaxed);
             return report.clone();
         }
+        // audit:allow(thread_accumulation): monotonic counter, order-insensitive
         self.misses.fetch_add(1, Ordering::Relaxed);
         let report = experiment.run_uncached(workload, scheme);
         self.map
@@ -174,6 +179,7 @@ impl CampaignCache {
             .get("cells")
             .and_then(Json::as_array)
             .ok_or_else(|| JsonError::schema("field 'cells' is not an array"))?;
+        // audit:allow(unordered_collection): keyed lookups only (see the map field)
         let mut map = HashMap::with_capacity(cells.len());
         for cell in cells {
             let key = cell

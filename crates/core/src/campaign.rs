@@ -67,6 +67,8 @@ where
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
             scope.spawn(|| loop {
+                // audit:allow(thread_accumulation): index allocator; every
+                // result lands in its per-index slot, not in claim order
                 let index = next_job.fetch_add(1, Ordering::Relaxed);
                 if index >= count {
                     break;

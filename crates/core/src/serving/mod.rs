@@ -83,7 +83,7 @@ mod batching;
 mod report;
 mod traffic;
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::runner::Experiment;
 use crate::scheme::Scheme;
@@ -263,7 +263,7 @@ impl ServingScenario {
         }
         // Price each distinct shape once per simulation; the experiment's
         // cache (when attached) extends that to once per process or beyond.
-        let mut priced: HashMap<u32, PricedShape> = HashMap::new();
+        let mut priced: BTreeMap<u32, PricedShape> = BTreeMap::new();
 
         let mut latencies = Vec::with_capacity(arrivals.len());
         let mut batch_wait_sum = 0.0;

@@ -933,7 +933,7 @@ mod tests {
         assert!(sub.name().starts_with("Mix2["), "{}", sub.name());
 
         let plan4 = RoundRobinSharding.plan(&mix, 4);
-        let mut per_pattern = std::collections::HashMap::new();
+        let mut per_pattern = std::collections::BTreeMap::new();
         for d in 0..4 {
             let sub = shard_mix(&mix, &plan4, d);
             for &(p, n) in sub.composition() {

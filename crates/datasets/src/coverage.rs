@@ -32,6 +32,8 @@ pub struct CoverageCurve {
 impl CoverageCurve {
     /// Builds the curve from a raw index trace.
     pub fn from_indices(indices: &[u32]) -> Self {
+        // audit:allow(unordered_collection): counts are collected then sorted
+        // descending before any consumer sees them
         let mut counts: HashMap<u32, u64> = HashMap::new();
         for &i in indices {
             *counts.entry(i).or_insert(0) += 1;

@@ -154,6 +154,7 @@ impl EmbeddingTrace {
 
     /// Number of distinct rows touched by the trace.
     pub fn unique_rows(&self) -> u64 {
+        // audit:allow(unordered_collection): cardinality only, never iterated
         let set: HashSet<u32> = self.indices.iter().copied().collect();
         set.len() as u64
     }
@@ -177,6 +178,8 @@ impl EmbeddingTrace {
 
     /// Per-row access counts, sorted hottest first, as `(row, count)`.
     pub fn row_popularity(&self) -> Vec<(u32, u64)> {
+        // audit:allow(unordered_collection): drained via sort_by with an
+        // explicit row-id tie-break below, so order is canonical
         let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
         for &idx in &self.indices {
             *counts.entry(idx).or_insert(0) += 1;
@@ -283,6 +286,7 @@ mod tests {
     fn hot_candidates_cover_most_hot_trace_accesses() {
         let cfg = TraceConfig::new(100_000, 512, 64);
         let t = cfg.generate(AccessPattern::HighHot, 7);
+        // audit:allow(unordered_collection): membership checks only
         let candidates: HashSet<u64> = cfg
             .hot_row_candidates(AccessPattern::HighHot, 4096, 7)
             .into_iter()

@@ -147,6 +147,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let unique_count = |exp: f64, rng: &mut StdRng| {
             let s = ZipfSampler::new(100_000, exp);
+            // audit:allow(unordered_collection): cardinality only
             let draws: HashSet<u64> = (0..20_000).map(|_| s.sample(rng)).collect();
             draws.len()
         };
@@ -160,6 +161,7 @@ mod tests {
     #[test]
     fn rank_to_row_is_a_permutation() {
         let s = ZipfSampler::new(10_007, 1.0);
+        // audit:allow(unordered_collection): cardinality only
         let rows: HashSet<u64> = (0..10_007).map(|r| s.rank_to_row(r)).collect();
         assert_eq!(rows.len(), 10_007);
     }
@@ -170,6 +172,7 @@ mod tests {
         let hot = s.hottest_rows(1000);
         assert_eq!(hot.len(), 1000);
         assert_eq!(hot[0], s.rank_to_row(0));
+        // audit:allow(unordered_collection): cardinality only
         let set: HashSet<u64> = hot.iter().copied().collect();
         assert_eq!(set.len(), 1000);
     }

@@ -62,6 +62,7 @@
 //! stream ran, not the stream's own traffic.
 
 use crate::config::GpuConfig;
+use crate::contract::EngineContract;
 use crate::launch::{KernelLaunch, KernelProgram, WarpInfo};
 use crate::mem::MemorySystem;
 use crate::occupancy::Occupancy;
@@ -137,6 +138,11 @@ impl std::fmt::Display for StreamPartition {
 pub struct Simulator {
     cfg: GpuConfig,
     mode: EngineMode,
+    /// Test-only fault injection: deliberately issue a second warp from the
+    /// same sub-partition in the same cycle, to prove the contract checker
+    /// trips (see `contract_checker_trips_on_double_issue`).
+    #[cfg(all(test, feature = "contract-checks"))]
+    double_issue_sabotage: bool,
 }
 
 impl Simulator {
@@ -146,7 +152,17 @@ impl Simulator {
         Simulator {
             cfg,
             mode: EngineMode::EventDriven,
+            #[cfg(all(test, feature = "contract-checks"))]
+            double_issue_sabotage: false,
         }
+    }
+
+    /// Enables the deliberate one-issue-per-cycle violation used to test
+    /// the contract checker.
+    #[cfg(all(test, feature = "contract-checks"))]
+    fn with_double_issue_sabotage(mut self) -> Self {
+        self.double_issue_sabotage = true;
+        self
     }
 
     /// Returns a copy of this simulator using the given engine mode.
@@ -234,6 +250,10 @@ impl Simulator {
 
         let start_snap = MemSnapshot::take(mem);
         let mut run = Run::new(&self.cfg, kernels, partition, start_cycle);
+        #[cfg(all(test, feature = "contract-checks"))]
+        {
+            run.double_issue = self.double_issue_sabotage;
+        }
         let end_cycle = match self.mode {
             EngineMode::CycleAccurate => run.run_cycle_accurate(mem, start_cycle),
             EngineMode::EventDriven => run.run_event_driven(mem, start_cycle),
@@ -345,6 +365,12 @@ struct Run<'a> {
     /// [`Run::dispatch_block`] call (reused across dispatches to avoid
     /// per-block allocation).
     placements: Vec<(usize, usize)>,
+    /// Scheduler-contract checker; a zero-sized no-op unless the
+    /// `contract-checks` feature is enabled.
+    contract: EngineContract,
+    /// Test-only fault injection (see [`Simulator`]).
+    #[cfg(all(test, feature = "contract-checks"))]
+    double_issue: bool,
 }
 
 impl<'a> Run<'a> {
@@ -417,6 +443,9 @@ impl<'a> Run<'a> {
             warp_home: Vec::with_capacity(total_warps),
             active_warps: 0,
             placements: Vec::with_capacity(max_wpb as usize),
+            contract: EngineContract::new(cfg.num_sms, cfg.smsps_per_sm, start_cycle),
+            #[cfg(all(test, feature = "contract-checks"))]
+            double_issue: false,
         };
 
         // Initial wave: fill every SM of each stream up to the stream's
@@ -504,6 +533,8 @@ impl<'a> Run<'a> {
             self.warps.push(ctx);
             self.warp_home.push((sm_id, stream, block_id));
             let smsp = self.sms[sm_id].place_warp(warp_id, ready);
+            self.contract
+                .on_dispatch(sm_id, smsp, ready, cycle, &self.sms[sm_id].smsps[smsp]);
             self.placements.push((smsp, warp_id));
         }
     }
@@ -556,10 +587,14 @@ impl<'a> Run<'a> {
     ) -> bool {
         let (home_sm, stream, block_id) = self.warp_home[wid];
         let cfg = self.cfg;
+        self.contract
+            .pre_issue(sm, smsp, now, self.warps[wid].ready_at());
         let retired = self.warps[wid].issue(now, mem, cfg, &mut self.streams[stream].counters);
         if !retired {
             let ready = self.warps[wid].ready_at();
             self.sms[sm].smsps[smsp].note_ready(wid, ready);
+            self.contract
+                .post_issue(sm, smsp, &self.sms[sm].smsps[smsp]);
             return false;
         }
         self.active_warps -= 1;
@@ -594,6 +629,8 @@ impl<'a> Run<'a> {
             // run's loop would exit).
             self.streams[stream].end = Some((now + 1, MemSnapshot::take(mem)));
         }
+        self.contract
+            .post_issue(sm, smsp, &self.sms[sm].smsps[smsp]);
         true
     }
 
@@ -602,6 +639,7 @@ impl<'a> Run<'a> {
     fn run_cycle_accurate(&mut self, mem: &mut MemorySystem, start_cycle: u64) -> u64 {
         let mut cycle = start_cycle;
         while self.active_warps > 0 || self.blocks_pending() {
+            self.contract.on_clock(cycle);
             if self.active_warps == 0 && self.blocks_pending() {
                 // All resident warps retired but blocks remain (can happen
                 // with degenerate empty programs).
@@ -678,6 +716,7 @@ impl<'a> Run<'a> {
                 debug_assert!(false, "active warps but no scheduled deadlines");
                 break;
             }
+            self.contract.on_clock(t);
             if t > cycle {
                 // The clock is about to jump past `t - cycle` stalled
                 // cycles; let the memory hierarchy retire the in-flight
@@ -697,6 +736,15 @@ impl<'a> Run<'a> {
 
                 if let Some(wid) = self.sms[sm].smsps[smsp].select_ready(t) {
                     let retired = self.issue_selected(wid, sm, smsp, t, mem);
+                    #[cfg(all(test, feature = "contract-checks"))]
+                    if self.double_issue {
+                        // Fault injection: issue a second ready warp from the
+                        // same sub-partition in the same cycle, violating the
+                        // one-issue-per-cycle contract on purpose.
+                        if let Some(w2) = self.sms[sm].smsps[smsp].select_ready(t) {
+                            self.issue_selected(w2, sm, smsp, t, mem);
+                        }
+                    }
                     if retired && !self.placements.is_empty() {
                         // A replacement block landed on this warp's SM: give
                         // its sub-partitions deadlines for the new warps.
@@ -985,6 +1033,19 @@ mod tests {
             &mut mem,
             0,
         );
+    }
+
+    /// The checker must actually detect a broken scheduler, not just stay
+    /// quiet on a correct one: injecting a second same-cycle issue from one
+    /// sub-partition has to trip the one-issue-per-cycle assertion.
+    #[test]
+    #[cfg(feature = "contract-checks")]
+    #[should_panic(expected = "more than one warp per smsp per cycle")]
+    fn contract_checker_trips_on_double_issue() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg).with_double_issue_sabotage();
+        let launch = KernelLaunch::new("sabotaged", 8, 128).with_regs_per_thread(32);
+        let _ = sim.run(&launch, &StreamKernel::new(16));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub(crate) mod contract;
 pub mod engine;
 pub mod isa;
 pub mod launch;

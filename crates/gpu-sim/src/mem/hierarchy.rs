@@ -45,8 +45,11 @@ pub struct MemorySystem {
     /// for the fill instead of enjoying a full-speed hit (MSHR-style
     /// hit-under-miss), which is what limits the usefulness of `L1DPF` at
     /// short prefetch distances.
+    // audit:allow(unordered_collection): keyed by exact line address, never
+    // iterated; completions drain through the sorted fill_deadlines heap
     l1_pending: HashMap<(usize, u64), u64>,
     /// Same bookkeeping for lines being installed into L2 by a prefetch.
+    // audit:allow(unordered_collection): same keyed-lookup-only discipline
     l2_pending: HashMap<u64, u64>,
     /// Completion deadlines of the in-flight fills above, ordered soonest
     /// first, so the hierarchy reports its pending work as deadlines rather
@@ -78,7 +81,9 @@ impl MemorySystem {
             l2,
             dram,
             shared_latency: cfg.shared_mem_latency,
+            // audit:allow(unordered_collection): empty init of the keyed map
             l1_pending: HashMap::new(),
+            // audit:allow(unordered_collection): empty init of the keyed map
             l2_pending: HashMap::new(),
             fill_deadlines: BinaryHeap::new(),
             shared_accesses: 0,

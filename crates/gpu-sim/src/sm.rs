@@ -128,6 +128,8 @@ pub struct SmState {
     /// Currently resident thread blocks (across all streams).
     pub resident_blocks: u32,
     /// Remaining (non-retired) warps per resident block key.
+    // audit:allow(unordered_collection): keyed decrement/remove only, never
+    // iterated — retirement order comes from the warps, not this map
     block_remaining: HashMap<u64, u32>,
     next_smsp: usize,
 }
@@ -138,6 +140,7 @@ impl SmState {
         SmState {
             smsps: (0..num_smsps).map(|_| SmspState::new()).collect(),
             resident_blocks: 0,
+            // audit:allow(unordered_collection): empty init of the keyed map
             block_remaining: HashMap::new(),
             next_smsp: 0,
         }

@@ -220,6 +220,7 @@ mod tests {
     #[test]
     fn warp_assignment_covers_all_bags_and_chunks() {
         let w = EmbeddingWorkload::generate(config(), AccessPattern::MedHot, 0, 1);
+        // audit:allow(unordered_collection): len-only coverage check
         let mut seen = std::collections::HashSet::new();
         for block in 0..config().grid_blocks() {
             for warp in 0..(THREADS_PER_BLOCK / 32) {

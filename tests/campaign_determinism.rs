@@ -86,10 +86,12 @@ fn assert_parallel_beats_serial(grid: &dyn Fn() -> Campaign) -> bool {
         return false;
     }
 
+    // audit:allow(wall_clock): times the host-side worker pool for a speedup
     let start = std::time::Instant::now();
     let serial = grid().threads(1).run();
     let serial_elapsed = start.elapsed();
 
+    // audit:allow(wall_clock): same host-side timing; never a simulated result
     let start = std::time::Instant::now();
     let parallel = grid().threads(threads).run();
     let parallel_elapsed = start.elapsed();
