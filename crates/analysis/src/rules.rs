@@ -290,6 +290,22 @@ pub const AUDITED_STRUCTS: &[StructSpec] = &[
         name: "PrefetchConfig",
         file: "crates/kernels/src/spec.rs",
     },
+    StructSpec {
+        name: "FaultPlan",
+        file: "crates/core/src/serving/faults.rs",
+    },
+    StructSpec {
+        name: "FaultEvent",
+        file: "crates/core/src/serving/faults.rs",
+    },
+    StructSpec {
+        name: "RetryPolicy",
+        file: "crates/core/src/serving/retry.rs",
+    },
+    StructSpec {
+        name: "AdmissionPolicy",
+        file: "crates/core/src/serving/retry.rs",
+    },
 ];
 
 /// Parses the field names of `struct_name` out of `source` (masked of

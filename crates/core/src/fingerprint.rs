@@ -25,6 +25,7 @@ use gpu_sim::{CacheConfig, EngineMode, GpuConfig};
 
 use crate::json::Json;
 use crate::scheme::{Multithreading, Scheme};
+use crate::serving::FaultPlan;
 use crate::topology::{Cluster, StreamConfig};
 use crate::workload::{Dataset, Workload, WorkloadTarget};
 
@@ -42,6 +43,7 @@ pub(crate) fn cell_key(
     tables_to_simulate: u32,
     mode: EngineMode,
     streams: StreamConfig,
+    faults: &FaultPlan,
     workload: &Workload,
     scheme: &Scheme,
 ) -> String {
@@ -75,6 +77,32 @@ pub(crate) fn cell_key(
             Json::Str(streams.partition().name().to_string()),
         );
         doc.set("streams", s);
+    }
+    // The empty fault plan is canonically the fault-free experiment: the
+    // key omits the axis entirely, keeping pre-fault keys byte-identical
+    // and persisted caches warm. A non-empty plan partitions cells
+    // conservatively — the plan shapes serving-layer dispatch rather than
+    // the priced kernels, but a resilience study must never alias a
+    // fault-free study's cells in a persisted cache.
+    if !faults.is_empty() {
+        doc.set(
+            "faults",
+            Json::Arr(
+                faults
+                    .events()
+                    .iter()
+                    .map(|event| {
+                        let mut e = Json::object();
+                        e.set("device", Json::UInt(event.device() as u64));
+                        e.set("kind", Json::Str(event.kind().name().to_string()));
+                        e.set("start_us", Json::Num(event.start_us()));
+                        e.set("end_us", Json::Num(event.end_us()));
+                        e.set("factor", Json::Num(event.factor()));
+                        e
+                    })
+                    .collect(),
+            ),
+        );
     }
     doc.set("workload", workload_to_json(workload));
     doc.set("scheme", scheme_to_json(scheme));
@@ -289,6 +317,15 @@ mod tests {
     }
 
     fn key_with_streams(streams: StreamConfig, workload: &Workload, scheme: &Scheme) -> String {
+        key_with_faults(streams, &FaultPlan::empty(), workload, scheme)
+    }
+
+    fn key_with_faults(
+        streams: StreamConfig,
+        faults: &FaultPlan,
+        workload: &Workload,
+        scheme: &Scheme,
+    ) -> String {
         cell_key(
             &Cluster::single(GpuConfig::test_small()),
             &DlrmConfig::at_scale(WorkloadScale::Test),
@@ -297,6 +334,7 @@ mod tests {
             1,
             EngineMode::EventDriven,
             streams,
+            faults,
             workload,
             scheme,
         )
@@ -375,6 +413,7 @@ mod tests {
             1,
             EngineMode::EventDriven,
             StreamConfig::single(),
+            &FaultPlan::empty(),
             &workload,
             &Scheme::base(),
         );
@@ -386,6 +425,7 @@ mod tests {
             1,
             EngineMode::EventDriven,
             StreamConfig::single(),
+            &FaultPlan::empty(),
             &workload,
             &Scheme::base(),
         );
@@ -398,6 +438,7 @@ mod tests {
             1,
             EngineMode::EventDriven,
             StreamConfig::single(),
+            &FaultPlan::empty(),
             &workload,
             &Scheme::base(),
         );
@@ -439,6 +480,51 @@ mod tests {
             dual,
             key_with_streams(
                 StreamConfig::new(4, StreamPartition::Interleaved),
+                &workload,
+                &Scheme::base(),
+            )
+        );
+    }
+
+    #[test]
+    fn fault_plans_distinguish_keys_except_the_empty_plan() {
+        use crate::serving::FaultEvent;
+
+        let workload = Workload::stage(AccessPattern::MedHot);
+        let base = key(&workload, &Scheme::base());
+        // The empty plan is canonically the fault-free cell: no `faults`
+        // key at all, byte-identical with the v1 encoding.
+        let empty = key_with_faults(
+            StreamConfig::single(),
+            &FaultPlan::empty(),
+            &workload,
+            &Scheme::base(),
+        );
+        assert_eq!(base, empty);
+        assert!(!base.contains("\"faults\""));
+        // Non-empty plans are distinct cells, per plan.
+        let crashed = key_with_faults(
+            StreamConfig::single(),
+            &FaultPlan::new(vec![FaultEvent::crash(0, 1_000.0, 2_000.0)]),
+            &workload,
+            &Scheme::base(),
+        );
+        assert_ne!(base, crashed);
+        assert!(crashed.contains("\"faults\""));
+        assert_ne!(
+            crashed,
+            key_with_faults(
+                StreamConfig::single(),
+                &FaultPlan::new(vec![FaultEvent::drain(0, 1_000.0, 2_000.0)]),
+                &workload,
+                &Scheme::base(),
+            )
+        );
+        assert_ne!(
+            crashed,
+            key_with_faults(
+                StreamConfig::single(),
+                &FaultPlan::new(vec![FaultEvent::crash(0, 1_000.0, 3_000.0)]),
                 &workload,
                 &Scheme::base(),
             )

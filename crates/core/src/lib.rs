@@ -115,12 +115,14 @@ pub use report::{
 pub use runner::Experiment;
 pub use scheme::{Multithreading, Scheme};
 pub use serving::{
-    best_stream_config, max_sustainable_qps, select_scheme, stream_capacity_sweep, BatchShapeStats,
-    BatchingPolicy, CapacityResult, DeviceUtilization, LatencyStats, SchemeChoice, ServingReport,
-    ServingScenario, StreamCapacityPoint, StreamUtilization, TrafficModel, SERVING_REPORT_SCHEMA,
+    best_stream_config, max_sustainable_qps, select_scheme, stream_capacity_sweep, AdmissionKind,
+    AdmissionPolicy, BatchShapeStats, BatchingPolicy, CapacityResult, DeviceUtilization,
+    FaultEvent, FaultKind, FaultPlan, FaultTimelineEntry, LatencyStats, RetryKind, RetryPolicy,
+    SchemeChoice, ServingReport, ServingScenario, StreamCapacityPoint, StreamUtilization,
+    TrafficModel, FAULT_PLAN_SCHEMA, SERVING_REPORT_SCHEMA,
 };
 pub use topology::{
-    Cluster, HotColdSharding, InterconnectConfig, RoundRobinSharding, ShardPlan, ShardingSpec,
-    ShardingStrategy, SizeBalancedSharding, StreamConfig, TableProfile,
+    Cluster, DeviceHealth, HotColdSharding, InterconnectConfig, RoundRobinSharding, ShardPlan,
+    ShardingSpec, ShardingStrategy, SizeBalancedSharding, StreamConfig, TableProfile,
 };
 pub use workload::{Dataset, Workload, WorkloadKind, WorkloadTarget};

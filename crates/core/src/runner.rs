@@ -32,6 +32,7 @@ use crate::report::{
     ClusterBreakdown, DeviceBreakdown, EndToEndBreakdown, RunReport, TableBreakdown,
 };
 use crate::scheme::Scheme;
+use crate::serving::FaultPlan;
 use crate::topology::{shard_mix, Cluster, ShardPlan, StreamConfig};
 use crate::workload::{Workload, WorkloadKind, WorkloadTarget};
 
@@ -55,6 +56,7 @@ pub struct Experiment {
     seed: u64,
     threads: usize,
     streams: StreamConfig,
+    faults: FaultPlan,
     cache: Option<Arc<CampaignCache>>,
 }
 
@@ -77,6 +79,7 @@ impl Experiment {
             seed: 0x5EED,
             threads: 0,
             streams: StreamConfig::single(),
+            faults: FaultPlan::empty(),
             cache: None,
         }
     }
@@ -240,6 +243,24 @@ impl Experiment {
         self.streams
     }
 
+    /// Attaches a deterministic [`FaultPlan`] timeline. The plan shapes
+    /// the [`crate::serving`] layer's dispatch (crash/drain windows,
+    /// straggler and interconnect-degradation factors) rather than the
+    /// priced kernel cells themselves, but a faulted study must never
+    /// alias a fault-free one in a persisted [`CampaignCache`], so a
+    /// non-empty plan is part of the cell fingerprint; the empty plan
+    /// (the default) is omitted and keeps v1 keys byte-identical.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        faults.validate(self.cluster.num_devices());
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault timeline (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Runs `workload` under `scheme` and reports the outcome.
     ///
     /// This is the single entry point that covers all of the paper's run
@@ -285,6 +306,7 @@ impl Experiment {
             self.tables_to_simulate,
             self.sim.mode(),
             self.streams,
+            &self.faults,
             workload,
             scheme,
         )

@@ -1,0 +1,698 @@
+//! Deterministic fault injection: [`FaultPlan`] and [`FaultEvent`].
+//!
+//! A fault plan is a *seedless, fully explicit* event timeline — pure data,
+//! serializable to canonical JSON — that a [`crate::ServingScenario`]
+//! replays against the serving simulation ([`ServingScenario::with_faults`]).
+//! Because every event carries absolute simulated times, a faulted scenario
+//! is exactly as deterministic and thread-count-invariant as a healthy one:
+//! the same plan produces the bit-identical [`crate::ServingReport`] on
+//! every run.
+//!
+//! # Event timeline semantics
+//!
+//! Each [`FaultEvent`] is a half-open window `[start_us, end_us)` on the
+//! simulation clock (microseconds from the first arrival), scoped to one
+//! device of the deployment (or to the interconnect fabric):
+//!
+//! * **Crash** — the device is down for the window. Batches *in flight*
+//!   when the window opens are **lost** at `start_us` (their partial work
+//!   is accounted, their requests fail unless a
+//!   [`crate::RetryPolicy`] re-dispatches them), and no new batch may start
+//!   inside the window; dispatch resumes at `end_us` (the recovery time).
+//! * **Drain** — the device stops accepting new batches for the window but
+//!   **finishes in-flight work**: nothing is lost, dispatch is merely
+//!   deferred to `end_us`. A drain therefore never fails a request.
+//! * **Straggler** — batches *starting* inside the window run `factor`
+//!   times their nominal service latency (overlapping straggler windows
+//!   multiply).
+//! * **InterconnectDegradation** — batches starting inside the window pay
+//!   `(factor - 1)` extra copies of their priced all-to-all time (the
+//!   cross-device gather of a sharded workload); unsharded deployments,
+//!   whose all-to-all is zero, are unaffected.
+//!
+//! # Fault domain
+//!
+//! The *deployment* is the fault domain. A priced batch spans every device
+//! of the cluster (a sharded batch needs all shards; an unsharded one has a
+//! single device), so a crash or drain on **any** device blocks dispatch
+//! deployment-wide and a crash loses **all** in-flight batches — the
+//! event's device index identifies the culprit in the report's timeline
+//! and in [`FaultPlan::device_health`], not a sub-domain that could keep
+//! serving. Modelling independent per-replica fault domains is the fleet
+//! layer's job (ROADMAP item 2).
+//!
+//! # Degenerate-equivalence invariant
+//!
+//! An **empty** plan is the identity: every timeline query returns its
+//! input unchanged (the same `f64` bits — no arithmetic is applied), so a
+//! scenario with `FaultPlan::empty()` is bit-exact with the pre-fault
+//! serving path, and the empty plan is omitted from the cache-cell
+//! fingerprint entirely (the v1 key stays byte-identical).
+//! `tests/resilience_equivalence.rs` holds that line in release-mode CI.
+
+use std::cmp::Ordering;
+
+use crate::json::{Json, JsonError};
+use crate::topology::DeviceHealth;
+
+/// Identifier of the fault-plan JSON schema produced by this crate version.
+pub const FAULT_PLAN_SCHEMA: &str = "perf-envelope/fault-plan/v1";
+
+/// What a [`FaultEvent`] does to the deployment during its window. See the
+/// [serving module docs](super) for the full timeline semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Device down: in-flight batches lost at `start_us`, dispatch blocked
+    /// until `end_us` (the recovery time).
+    Crash,
+    /// Device draining: in-flight batches finish, new dispatch blocked
+    /// until `end_us`. Loses nothing.
+    Drain,
+    /// Batches starting in the window run `factor` times slower.
+    Straggler,
+    /// Batches starting in the window pay `(factor - 1)` extra copies of
+    /// their all-to-all time.
+    InterconnectDegradation,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (the JSON and fingerprint encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Drain => "drain",
+            FaultKind::Straggler => "straggler",
+            FaultKind::InterconnectDegradation => "interconnect_degradation",
+        }
+    }
+
+    /// Parses a kind back from its [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        match name {
+            "crash" => Some(FaultKind::Crash),
+            "drain" => Some(FaultKind::Drain),
+            "straggler" => Some(FaultKind::Straggler),
+            "interconnect_degradation" => Some(FaultKind::InterconnectDegradation),
+            _ => None,
+        }
+    }
+}
+
+/// One deterministic fault: a kind, a device, a half-open time window and
+/// (for the slowdown kinds) a factor. Construct via [`FaultEvent::crash`],
+/// [`FaultEvent::drain`], [`FaultEvent::straggler`] or
+/// [`FaultEvent::interconnect_degradation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    device: u32,
+    kind: FaultKind,
+    start_us: f64,
+    end_us: f64,
+    factor: f64,
+}
+
+impl FaultEvent {
+    fn assert_window(start_us: f64, end_us: f64) {
+        assert!(
+            start_us.is_finite() && end_us.is_finite() && start_us >= 0.0 && end_us > start_us,
+            "a fault window needs finite times with 0 <= start < end \
+             (got {start_us}..{end_us})"
+        );
+    }
+
+    /// A device crash at `at_us` recovering at `recovery_us`: in-flight
+    /// batches are lost at `at_us`, dispatch resumes at `recovery_us`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= at_us < recovery_us` and both are finite.
+    pub fn crash(device: u32, at_us: f64, recovery_us: f64) -> FaultEvent {
+        Self::assert_window(at_us, recovery_us);
+        FaultEvent {
+            device,
+            kind: FaultKind::Crash,
+            start_us: at_us,
+            end_us: recovery_us,
+            factor: 1.0,
+        }
+    }
+
+    /// A drain window on `device`: in-flight work finishes, new dispatch is
+    /// deferred to `end_us`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= start_us < end_us` and both are finite.
+    pub fn drain(device: u32, start_us: f64, end_us: f64) -> FaultEvent {
+        Self::assert_window(start_us, end_us);
+        FaultEvent {
+            device,
+            kind: FaultKind::Drain,
+            start_us,
+            end_us,
+            factor: 1.0,
+        }
+    }
+
+    /// A straggling device: batches starting in the window run `factor`
+    /// times their nominal service latency.
+    ///
+    /// # Panics
+    /// Panics unless the window is valid and `factor` is finite and `>= 1`.
+    pub fn straggler(device: u32, start_us: f64, end_us: f64, factor: f64) -> FaultEvent {
+        Self::assert_window(start_us, end_us);
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "a straggler factor must be finite and >= 1 (got {factor})"
+        );
+        FaultEvent {
+            device,
+            kind: FaultKind::Straggler,
+            start_us,
+            end_us,
+            factor,
+        }
+    }
+
+    /// Interconnect degradation: batches starting in the window pay
+    /// `(multiplier - 1)` extra copies of their priced all-to-all time.
+    /// The event is attributed to the fabric (device index 0 by
+    /// convention); unsharded deployments are unaffected.
+    ///
+    /// # Panics
+    /// Panics unless the window is valid and `multiplier` is finite and
+    /// `>= 1`.
+    pub fn interconnect_degradation(start_us: f64, end_us: f64, multiplier: f64) -> FaultEvent {
+        Self::assert_window(start_us, end_us);
+        assert!(
+            multiplier.is_finite() && multiplier >= 1.0,
+            "a degradation multiplier must be finite and >= 1 (got {multiplier})"
+        );
+        FaultEvent {
+            device: 0,
+            kind: FaultKind::InterconnectDegradation,
+            start_us,
+            end_us,
+            factor: multiplier,
+        }
+    }
+
+    /// The device the event is scoped to (the fabric convention index 0
+    /// for [`FaultKind::InterconnectDegradation`]).
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// When the window opens, in microseconds from the first arrival.
+    pub fn start_us(&self) -> f64 {
+        self.start_us
+    }
+
+    /// When the window closes (exclusive): the recovery / drain-complete /
+    /// back-to-nominal time.
+    pub fn end_us(&self) -> f64 {
+        self.end_us
+    }
+
+    /// The slowdown factor (`1.0` for crash and drain events).
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Human-readable label, e.g. `"crash(dev0, 1000us..2000us)"`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            FaultKind::Crash | FaultKind::Drain => format!(
+                "{}(dev{}, {}us..{}us)",
+                self.kind.name(),
+                self.device,
+                self.start_us,
+                self.end_us
+            ),
+            FaultKind::Straggler => format!(
+                "straggler(dev{}, {}us..{}us, {}x)",
+                self.device, self.start_us, self.end_us, self.factor
+            ),
+            FaultKind::InterconnectDegradation => format!(
+                "interconnect_degradation({}us..{}us, {}x)",
+                self.start_us, self.end_us, self.factor
+            ),
+        }
+    }
+
+    fn to_json_value(self) -> Json {
+        let mut doc = Json::object();
+        doc.set("device", Json::UInt(self.device as u64));
+        doc.set("kind", Json::Str(self.kind.name().to_string()));
+        doc.set("start_us", Json::Num(self.start_us));
+        doc.set("end_us", Json::Num(self.end_us));
+        doc.set("factor", Json::Num(self.factor));
+        doc
+    }
+
+    fn from_json_value(doc: &Json) -> Result<FaultEvent, JsonError> {
+        let device = doc
+            .get("device")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| JsonError::schema("fault event field 'device' is not an integer"))?;
+        let kind_name = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::schema("fault event field 'kind' is not a string"))?;
+        let kind = FaultKind::from_name(kind_name)
+            .ok_or_else(|| JsonError::schema(format!("unknown fault kind '{kind_name}'")))?;
+        let num = |key: &str| -> Result<f64, JsonError> {
+            doc.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                JsonError::schema(format!("fault event field '{key}' is not a number"))
+            })
+        };
+        let (start_us, end_us, factor) = (num("start_us")?, num("end_us")?, num("factor")?);
+        Ok(match kind {
+            FaultKind::Crash => FaultEvent::crash(device, start_us, end_us),
+            FaultKind::Drain => FaultEvent::drain(device, start_us, end_us),
+            FaultKind::Straggler => FaultEvent::straggler(device, start_us, end_us, factor),
+            FaultKind::InterconnectDegradation => {
+                FaultEvent::interconnect_degradation(start_us, end_us, factor)
+            }
+        })
+    }
+}
+
+/// Canonical event order: by start time, then device, then kind, then end
+/// time, then factor — so the same event *set* always encodes (and
+/// fingerprints) identically whatever order it was built in.
+fn canonical_order(a: &FaultEvent, b: &FaultEvent) -> Ordering {
+    a.start_us
+        .partial_cmp(&b.start_us)
+        .expect("fault times are finite")
+        .then(a.device.cmp(&b.device))
+        .then(a.kind.cmp(&b.kind))
+        .then(
+            a.end_us
+                .partial_cmp(&b.end_us)
+                .expect("fault times are finite"),
+        )
+        .then(
+            a.factor
+                .partial_cmp(&b.factor)
+                .expect("fault factors are finite"),
+        )
+}
+
+/// A deterministic fault timeline: a canonically-sorted list of
+/// [`FaultEvent`]s. Pure data — attach it to a scenario with
+/// [`crate::ServingScenario::with_faults`]. The empty plan is the identity
+/// (see the [serving module docs](super)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::empty()
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no events, bit-exact with the pre-fault
+    /// serving path.
+    pub fn empty() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// A plan over the given events, canonically sorted (the same event
+    /// set in any order builds the same plan).
+    pub fn new(events: Vec<FaultEvent>) -> FaultPlan {
+        let mut events = events;
+        events.sort_by(canonical_order);
+        FaultPlan { events }
+    }
+
+    /// Returns this plan with one more event (re-sorted canonically).
+    pub fn with_event(self, event: FaultEvent) -> FaultPlan {
+        let mut events = self.events;
+        events.push(event);
+        FaultPlan::new(events)
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in canonical order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Asserts every device-scoped event targets a device of the
+    /// deployment.
+    ///
+    /// # Panics
+    /// Panics when an event names a device index `>= num_devices`.
+    pub fn validate(&self, num_devices: usize) {
+        for event in &self.events {
+            assert!(
+                (event.device as usize) < num_devices,
+                "fault event {} targets device {} of a {}-device deployment",
+                event.label(),
+                event.device,
+                num_devices
+            );
+        }
+    }
+
+    /// The instantaneous health of one device at `t_us`: `Down` inside a
+    /// crash window, else `Draining` inside a drain window, else
+    /// `Straggling` inside a straggler window, else `Up`. Interconnect
+    /// events never mark a device unhealthy.
+    pub fn device_health(&self, device: u32, t_us: f64) -> DeviceHealth {
+        let mut health = DeviceHealth::Up;
+        for event in &self.events {
+            if event.device != device || t_us < event.start_us || t_us >= event.end_us {
+                continue;
+            }
+            let state = match event.kind {
+                FaultKind::Crash => DeviceHealth::Down,
+                FaultKind::Drain => DeviceHealth::Draining,
+                FaultKind::Straggler => DeviceHealth::Straggling,
+                FaultKind::InterconnectDegradation => continue,
+            };
+            if state.severity() > health.severity() {
+                health = state;
+            }
+        }
+        health
+    }
+
+    /// The earliest time `>= t_us` at which a new batch may be dispatched:
+    /// `t_us` itself (unchanged bits) when no crash or drain window covers
+    /// it, otherwise the fixed point past every blocking window. The
+    /// deployment is the fault domain, so any device's window blocks
+    /// dispatch.
+    pub(crate) fn next_dispatch_us(&self, t_us: f64) -> f64 {
+        let mut t = t_us;
+        loop {
+            let mut moved = false;
+            for event in &self.events {
+                if matches!(event.kind, FaultKind::Crash | FaultKind::Drain)
+                    && t >= event.start_us
+                    && t < event.end_us
+                {
+                    t = event.end_us;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// The earliest crash opening strictly inside `(start_us, end_us)`,
+    /// as `(event index, crash time)` — the moment an in-flight batch
+    /// spanning that window is lost. `None` when no crash interrupts it.
+    pub(crate) fn first_crash_in(&self, start_us: f64, end_us: f64) -> Option<(usize, f64)> {
+        let mut hit: Option<(usize, f64)> = None;
+        for (i, event) in self.events.iter().enumerate() {
+            if event.kind == FaultKind::Crash
+                && event.start_us > start_us
+                && event.start_us < end_us
+                && hit.is_none_or(|(_, t)| event.start_us < t)
+            {
+                hit = Some((i, event.start_us));
+            }
+        }
+        hit
+    }
+
+    /// The product of straggler factors active at `t_us` (`1.0` when
+    /// none).
+    pub(crate) fn straggler_factor(&self, t_us: f64) -> f64 {
+        let mut factor = 1.0;
+        for event in &self.events {
+            if event.kind == FaultKind::Straggler && t_us >= event.start_us && t_us < event.end_us {
+                factor *= event.factor;
+            }
+        }
+        factor
+    }
+
+    /// The product of interconnect-degradation multipliers active at
+    /// `t_us` (`1.0` when none).
+    pub(crate) fn degradation_multiplier(&self, t_us: f64) -> f64 {
+        let mut factor = 1.0;
+        for event in &self.events {
+            if event.kind == FaultKind::InterconnectDegradation
+                && t_us >= event.start_us
+                && t_us < event.end_us
+            {
+                factor *= event.factor;
+            }
+        }
+        factor
+    }
+
+    /// Serializes the plan to compact canonical JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The plan as a [`Json`] document.
+    pub fn to_json_value(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("schema", Json::Str(FAULT_PLAN_SCHEMA.to_string()));
+        doc.set(
+            "events",
+            Json::Arr(self.events.iter().map(|e| e.to_json_value()).collect()),
+        );
+        doc
+    }
+
+    /// Parses a plan back from [`FaultPlan::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors, a wrong `schema` tag, or
+    /// malformed events.
+    pub fn from_json(text: &str) -> Result<FaultPlan, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parses a plan from an already-parsed [`Json`] document.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a wrong `schema` tag or malformed events.
+    pub fn from_json_value(doc: &Json) -> Result<FaultPlan, JsonError> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::schema("missing field 'schema'"))?;
+        if schema != FAULT_PLAN_SCHEMA {
+            return Err(JsonError::schema(format!(
+                "unsupported fault-plan schema '{schema}'"
+            )));
+        }
+        let events = doc
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError::schema("field 'events' is not an array"))?
+            .iter()
+            .map(FaultEvent::from_json_value)
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(FaultPlan::new(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_populate_the_right_kinds() {
+        let crash = FaultEvent::crash(1, 100.0, 200.0);
+        assert_eq!(crash.kind(), FaultKind::Crash);
+        assert_eq!(crash.device(), 1);
+        assert_eq!((crash.start_us(), crash.end_us()), (100.0, 200.0));
+        assert_eq!(crash.factor(), 1.0);
+        let drain = FaultEvent::drain(0, 50.0, 80.0);
+        assert_eq!(drain.kind(), FaultKind::Drain);
+        let slow = FaultEvent::straggler(2, 10.0, 20.0, 4.0);
+        assert_eq!((slow.kind(), slow.factor()), (FaultKind::Straggler, 4.0));
+        let fabric = FaultEvent::interconnect_degradation(5.0, 6.0, 2.0);
+        assert_eq!(fabric.kind(), FaultKind::InterconnectDegradation);
+        assert_eq!(fabric.device(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite times")]
+    fn inverted_windows_are_rejected() {
+        let _ = FaultEvent::crash(0, 200.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 1")]
+    fn sub_unit_straggler_factors_are_rejected() {
+        let _ = FaultEvent::straggler(0, 0.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn plans_sort_canonically_whatever_the_build_order() {
+        let a = FaultEvent::crash(0, 100.0, 200.0);
+        let b = FaultEvent::drain(1, 50.0, 80.0);
+        let c = FaultEvent::straggler(0, 100.0, 300.0, 2.0);
+        let forward = FaultPlan::new(vec![a, b, c]);
+        let backward = FaultPlan::empty().with_event(c).with_event(a).with_event(b);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.to_json(), backward.to_json());
+        assert_eq!(forward.events()[0], b, "earliest start first");
+        assert_eq!(forward.len(), 3);
+        assert!(!forward.is_empty());
+    }
+
+    #[test]
+    fn the_empty_plan_is_the_identity_on_every_query() {
+        let plan = FaultPlan::empty();
+        for t in [0.0, 1.5, -0.0, 1e12] {
+            assert_eq!(plan.next_dispatch_us(t).to_bits(), t.to_bits());
+            assert_eq!(plan.straggler_factor(t), 1.0);
+            assert_eq!(plan.degradation_multiplier(t), 1.0);
+            assert_eq!(plan.device_health(0, t), DeviceHealth::Up);
+        }
+        assert_eq!(plan.first_crash_in(0.0, 1e9), None);
+        plan.validate(1);
+    }
+
+    #[test]
+    fn blocking_windows_chain_to_a_fixed_point() {
+        // Two overlapping blocking windows: dispatch lands past both.
+        let plan = FaultPlan::new(vec![
+            FaultEvent::crash(0, 100.0, 250.0),
+            FaultEvent::drain(0, 200.0, 400.0),
+        ]);
+        assert_eq!(plan.next_dispatch_us(50.0), 50.0);
+        assert_eq!(plan.next_dispatch_us(100.0), 400.0);
+        assert_eq!(plan.next_dispatch_us(300.0), 400.0);
+        assert_eq!(plan.next_dispatch_us(400.0), 400.0);
+    }
+
+    #[test]
+    fn crashes_cut_spanning_windows_at_their_start() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::crash(0, 100.0, 150.0),
+            FaultEvent::crash(0, 120.0, 160.0),
+        ]);
+        // The earliest crash strictly inside the window wins.
+        assert_eq!(plan.first_crash_in(50.0, 130.0), Some((0, 100.0)));
+        assert_eq!(plan.first_crash_in(110.0, 130.0), Some((1, 120.0)));
+        // A batch starting exactly at a crash is dispatched after it, so
+        // the boundary is exclusive.
+        assert_eq!(plan.first_crash_in(100.0, 110.0), None);
+        assert_eq!(plan.first_crash_in(160.0, 200.0), None);
+    }
+
+    #[test]
+    fn factors_compose_multiplicatively() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::straggler(0, 0.0, 100.0, 2.0),
+            FaultEvent::straggler(1, 50.0, 150.0, 3.0),
+            FaultEvent::interconnect_degradation(0.0, 100.0, 4.0),
+        ]);
+        assert_eq!(plan.straggler_factor(25.0), 2.0);
+        assert_eq!(plan.straggler_factor(75.0), 6.0);
+        assert_eq!(plan.straggler_factor(125.0), 3.0);
+        assert_eq!(plan.straggler_factor(150.0), 1.0);
+        assert_eq!(plan.degradation_multiplier(50.0), 4.0);
+        assert_eq!(plan.degradation_multiplier(100.0), 1.0);
+    }
+
+    #[test]
+    fn device_health_ranks_down_over_draining_over_straggling() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::crash(0, 100.0, 200.0),
+            FaultEvent::drain(0, 50.0, 300.0),
+            FaultEvent::straggler(0, 0.0, 400.0, 2.0),
+            FaultEvent::interconnect_degradation(0.0, 400.0, 2.0),
+        ]);
+        assert_eq!(plan.device_health(0, 25.0), DeviceHealth::Straggling);
+        assert_eq!(plan.device_health(0, 75.0), DeviceHealth::Draining);
+        assert_eq!(plan.device_health(0, 150.0), DeviceHealth::Down);
+        assert_eq!(plan.device_health(0, 350.0), DeviceHealth::Straggling);
+        assert_eq!(plan.device_health(0, 400.0), DeviceHealth::Up);
+        assert_eq!(plan.device_health(1, 150.0), DeviceHealth::Up);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_and_canonical() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::crash(1, 1_000.5, 2_000.25),
+            FaultEvent::straggler(0, 500.0, 1_500.0, 8.0),
+            FaultEvent::interconnect_degradation(0.0, 100.0, 1.5),
+        ]);
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json(), text);
+        // The empty plan round-trips too.
+        let empty = FaultPlan::empty();
+        assert_eq!(FaultPlan::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn json_schema_and_kinds_are_enforced() {
+        let plan = FaultPlan::new(vec![FaultEvent::drain(0, 1.0, 2.0)]);
+        let bad_schema = plan.to_json().replace(FAULT_PLAN_SCHEMA, "other/tag");
+        assert!(FaultPlan::from_json(&bad_schema)
+            .unwrap_err()
+            .message
+            .contains("unsupported fault-plan schema"));
+        let bad_kind = plan.to_json().replace("drain", "meltdown");
+        assert!(FaultPlan::from_json(&bad_kind)
+            .unwrap_err()
+            .message
+            .contains("unknown fault kind"));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            FaultKind::Crash,
+            FaultKind::Drain,
+            FaultKind::Straggler,
+            FaultKind::InterconnectDegradation,
+        ] {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("unknown"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets device")]
+    fn validate_rejects_out_of_range_devices() {
+        FaultPlan::new(vec![FaultEvent::crash(3, 0.0, 1.0)]).validate(2);
+    }
+
+    #[test]
+    fn labels_identify_the_event() {
+        assert_eq!(
+            FaultEvent::crash(0, 1000.0, 2000.0).label(),
+            "crash(dev0, 1000us..2000us)"
+        );
+        assert_eq!(
+            FaultEvent::straggler(1, 0.0, 10.0, 2.5).label(),
+            "straggler(dev1, 0us..10us, 2.5x)"
+        );
+        assert_eq!(
+            FaultEvent::interconnect_degradation(0.0, 10.0, 2.0).label(),
+            "interconnect_degradation(0us..10us, 2x)"
+        );
+    }
+}

@@ -46,6 +46,19 @@
 //! both engine modes, unsharded and on a 1-device cluster.
 //! `tests/serving_simulation.rs` holds that line and CI runs it in release.
 //!
+//! **Resilience** (the [`faults`](self) layer): a scenario optionally
+//! carries a deterministic [`FaultPlan`] ([`ServingScenario::with_faults`])
+//! whose crash/drain windows make dispatch failure-aware — batches in
+//! flight when a crash opens are lost and re-dispatched under the
+//! scenario's [`RetryPolicy`] (none / fixed backoff / hedged), drained
+//! deployments finish in-flight work but defer new dispatch, stragglers
+//! multiply service time and interconnect degradation taxes the all-to-all
+//! — while an [`AdmissionPolicy`] sheds requests for graceful degradation
+//! under overload. Shed and failed requests are accounted separately
+//! (availability, goodput, retry/hedge counts and a per-event timeline in
+//! the report); the empty plan with the no-op policies is **bit-exact**
+//! with the fault-free path, held by `tests/resilience_equivalence.rs`.
+//!
 //! On top of the simulator, [`select_scheme`] picks the cheapest
 //! [`Scheme`] meeting the SLA at a target load, and [`max_sustainable_qps`]
 //! binary-searches a deployment's capacity: the highest offered QPS whose
@@ -80,7 +93,9 @@
 //! ```
 
 mod batching;
+mod faults;
 mod report;
+mod retry;
 mod traffic;
 
 use std::collections::BTreeMap;
@@ -91,10 +106,12 @@ use crate::topology::StreamConfig;
 use crate::workload::Workload;
 
 pub use batching::BatchingPolicy;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FAULT_PLAN_SCHEMA};
 pub use report::{
-    BatchShapeStats, DeviceUtilization, LatencyStats, ServingReport, StreamUtilization,
-    SERVING_REPORT_SCHEMA,
+    BatchShapeStats, DeviceUtilization, FaultTimelineEntry, LatencyStats, ServingReport,
+    StreamUtilization, SERVING_REPORT_SCHEMA,
 };
+pub use retry::{AdmissionKind, AdmissionPolicy, RetryKind, RetryPolicy};
 pub use traffic::TrafficModel;
 
 /// Default arrival-trace seed (distinct from the experiment's embedding
@@ -113,6 +130,9 @@ pub struct ServingScenario {
     seed: u64,
     bisection_steps: u32,
     relative_tolerance: Option<f64>,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    admission: AdmissionPolicy,
 }
 
 impl ServingScenario {
@@ -128,6 +148,9 @@ impl ServingScenario {
             seed: DEFAULT_ARRIVAL_SEED,
             bisection_steps: 16,
             relative_tolerance: None,
+            faults: FaultPlan::empty(),
+            retry: RetryPolicy::none(),
+            admission: AdmissionPolicy::none(),
         }
     }
 
@@ -234,6 +257,46 @@ impl ServingScenario {
         self.relative_tolerance
     }
 
+    /// Injects a deterministic [`FaultPlan`] timeline: crash and drain
+    /// windows block dispatch (a crash additionally loses the in-flight
+    /// batches), stragglers multiply service time and interconnect
+    /// degradation taxes the all-to-all. The empty plan (the default) is
+    /// bit-exact with the fault-free path.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets what happens to batches lost to a crash (and, for hedging,
+    /// batches running slow). [`RetryPolicy::none`] — the default — fails
+    /// them permanently.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the overload-shedding policy. [`AdmissionPolicy::none`] — the
+    /// default — admits every request.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// The injected fault timeline (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The admission policy.
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
     /// Runs the discrete-event serving simulation of this scenario for
     /// `workload` under `scheme` on `experiment`'s deployment (device or
     /// cluster) and reports what the request stream experienced.
@@ -244,7 +307,13 @@ impl ServingScenario {
     /// attached). The simulation itself is single-threaded and pure, so
     /// reports are deterministic and — because the experiment layer is
     /// thread-count-invariant — independent of the worker-thread setting
-    /// even for sharded workloads.
+    /// even for sharded workloads. That stays true under a fault plan: the
+    /// plan is explicit data, so a faulted report is exactly as
+    /// reproducible as a healthy one.
+    ///
+    /// # Panics
+    /// Panics when the scenario's [`FaultPlan`] names a device outside the
+    /// experiment's deployment.
     pub fn simulate(
         &self,
         experiment: &Experiment,
@@ -253,17 +322,67 @@ impl ServingScenario {
     ) -> ServingReport {
         let arrivals = self.traffic.arrival_times_us(self.requests, self.seed);
         let num_devices = experiment.cluster().num_devices();
+        let plan = &self.faults;
+        plan.validate(num_devices);
+        let have_faults = !plan.is_empty();
+        // Pricing inherits the fault plan so a resilience study's cells
+        // never alias a fault-free study's in a persisted cache (the
+        // empty plan changes nothing — v1 keys stay byte-identical).
+        let pricing = if have_faults {
+            experiment.clone().with_faults(plan.clone())
+        } else {
+            experiment.clone()
+        };
 
         // What the queue model needs from one priced batch shape: its
-        // service latency and the per-device busy time one such batch
+        // service latency, its all-to-all share (what interconnect
+        // degradation taxes) and the per-device busy time one such batch
         // contributes (the full RunReport is not kept per batch).
         struct PricedShape {
             latency_us: f64,
+            all_to_all_us: f64,
             busy_us_per_device: Vec<f64>,
         }
         // Price each distinct shape once per simulation; the experiment's
         // cache (when attached) extends that to once per process or beyond.
         let mut priced: BTreeMap<u32, PricedShape> = BTreeMap::new();
+        let price = |priced: &mut BTreeMap<u32, PricedShape>, shape: u32| -> (f64, f64) {
+            let entry = priced.entry(shape).or_insert_with(|| {
+                let report = pricing.clone().with_batch_size(shape).run(workload, scheme);
+                let mut busy = vec![0.0f64; num_devices];
+                let mut all_to_all_us = 0.0;
+                match &report.devices {
+                    Some(cluster) => {
+                        for (d, device) in cluster.per_device.iter().enumerate() {
+                            busy[d] += device.embedding_us;
+                        }
+                        if let Some(e2e) = report.end_to_end {
+                            busy[0] += e2e.non_embedding_us;
+                        }
+                        all_to_all_us = cluster.all_to_all_us;
+                    }
+                    None => busy[0] = report.latency_us,
+                }
+                PricedShape {
+                    latency_us: report.latency_us,
+                    all_to_all_us,
+                    busy_us_per_device: busy,
+                }
+            });
+            (entry.latency_us, entry.all_to_all_us)
+        };
+
+        // A batch lost to a crash and awaiting re-dispatch under a fixed
+        // retry policy: its original request window and close time (the
+        // batching delay already happened) plus when the retry is ready.
+        struct PendingBatch {
+            first: usize,
+            len: usize,
+            close_us: f64,
+            attempt: u32,
+            ready_us: f64,
+        }
+        let mut pending: Vec<PendingBatch> = Vec::new();
 
         let mut latencies = Vec::with_capacity(arrivals.len());
         let mut batch_wait_sum = 0.0;
@@ -271,6 +390,12 @@ impl ServingScenario {
         let mut busy_us = vec![0.0f64; num_devices];
         let mut shape_counts: BTreeMap<u32, u32> = BTreeMap::new();
         let mut batches = 0u32;
+        let mut shed_requests = 0u32;
+        let mut failed_requests = 0u32;
+        let mut retries = 0u32;
+        let mut hedges = 0u32;
+        let mut event_batches = vec![0u32; plan.len()];
+        let mut event_requests = vec![0u32; plan.len()];
         // One execution horizon per concurrent stream: each batch is
         // dispatched to the earliest-free stream, ties breaking
         // deterministically to the lowest stream index. With one stream
@@ -281,7 +406,7 @@ impl ServingScenario {
         let mut stream_batches = vec![0u32; k];
         let mut first = 0usize;
 
-        while first < arrivals.len() {
+        'dispatch: while first < arrivals.len() || !pending.is_empty() {
             let stream = (0..k)
                 .min_by(|&a, &b| {
                     stream_free[a]
@@ -289,60 +414,236 @@ impl ServingScenario {
                         .expect("stream horizons are finite")
                 })
                 .expect("an experiment has at least one stream");
-            let batch = self.policy.form(&arrivals, first, stream_free[stream]);
-            let shape = self.policy.shape(batch.len as u32);
-            let priced_shape = priced.entry(shape).or_insert_with(|| {
-                let report = experiment
-                    .clone()
-                    .with_batch_size(shape)
-                    .run(workload, scheme);
-                let mut busy = vec![0.0f64; num_devices];
-                match &report.devices {
-                    Some(cluster) => {
-                        for (d, device) in cluster.per_device.iter().enumerate() {
-                            busy[d] += device.embedding_us;
-                        }
-                        if let Some(e2e) = report.end_to_end {
-                            busy[0] += e2e.non_embedding_us;
-                        }
-                    }
-                    None => busy[0] = report.latency_us,
+
+            // Queue-depth shedding: head-drop the oldest waiting requests
+            // beyond the bound before the next batch forms.
+            if self.admission.kind() == AdmissionKind::QueueDepth && first < arrivals.len() {
+                let horizon = stream_free[stream];
+                let backlog = arrivals[first..]
+                    .iter()
+                    .take_while(|&&a| a <= horizon)
+                    .count();
+                let depth = self.admission.max_queue_depth() as usize;
+                if backlog > depth {
+                    let dropped = backlog - depth;
+                    shed_requests += dropped as u32;
+                    first += dropped;
+                    continue 'dispatch;
                 }
-                PricedShape {
-                    latency_us: report.latency_us,
-                    busy_us_per_device: busy,
-                }
+            }
+
+            // Choose the next launch: the earliest-ready lost batch, or
+            // the next fresh batch, whichever comes due sooner (among
+            // retries, ties go to the oldest requests).
+            let fresh = (first < arrivals.len())
+                .then(|| self.policy.form(&arrivals, first, stream_free[stream]));
+            let retry_idx = (0..pending.len()).min_by(|&a, &b| {
+                pending[a]
+                    .ready_us
+                    .partial_cmp(&pending[b].ready_us)
+                    .expect("retry times are finite")
+                    .then(pending[a].first.cmp(&pending[b].first))
             });
-            let service_us = priced_shape.latency_us;
-            let start = if stream_free[stream] > batch.close_us {
+            let take_retry = match (retry_idx, &fresh) {
+                (Some(i), Some(f)) => pending[i].ready_us <= f.close_us,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let (mut batch_first, mut len, close_us, attempt, floor_us) = if take_retry {
+                let p = pending.remove(retry_idx.expect("take_retry implies a candidate"));
+                (p.first, p.len, p.close_us, p.attempt, p.ready_us)
+            } else {
+                let f = fresh.expect("arrivals remain whenever no retry is taken");
+                let batch_first = first;
+                // Every formed request is consumed here: served or shed.
+                first += f.len;
+                (batch_first, f.len, f.close_us, 0u32, f.close_us)
+            };
+
+            let mut shape = self.policy.shape(len as u32);
+            let (mut nominal_us, mut all_to_all_us) = price(&mut priced, shape);
+
+            // Dispatch: the same max(horizon, due) branch as the
+            // fault-free path, then the fault window — for the empty plan
+            // every step below is the identity, bit for bit.
+            let raw_start = if stream_free[stream] > floor_us {
                 stream_free[stream]
             } else {
-                batch.close_us
+                floor_us
             };
-            // Latency is accumulated from its components (rather than as
-            // completion - arrival) so that a request with zero batching and
-            // zero queueing delay experiences *bit-exactly* the service
-            // latency — the degenerate-equivalence anchor.
-            let queue_wait = start - batch.close_us;
-            for &arrival in &arrivals[first..first + batch.len] {
-                let batch_wait = batch.close_us - arrival;
-                batch_wait_sum += batch_wait;
-                queue_wait_sum += queue_wait;
-                latencies.push(batch_wait + queue_wait + service_us);
+            let (mut start, mut service_us, mut crash) =
+                fault_window(plan, raw_start, nominal_us, all_to_all_us);
+
+            // SLA-aware shedding: requests whose predicted latency —
+            // exact, since the simulation is deterministic — would bust
+            // the budget are shed at formation and the smaller batch
+            // re-priced. Applies to every launch, retries included.
+            if self.admission.kind() == AdmissionKind::SlaAware {
+                let threshold = self.sla_us * self.admission.sla_headroom();
+                let cutoff = start + service_us - threshold;
+                let doomed = arrivals[batch_first..batch_first + len]
+                    .iter()
+                    .take_while(|&&a| a < cutoff)
+                    .count();
+                if doomed > 0 {
+                    shed_requests += doomed as u32;
+                    batch_first += doomed;
+                    len -= doomed;
+                    if len == 0 {
+                        continue 'dispatch;
+                    }
+                    shape = self.policy.shape(len as u32);
+                    let repriced = price(&mut priced, shape);
+                    nominal_us = repriced.0;
+                    all_to_all_us = repriced.1;
+                    (start, service_us, crash) =
+                        fault_window(plan, raw_start, nominal_us, all_to_all_us);
+                }
             }
-            for (total, delta) in busy_us.iter_mut().zip(&priced_shape.busy_us_per_device) {
-                *total += delta;
+
+            // Launch the primary attempt; `Some((start, service))` when it
+            // completes, `None` when a crash cuts it short.
+            let primary = book_launch(
+                stream,
+                start,
+                service_us,
+                crash,
+                &priced[&shape].busy_us_per_device,
+                shape,
+                &mut stream_free,
+                &mut stream_busy_us,
+                &mut stream_batches,
+                &mut busy_us,
+                &mut shape_counts,
+                &mut batches,
+            );
+            if have_faults {
+                note_attempt(
+                    plan,
+                    &mut event_batches,
+                    &mut event_requests,
+                    raw_start,
+                    start,
+                    crash.map(|(i, _)| i),
+                    len as u32,
+                );
             }
-            *shape_counts.entry(shape).or_insert(0) += 1;
-            batches += 1;
-            stream_free[stream] = start + service_us;
-            stream_busy_us[stream] += service_us;
-            stream_batches[stream] += 1;
-            first += batch.len;
+
+            let outcome = match self.retry.kind() {
+                RetryKind::None => primary,
+                RetryKind::Fixed => match primary {
+                    Some(done) => Some(done),
+                    None => {
+                        let (_, crash_us) = crash.expect("a lost launch was cut by a crash");
+                        if attempt < self.retry.max_retries() {
+                            retries += 1;
+                            pending.push(PendingBatch {
+                                first: batch_first,
+                                len,
+                                close_us,
+                                attempt: attempt + 1,
+                                ready_us: crash_us + self.retry.backoff_us() * (attempt + 1) as f64,
+                            });
+                            continue 'dispatch;
+                        }
+                        None
+                    }
+                },
+                RetryKind::Hedged => {
+                    let hedge_at = start + self.retry.hedge_factor() * nominal_us;
+                    let slow = match primary {
+                        None => true,
+                        Some((s, sv)) => s + sv > hedge_at,
+                    };
+                    if slow {
+                        hedges += 1;
+                        // The duplicate occupies real capacity on the
+                        // earliest-free stream as of now (after the
+                        // primary's horizon update) — with one stream the
+                        // hedge can only follow the primary, which is why
+                        // hedging needs K >= 2 to help.
+                        let hedge_stream = (0..k)
+                            .min_by(|&a, &b| {
+                                stream_free[a]
+                                    .partial_cmp(&stream_free[b])
+                                    .expect("stream horizons are finite")
+                            })
+                            .expect("an experiment has at least one stream");
+                        let hedge_raw = if stream_free[hedge_stream] > hedge_at {
+                            stream_free[hedge_stream]
+                        } else {
+                            hedge_at
+                        };
+                        let (hedge_start, hedge_service, hedge_crash) =
+                            fault_window(plan, hedge_raw, nominal_us, all_to_all_us);
+                        let hedge_done = book_launch(
+                            hedge_stream,
+                            hedge_start,
+                            hedge_service,
+                            hedge_crash,
+                            &priced[&shape].busy_us_per_device,
+                            shape,
+                            &mut stream_free,
+                            &mut stream_busy_us,
+                            &mut stream_batches,
+                            &mut busy_us,
+                            &mut shape_counts,
+                            &mut batches,
+                        );
+                        if have_faults {
+                            note_attempt(
+                                plan,
+                                &mut event_batches,
+                                &mut event_requests,
+                                hedge_raw,
+                                hedge_start,
+                                hedge_crash.map(|(i, _)| i),
+                                len as u32,
+                            );
+                        }
+                        // First successful completion wins; the loser is
+                        // not cancelled (its capacity cost is the price
+                        // of the hedge).
+                        match (primary, hedge_done) {
+                            (Some(p), Some(h)) => {
+                                if h.0 + h.1 < p.0 + p.1 {
+                                    Some(h)
+                                } else {
+                                    Some(p)
+                                }
+                            }
+                            (Some(p), None) => Some(p),
+                            (None, done) => done,
+                        }
+                    } else {
+                        primary
+                    }
+                }
+            };
+
+            match outcome {
+                Some((winner_start, winner_service)) => {
+                    // Latency is accumulated from its components (rather
+                    // than as completion - arrival) so that a request with
+                    // zero batching and zero queueing delay experiences
+                    // *bit-exactly* the service latency — the
+                    // degenerate-equivalence anchor.
+                    let queue_wait = winner_start - close_us;
+                    for &arrival in &arrivals[batch_first..batch_first + len] {
+                        let batch_wait = close_us - arrival;
+                        batch_wait_sum += batch_wait;
+                        queue_wait_sum += queue_wait;
+                        latencies.push(batch_wait + queue_wait + winner_service);
+                    }
+                }
+                None => failed_requests += len as u32,
+            }
         }
 
         let makespan_us = stream_free.iter().copied().fold(0.0f64, f64::max);
-        let requests = arrivals.len() as f64;
+        let served = latencies.len() as u32;
+        debug_assert_eq!(served + shed_requests + failed_requests, self.requests);
+        let served_f = served as f64;
         let violations = latencies.iter().filter(|&&l| l > self.sla_us).count();
         let mut sorted = latencies;
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -358,6 +659,29 @@ impl ServingScenario {
             policy: self.policy.label(),
             sla_us: self.sla_us,
             requests: self.requests,
+            served_requests: served,
+            shed_requests,
+            failed_requests,
+            retries,
+            hedges,
+            availability: served_f / self.requests as f64,
+            goodput_qps: if makespan_us > 0.0 {
+                (served_f - violations as f64) / makespan_us * 1e6
+            } else {
+                0.0
+            },
+            fault_events: plan
+                .events()
+                .iter()
+                .enumerate()
+                .map(|(i, event)| FaultTimelineEntry {
+                    event: event.label(),
+                    start_us: event.start_us(),
+                    end_us: event.end_us(),
+                    batches_affected: event_batches[i],
+                    requests_affected: event_requests[i],
+                })
+                .collect(),
             batches,
             shapes: shape_counts
                 .iter()
@@ -367,16 +691,40 @@ impl ServingScenario {
                     latency_us: priced[&shape].latency_us,
                 })
                 .collect(),
-            achieved_qps: requests / makespan_us * 1e6,
-            latency: LatencyStats::from_sorted(&sorted),
-            mean_batch_wait_us: batch_wait_sum / requests,
-            mean_queue_wait_us: queue_wait_sum / requests,
-            sla_violation_rate: violations as f64 / requests,
+            achieved_qps: if makespan_us > 0.0 {
+                served_f / makespan_us * 1e6
+            } else {
+                0.0
+            },
+            latency: if sorted.is_empty() {
+                LatencyStats::zeroed()
+            } else {
+                LatencyStats::from_sorted(&sorted)
+            },
+            mean_batch_wait_us: if sorted.is_empty() {
+                0.0
+            } else {
+                batch_wait_sum / served_f
+            },
+            mean_queue_wait_us: if sorted.is_empty() {
+                0.0
+            } else {
+                queue_wait_sum / served_f
+            },
+            sla_violation_rate: if sorted.is_empty() {
+                0.0
+            } else {
+                violations as f64 / served_f
+            },
             utilization: (0..num_devices)
                 .map(|d| DeviceUtilization {
                     device: experiment.cluster().device(d).name.clone(),
                     busy_us: busy_us[d],
-                    utilization: busy_us[d] / (makespan_us * k as f64),
+                    utilization: if makespan_us > 0.0 {
+                        busy_us[d] / (makespan_us * k as f64)
+                    } else {
+                        0.0
+                    },
                 })
                 .collect(),
             streams: k as u32,
@@ -385,10 +733,114 @@ impl ServingScenario {
                     stream: s as u32,
                     busy_us: stream_busy_us[s],
                     batches: stream_batches[s],
-                    utilization: stream_busy_us[s] / makespan_us,
+                    utilization: if makespan_us > 0.0 {
+                        stream_busy_us[s] / makespan_us
+                    } else {
+                        0.0
+                    },
                 })
                 .collect(),
             makespan_us,
+        }
+    }
+}
+
+/// Applies the fault timeline to one dispatch attempt: the actual start
+/// (pushed past any crash/drain window), the faulted service time
+/// (straggler factors multiply it; interconnect degradation adds
+/// `(m - 1)` extra all-to-all copies) and the crash, if any, that cuts the
+/// attempt short. For the empty plan this is the identity on both times —
+/// the exact input bits, no arithmetic applied — which is what keeps the
+/// degenerate scenario bit-exact with the fault-free path.
+fn fault_window(
+    plan: &FaultPlan,
+    raw_start_us: f64,
+    nominal_us: f64,
+    all_to_all_us: f64,
+) -> (f64, f64, Option<(usize, f64)>) {
+    let start = plan.next_dispatch_us(raw_start_us);
+    let mut service_us = nominal_us;
+    let straggle = plan.straggler_factor(start);
+    if straggle != 1.0 {
+        service_us *= straggle;
+    }
+    let degrade = plan.degradation_multiplier(start);
+    if degrade != 1.0 {
+        service_us += (degrade - 1.0) * all_to_all_us;
+    }
+    let crash = plan.first_crash_in(start, start + service_us);
+    (start, service_us, crash)
+}
+
+/// Books one launch attempt on `stream`: full accounting when it
+/// completes, pro-rata busy time up to the crash when it is lost (the
+/// stream frees at the crash instant). Returns `Some((start, service))`
+/// on completion, `None` on loss.
+#[allow(clippy::too_many_arguments)]
+fn book_launch(
+    stream: usize,
+    start: f64,
+    service_us: f64,
+    crash: Option<(usize, f64)>,
+    busy_delta: &[f64],
+    shape: u32,
+    stream_free: &mut [f64],
+    stream_busy_us: &mut [f64],
+    stream_batches: &mut [u32],
+    busy_us: &mut [f64],
+    shape_counts: &mut BTreeMap<u32, u32>,
+    batches: &mut u32,
+) -> Option<(f64, f64)> {
+    match crash {
+        None => {
+            stream_free[stream] = start + service_us;
+            stream_busy_us[stream] += service_us;
+            for (total, delta) in busy_us.iter_mut().zip(busy_delta) {
+                *total += delta;
+            }
+        }
+        Some((_, crash_us)) => {
+            stream_free[stream] = crash_us;
+            stream_busy_us[stream] += crash_us - start;
+            let fraction = (crash_us - start) / service_us;
+            for (total, delta) in busy_us.iter_mut().zip(busy_delta) {
+                *total += delta * fraction;
+            }
+        }
+    }
+    stream_batches[stream] += 1;
+    *shape_counts.entry(shape).or_insert(0) += 1;
+    *batches += 1;
+    crash.is_none().then_some((start, service_us))
+}
+
+/// Attributes one launch attempt to the fault events that shaped it: a
+/// crash counts the attempts it killed *and* the dispatches it pushed past
+/// its recovery, a drain counts delayed dispatches, and the slowdown kinds
+/// count the attempts that started under a non-unit factor.
+fn note_attempt(
+    plan: &FaultPlan,
+    event_batches: &mut [u32],
+    event_requests: &mut [u32],
+    raw_start_us: f64,
+    start_us: f64,
+    killed_by: Option<usize>,
+    requests: u32,
+) {
+    for (i, event) in plan.events().iter().enumerate() {
+        let delayed =
+            start_us > raw_start_us && event.start_us() < start_us && event.end_us() > raw_start_us;
+        let active_at_start = event.start_us() <= start_us && start_us < event.end_us();
+        let affected = match event.kind() {
+            FaultKind::Crash => killed_by == Some(i) || delayed,
+            FaultKind::Drain => delayed,
+            FaultKind::Straggler | FaultKind::InterconnectDegradation => {
+                active_at_start && event.factor() != 1.0
+            }
+        };
+        if affected {
+            event_batches[i] += 1;
+            event_requests[i] += requests;
         }
     }
 }
@@ -841,5 +1293,178 @@ mod tests {
             .map(|p| p.capacity.max_qps)
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(best.capacity.max_qps, max);
+    }
+
+    /// The fault-free service latency of one `shape`-request batch — the
+    /// unit the resilience tests below express crash times in.
+    fn service_us(shape: u32) -> f64 {
+        exp()
+            .with_batch_size(shape)
+            .run(&stage(), &Scheme::base())
+            .latency_us
+    }
+
+    /// Near-simultaneous arrivals: back-to-back batches whose queueing is
+    /// dominated by service time, so fault windows expressed in service
+    /// units land where intended.
+    fn burst_scenario(batch: u32, requests: u32) -> ServingScenario {
+        ServingScenario::new(
+            TrafficModel::uniform(100_000_000.0),
+            BatchingPolicy::fixed_size(batch),
+        )
+        .with_requests(requests)
+    }
+
+    #[test]
+    fn explicitly_empty_resilience_knobs_change_nothing() {
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(5_000.0),
+            BatchingPolicy::adaptive(4, 64),
+        )
+        .with_requests(200);
+        let base = scenario.simulate(&exp(), &stage(), &Scheme::base());
+        let faulted = scenario
+            .clone()
+            .with_faults(FaultPlan::empty())
+            .with_retry(RetryPolicy::none())
+            .with_admission(AdmissionPolicy::none())
+            .simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(base.to_json(), faulted.to_json());
+        assert_eq!(faulted.availability, 1.0);
+        assert_eq!(faulted.served_requests, faulted.requests);
+        assert!(faulted.fault_events.is_empty());
+    }
+
+    #[test]
+    fn crashes_without_retry_lose_exactly_the_inflight_batch() {
+        let s = service_us(32);
+        // Three back-to-back batches of 32; the crash opens mid-flight in
+        // batch 2 and recovery lands mid-flight of where batch 3 would
+        // have run, so batch 2 is killed and batch 3 delayed.
+        let report = burst_scenario(32, 96)
+            .with_faults(FaultPlan::new(vec![FaultEvent::crash(0, 1.5 * s, 2.5 * s)]))
+            .simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(report.failed_requests, 32);
+        assert_eq!(report.served_requests, 64);
+        assert_eq!(report.shed_requests, 0);
+        assert_eq!(report.availability, 64.0 / 96.0);
+        assert_eq!(report.fault_events.len(), 1);
+        // The crash both killed batch 2 and delayed batch 3's dispatch.
+        assert_eq!(report.fault_events[0].batches_affected, 2);
+        assert_eq!(report.fault_events[0].requests_affected, 64);
+    }
+
+    #[test]
+    fn fixed_retry_recovers_a_crashed_batch() {
+        let s = service_us(32);
+        let report = burst_scenario(32, 96)
+            .with_faults(FaultPlan::new(vec![FaultEvent::crash(0, 1.5 * s, 2.5 * s)]))
+            .with_retry(RetryPolicy::fixed(3, 100.0))
+            .simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(report.failed_requests, 0);
+        assert_eq!(report.served_requests, 96);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.availability, 1.0);
+        // The re-dispatched batch is a fourth launch of the same shape.
+        assert_eq!(report.batches, 4);
+    }
+
+    #[test]
+    fn drains_delay_batches_but_lose_nothing() {
+        let s = service_us(32);
+        let healthy = burst_scenario(32, 96).simulate(&exp(), &stage(), &Scheme::base());
+        let drained = burst_scenario(32, 96)
+            .with_faults(FaultPlan::new(vec![FaultEvent::drain(0, 1.5 * s, 4.0 * s)]))
+            .simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(drained.failed_requests, 0);
+        assert_eq!(drained.shed_requests, 0);
+        assert_eq!(drained.availability, 1.0);
+        assert!(drained.makespan_us > healthy.makespan_us);
+        assert!(drained.fault_events[0].batches_affected >= 1);
+    }
+
+    #[test]
+    fn hedged_retries_duplicate_slow_batches() {
+        use crate::topology::StreamConfig;
+        use gpu_sim::StreamPartition;
+
+        let s = service_us(32);
+        let experiment = exp().with_streams(StreamConfig::new(2, StreamPartition::Interleaved));
+        // A straggler window covering the first dispatches but over before
+        // the hedge fires: the duplicate runs at nominal speed and wins.
+        let report = burst_scenario(32, 96)
+            .with_faults(FaultPlan::new(vec![FaultEvent::straggler(
+                0,
+                0.0,
+                1.2 * s,
+                4.0,
+            )]))
+            .with_retry(RetryPolicy::hedged(1.5))
+            .simulate(&experiment, &stage(), &Scheme::base());
+        assert!(report.hedges >= 1, "a 4x straggler must trigger hedging");
+        assert_eq!(report.served_requests, 96);
+        assert_eq!(report.failed_requests, 0);
+        // Hedge launches occupy real stream capacity.
+        assert_eq!(report.batches, 3 + report.hedges);
+    }
+
+    #[test]
+    fn queue_depth_admission_sheds_the_backlog_head() {
+        let report = burst_scenario(8, 128)
+            .with_admission(AdmissionPolicy::queue_depth(16))
+            .simulate(&exp(), &stage(), &Scheme::base());
+        assert!(report.shed_requests > 0, "a 128-deep burst must shed");
+        assert_eq!(report.failed_requests, 0);
+        assert_eq!(
+            report.served_requests + report.shed_requests,
+            report.requests
+        );
+        assert!(report.availability < 1.0);
+        assert!(report.goodput_qps <= report.achieved_qps);
+    }
+
+    #[test]
+    fn sla_aware_admission_bounds_served_latency() {
+        let s = service_us(32);
+        let sla = 1.5 * s;
+        let report = burst_scenario(32, 96)
+            .with_sla_us(sla)
+            .with_admission(AdmissionPolicy::sla_aware(1.0))
+            .simulate(&exp(), &stage(), &Scheme::base());
+        assert!(report.shed_requests > 0, "queued batches must be shed");
+        assert!(
+            report.latency.max_us <= sla,
+            "served requests must meet the SLA exactly: max {} vs sla {}",
+            report.latency.max_us,
+            sla
+        );
+        assert_eq!(report.sla_violation_rate, 0.0);
+        assert!(report.availability < 1.0);
+    }
+
+    #[test]
+    fn faulted_reports_account_for_every_request() {
+        let s = service_us(16);
+        let report = ServingScenario::new(
+            TrafficModel::poisson(20_000.0),
+            BatchingPolicy::adaptive(4, 16),
+        )
+        .with_requests(200)
+        .with_faults(FaultPlan::new(vec![
+            FaultEvent::crash(0, 2.0 * s, 3.0 * s),
+            FaultEvent::straggler(0, 5.0 * s, 8.0 * s, 2.0),
+        ]))
+        .with_retry(RetryPolicy::fixed(2, 50.0))
+        .with_admission(AdmissionPolicy::queue_depth(64))
+        .simulate(&exp(), &stage(), &Scheme::base());
+        assert_eq!(
+            report.served_requests + report.shed_requests + report.failed_requests,
+            report.requests
+        );
+        assert_eq!(report.served_requests as usize, {
+            // served == what the percentile pool saw
+            (report.availability * report.requests as f64).round() as usize
+        });
+        assert_eq!(report.fault_events.len(), 2);
     }
 }

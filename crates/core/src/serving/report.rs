@@ -52,6 +52,38 @@ impl LatencyStats {
             mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
         }
     }
+
+    /// The all-zero distribution a scenario reports when admission control
+    /// shed every single request (there are no served samples to rank).
+    pub(crate) fn zeroed() -> LatencyStats {
+        LatencyStats {
+            p50_us: 0.0,
+            p95_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+            mean_us: 0.0,
+        }
+    }
+}
+
+/// One [`crate::FaultEvent`]'s footprint on a serving simulation: how many
+/// batch launches (and the requests they carried) the event killed,
+/// delayed or slowed. A crash counts both the batches it lost and the
+/// dispatches it pushed past its recovery time; a drain counts delayed
+/// dispatches; straggler and interconnect events count the batches that
+/// started under their factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTimelineEntry {
+    /// The event's [`crate::FaultEvent::label`].
+    pub event: String,
+    /// When the event's window opened, in microseconds.
+    pub start_us: f64,
+    /// When the event's window closed, in microseconds.
+    pub end_us: f64,
+    /// Batch launches the event killed, delayed or slowed.
+    pub batches_affected: u32,
+    /// Requests carried by those launches.
+    pub requests_affected: u32,
 }
 
 /// One distinct priced batch shape: how many batches launched at it and the
@@ -115,8 +147,31 @@ pub struct ServingReport {
     pub policy: String,
     /// The latency SLA the scenario was evaluated against, in microseconds.
     pub sla_us: f64,
-    /// Number of requests served.
+    /// Number of requests the arrival trace offered.
     pub requests: u32,
+    /// Requests that completed (`requests - shed_requests -
+    /// failed_requests`).
+    pub served_requests: u32,
+    /// Requests the [`crate::AdmissionPolicy`] shed for graceful
+    /// degradation (never counted as failed — shedding is a choice).
+    pub shed_requests: u32,
+    /// Requests lost to crashes and not recovered by the
+    /// [`crate::RetryPolicy`].
+    pub failed_requests: u32,
+    /// Batch re-dispatches a fixed-retry policy issued after crashes.
+    pub retries: u32,
+    /// Duplicate dispatches a hedged policy issued for lost or slow
+    /// batches.
+    pub hedges: u32,
+    /// `served_requests / requests`, in `[0, 1]` (`1.0` on a fault-free,
+    /// unshed run).
+    pub availability: f64,
+    /// Requests per second completed *within* the SLA over the makespan —
+    /// the goodput the offered load actually bought.
+    pub goodput_qps: f64,
+    /// Per-event footprint of the scenario's [`crate::FaultPlan`], in the
+    /// plan's canonical event order (empty for the empty plan).
+    pub fault_events: Vec<FaultTimelineEntry>,
     /// Number of batches launched.
     pub batches: u32,
     /// Distinct priced batch shapes, ascending by shape.
@@ -172,6 +227,30 @@ impl ServingReport {
         doc.set("policy", Json::Str(self.policy.clone()));
         doc.set("sla_us", Json::Num(self.sla_us));
         doc.set("requests", Json::UInt(self.requests as u64));
+        doc.set("served_requests", Json::UInt(self.served_requests as u64));
+        doc.set("shed_requests", Json::UInt(self.shed_requests as u64));
+        doc.set("failed_requests", Json::UInt(self.failed_requests as u64));
+        doc.set("retries", Json::UInt(self.retries as u64));
+        doc.set("hedges", Json::UInt(self.hedges as u64));
+        doc.set("availability", Json::Num(self.availability));
+        doc.set("goodput_qps", Json::Num(self.goodput_qps));
+        doc.set(
+            "fault_events",
+            Json::Arr(
+                self.fault_events
+                    .iter()
+                    .map(|e| {
+                        let mut obj = Json::object();
+                        obj.set("event", Json::Str(e.event.clone()));
+                        obj.set("start_us", Json::Num(e.start_us));
+                        obj.set("end_us", Json::Num(e.end_us));
+                        obj.set("batches_affected", Json::UInt(e.batches_affected as u64));
+                        obj.set("requests_affected", Json::UInt(e.requests_affected as u64));
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
         doc.set("batches", Json::UInt(self.batches as u64));
         doc.set(
             "shapes",
@@ -300,6 +379,55 @@ impl ServingReport {
             })?,
             None => 1,
         };
+        // Resilience fields are optional so reports archived before the
+        // fault-injection refactor (same schema tag) still parse: a
+        // missing block means a fault-free run that served everything,
+        // mirroring the per-stream-fields precedent below.
+        let requests = req_u32(doc, "requests")?;
+        let achieved_qps = req_f64(doc, "achieved_qps")?;
+        let sla_violation_rate = req_f64(doc, "sla_violation_rate")?;
+        let opt_u32 = |key: &str, default: u32| -> Result<u32, JsonError> {
+            match doc.get(key) {
+                Some(value) => value.as_u32().ok_or_else(|| {
+                    JsonError::schema(format!("field '{key}' is not a 32-bit unsigned integer"))
+                }),
+                None => Ok(default),
+            }
+        };
+        let served_requests = opt_u32("served_requests", requests)?;
+        let shed_requests = opt_u32("shed_requests", 0)?;
+        let failed_requests = opt_u32("failed_requests", 0)?;
+        let retries = opt_u32("retries", 0)?;
+        let hedges = opt_u32("hedges", 0)?;
+        let availability = match doc.get("availability") {
+            Some(value) => value
+                .as_f64()
+                .ok_or_else(|| JsonError::schema("field 'availability' is not a number"))?,
+            None => 1.0,
+        };
+        let goodput_qps = match doc.get("goodput_qps") {
+            Some(value) => value
+                .as_f64()
+                .ok_or_else(|| JsonError::schema("field 'goodput_qps' is not a number"))?,
+            None => achieved_qps * (1.0 - sla_violation_rate),
+        };
+        let fault_events = match doc.get("fault_events") {
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| JsonError::schema("field 'fault_events' is not an array"))?
+                .iter()
+                .map(|e| {
+                    Ok(FaultTimelineEntry {
+                        event: req_str(e, "event")?.to_string(),
+                        start_us: req_f64(e, "start_us")?,
+                        end_us: req_f64(e, "end_us")?,
+                        batches_affected: req_u32(e, "batches_affected")?,
+                        requests_affected: req_u32(e, "requests_affected")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            None => Vec::new(),
+        };
         let stream_utilization = match doc.get("stream_utilization") {
             Some(value) => value
                 .as_array()
@@ -326,14 +454,22 @@ impl ServingReport {
             offered_qps: req_f64(doc, "offered_qps")?,
             policy: req_str(doc, "policy")?.to_string(),
             sla_us: req_f64(doc, "sla_us")?,
-            requests: req_u32(doc, "requests")?,
+            requests,
+            served_requests,
+            shed_requests,
+            failed_requests,
+            retries,
+            hedges,
+            availability,
+            goodput_qps,
+            fault_events,
             batches: req_u32(doc, "batches")?,
             shapes,
-            achieved_qps: req_f64(doc, "achieved_qps")?,
+            achieved_qps,
             latency,
             mean_batch_wait_us: req_f64(doc, "mean_batch_wait_us")?,
             mean_queue_wait_us: req_f64(doc, "mean_queue_wait_us")?,
-            sla_violation_rate: req_f64(doc, "sla_violation_rate")?,
+            sla_violation_rate,
             utilization,
             streams,
             stream_utilization,
@@ -402,6 +538,20 @@ mod tests {
             policy: "timeout(256, 500us)".to_string(),
             sla_us: 25_000.0,
             requests: 1000,
+            served_requests: 950,
+            shed_requests: 30,
+            failed_requests: 20,
+            retries: 3,
+            hedges: 2,
+            availability: 0.95,
+            goodput_qps: 1126.640625,
+            fault_events: vec![FaultTimelineEntry {
+                event: "crash(dev0, 1000us..2000us)".to_string(),
+                start_us: 1000.0,
+                end_us: 2000.0,
+                batches_affected: 1,
+                requests_affected: 128,
+            }],
             batches: 7,
             shapes: vec![
                 BatchShapeStats {
@@ -484,6 +634,45 @@ mod tests {
         assert!(back.stream_utilization.is_empty());
         assert_eq!(back.latency, report.latency);
         assert_eq!(back.utilization, report.utilization);
+    }
+
+    #[test]
+    fn reports_without_resilience_fields_parse_as_fault_free() {
+        // Reports archived before the fault-injection refactor carry the
+        // same schema tag but none of the availability/retry/shed fields.
+        let report = sample_report();
+        let text = report.to_json();
+        // Cut the resilience keys out of the rendered document to
+        // reconstruct the archived layout; keys render sorted, so each
+        // group sits right before a surviving key.
+        let cut = |text: &str, from: &str, upto: &str| -> String {
+            let start = text.find(&format!("\"{from}\"")).unwrap();
+            let end = text.find(&format!("\"{upto}\"")).unwrap();
+            format!("{}{}", &text[..start], &text[end..])
+        };
+        let legacy = cut(&text, "availability", "batches");
+        // failed_requests, fault_events, goodput_qps and hedges render
+        // contiguously between "device" and "latency".
+        let legacy = cut(&legacy, "failed_requests", "latency");
+        let legacy = cut(&legacy, "retries", "scale");
+        let legacy = cut(&legacy, "served_requests", "shapes");
+        let legacy = cut(&legacy, "shed_requests", "sla_us");
+        let back = ServingReport::from_json(&legacy).unwrap();
+        assert_eq!(back.served_requests, back.requests);
+        assert_eq!(back.shed_requests, 0);
+        assert_eq!(back.failed_requests, 0);
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.hedges, 0);
+        assert_eq!(back.availability, 1.0);
+        assert_eq!(
+            back.goodput_qps,
+            back.achieved_qps * (1.0 - back.sla_violation_rate)
+        );
+        assert!(back.fault_events.is_empty());
+        // Everything that was present parses unchanged.
+        assert_eq!(back.latency, report.latency);
+        assert_eq!(back.utilization, report.utilization);
+        assert_eq!(back.stream_utilization, report.stream_utilization);
     }
 
     #[test]

@@ -318,6 +318,45 @@ impl std::fmt::Display for StreamConfig {
     }
 }
 
+/// Instantaneous health of one device of a deployment under a
+/// [`crate::FaultPlan`] timeline, as reported by
+/// [`crate::FaultPlan::device_health`]. Overlapping fault windows resolve
+/// to the most severe state: `Down` > `Draining` > `Straggling` > `Up`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Healthy: accepting dispatch at nominal speed.
+    Up,
+    /// Slowed by an active straggler window; still accepting dispatch.
+    Straggling,
+    /// Finishing in-flight work; not accepting new batches.
+    Draining,
+    /// Crashed: in-flight work lost, not accepting dispatch.
+    Down,
+}
+
+impl DeviceHealth {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceHealth::Up => "up",
+            DeviceHealth::Straggling => "straggling",
+            DeviceHealth::Draining => "draining",
+            DeviceHealth::Down => "down",
+        }
+    }
+
+    /// Severity rank used to resolve overlapping fault windows
+    /// (higher = more severe).
+    pub(crate) fn severity(&self) -> u8 {
+        match self {
+            DeviceHealth::Up => 0,
+            DeviceHealth::Straggling => 1,
+            DeviceHealth::Draining => 2,
+            DeviceHealth::Down => 3,
+        }
+    }
+}
+
 /// One table of a mix in canonical order, as seen by sharding strategies.
 ///
 /// The canonical order expands [`HeterogeneousMix::composition`] entry by

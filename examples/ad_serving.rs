@@ -8,10 +8,12 @@
 //! traffic through an adaptive batcher on each optimization scheme and
 //! picks the cheapest scheme meeting the SLA, (3) it binary-searches
 //! the chosen deployment's capacity — the max sustainable QPS under the
-//! SLA — unsharded and sharded across a 2-GPU cluster, and (4) it asks
+//! SLA — unsharded and sharded across a 2-GPU cluster, (4) it asks
 //! the what-if question a capacity planner actually has: how much more
 //! traffic does the same GPU sustain with K batches co-resident
-//! (CUDA-streams/MPS style), sweeping K with `stream_capacity_sweep`. A
+//! (CUDA-streams/MPS style), sweeping K with `stream_capacity_sweep`, and
+//! (5) it rehearses an incident: a replica crash-and-recover mid-rush,
+//! comparing no retries against a hedged policy on two streams. A
 //! shared `CampaignCache` prices every distinct batch shape exactly once
 //! across the whole study.
 //!
@@ -24,8 +26,8 @@ use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
 use gpu_sim::{GpuConfig, StreamPartition};
 use perf_envelope::{
     max_sustainable_qps, select_scheme, stream_capacity_sweep, BatchingPolicy, CampaignCache,
-    Cluster, Experiment, InterconnectConfig, Scheme, ServingScenario, ShardingSpec, StreamConfig,
-    TrafficModel, Workload,
+    Cluster, Experiment, FaultEvent, FaultPlan, InterconnectConfig, RetryPolicy, Scheme,
+    ServingScenario, ShardingSpec, StreamConfig, TrafficModel, Workload,
 };
 
 fn main() {
@@ -203,6 +205,63 @@ fn main() {
                 point.capacity.max_qps / sweep[0].capacity.max_qps.max(1.0)
             );
         }
+    }
+
+    // --- 5. What-if: a replica crash-and-recover mid-rush. ----------------
+    // Two concurrent streams serve a traffic rush when one replica crashes
+    // mid-flight and recovers 1.5 service times later. Without retries the
+    // in-flight batches are simply lost; a hedged policy re-launches slow
+    // or lost work on the other stream and wins it back.
+    let k2 = StreamConfig::new(2, StreamPartition::Interleaved);
+    let resilient_experiment = experiment.clone().with_streams(k2);
+    let service_us = resilient_experiment
+        .clone()
+        .with_batch_size(256)
+        .run(&workload, &scheme)
+        .latency_us;
+    let crash = FaultPlan::new(vec![FaultEvent::crash(
+        0,
+        2.5 * service_us,
+        4.0 * service_us,
+    )]);
+    let rush = ServingScenario::new(
+        TrafficModel::uniform(100.0 * 256.0 / service_us * 1e6),
+        BatchingPolicy::fixed_size(256),
+    )
+    .with_requests(256 * 8)
+    .with_sla_us(sla_ms * 1e3);
+    let no_retry =
+        rush.clone()
+            .with_faults(crash.clone())
+            .simulate(&resilient_experiment, &workload, &scheme);
+    let hedged = rush
+        .with_faults(crash)
+        .with_retry(RetryPolicy::hedged(1.5))
+        .simulate(&resilient_experiment, &workload, &scheme);
+    println!(
+        "\nwhat-if: one replica crashes at t={:.2} ms and recovers at t={:.2} ms \
+         during a {}-request rush (K=2):",
+        2.5 * service_us / 1e3,
+        4.0 * service_us / 1e3,
+        no_retry.requests
+    );
+    for (label, report) in [("no retries", &no_retry), ("hedged(1.5x)", &hedged)] {
+        println!(
+            "  {:<12} availability {:>6.3}  failed {:>4}  hedges {:>2}  \
+             p99 {:>7.2} ms  goodput {:>8.0} qps",
+            label,
+            report.availability,
+            report.failed_requests,
+            report.hedges,
+            report.latency.p99_us / 1e3,
+            report.goodput_qps
+        );
+    }
+    for entry in &no_retry.fault_events {
+        println!(
+            "  timeline: {} hit {} batches / {} requests without retries",
+            entry.event, entry.batches_affected, entry.requests_affected
+        );
     }
 
     println!(

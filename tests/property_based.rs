@@ -17,9 +17,11 @@ use gpu_sim::StreamPartition;
 use gpu_sim::{GpuConfig, KernelLaunch, KernelStats};
 use perf_envelope::json::Json;
 use perf_envelope::{
-    BatchShapeStats, CampaignCache, ClusterBreakdown, DeviceBreakdown, DeviceUtilization,
-    EndToEndBreakdown, Experiment, LatencyStats, RunReport, Scheme, ServingReport, StreamConfig,
-    StreamUtilization, TableBreakdown, Workload, WorkloadKind,
+    AdmissionPolicy, BatchShapeStats, BatchingPolicy, CampaignCache, ClusterBreakdown,
+    DeviceBreakdown, DeviceUtilization, EndToEndBreakdown, Experiment, FaultEvent, FaultPlan,
+    FaultTimelineEntry, LatencyStats, RetryPolicy, RunReport, Scheme, ServingReport,
+    ServingScenario, StreamConfig, StreamUtilization, TableBreakdown, TrafficModel, Workload,
+    WorkloadKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -426,6 +428,118 @@ fn stream_configs_partition_the_campaign_cache() {
     });
 }
 
+/// An arbitrary well-formed fault event drawn from a [`Cases`] generator.
+fn arbitrary_fault_event(g: &mut Cases, devices: u64) -> FaultEvent {
+    let device = g.range(0, devices) as u32;
+    let start = g.range(0, 1_000_000) as f64;
+    let end = start + g.range(1, 1_000_000) as f64;
+    let factor = 1.0 + g.range(0, 1024) as f64 / 256.0;
+    match g.range(0, 4) {
+        0 => FaultEvent::crash(device, start, end),
+        1 => FaultEvent::drain(device, start, end),
+        2 => FaultEvent::straggler(device, start, end, factor),
+        _ => FaultEvent::interconnect_degradation(start, end, factor),
+    }
+}
+
+#[test]
+fn fault_plans_round_trip_canonically() {
+    // Arbitrary well-formed fault plans survive the JSON round trip exactly
+    // and render canonically (sorted events, sorted keys).
+    check("fault_plans_round_trip_canonically", |g| {
+        let events: Vec<FaultEvent> = (0..g.range(1, 6))
+            .map(|_| arbitrary_fault_event(g, 4))
+            .collect();
+        let plan = FaultPlan::new(events);
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("fault-plan JSON parses back");
+        assert_eq!(back, plan, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+    });
+}
+
+#[test]
+fn fault_plans_partition_the_campaign_cache() {
+    // The empty plan shares the pre-fault cache cell byte-for-byte
+    // (persisted campaigns stay warm across the resilience refactor);
+    // every distinct non-empty plan gets its own cell.
+    check("fault_plans_partition_the_campaign_cache", |g| {
+        let cache = CampaignCache::new();
+        let base =
+            Experiment::new(GpuConfig::test_small(), WorkloadScale::Test).with_cache(cache.clone());
+        let workload = Workload::kernel(g.pattern());
+        let scheme = Scheme::base();
+
+        let default = base.run(&workload, &scheme);
+        assert_eq!(cache.len(), 1, "one kernel workload is one cell");
+        let empty = base
+            .clone()
+            .with_faults(FaultPlan::empty())
+            .run(&workload, &scheme);
+        assert_eq!(
+            cache.len(),
+            1,
+            "the empty fault plan must hit the pre-fault cell"
+        );
+        assert_eq!(empty, default);
+
+        let event = arbitrary_fault_event(g, 1);
+        base.clone()
+            .with_faults(FaultPlan::new(vec![event]))
+            .run(&workload, &scheme);
+        assert_eq!(cache.len(), 2, "a fault plan must occupy a distinct cell");
+
+        // A different window of the same kind is distinct again.
+        let shifted = FaultEvent::drain(0, event.end_us() + 1.0, event.end_us() + 2.0);
+        base.clone()
+            .with_faults(FaultPlan::new(vec![event, shifted]))
+            .run(&workload, &scheme);
+        assert_eq!(cache.len(), 3, "every event is part of the key");
+    });
+}
+
+#[test]
+fn faulted_serving_reports_are_deterministic() {
+    // A faulted, retried, admission-controlled serving run is exactly as
+    // reproducible as a healthy one: byte-identical reports across repeats
+    // and across worker-thread settings.
+    check("faulted_serving_reports_are_deterministic", |g| {
+        let cache = CampaignCache::new();
+        let base =
+            Experiment::new(GpuConfig::test_small(), WorkloadScale::Test).with_cache(cache.clone());
+        let workload = Workload::kernel(g.pattern());
+        let scheme = Scheme::base();
+        let plan = FaultPlan::new(
+            (0..g.range(1, 4))
+                .map(|_| arbitrary_fault_event(g, 1))
+                .collect(),
+        );
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(g.range(1_000, 50_000) as f64),
+            BatchingPolicy::fixed_size(1 << g.range(3, 7)),
+        )
+        .with_requests(g.range(32, 128) as u32)
+        .with_seed(g.next_u64())
+        .with_faults(plan)
+        .with_retry(RetryPolicy::fixed(2, 250.0))
+        .with_admission(AdmissionPolicy::queue_depth(64));
+
+        let one = scenario.simulate(&base.clone().with_threads(1), &workload, &scheme);
+        let four = scenario.simulate(&base.clone().with_threads(4), &workload, &scheme);
+        let again = scenario.simulate(&base.clone().with_threads(1), &workload, &scheme);
+        assert_eq!(
+            one.to_json(),
+            four.to_json(),
+            "faulted percentiles must be thread-count-invariant"
+        );
+        assert_eq!(one.to_json(), again.to_json(), "repeats must be identical");
+        assert_eq!(
+            one.served_requests + one.shed_requests + one.failed_requests,
+            one.requests
+        );
+    });
+}
+
 #[test]
 fn serving_reports_with_stream_utilization_round_trip() {
     // Arbitrary well-formed serving reports — including the PR 6 stream
@@ -452,6 +566,22 @@ fn serving_reports_with_stream_utilization_round_trip() {
             policy: "fixed_size(64)".to_string(),
             sla_us: g.latency_us(),
             requests: g.range(1, 10_000) as u32,
+            served_requests: g.range(1, 10_000) as u32,
+            shed_requests: g.range(0, 100) as u32,
+            failed_requests: g.range(0, 100) as u32,
+            retries: g.range(0, 16) as u32,
+            hedges: g.range(0, 16) as u32,
+            availability: g.range(0, 1025) as f64 / 1024.0,
+            goodput_qps: g.latency_us(),
+            fault_events: (0..g.range(0, 3))
+                .map(|i| FaultTimelineEntry {
+                    event: format!("crash(dev{i}, 10us..20us)"),
+                    start_us: g.latency_us(),
+                    end_us: g.latency_us(),
+                    batches_affected: g.range(0, 100) as u32,
+                    requests_affected: g.range(0, 1_000) as u32,
+                })
+                .collect(),
             batches: g.range(1, 1_000) as u32,
             shapes: vec![BatchShapeStats {
                 shape: 1 << g.range(0, 9),

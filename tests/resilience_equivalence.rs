@@ -1,0 +1,273 @@
+//! Resilience-layer equivalence anchors and fault-semantics contracts.
+//!
+//! The PR 8 safety net, mirroring the engine/sharding/stream/serving
+//! anchors of PR 3–6: a scenario carrying an **explicitly empty**
+//! [`FaultPlan`] with `RetryPolicy::none()` and `AdmissionPolicy::none()`
+//! must be **bit-exact** with the fault-free serving path — on both engine
+//! modes, unsharded and sharded, with one stream and two. Beyond the
+//! anchor: crash timelines are deterministic and thread-count-invariant,
+//! a drain window delays but loses nothing, and a crash under
+//! `RetryPolicy::none()` loses exactly the in-flight batch (and nothing
+//! else), while a fixed retry policy wins it all back.
+
+use dlrm::WorkloadScale;
+use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
+use gpu_sim::{EngineMode, GpuConfig, StreamPartition};
+use perf_envelope::{
+    AdmissionPolicy, BatchingPolicy, Cluster, Experiment, FaultEvent, FaultPlan,
+    InterconnectConfig, RetryPolicy, Scheme, ServingScenario, ShardingSpec, StreamConfig,
+    TrafficModel, Workload,
+};
+
+fn exp() -> Experiment {
+    Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+}
+
+fn cluster(n: usize) -> Cluster {
+    Cluster::homogeneous(GpuConfig::test_small(), n, InterconnectConfig::nvlink3())
+}
+
+/// The single-request degenerate scenario of `tests/serving_simulation.rs`,
+/// with the resilience knobs spelled out explicitly at their identity
+/// values — the whole point of the anchor.
+fn degenerate_resilient_scenario(batch: u32) -> ServingScenario {
+    ServingScenario::new(
+        TrafficModel::poisson(100.0),
+        BatchingPolicy::fixed_size(batch),
+    )
+    .with_requests(1)
+    .with_seed(7)
+    .with_faults(FaultPlan::empty())
+    .with_retry(RetryPolicy::none())
+    .with_admission(AdmissionPolicy::none())
+}
+
+/// Asserts the explicitly-fault-free degenerate scenario is bit-exact with
+/// the direct experiment latency.
+fn assert_degenerate_matches(experiment: &Experiment, workload: &Workload, scheme: &Scheme) {
+    let direct = experiment.run(workload, scheme);
+    let batch = experiment.model().batch_size();
+    let serving = degenerate_resilient_scenario(batch).simulate(experiment, workload, scheme);
+    assert_eq!(serving.requests, 1);
+    assert_eq!(serving.served_requests, 1);
+    assert_eq!(serving.shed_requests, 0);
+    assert_eq!(serving.failed_requests, 0);
+    assert_eq!(serving.availability, 1.0);
+    assert!(serving.fault_events.is_empty());
+    for (name, value) in [
+        ("p50", serving.latency.p50_us),
+        ("p99", serving.latency.p99_us),
+        ("max", serving.latency.max_us),
+        ("mean", serving.latency.mean_us),
+    ] {
+        assert_eq!(
+            value.to_bits(),
+            direct.latency_us.to_bits(),
+            "{name} of the fault-free degenerate run must be bit-exact with \
+             Experiment::run ({value} vs {}) on {workload}",
+            direct.latency_us
+        );
+    }
+}
+
+#[test]
+fn empty_plans_are_bit_exact_on_both_engine_modes_and_stream_counts() {
+    let workloads = [
+        Workload::stage(AccessPattern::MedHot),
+        Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02)),
+        Workload::end_to_end(AccessPattern::Random),
+    ];
+    for mode in [EngineMode::EventDriven, EngineMode::CycleAccurate] {
+        for streams in [
+            StreamConfig::single(),
+            StreamConfig::new(2, StreamPartition::Interleaved),
+        ] {
+            let experiment = exp().with_engine_mode(mode).with_streams(streams);
+            for workload in &workloads {
+                assert_degenerate_matches(&experiment, workload, &Scheme::combined());
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_plans_are_bit_exact_on_clusters_sharded_and_not() {
+    let workload = Workload::end_to_end(HeterogeneousMix::paper_mix(MixKind::Mix1, 0.02));
+    // A 1-device cluster, unsharded.
+    assert_degenerate_matches(
+        &exp().with_cluster(Cluster::single(GpuConfig::test_small())),
+        &workload,
+        &Scheme::combined(),
+    );
+    // A 2-device cluster through the sharded path, K = 1 and K = 2.
+    let sharded = workload.with_sharding(ShardingSpec::SizeBalanced);
+    for streams in [
+        StreamConfig::single(),
+        StreamConfig::new(2, StreamPartition::Interleaved),
+    ] {
+        assert_degenerate_matches(
+            &exp().with_cluster(cluster(2)).with_streams(streams),
+            &sharded,
+            &Scheme::combined(),
+        );
+    }
+}
+
+#[test]
+fn empty_plans_leave_multi_batch_reports_byte_identical() {
+    // Not just the degenerate anchor: a full multi-batch Poisson run with
+    // the resilience knobs at their identity values renders byte-for-byte
+    // the same report as the plain scenario.
+    let scenario = ServingScenario::new(
+        TrafficModel::poisson(20_000.0),
+        BatchingPolicy::adaptive(8, 64),
+    )
+    .with_requests(300)
+    .with_seed(11);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let base = scenario.simulate(&exp(), &workload, &Scheme::base());
+    let resilient = scenario
+        .clone()
+        .with_faults(FaultPlan::empty())
+        .with_retry(RetryPolicy::none())
+        .with_admission(AdmissionPolicy::none())
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(base.to_json(), resilient.to_json());
+    assert_eq!(resilient.availability, 1.0);
+    assert_eq!(resilient.served_requests, resilient.requests);
+}
+
+/// The nominal one-batch service latency on a 2-device sharded deployment:
+/// the time unit the fault windows below are expressed in.
+fn sharded_service_us(batch: u32) -> f64 {
+    exp()
+        .with_cluster(cluster(2))
+        .with_batch_size(batch)
+        .run(
+            &Workload::stage(AccessPattern::MedHot).with_sharding(ShardingSpec::SizeBalanced),
+            &Scheme::optmt(),
+        )
+        .latency_us
+}
+
+#[test]
+fn crash_timelines_are_deterministic_and_thread_count_invariant() {
+    let s = sharded_service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot).with_sharding(ShardingSpec::SizeBalanced);
+    let scenario = ServingScenario::new(
+        TrafficModel::bursty(20_000.0, 16),
+        BatchingPolicy::fixed_size(32),
+    )
+    .with_requests(192)
+    .with_seed(13)
+    .with_faults(FaultPlan::new(vec![
+        FaultEvent::crash(0, 1.5 * s, 2.5 * s),
+        FaultEvent::straggler(1, 4.0 * s, 6.0 * s, 3.0),
+    ]))
+    .with_retry(RetryPolicy::fixed(2, 100.0));
+
+    let one = scenario.simulate(
+        &exp().with_cluster(cluster(2)).with_threads(1),
+        &workload,
+        &Scheme::optmt(),
+    );
+    let four = scenario.simulate(
+        &exp().with_cluster(cluster(2)).with_threads(4),
+        &workload,
+        &Scheme::optmt(),
+    );
+    let again = scenario.simulate(
+        &exp().with_cluster(cluster(2)).with_threads(1),
+        &workload,
+        &Scheme::optmt(),
+    );
+    assert_eq!(
+        one.to_json(),
+        four.to_json(),
+        "a crash timeline must not depend on the worker-thread setting"
+    );
+    assert_eq!(one.to_json(), again.to_json(), "repeats must be identical");
+    assert_eq!(
+        one.served_requests + one.shed_requests + one.failed_requests,
+        one.requests
+    );
+}
+
+/// Back-to-back batches of `batch` requests arriving near-simultaneously,
+/// so fault windows expressed in service units land where intended.
+fn burst_scenario(batch: u32, requests: u32) -> ServingScenario {
+    ServingScenario::new(
+        TrafficModel::uniform(100_000_000.0),
+        BatchingPolicy::fixed_size(batch),
+    )
+    .with_requests(requests)
+}
+
+fn service_us(batch: u32) -> f64 {
+    exp()
+        .with_batch_size(batch)
+        .run(&Workload::stage(AccessPattern::MedHot), &Scheme::base())
+        .latency_us
+}
+
+#[test]
+fn drains_lose_zero_requests() {
+    let s = service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let healthy = burst_scenario(32, 96).simulate(&exp(), &workload, &Scheme::base());
+    let drained = burst_scenario(32, 96)
+        .with_faults(FaultPlan::new(vec![FaultEvent::drain(0, 1.5 * s, 4.0 * s)]))
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(drained.failed_requests, 0, "a drain never loses work");
+    assert_eq!(drained.shed_requests, 0);
+    assert_eq!(drained.availability, 1.0);
+    assert_eq!(drained.served_requests, drained.requests);
+    assert!(
+        drained.makespan_us > healthy.makespan_us,
+        "deferred dispatch must stretch the run"
+    );
+    assert!(
+        drained.latency.p99_us >= healthy.latency.p99_us,
+        "waiting out a drain cannot improve the tail"
+    );
+    assert_eq!(drained.fault_events.len(), 1);
+    assert!(
+        drained.fault_events[0].batches_affected >= 1,
+        "the queued batch was delayed by the drain"
+    );
+}
+
+#[test]
+fn crashes_without_retry_lose_exactly_the_inflight_set() {
+    let s = service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    // Three back-to-back batches of 32; the crash opens mid-flight in
+    // batch 2 and recovers later, so batch 2 is lost, batch 3 delayed,
+    // batch 1 untouched.
+    let report = burst_scenario(32, 96)
+        .with_faults(FaultPlan::new(vec![FaultEvent::crash(0, 1.5 * s, 2.5 * s)]))
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(report.failed_requests, 32, "exactly the in-flight batch");
+    assert_eq!(report.served_requests, 64);
+    assert_eq!(report.shed_requests, 0);
+    assert_eq!(report.availability, 64.0 / 96.0);
+    // The timeline charges the crash with the batch it killed and the one
+    // it pushed past recovery.
+    assert_eq!(report.fault_events[0].batches_affected, 2);
+    assert_eq!(report.fault_events[0].requests_affected, 64);
+}
+
+#[test]
+fn fixed_retries_win_back_the_crashed_batch() {
+    let s = service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let report = burst_scenario(32, 96)
+        .with_faults(FaultPlan::new(vec![FaultEvent::crash(0, 1.5 * s, 2.5 * s)]))
+        .with_retry(RetryPolicy::fixed(3, 250.0))
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(report.failed_requests, 0);
+    assert_eq!(report.served_requests, 96);
+    assert_eq!(report.retries, 1, "one re-dispatch wins the batch back");
+    assert_eq!(report.availability, 1.0);
+    assert_eq!(report.batches, 4, "the retry is a fourth launch");
+}
