@@ -77,6 +77,36 @@ fn trailing_allow_covers_its_own_line_only_matching_rule() {
     assert_eq!(rules_of(&result.findings, "wall_clock"), 1);
 }
 
+/// The sharded-SM selection pattern from the engine: the accumulating
+/// variant (workers folding picks into shared atomics/locked vecs) must
+/// fire `thread_accumulation`, while the commit-point variant (disjoint
+/// per-shard slots, serial commit) must scan clean.
+#[test]
+fn sharded_commit_fixture_separates_hazard_from_commit_point() {
+    let src = fixture("sharded_commit.rs");
+    let result = scan_tokens("sharded_commit.rs", &src, &[&THREAD_ACCUMULATION]);
+    // fetch_add + lock().unwrap().push( + the Mutex<Vec field.
+    assert_eq!(
+        rules_of(&result.findings, "thread_accumulation"),
+        3,
+        "{:#?}",
+        result.findings
+    );
+    // Every finding sits in the accumulating half of the fixture; the
+    // commit-point half (below the serial-commit comment) is clean.
+    let commit_point_start = src
+        .lines()
+        .position(|l| l.contains("fn sharded_select_commit_point"))
+        .unwrap()
+        + 1;
+    assert!(
+        result.findings.iter().all(|f| f.line < commit_point_start),
+        "commit-point pattern was flagged: {:#?}",
+        result.findings
+    );
+    assert!(result.suppressed.is_empty());
+}
+
 #[test]
 fn accumulation_rule_matches_substring_shapes() {
     let src = "struct S { v: Mutex<Vec<u8>> }\nfn f(c: &AtomicU64) { c.fetch_add(1, O); }\n";

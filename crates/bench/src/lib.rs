@@ -18,6 +18,7 @@
 
 pub mod figures;
 pub mod options;
+pub mod report;
 pub mod tables;
 
 pub use options::HarnessOptions;

@@ -1,0 +1,89 @@
+//! Schema-aware parsing of the emitted `BENCH_engine.json` engine reports.
+//!
+//! The wall-clock benchmark compares each run against the *committed*
+//! report, so it must read whichever schema revision is checked in:
+//!
+//! * `perf-envelope/bench-engine/v1` — the original report; the measured
+//!   cold-cell numbers themselves serve as the baseline.
+//! * `perf-envelope/bench-engine/v2` — adds throughput fields and carries
+//!   the frozen v1 baseline forward in explicit `baseline_*` fields, so the
+//!   comparison point does not drift as new reports are committed.
+
+use perf_envelope::json::Json;
+
+/// Schema tag of the original engine report.
+pub const SCHEMA_V1: &str = "perf-envelope/bench-engine/v1";
+/// Schema tag of the current engine report (throughput + frozen baseline).
+pub const SCHEMA_V2: &str = "perf-envelope/bench-engine/v2";
+
+/// The frozen cold-cell comparison point carried by a committed report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdCellBaseline {
+    /// Event-driven wall-clock seconds for the cold A100 Default cell.
+    pub event_s: f64,
+    /// Reference-over-event speedup recorded alongside it.
+    pub engine_speedup: f64,
+}
+
+/// Extracts the cold-cell baseline from a committed engine report of either
+/// schema revision. Returns `None` for unknown schemas or missing fields
+/// (the caller treats that as "no baseline to compare against").
+pub fn cold_cell_baseline(doc: &Json) -> Option<ColdCellBaseline> {
+    let schema = doc.get("schema")?.as_str()?;
+    let cell = doc.get("a100_default_kernel_cell")?;
+    let field = |v1: &str, v2: &str| -> Option<f64> {
+        cell.get(if schema == SCHEMA_V1 { v1 } else { v2 })?
+            .as_f64()
+    };
+    match schema {
+        SCHEMA_V1 | SCHEMA_V2 => Some(ColdCellBaseline {
+            event_s: field("event_s", "baseline_event_s")?,
+            engine_speedup: field("engine_speedup", "baseline_engine_speedup")?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shape of the committed v1 report (abbreviated to the fields the
+    /// baseline reader touches, plus a few it must ignore).
+    const V1: &str = r#"{"a100_default_kernel_cell":{"device":"A100-SXM4-80GB",
+        "engine_speedup":1.752927158735326,"event_s":0.327819171,
+        "reference_s":0.574643128,"scale":"default","simulated_cycles":59224},
+        "campaign_grid":{"cells":12},
+        "schema":"perf-envelope/bench-engine/v1"}"#;
+
+    const V2: &str = r#"{"a100_default_kernel_cell":{"device":"A100-SXM4-80GB",
+        "baseline_event_s":0.327819171,"baseline_engine_speedup":1.752927158735326,
+        "event_s":0.21,"reference_s":0.33,"engine_speedup":1.57,
+        "cells_per_sec":4.76,"simulated_cycles_per_sec":281000.0,
+        "cold_cell_speedup_vs_baseline":1.56,"simulated_cycles":59224},
+        "campaign_grid":{"cells":12},
+        "schema":"perf-envelope/bench-engine/v2"}"#;
+
+    #[test]
+    fn v1_report_still_parses_as_its_own_baseline() {
+        let doc = Json::parse(V1).expect("v1 report must parse");
+        let b = cold_cell_baseline(&doc).expect("v1 baseline");
+        assert!((b.event_s - 0.327819171).abs() < 1e-12);
+        assert!((b.engine_speedup - 1.752927158735326).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v2_report_carries_the_frozen_baseline_forward() {
+        let doc = Json::parse(V2).expect("v2 report must parse");
+        let b = cold_cell_baseline(&doc).expect("v2 baseline");
+        // The frozen v1 numbers, not the freshly measured ones.
+        assert!((b.event_s - 0.327819171).abs() < 1e-12);
+        assert!((b.engine_speedup - 1.752927158735326).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_schema_yields_no_baseline() {
+        let doc = Json::parse(r#"{"schema":"perf-envelope/bench-engine/v99"}"#).unwrap();
+        assert!(cold_cell_baseline(&doc).is_none());
+    }
+}

@@ -186,6 +186,15 @@ impl GpuConfig {
         self
     }
 
+    /// Returns a copy with a different number of sub-partitions (warp
+    /// schedulers) per SM; `1` degenerates every SM to a single scheduler,
+    /// an edge shape the engine-equivalence suite exercises.
+    pub fn with_smsps_per_sm(mut self, smsps: usize) -> Self {
+        assert!(smsps > 0, "an SM must have at least one sub-partition");
+        self.smsps_per_sm = smsps;
+        self
+    }
+
     /// Returns a copy with a different L2 capacity in bytes.
     pub fn with_l2_capacity(mut self, bytes: u64) -> Self {
         self.l2.capacity_bytes = bytes;

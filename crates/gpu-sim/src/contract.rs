@@ -10,14 +10,20 @@
 //!    same `(sm, smsp)` at the same cycle is a contract violation.
 //! 2. **Next issue = max(min ready_at, last issue + 1)** — the checker
 //!    recomputes the expected issue cycle from the sub-partition's own
-//!    warps after every event that can change it (an issue on it, a warp
-//!    dispatched to it) and asserts the actual issue lands exactly there.
+//!    slot range of the [`WarpSlots`] arena after every event that can
+//!    change it (an issue on it, a warp dispatched to it) and asserts the
+//!    actual issue lands exactly there.
 //! 3. **Dispatch readiness** — a warp created by a block dispatched at
 //!    cycle `t` must not be ready before `t + 1`.
 //! 4. **Drain order** — within one cycle, sub-partitions issue in
 //!    ascending `(sm, smsp)` order, which is what keeps memory-system
-//!    side effects in the same order in both loops.
+//!    side effects in the same order in both loops (and is what the
+//!    sharded issue phase's serial commit point must reproduce).
 //! 5. **Monotone clock** — the engine clock never moves backwards.
+//!
+//! The checker reads the same struct-of-arrays slot state the schedulers
+//! read ([`WarpSlots::min_ready_at`] over the sub-partition's fixed slot
+//! range), so it verifies the production layout rather than a shadow copy.
 //!
 //! With the feature disabled (the default) the checker is a zero-sized
 //! no-op, so the hooks cost nothing; call sites are unconditional. CI
@@ -25,7 +31,7 @@
 //! so every scheduler path the suites exercise is checked.
 
 #[cfg(feature = "contract-checks")]
-use crate::sm::SmspState;
+use crate::warp::WarpSlots;
 
 /// Independent re-derivation of the scheduler contract; see the module
 /// docs. Zero-sized no-op unless the `contract-checks` feature is on.
@@ -58,10 +64,10 @@ impl EngineContract {
     }
 
     /// Recomputes the expected next issue cycle of one sub-partition from
-    /// its resident warps: `max(min ready_at, last issue + 1)`.
-    fn refresh(&mut self, idx: usize, state: &SmspState) {
+    /// its slot range: `max(min ready_at, last issue + 1)`.
+    fn refresh(&mut self, idx: usize, slots: &WarpSlots) {
         let floor = self.last_issue[idx].map_or(0, |l| l + 1);
-        self.expected[idx] = state.min_ready_at().map(|r| r.max(floor));
+        self.expected[idx] = slots.min_ready_at(idx).map(|r| r.max(floor));
     }
 
     /// A warp with readiness `warp_ready` was just placed on `(sm, smsp)`
@@ -72,7 +78,7 @@ impl EngineContract {
         smsp: usize,
         warp_ready: u64,
         now: u64,
-        state: &SmspState,
+        slots: &WarpSlots,
     ) {
         assert!(
             warp_ready > now,
@@ -80,7 +86,7 @@ impl EngineContract {
              ready at {warp_ready}; dispatch must never add work to the \
              cycle that triggered it"
         );
-        self.refresh(sm * self.smsps_per_sm + smsp, state);
+        self.refresh(sm * self.smsps_per_sm + smsp, slots);
     }
 
     /// `(sm, smsp)` is about to issue a warp whose pre-issue readiness is
@@ -118,8 +124,8 @@ impl EngineContract {
     /// The issue on `(sm, smsp)` at `now` (and any replacement dispatch it
     /// triggered) is fully applied; re-derive the sub-partition's next
     /// legal issue cycle.
-    pub(crate) fn post_issue(&mut self, sm: usize, smsp: usize, state: &SmspState) {
-        self.refresh(sm * self.smsps_per_sm + smsp, state);
+    pub(crate) fn post_issue(&mut self, sm: usize, smsp: usize, slots: &WarpSlots) {
+        self.refresh(sm * self.smsps_per_sm + smsp, slots);
     }
 
     /// The engine clock reached `cycle`.
@@ -153,7 +159,7 @@ impl EngineContract {
         _smsp: usize,
         _warp_ready: u64,
         _now: u64,
-        _state: &crate::sm::SmspState,
+        _slots: &crate::warp::WarpSlots,
     ) {
     }
 
@@ -161,7 +167,8 @@ impl EngineContract {
     pub(crate) fn pre_issue(&mut self, _sm: usize, _smsp: usize, _now: u64, _warp_ready: u64) {}
 
     #[inline(always)]
-    pub(crate) fn post_issue(&mut self, _sm: usize, _smsp: usize, _state: &crate::sm::SmspState) {}
+    pub(crate) fn post_issue(&mut self, _sm: usize, _smsp: usize, _slots: &crate::warp::WarpSlots) {
+    }
 
     #[inline(always)]
     pub(crate) fn on_clock(&mut self, _cycle: u64) {}

@@ -5,16 +5,44 @@
 //!
 //! * [`EngineMode::CycleAccurate`] — the reference loop. Every device cycle,
 //!   every SM sub-partition is polled for a ready warp. Simple, obviously
-//!   correct, and O(schedulers × resident warps) per simulated cycle even
-//!   when every warp is stalled on a 200+-cycle DRAM access — the dominant
-//!   state in the memory-bound embedding kernels this repository models.
+//!   correct, and kept deliberately free of the event-driven loop's
+//!   machinery so it stays a trustworthy oracle.
 //! * [`EngineMode::EventDriven`] — the default. Each sub-partition exposes
-//!   the earliest cycle at which it can issue (`SmspState::next_issue_at`);
-//!   the engine keeps those deadlines in an ordered event queue, jumps the
+//!   the earliest cycle at which it can issue; the engine keeps those
+//!   deadlines in a flat per-sub-partition array (`sched`) indexed by a
+//!   bitset calendar wheel (`DeadlineWheel` in `wheel.rs`), jumps the
 //!   clock straight to the next deadline, and touches only the
 //!   sub-partitions that can actually issue there. Sub-partitions whose
 //!   warps are all waiting on memory cost nothing until their responses
-//!   arrive.
+//!   arrive, and finding the next deadline costs near-constant time per
+//!   clock jump instead of a scan over every sub-partition.
+//!
+//! # Hot-state layout
+//!
+//! All per-issue warp state lives in the struct-of-arrays [`WarpSlots`]
+//! arena (see `warp.rs`): each sub-partition owns a fixed contiguous slot
+//! range, so scheduler scans and issue bookkeeping touch dense, reused
+//! cache lines instead of striding across boxed per-warp objects. The
+//! cold tail (program generator, identity, retirement flags) stays in
+//! [`WarpContext`]. All of it is allocated once per [`Simulator`] in an
+//! `EngineWorkspace` that is recycled across runs, so repeated cells
+//! skip re-allocation entirely.
+//!
+//! # Bucketed deadline queue
+//!
+//! Deadlines live in two places that must agree: `sched[idx]` holds each
+//! sub-partition's authoritative next-issue cycle, and the
+//! `DeadlineWheel` (`wheel.rs`) is a bitset calendar over the next 1024
+//! cycles (plus a `far` overflow bucket) used only to *find* the next
+//! deadline. The wheel's bits may be stale — a re-armed sub-partition
+//! leaves its old bit behind — but never missing: every `sched[idx]` value
+//! has a bit at its row (or sits in `far`). `next_deadline` clears stale
+//! bits as it scans and drains whole rows at once, so a drained row
+//! contains exactly the sub-partitions whose `sched` equals that cycle,
+//! in ascending flat-index order (invariant 2 below for free). See
+//! `wheel.rs` for the full invariant list.
+//!
+//! # Bit-exactness invariants
 //!
 //! The two modes produce **bit-identical** [`KernelStats`] (cycles, issue
 //! and stall counters, cache and DRAM counters). The invariants that make
@@ -24,12 +52,43 @@
 //!    opportunity is fully determined by its own resident warps' `ready_at`
 //!    cycles — so `max(min ready_at, last issue + 1)` is exactly the next
 //!    cycle on which the cycle-accurate loop would pick a warp from it.
-//! 2. Within one cycle, sub-partitions issue in `(sm, smsp)` order. The
-//!    event queue is keyed `(cycle, sm, smsp)`, so draining it preserves the
-//!    order of memory-system side effects (cache state, DRAM queueing).
+//! 2. Within one cycle, sub-partitions issue in `(sm, smsp)` order. Wheel
+//!    rows are scanned bit-ascending (= flat-index-ascending), so draining
+//!    a deadline row preserves the order of memory-system side effects
+//!    (cache state, DRAM queueing).
 //! 3. Warps created by a block dispatched at cycle `t` first become ready at
 //!    `t + 1` or later, so a dispatch can never add work to the cycle that
 //!    triggered it.
+//!
+//! # Sharded issue and the commit-point rule
+//!
+//! Invariant 3 plus the purity of [`Schedulers::select`] give the
+//! event-driven loop a parallel phase: selection at cycle `t` for a
+//! sub-partition depends only on that sub-partition's own slots and greedy
+//! pointer, and nothing another sub-partition issues at `t` can change it
+//! (issues free only the issuing slot; replacement dispatches create warps
+//! ready at `t + 1`). The loop therefore
+//!
+//! 1. collects every sub-partition scheduled at `t` (ascending flat order),
+//! 2. computes all of their selections — optionally sharded across
+//!    [`EngineTuning::sm_workers`] threads, each writing a disjoint span of
+//!    the pick buffer, with **no shared mutable state**, and
+//! 3. commits serially, in ascending `(sm, smsp)` order, at a single
+//!    serialization point: every memory-system side effect, counter update
+//!    and replacement dispatch happens here, in exactly the order the
+//!    cycle-accurate loop would produce.
+//!
+//! Step 3 is the **commit-point rule**: anything that mutates shared state
+//! must run inside the serial commit in ascending `(sm, smsp)` order. That
+//! makes [`KernelStats`] byte-identical regardless of `sm_workers` — the
+//! thread count can only change wall-clock time, never results.
+//!
+//! With `sm_workers <= 1` the loop takes a fused serial path instead:
+//! one pass over each drained sub-partition both selects the warp and
+//! computes the minimum `ready_at` of the remaining slots
+//! ([`WarpSlots::select_with_min`]), so re-arming needs no second scan.
+//! Both paths commit through the same `commit_candidate`, so they are
+//! trivially bit-identical.
 //!
 //! # Concurrent kernel streams
 //!
@@ -61,14 +120,17 @@
 //! windows overlap, so shared-level counters describe the device while the
 //! stream ran, not the stream's own traffic.
 
+use std::sync::Mutex;
+
 use crate::config::GpuConfig;
 use crate::contract::EngineContract;
 use crate::launch::{KernelLaunch, KernelProgram, WarpInfo};
 use crate::mem::MemorySystem;
 use crate::occupancy::Occupancy;
-use crate::sm::SmState;
+use crate::sm::{Schedulers, SmState};
 use crate::stats::{KernelStats, RawCounters};
-use crate::warp::WarpContext;
+use crate::warp::{WarpContext, WarpSlots};
+use crate::wheel::DeadlineWheel;
 
 /// Hard safety bound on simulated cycles per kernel; reaching it indicates a
 /// livelocked program and aborts the simulation with a panic.
@@ -92,6 +154,28 @@ impl EngineMode {
             EngineMode::CycleAccurate => "cycle_accurate",
             EngineMode::EventDriven => "event_driven",
         }
+    }
+}
+
+/// Performance knobs that cannot affect simulation results.
+///
+/// Every field of this struct is constrained by the engine's commit-point
+/// rule (see the module documentation): tuning may change how fast the
+/// simulator runs, never what it computes. [`KernelStats`] are byte-identical
+/// across all tunings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Worker threads for the event-driven loop's parallel selection phase.
+    /// `1` (the default) keeps the engine single-threaded; `0` uses one
+    /// worker per available core. Leave at `1` when the caller already
+    /// parallelizes over simulations (e.g. a campaign running cells on a
+    /// thread pool) — nesting multiplies thread counts.
+    pub sm_workers: usize,
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        EngineTuning { sm_workers: 1 }
     }
 }
 
@@ -134,15 +218,44 @@ impl std::fmt::Display for StreamPartition {
 }
 
 /// The GPU simulator: owns a device configuration and runs kernels on it.
-#[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: GpuConfig,
     mode: EngineMode,
+    tuning: EngineTuning,
+    /// Recycled engine state: arenas, queues and scratch buffers sized by
+    /// the previous run, handed back at run end so repeated cells skip
+    /// re-allocation. `None` until the first run (or while a run borrows
+    /// it; a concurrent run on the same simulator just starts fresh).
+    ws: Mutex<Option<Box<EngineWorkspace>>>,
     /// Test-only fault injection: deliberately issue a second warp from the
     /// same sub-partition in the same cycle, to prove the contract checker
     /// trips (see `contract_checker_trips_on_double_issue`).
     #[cfg(all(test, feature = "contract-checks"))]
     double_issue_sabotage: bool,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cfg", &self.cfg)
+            .field("mode", &self.mode)
+            .field("tuning", &self.tuning)
+            .finish()
+    }
+}
+
+impl Clone for Simulator {
+    fn clone(&self) -> Self {
+        Simulator {
+            cfg: self.cfg.clone(),
+            mode: self.mode,
+            tuning: self.tuning,
+            // The workspace is a cache, not state: clones start cold.
+            ws: Mutex::new(None),
+            #[cfg(all(test, feature = "contract-checks"))]
+            double_issue_sabotage: self.double_issue_sabotage,
+        }
+    }
 }
 
 impl Simulator {
@@ -152,6 +265,8 @@ impl Simulator {
         Simulator {
             cfg,
             mode: EngineMode::EventDriven,
+            tuning: EngineTuning::default(),
+            ws: Mutex::new(None),
             #[cfg(all(test, feature = "contract-checks"))]
             double_issue_sabotage: false,
         }
@@ -171,6 +286,21 @@ impl Simulator {
         self
     }
 
+    /// Returns a copy of this simulator using the given tuning. Tuning can
+    /// only change wall-clock speed, never results (see [`EngineTuning`]).
+    pub fn with_tuning(mut self, tuning: EngineTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Returns a copy of this simulator using `workers` threads for the
+    /// event-driven selection phase (see [`EngineTuning::sm_workers`]).
+    pub fn with_sm_workers(self, workers: usize) -> Self {
+        self.with_tuning(EngineTuning {
+            sm_workers: workers,
+        })
+    }
+
     /// The engine mode this simulator runs.
     pub fn mode(&self) -> EngineMode {
         self.mode
@@ -179,6 +309,26 @@ impl Simulator {
     /// The device configuration this simulator uses.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// The performance tuning this simulator runs with.
+    pub fn tuning(&self) -> EngineTuning {
+        self.tuning
+    }
+
+    /// Borrows the recycled workspace (fresh if this is the first run or
+    /// another run on this simulator currently holds it).
+    fn take_workspace(&self) -> Box<EngineWorkspace> {
+        self.ws
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .unwrap_or_default()
+    }
+
+    /// Returns the workspace for the next run to recycle.
+    fn put_workspace(&self, ws: Box<EngineWorkspace>) {
+        *self.ws.lock().unwrap_or_else(|p| p.into_inner()) = Some(ws);
     }
 
     /// Runs a kernel on a cold memory hierarchy and returns its statistics.
@@ -248,8 +398,13 @@ impl Simulator {
             );
         }
 
+        let workers = match self.tuning.sm_workers {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            w => w,
+        };
         let start_snap = MemSnapshot::take(mem);
-        let mut run = Run::new(&self.cfg, kernels, partition, start_cycle);
+        let mut ws = self.take_workspace();
+        let mut run = Run::new(&self.cfg, kernels, partition, start_cycle, &mut ws, workers);
         #[cfg(all(test, feature = "contract-checks"))]
         {
             run.double_issue = self.double_issue_sabotage;
@@ -261,16 +416,17 @@ impl Simulator {
 
         // Account residency for any warps that never retired (impossible in
         // practice but keeps the accounting robust).
-        for wid in 0..run.warps.len() {
-            if !run.warps[wid].is_exited() {
-                let (_, stream, _) = run.warp_home[wid];
+        for wid in 0..run.ws.warps.len() {
+            if !run.ws.warps[wid].is_exited() {
+                let (_, stream, _) = run.ws.warp_home[wid];
                 run.streams[stream].counters.resident_warp_cycles +=
-                    end_cycle.saturating_sub(run.warps[wid].spawn_cycle);
+                    end_cycle.saturating_sub(run.ws.warps[wid].spawn_cycle);
             }
         }
 
         let final_snap = MemSnapshot::take(mem);
-        run.streams
+        let stats = run
+            .streams
             .iter()
             .map(|s| {
                 let (end, snap) = s.end.unwrap_or((end_cycle, final_snap));
@@ -286,7 +442,10 @@ impl Simulator {
                 stats.dram_bytes_written = snap.dram_bytes_written - start_snap.dram_bytes_written;
                 stats
             })
-            .collect()
+            .collect();
+        drop(run);
+        self.put_workspace(ws);
+        stats
     }
 }
 
@@ -320,6 +479,81 @@ impl MemSnapshot {
 /// key [`SmState`] tracks, so co-resident streams never collide.
 fn block_key(stream: usize, block: u32) -> u64 {
     ((stream as u64) << 32) | block as u64
+}
+
+/// Recycled engine state: every allocation whose size is bound by the
+/// launch (warp arenas, slot arrays, deadline queues, scratch buffers).
+/// Lives on the [`Simulator`] between runs so repeated cells re-use — and
+/// keep hot — the same memory.
+#[derive(Default)]
+struct EngineWorkspace {
+    /// Cold per-warp state, indexed by arena warp id.
+    warps: Vec<WarpContext>,
+    /// Which (SM, stream, block) each warp belongs to.
+    warp_home: Vec<(usize, usize, u32)>,
+    /// Struct-of-arrays hot state of every resident warp.
+    slots: WarpSlots,
+    /// Greedy pointers of every sub-partition.
+    sched_state: Schedulers,
+    /// Per-SM block bookkeeping and placement cursors.
+    sms: Vec<SmState>,
+    /// Authoritative next issue deadline per flat sub-partition
+    /// (`u64::MAX` = no active warps).
+    sched: Vec<u64>,
+    /// Calendar-queue index over `sched` (bits may be stale, never missing).
+    wheel: DeadlineWheel,
+    /// Scratch: the deadline row being drained.
+    row: Vec<u64>,
+    /// Scratch: flat sub-partition ids scheduled at the cycle being drained,
+    /// in ascending order.
+    candidates: Vec<u32>,
+    /// Scratch: the slot each candidate selected (`u32::MAX` = none),
+    /// aligned with `candidates`.
+    picks: Vec<u32>,
+    /// Scratch: minimum ready cycle over each candidate's non-picked slots
+    /// (`u64::MAX` = none), aligned with `candidates`; produced by the same
+    /// selection scan and consumed by the commit's deadline re-arm.
+    mins: Vec<u64>,
+    /// `(smsp, slot)` placements of the most recent block dispatch
+    /// (`u32::MAX` slot = the warp exited at spawn and claimed no slot).
+    placements: Vec<(usize, u32)>,
+    /// SM id of each flat sub-partition (`idx / smsps_per_sm` without the
+    /// per-commit division).
+    sm_of: Vec<u32>,
+}
+
+impl EngineWorkspace {
+    /// Re-sizes everything for a new run, keeping allocations. `cap` is the
+    /// exact per-sub-partition slot bound derived from the streams'
+    /// occupancy caps (see [`Run::new`]); `total_warps` is the total number
+    /// of warps the run will ever create.
+    fn reset(&mut self, cfg: &GpuConfig, cap: usize, total_warps: usize, start_cycle: u64) {
+        let n = cfg.num_sms * cfg.smsps_per_sm;
+        self.warps.clear();
+        self.warps.reserve(total_warps);
+        self.warp_home.clear();
+        self.warp_home.reserve(total_warps);
+        self.slots.reset(n, cap);
+        self.sched_state.reset(n);
+        self.sms.truncate(cfg.num_sms);
+        for sm in self.sms.iter_mut() {
+            sm.reset(cfg.smsps_per_sm);
+        }
+        while self.sms.len() < cfg.num_sms {
+            self.sms.push(SmState::new(cfg.smsps_per_sm));
+        }
+        self.sched.clear();
+        self.sched.resize(n, u64::MAX);
+        self.wheel.reset(n, start_cycle);
+        self.row.clear();
+        self.candidates.clear();
+        self.picks.clear();
+        self.mins.clear();
+        self.placements.clear();
+        self.sm_of.clear();
+        self.sm_of
+            .extend((0..n).map(|idx| (idx / cfg.smsps_per_sm) as u32));
+    }
 }
 
 /// Per-stream launch state: one kernel of a (possibly concurrent) run.
@@ -356,15 +590,11 @@ struct Run<'a> {
     streams: Vec<StreamRun<'a>>,
     /// Display label for diagnostics ("+"-joined kernel names).
     label: String,
-    warps: Vec<WarpContext>,
-    sms: Vec<SmState>,
-    /// Which (SM, stream, block) each warp belongs to.
-    warp_home: Vec<(usize, usize, u32)>,
+    /// The simulator's recycled arenas and scratch buffers.
+    ws: &'a mut EngineWorkspace,
     active_warps: u64,
-    /// `(smsp index, warp id)` of the warps placed by the most recent
-    /// [`Run::dispatch_block`] call (reused across dispatches to avoid
-    /// per-block allocation).
-    placements: Vec<(usize, usize)>,
+    /// Threads for the event-driven selection phase (1 = inline).
+    workers: usize,
     /// Scheduler-contract checker; a zero-sized no-op unless the
     /// `contract-checks` feature is enabled.
     contract: EngineContract,
@@ -379,6 +609,8 @@ impl<'a> Run<'a> {
         kernels: &[(&'a KernelLaunch, &'a dyn KernelProgram)],
         partition: StreamPartition,
         start_cycle: u64,
+        ws: &'a mut EngineWorkspace,
+        workers: usize,
     ) -> Self {
         let k = kernels.len();
         // Contiguous, near-even SM split for partitioned streams; every
@@ -419,6 +651,26 @@ impl<'a> Run<'a> {
             });
         }
 
+        // Exact per-sub-partition slot bound: a block places its warps
+        // round-robin over one SM's sub-partitions in a single burst, so
+        // each resident block contributes at most ceil(warps_per_block /
+        // smsps_per_sm) warps to any one sub-partition, and each SM hosts
+        // at most `blocks_cap` blocks per stream covering it.
+        let cap = (0..cfg.num_sms)
+            .map(|sm| {
+                streams
+                    .iter()
+                    .filter(|s| sm >= s.sm_base && sm < s.sm_base + s.sm_count)
+                    .map(|s| {
+                        s.blocks_cap as usize
+                            * (s.warps_per_block as usize).div_ceil(cfg.smsps_per_sm)
+                    })
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1);
+
         // Every block of every grid is eventually dispatched and its warps
         // stay in the arena until the kernel completes, so the final length
         // is known exactly up front.
@@ -426,23 +678,19 @@ impl<'a> Run<'a> {
             .iter()
             .map(|s| s.total_blocks as usize * s.warps_per_block as usize)
             .sum();
-        let max_wpb = streams.iter().map(|s| s.warps_per_block).max().unwrap_or(0);
         let label = kernels
             .iter()
             .map(|(l, _)| l.name.as_str())
             .collect::<Vec<_>>()
             .join("+");
+        ws.reset(cfg, cap, total_warps, start_cycle);
         let mut run = Run {
             cfg,
             streams,
             label,
-            warps: Vec::with_capacity(total_warps),
-            sms: (0..cfg.num_sms)
-                .map(|_| SmState::new(cfg.smsps_per_sm))
-                .collect(),
-            warp_home: Vec::with_capacity(total_warps),
+            ws,
             active_warps: 0,
-            placements: Vec::with_capacity(max_wpb as usize),
+            workers,
             contract: EngineContract::new(cfg.num_sms, cfg.smsps_per_sm, start_cycle),
             #[cfg(all(test, feature = "contract-checks"))]
             double_issue: false,
@@ -468,10 +716,10 @@ impl<'a> Run<'a> {
         run.recount_active_warps();
         // Warps whose programs are empty retire instantly; account for their
         // blocks so replacement blocks can still be dispatched.
-        for wid in 0..run.warps.len() {
-            if run.warps[wid].is_exited() {
-                let (sm_id, stream, block_id) = run.warp_home[wid];
-                if run.sms[sm_id].warp_retired(block_key(stream, block_id)) {
+        for wid in 0..run.ws.warps.len() {
+            if run.ws.warps[wid].is_exited() {
+                let (sm_id, stream, block_id) = run.ws.warp_home[wid];
+                if run.ws.sms[sm_id].warp_retired(block_key(stream, block_id)) {
                     let local = sm_id - run.streams[stream].sm_base;
                     run.streams[stream].resident[local] -= 1;
                 }
@@ -487,9 +735,9 @@ impl<'a> Run<'a> {
             s.active_warps = 0;
         }
         let mut total = 0u64;
-        for wid in 0..self.warps.len() {
-            if !self.warps[wid].is_exited() {
-                let (_, stream, _) = self.warp_home[wid];
+        for wid in 0..self.ws.warps.len() {
+            if !self.ws.warps[wid].is_exited() {
+                let (_, stream, _) = self.ws.warp_home[wid];
                 self.streams[stream].active_warps += 1;
                 total += 1;
             }
@@ -503,15 +751,16 @@ impl<'a> Run<'a> {
     }
 
     /// Dispatches one thread block of `stream` onto `sm_id` at `cycle`,
-    /// recording the placements of its warps in [`Run::placements`].
+    /// recording the placements of its warps in the workspace's
+    /// `placements` buffer.
     fn dispatch_block(&mut self, stream: usize, sm_id: usize, block_id: u32, cycle: u64) {
         let warps_per_block = self.streams[stream].warps_per_block;
         let threads_per_block = self.streams[stream].launch.threads_per_block;
-        self.sms[sm_id].begin_block(block_key(stream, block_id), warps_per_block);
+        self.ws.sms[sm_id].begin_block(block_key(stream, block_id), warps_per_block);
         self.streams[stream].counters.blocks_launched += 1;
         let local = sm_id - self.streams[stream].sm_base;
         self.streams[stream].resident[local] += 1;
-        self.placements.clear();
+        self.ws.placements.clear();
         for w in 0..warps_per_block {
             let info = WarpInfo {
                 block_id,
@@ -521,21 +770,26 @@ impl<'a> Run<'a> {
                 global_warp_id: block_id as u64 * warps_per_block as u64 + w as u64,
                 sm_id: sm_id as u32,
             };
-            let ctx =
+            let mut ctx =
                 WarpContext::new(info, self.streams[stream].program.warp_program(info), cycle);
             self.streams[stream].counters.warps_launched += 1;
-            let ready = if ctx.is_exited() {
-                u64::MAX
-            } else {
-                ctx.ready_at()
-            };
-            let warp_id = self.warps.len();
-            self.warps.push(ctx);
-            self.warp_home.push((sm_id, stream, block_id));
-            let smsp = self.sms[sm_id].place_warp(warp_id, ready);
+            let wid = self.ws.warps.len();
+            assert!(wid < u32::MAX as usize, "warp arena overflow");
+            // The rotation cursor advances for every spawned warp — even one
+            // that exits instantly and claims no slot — so placement stays a
+            // pure function of spawn order.
+            let smsp = self.ws.sms[sm_id].next_rotation();
+            let flat = sm_id * self.cfg.smsps_per_sm + smsp;
+            let slot = self
+                .ws
+                .slots
+                .spawn(flat, wid as u32, stream as u32, &mut ctx, cycle);
+            let ready = slot.map_or(u64::MAX, |s| self.ws.slots.ready_at(s as usize));
+            self.ws.warps.push(ctx);
+            self.ws.warp_home.push((sm_id, stream, block_id));
             self.contract
-                .on_dispatch(sm_id, smsp, ready, cycle, &self.sms[sm_id].smsps[smsp]);
-            self.placements.push((smsp, warp_id));
+                .on_dispatch(sm_id, smsp, ready, cycle, &self.ws.slots);
+            self.ws.placements.push((smsp, slot.unwrap_or(u32::MAX)));
         }
     }
 
@@ -556,13 +810,13 @@ impl<'a> Run<'a> {
                 }
             }
         }
-        let newly_active = self.warps.iter().filter(|w| !w.is_exited()).count() as u64;
+        let newly_active = self.ws.warps.iter().filter(|w| !w.is_exited()).count() as u64;
         if newly_active == 0 {
             // Every program in this launch is empty.
-            for wid in 0..self.warps.len() {
-                if self.warps[wid].is_exited() {
-                    let (sm_id, stream, block_id) = self.warp_home[wid];
-                    if self.sms[sm_id].warp_retired(block_key(stream, block_id)) {
+            for wid in 0..self.ws.warps.len() {
+                if self.ws.warps[wid].is_exited() {
+                    let (sm_id, stream, block_id) = self.ws.warp_home[wid];
+                    if self.ws.sms[sm_id].warp_retired(block_key(stream, block_id)) {
                         let local = sm_id - self.streams[stream].sm_base;
                         self.streams[stream].resident[local] -= 1;
                     }
@@ -574,34 +828,49 @@ impl<'a> Run<'a> {
         false
     }
 
-    /// Issues warp `wid` (already selected by sub-partition `(sm, smsp)`) at
-    /// cycle `now`, handling retirement, block completion and replacement
-    /// dispatch. Returns `true` if the warp retired.
+    /// Issues the warp in `slot` (already selected and committed by
+    /// sub-partition `(sm, smsp)`) at cycle `now`, handling retirement,
+    /// block completion and replacement dispatch. This is the engine's
+    /// serialization point: every memory-system side effect happens here,
+    /// and the event-driven loop calls it in ascending `(sm, smsp)` order
+    /// within a cycle. Returns `true` if the warp retired.
     fn issue_selected(
         &mut self,
-        wid: usize,
+        slot: usize,
         sm: usize,
         smsp: usize,
         now: u64,
         mem: &mut MemorySystem,
     ) -> bool {
-        let (home_sm, stream, block_id) = self.warp_home[wid];
-        let cfg = self.cfg;
+        let wid = self.ws.slots.wid(slot) as usize;
+        let stream = self.ws.slots.stream_of(slot) as usize;
         self.contract
-            .pre_issue(sm, smsp, now, self.warps[wid].ready_at());
-        let retired = self.warps[wid].issue(now, mem, cfg, &mut self.streams[stream].counters);
+            .pre_issue(sm, smsp, now, self.ws.slots.ready_at(slot));
+        let retired = {
+            // Disjoint workspace fields: the slot arena mutates, the cold
+            // warp tail refills its decode buffer.
+            let ws = &mut *self.ws;
+            ws.slots.issue(
+                slot,
+                sm,
+                now,
+                &mut ws.warps[wid],
+                mem,
+                self.cfg,
+                &mut self.streams[stream].counters,
+            )
+        };
         if !retired {
-            let ready = self.warps[wid].ready_at();
-            self.sms[sm].smsps[smsp].note_ready(wid, ready);
-            self.contract
-                .post_issue(sm, smsp, &self.sms[sm].smsps[smsp]);
+            self.contract.post_issue(sm, smsp, &self.ws.slots);
             return false;
         }
+        self.ws.slots.release(slot);
         self.active_warps -= 1;
         self.streams[stream].active_warps -= 1;
-        self.streams[stream].counters.resident_warp_cycles += now + 1 - self.warps[wid].spawn_cycle;
-        let block_done = self.sms[home_sm].warp_retired(block_key(stream, block_id));
-        self.sms[sm].smsps[smsp].prune_exited(&self.warps);
+        self.streams[stream].counters.resident_warp_cycles +=
+            now + 1 - self.ws.warps[wid].spawn_cycle;
+        let (home_sm, _, block_id) = self.ws.warp_home[wid];
+        let block_done = self.ws.sms[home_sm].warp_retired(block_key(stream, block_id));
         if block_done {
             let local = home_sm - self.streams[stream].sm_base;
             self.streams[stream].resident[local] -= 1;
@@ -611,14 +880,15 @@ impl<'a> Run<'a> {
             self.streams[stream].next_block += 1;
             self.dispatch_block(stream, home_sm, block, now + 1);
             let newly = self
+                .ws
                 .placements
                 .iter()
-                .filter(|&&(_, w)| !self.warps[w].is_exited())
+                .filter(|&&(_, s)| s != u32::MAX)
                 .count() as u64;
             self.active_warps += newly;
             self.streams[stream].active_warps += newly;
         } else {
-            self.placements.clear();
+            self.ws.placements.clear();
         }
         if self.streams[stream].active_warps == 0
             && self.streams[stream].next_block >= self.streams[stream].total_blocks
@@ -629,14 +899,17 @@ impl<'a> Run<'a> {
             // run's loop would exit).
             self.streams[stream].end = Some((now + 1, MemSnapshot::take(mem)));
         }
-        self.contract
-            .post_issue(sm, smsp, &self.sms[sm].smsps[smsp]);
+        self.contract.post_issue(sm, smsp, &self.ws.slots);
         true
     }
 
     /// The reference loop: poll every sub-partition every cycle, jumping the
-    /// clock only when the whole device is stalled.
+    /// clock only when the whole device is stalled. Deliberately kept
+    /// serial and queue-free so it stays an independent oracle for the
+    /// event-driven loop.
     fn run_cycle_accurate(&mut self, mem: &mut MemorySystem, start_cycle: u64) -> u64 {
+        let smsps_per_sm = self.cfg.smsps_per_sm;
+        let n = self.cfg.num_sms * smsps_per_sm;
         let mut cycle = start_cycle;
         while self.active_warps > 0 || self.blocks_pending() {
             self.contract.on_clock(cycle);
@@ -649,13 +922,15 @@ impl<'a> Run<'a> {
             }
 
             let mut issued_any = false;
-            for sm_id in 0..self.cfg.num_sms {
-                for smsp_idx in 0..self.cfg.smsps_per_sm {
-                    let pick = self.sms[sm_id].smsps[smsp_idx].select_ready(cycle);
-                    let Some(wid) = pick else { continue };
-                    issued_any = true;
-                    self.issue_selected(wid, sm_id, smsp_idx, cycle, mem);
-                }
+            for idx in 0..n {
+                let Some(slot) = self.ws.sched_state.select(&self.ws.slots, idx, cycle) else {
+                    continue;
+                };
+                issued_any = true;
+                let wid = self.ws.slots.wid(slot as usize);
+                self.ws.sched_state.commit(idx, slot, wid);
+                let (sm, smsp) = (idx / smsps_per_sm, idx % smsps_per_sm);
+                self.issue_selected(slot as usize, sm, smsp, cycle, mem);
             }
 
             if issued_any {
@@ -663,12 +938,7 @@ impl<'a> Run<'a> {
             } else {
                 // Nothing could issue: fast-forward to the earliest cycle at
                 // which any warp becomes ready.
-                let next_ready = self
-                    .sms
-                    .iter()
-                    .flat_map(|sm| sm.smsps.iter())
-                    .filter_map(|smsp| smsp.min_ready_at())
-                    .min();
+                let next_ready = (0..n).filter_map(|i| self.ws.slots.min_ready_at(i)).min();
                 match next_ready {
                     Some(c) if c > cycle => cycle = c,
                     _ => cycle += 1,
@@ -684,38 +954,34 @@ impl<'a> Run<'a> {
         cycle
     }
 
-    /// The event-driven loop: keep every sub-partition's next issue deadline
-    /// in a flat per-sub-partition array and jump the clock straight to the
-    /// smallest deadline, touching only the sub-partitions that can issue
-    /// there. A linear min/match scan over a few hundred contiguous `u64`s
-    /// beats an ordered queue at this size and trivially preserves the
-    /// cycle-accurate loop's `(sm, smsp)` issue order. See the module
-    /// documentation for the invariants that keep this bit-exact with
-    /// [`Run::run_cycle_accurate`].
+    /// The event-driven loop: jump the clock straight to the earliest
+    /// deadline in the calendar wheel, compute every scheduled
+    /// sub-partition's selection (in parallel when `workers > 1`), then
+    /// commit the issues serially in ascending `(sm, smsp)` order. See the
+    /// module documentation for why this is bit-exact with
+    /// [`Run::run_cycle_accurate`] at every thread count.
     fn run_event_driven(&mut self, mem: &mut MemorySystem, start_cycle: u64) -> u64 {
-        let smsps_per_sm = self.cfg.smsps_per_sm;
-        let n = self.cfg.num_sms * smsps_per_sm;
-        // Next issue deadline per sub-partition (u64::MAX = no active warps).
-        let mut sched: Vec<u64> = vec![u64::MAX; n];
-
         let mut cycle = start_cycle;
-        self.reschedule_all(&mut sched, cycle);
+        self.reschedule_all(cycle);
 
         loop {
             if self.active_warps == 0 && self.blocks_pending() {
                 if self.degenerate_refill(cycle) {
                     break;
                 }
-                self.reschedule_all(&mut sched, cycle);
+                self.reschedule_all(cycle);
             }
             if self.active_warps == 0 {
                 break;
             }
-            let t = sched.iter().copied().min().unwrap_or(u64::MAX);
-            if t == u64::MAX {
+            let t = {
+                let ws = &mut *self.ws;
+                ws.wheel.next_deadline(cycle, &ws.sched)
+            };
+            let Some(t) = t else {
                 debug_assert!(false, "active warps but no scheduled deadlines");
                 break;
-            }
+            };
             self.contract.on_clock(t);
             if t > cycle {
                 // The clock is about to jump past `t - cycle` stalled
@@ -724,49 +990,69 @@ impl<'a> Run<'a> {
                 mem.retire_completed_fills(t);
             }
 
-            // Drain every sub-partition scheduled at `t`, in (sm, smsp)
-            // order. Dispatches triggered here only create deadlines at
-            // `t + 1` or later (invariant 3), so the batch is stable.
-            for idx in 0..n {
-                if sched[idx] != t {
-                    continue;
-                }
-                let (sm, smsp) = (idx / smsps_per_sm, idx % smsps_per_sm);
-                sched[idx] = u64::MAX;
-
-                if let Some(wid) = self.sms[sm].smsps[smsp].select_ready(t) {
-                    let retired = self.issue_selected(wid, sm, smsp, t, mem);
-                    #[cfg(all(test, feature = "contract-checks"))]
-                    if self.double_issue {
-                        // Fault injection: issue a second ready warp from the
-                        // same sub-partition in the same cycle, violating the
-                        // one-issue-per-cycle contract on purpose.
-                        if let Some(w2) = self.sms[sm].smsps[smsp].select_ready(t) {
-                            self.issue_selected(w2, sm, smsp, t, mem);
-                        }
-                    }
-                    if retired && !self.placements.is_empty() {
-                        // A replacement block landed on this warp's SM: give
-                        // its sub-partitions deadlines for the new warps.
-                        let (home_sm, _, _) = self.warp_home[wid];
-                        for i in 0..self.placements.len() {
-                            let (psmsp, pwid) = self.placements[i];
-                            if self.warps[pwid].is_exited() {
-                                continue;
-                            }
-                            let pidx = home_sm * smsps_per_sm + psmsp;
-                            let ready = self.warps[pwid].ready_at();
-                            if ready < sched[pidx] {
-                                sched[pidx] = ready;
-                            }
-                        }
+            if self.workers <= 1 {
+                // Fused serial path: select and commit each scheduled
+                // sub-partition inline while walking the row bits (same
+                // ascending (sm, smsp) order), skipping the candidates/
+                // picks round trip entirely. Bit-exact with the sharded
+                // path below because selection is sub-partition-local and
+                // an issue at `t` only creates or changes deadlines at
+                // `t + 1` or later, so a later candidate's selection is
+                // unaffected by an earlier commit in the same cycle.
+                self.ws.wheel.take_row_into(t, &mut self.ws.row);
+                let n_words = self.ws.row.len();
+                for w in 0..n_words {
+                    let mut bits = self.ws.row[w];
+                    while bits != 0 {
+                        let b = bits & bits.wrapping_neg();
+                        bits ^= b;
+                        let idx = w * 64 + b.trailing_zeros() as usize;
+                        // Every bit in a row returned by `next_deadline` is
+                        // verified live, and a drained row cannot be
+                        // re-entered (see `wheel.rs` invariants), so no
+                        // staleness filter is needed here.
+                        debug_assert_eq!(self.ws.sched[idx], t, "stale bit in drained wheel row");
+                        let (pick, min_others) =
+                            self.ws.sched_state.select_and_min(&self.ws.slots, idx, t);
+                        self.commit_candidate(idx, pick, min_others, t, mem);
                     }
                 }
+            } else {
+                // Phase 0: collect the sub-partitions scheduled at `t` from
+                // the wheel row, ascending bit order = ascending (sm, smsp)
+                // order.
+                {
+                    let ws = &mut *self.ws;
+                    ws.wheel.take_row_into(t, &mut ws.row);
+                    ws.candidates.clear();
+                    for (w, &word) in ws.row.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let b = bits & bits.wrapping_neg();
+                            let idx = w * 64 + b.trailing_zeros() as usize;
+                            if ws.sched[idx] == t {
+                                ws.candidates.push(idx as u32);
+                            }
+                            bits ^= b;
+                        }
+                    }
+                }
 
-                // One issue per sub-partition per cycle: its next deadline
-                // is clamped to t + 1 even if another warp is already ready.
-                if let Some(next) = self.sms[sm].smsps[smsp].next_issue_at(t + 1) {
-                    sched[idx] = next;
+                // Phase 1: pure selection for every candidate
+                // (parallelizable because selection is sub-partition-local;
+                // see `sm.rs`).
+                self.select_batch(t);
+
+                // Phase 2: serial commit in ascending (sm, smsp) order —
+                // the single serialization point for memory-system side
+                // effects. Dispatches triggered here only create deadlines
+                // at `t + 1` or later (invariant 3), so the candidate batch
+                // is stable.
+                for i in 0..self.ws.candidates.len() {
+                    let idx = self.ws.candidates[i] as usize;
+                    let pick = self.ws.picks[i];
+                    let min_others = self.ws.mins[i];
+                    self.commit_candidate(idx, pick, min_others, t, mem);
                 }
             }
 
@@ -780,15 +1066,143 @@ impl<'a> Run<'a> {
         cycle
     }
 
+    /// Commits one scheduled sub-partition at cycle `t`: clears its
+    /// deadline, issues `pick` (`u32::MAX` = nothing selected), seeds
+    /// deadlines for any replacement-block warps the issue dispatched, and
+    /// re-arms the sub-partition's next deadline clamped to `t + 1` (one
+    /// issue per sub-partition per cycle). This is the single serialization
+    /// point for memory-system side effects; callers invoke it in ascending
+    /// `(sm, smsp)` order within a cycle.
+    ///
+    /// `min_others` is the minimum ready cycle over the sub-partition's
+    /// slots *excluding* `pick` as computed by the selection scan
+    /// (`select_and_min`). The re-arm folds in the only three things that
+    /// can change between that scan and here — the pick's post-issue ready
+    /// cycle, a retirement freeing the slot, and replacement-block warps
+    /// dispatched into this very sub-partition — so no second pass over the
+    /// slot range is needed.
+    fn commit_candidate(
+        &mut self,
+        idx: usize,
+        pick: u32,
+        min_others: u64,
+        t: u64,
+        mem: &mut MemorySystem,
+    ) {
+        let smsps_per_sm = self.cfg.smsps_per_sm;
+        self.ws.sched[idx] = u64::MAX;
+        let sm = self.ws.sm_of[idx] as usize;
+        let smsp = idx - sm * smsps_per_sm;
+        let mut min_after = min_others;
+
+        if pick != u32::MAX {
+            let wid = self.ws.slots.wid(pick as usize);
+            self.ws.sched_state.commit(idx, pick, wid);
+            let retired = self.issue_selected(pick as usize, sm, smsp, t, mem);
+            // A released slot reports `u64::MAX`, so retirement needs no
+            // special case here.
+            min_after = min_after.min(self.ws.slots.ready_at(pick as usize));
+            #[cfg(all(test, feature = "contract-checks"))]
+            if self.double_issue {
+                // Fault injection: issue a second ready warp from the
+                // same sub-partition in the same cycle, violating the
+                // one-issue-per-cycle contract on purpose.
+                if let Some(s2) = self.ws.sched_state.select(&self.ws.slots, idx, t) {
+                    let w2 = self.ws.slots.wid(s2 as usize);
+                    self.ws.sched_state.commit(idx, s2, w2);
+                    self.issue_selected(s2 as usize, sm, smsp, t, mem);
+                    // The second issue invalidates the fused minimum;
+                    // rescan so fault-injection runs re-arm exactly.
+                    min_after = self.ws.slots.min_ready_at(idx).unwrap_or(u64::MAX);
+                }
+            }
+            if retired && !self.ws.placements.is_empty() {
+                // A replacement block landed on this warp's SM: give
+                // its sub-partitions deadlines for the new warps.
+                let (home_sm, _, _) = self.ws.warp_home[wid as usize];
+                for p in 0..self.ws.placements.len() {
+                    let (psmsp, pslot) = self.ws.placements[p];
+                    if pslot == u32::MAX {
+                        continue;
+                    }
+                    let pidx = home_sm * smsps_per_sm + psmsp;
+                    let ready = self.ws.slots.ready_at(pslot as usize);
+                    if pidx == idx {
+                        // New warp in this sub-partition: fold into the
+                        // re-arm below instead of writing `sched` twice.
+                        min_after = min_after.min(ready);
+                    } else if ready < self.ws.sched[pidx] {
+                        self.ws.sched[pidx] = ready;
+                        self.ws.wheel.note(pidx, ready);
+                    }
+                }
+            }
+        }
+
+        // One issue per sub-partition per cycle: its next deadline is
+        // clamped to t + 1 even if another warp is already ready.
+        if min_after != u64::MAX {
+            let next = min_after.max(t + 1);
+            self.ws.sched[idx] = next;
+            self.ws.wheel.note(idx, next);
+        }
+    }
+
+    /// Computes the selection of every candidate sub-partition at cycle `t`
+    /// into the aligned `picks` buffer. Sharded across `self.workers`
+    /// scoped threads when there is enough work — each worker reads the
+    /// shared slot arena and greedy pointers immutably and writes a
+    /// disjoint span of `picks`, so the result is identical at any thread
+    /// count (and no synchronization beyond the scope join exists).
+    fn select_batch(&mut self, t: u64) {
+        /// Below this many candidates the spawn cost dwarfs the work.
+        const SHARD_MIN_BATCH: usize = 2;
+        let workers = self.workers;
+        let ws = &mut *self.ws;
+        let n = ws.candidates.len();
+        ws.picks.clear();
+        ws.picks.resize(n, u32::MAX);
+        ws.mins.clear();
+        ws.mins.resize(n, u64::MAX);
+        let slots = &ws.slots;
+        let sched_state = &ws.sched_state;
+        let candidates = &ws.candidates[..];
+        let picks = &mut ws.picks[..];
+        let mins = &mut ws.mins[..];
+        let fill = |cand: &[u32], out: &mut [u32], out_min: &mut [u64]| {
+            for ((c, o), m) in cand.iter().zip(out.iter_mut()).zip(out_min.iter_mut()) {
+                let (pick, min_others) = sched_state.select_and_min(slots, *c as usize, t);
+                *o = pick;
+                *m = min_others;
+            }
+        };
+        if workers > 1 && n >= SHARD_MIN_BATCH {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ((cand, out), out_min) in candidates
+                    .chunks(chunk)
+                    .zip(picks.chunks_mut(chunk))
+                    .zip(mins.chunks_mut(chunk))
+                {
+                    scope.spawn(move || fill(cand, out, out_min));
+                }
+            });
+        } else {
+            fill(candidates, picks, mins);
+        }
+    }
+
     /// Recomputes every sub-partition's issue deadline from scratch (used at
     /// startup and after a degenerate refill; the hot path maintains
     /// deadlines incrementally).
-    fn reschedule_all(&self, sched: &mut [u64], floor: u64) {
-        for sm in 0..self.cfg.num_sms {
-            for smsp in 0..self.cfg.smsps_per_sm {
-                sched[sm * self.cfg.smsps_per_sm + smsp] = self.sms[sm].smsps[smsp]
-                    .next_issue_at(floor)
-                    .unwrap_or(u64::MAX);
+    fn reschedule_all(&mut self, floor: u64) {
+        let n = self.cfg.num_sms * self.cfg.smsps_per_sm;
+        let ws = &mut *self.ws;
+        for idx in 0..n {
+            let d = ws.slots.next_issue_at(idx, floor).unwrap_or(u64::MAX);
+            ws.sched[idx] = d;
+            if d != u64::MAX {
+                ws.wheel.note(idx, d);
             }
         }
     }
@@ -1055,5 +1469,36 @@ mod tests {
             assert_eq!(format!("{p}"), p.name());
         }
         assert_eq!(StreamPartition::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn sharded_issue_is_thread_count_invariant() {
+        let cfg = GpuConfig::test_small();
+        let launch = KernelLaunch::new("shard", 12, 256).with_regs_per_thread(32);
+        let kernel = PointerChaseKernel::new(24, 1 << 22);
+        let baseline = Simulator::new(cfg.clone()).run(&launch, &kernel);
+        assert_eq!(Simulator::new(cfg.clone()).tuning().sm_workers, 1);
+        for workers in [1usize, 2, 8] {
+            let sim = Simulator::new(cfg.clone()).with_sm_workers(workers);
+            let stats = sim.run(&launch, &kernel);
+            assert_eq!(stats, baseline, "sm_workers={workers} changed the results");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_invisible() {
+        let cfg = GpuConfig::test_small();
+        let sim = Simulator::new(cfg.clone());
+        let launch = KernelLaunch::new("reuse", 8, 128).with_regs_per_thread(32);
+        let kernel = StreamKernel::new(16);
+        let first = sim.run(&launch, &kernel);
+        let second = sim.run(&launch, &kernel);
+        assert_eq!(first, second, "recycled workspace leaked state");
+        // A differently-shaped launch through the same recycled workspace
+        // must match a cold simulator exactly.
+        let big = KernelLaunch::new("reshape", 16, 256).with_regs_per_thread(64);
+        let fresh = Simulator::new(cfg).run(&big, &kernel);
+        let reused = sim.run(&big, &kernel);
+        assert_eq!(fresh, reused, "workspace reshape changed the results");
     }
 }

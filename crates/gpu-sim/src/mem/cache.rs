@@ -42,67 +42,32 @@ impl CacheStats {
     }
 }
 
-/// One cache way, packed into 16 bytes: the tag shares a word with the
-/// valid/persistent flags (bits 63/62 — tags are line addresses divided by
-/// line size and set count, far below 2^62). Halving the per-way footprint
-/// halves the host cache lines touched by set scans, which dominate the
-/// simulated L2's cost (an A100 L2 is 20 480 sets × 16 ways).
-#[derive(Debug, Clone, Copy)]
-struct CacheLine {
-    tag_flags: u64,
-    last_use: u64,
-}
-
-impl CacheLine {
-    const VALID: u64 = 1 << 63;
-    const PERSISTENT: u64 = 1 << 62;
-    const TAG_MASK: u64 = (1 << 62) - 1;
-
-    fn empty() -> Self {
-        CacheLine {
-            tag_flags: 0,
-            last_use: 0,
-        }
-    }
-
-    fn occupied(tag: u64, persistent: bool) -> Self {
-        debug_assert!(tag & !Self::TAG_MASK == 0, "tag overflows the packing");
-        CacheLine {
-            tag_flags: tag | Self::VALID | if persistent { Self::PERSISTENT } else { 0 },
-            last_use: 0,
-        }
-    }
-
-    #[inline]
-    fn valid(&self) -> bool {
-        self.tag_flags & Self::VALID != 0
-    }
-
-    #[inline]
-    fn persistent(&self) -> bool {
-        self.tag_flags & Self::PERSISTENT != 0
-    }
-
-    #[inline]
-    fn matches(&self, tag: u64) -> bool {
-        self.tag_flags & (Self::VALID | Self::TAG_MASK) == tag | Self::VALID
-    }
-
-    fn set_persistent(&mut self) {
-        self.tag_flags |= Self::PERSISTENT;
-    }
-}
+/// Valid bit packed into a way's tag word (tags are line addresses divided
+/// by line size and set count, far below 2^62, so the top bits are free).
+const VALID: u64 = 1 << 63;
+/// Persistent (evict-last) bit packed into a way's tag word.
+const PERSISTENT: u64 = 1 << 62;
+/// Mask selecting the tag payload of a tag word.
+const TAG_MASK: u64 = (1 << 62) - 1;
 
 /// A set-associative, LRU cache with an optional persisting carve-out.
 ///
 /// Lines are stored as one contiguous array with `ways` entries per set
 /// (instead of one heap allocation per set): an A100-sized L2 has 20 480
 /// sets, and a per-set `Vec` would cost an allocation each at construction
-/// and a pointer chase on every lookup.
+/// and a pointer chase on every lookup. Tags and LRU timestamps live in
+/// *separate* arrays (structure-of-arrays): the dominant operation is the
+/// hit scan, which reads every way's tag but touches at most one way's
+/// timestamp, so splitting them halves the host cache lines the scan pulls
+/// in (a 16-way L2 set's tags span two 64-byte lines instead of four).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<CacheLine>,
+    /// Per-way tag words (`VALID`/`PERSISTENT` flags in the top bits),
+    /// `ways` entries per set.
+    tags: Vec<u64>,
+    /// Per-way LRU timestamps, indexed identically to `tags`.
+    last_use: Vec<u64>,
     ways: usize,
     num_sets: u64,
     /// `log2(line_bytes)` when the line size is a power of two, so the hot
@@ -110,6 +75,12 @@ pub struct Cache {
     line_shift: Option<u32>,
     /// `log2(num_sets)` when the set count is a power of two.
     set_shift: Option<u32>,
+    /// Round-up reciprocal of `num_sets` for the non-power-of-two case
+    /// (`floor(2^85 / num_sets) + 1`): `(x * set_magic) >> 85` equals
+    /// `x / num_sets` exactly for all `x < 2^43` (see [`Cache::locate`]),
+    /// replacing the hardware divide on every lookup — the A100's L1 (384
+    /// sets) and L2 (20 480 sets) are both non-powers of two.
+    set_magic: u128,
     /// Current number of resident persistent lines.
     persistent_lines: u64,
     /// Maximum number of persistent lines allowed (carve-out).
@@ -125,7 +96,8 @@ impl Cache {
         // A degenerate configuration (associativity larger than the line
         // count) must not inflate the capacity beyond what was configured.
         let ways = cfg.associativity.min(cfg.num_lines().max(1) as usize);
-        let lines = vec![CacheLine::empty(); num_sets as usize * ways];
+        let tags = vec![0u64; num_sets as usize * ways];
+        let last_use = vec![0u64; num_sets as usize * ways];
         let line_shift = cfg
             .line_bytes
             .is_power_of_two()
@@ -133,29 +105,26 @@ impl Cache {
         let set_shift = num_sets
             .is_power_of_two()
             .then(|| num_sets.trailing_zeros());
+        let set_magic = (1u128 << 85) / num_sets as u128 + 1;
         Cache {
             cfg,
-            lines,
+            tags,
+            last_use,
             ways,
             num_sets,
             line_shift,
             set_shift,
+            set_magic,
             persistent_lines: 0,
             persistent_capacity_lines: 0,
             stats: CacheStats::default(),
         }
     }
 
-    /// The ways of one set as a mutable slice.
+    /// Index range of one set's ways within `tags`/`last_use`.
     #[inline]
-    fn set_mut(&mut self, set_idx: usize) -> &mut [CacheLine] {
-        &mut self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
-    }
-
-    /// The ways of one set as a shared slice.
-    #[inline]
-    fn set(&self, set_idx: usize) -> &[CacheLine] {
-        &self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
+    fn span(&self, set_idx: usize) -> std::ops::Range<usize> {
+        set_idx * self.ways..(set_idx + 1) * self.ways
     }
 
     /// Sets the persisting carve-out capacity in bytes (rounded down to whole
@@ -197,21 +166,32 @@ impl Cache {
         };
         match self.set_shift {
             Some(s) => ((line_index & (self.num_sets - 1)) as usize, line_index >> s),
-            None => (
-                (line_index % self.num_sets) as usize,
-                line_index / self.num_sets,
-            ),
+            None => {
+                // Granlund–Montgomery round-up reciprocal: with
+                // `m = floor(2^85 / d) + 1` the error `e = m*d - 2^85`
+                // satisfies `0 < e <= d`, so `x*m/2^85 = x/d + x*e/(d*2^85)`
+                // and the fractional excess `x*e/2^85 <= x*d/2^85 < 1/d`
+                // for `x < 2^43`, `d < 2^42` — the quotient is exact.
+                let tag = if line_index < 1 << 43 {
+                    ((line_index as u128 * self.set_magic) >> 85) as u64
+                } else {
+                    line_index / self.num_sets
+                };
+                ((line_index - tag * self.num_sets) as usize, tag)
+            }
         }
     }
 
     /// Looks up a line, updating LRU state and hit/miss statistics.
     /// Returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, line_addr: u64, now: u64) -> bool {
         self.stats.accesses += 1;
         let (set_idx, tag) = self.locate(line_addr);
-        for way in self.set_mut(set_idx).iter_mut() {
-            if way.matches(tag) {
-                way.last_use = now;
+        let want = tag | VALID;
+        for i in self.span(set_idx) {
+            if self.tags[i] & (VALID | TAG_MASK) == want {
+                self.last_use[i] = now;
                 self.stats.hits += 1;
                 return true;
             }
@@ -222,15 +202,17 @@ impl Cache {
     /// Probes for a line without updating statistics or LRU state.
     pub fn probe(&self, line_addr: u64) -> bool {
         let (set_idx, tag) = self.locate(line_addr);
-        self.set(set_idx).iter().any(|w| w.matches(tag))
+        let want = tag | VALID;
+        self.tags[self.span(set_idx)]
+            .iter()
+            .any(|&w| w & (VALID | TAG_MASK) == want)
     }
 
     /// Returns whether the given line is resident *and* marked persistent.
     pub fn is_persistent(&self, line_addr: u64) -> bool {
         let (set_idx, tag) = self.locate(line_addr);
-        self.set(set_idx)
-            .iter()
-            .any(|w| w.matches(tag) && w.persistent())
+        let want = tag | VALID | PERSISTENT;
+        self.tags[self.span(set_idx)].contains(&want)
     }
 
     /// Installs a line. If `persistent` is requested and the carve-out has
@@ -238,52 +220,50 @@ impl Cache {
     /// normal line. Returns `true` if the line was installed as persistent.
     pub fn fill(&mut self, line_addr: u64, persistent: bool, now: u64) -> bool {
         let (set_idx, tag) = self.locate(line_addr);
+        debug_assert!(tag & !TAG_MASK == 0, "tag overflows the packing");
         self.stats.fills += 1;
+        let span = self.span(set_idx);
 
         // Already resident: update flags in place (a prefetch may promote a
         // resident line to persistent).
         let can_pin_more = self.persistent_lines < self.persistent_capacity_lines;
-        if let Some(way) = self.set_mut(set_idx).iter_mut().find(|w| w.matches(tag)) {
-            way.last_use = now;
-            if persistent && !way.persistent() && can_pin_more {
-                way.set_persistent();
+        let want = tag | VALID;
+        if let Some(i) = span
+            .clone()
+            .find(|&i| self.tags[i] & (VALID | TAG_MASK) == want)
+        {
+            self.last_use[i] = now;
+            if persistent && self.tags[i] & PERSISTENT == 0 && can_pin_more {
+                self.tags[i] |= PERSISTENT;
                 self.persistent_lines += 1;
                 return true;
             }
-            return way.persistent();
+            return self.tags[i] & PERSISTENT != 0;
         }
 
         let install_persistent = persistent && can_pin_more;
 
         // Choose a victim: invalid first, then LRU among non-persistent,
         // then LRU among persistent (evict-last behaviour).
-        let set = self.set_mut(set_idx);
-        let victim_idx = if let Some(i) = set.iter().position(|w| !w.valid()) {
+        let victim = if let Some(i) = span.clone().find(|&i| self.tags[i] & VALID == 0) {
             i
-        } else if let Some(i) = set
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| !w.persistent())
-            .min_by_key(|(_, w)| w.last_use)
-            .map(|(i, _)| i)
+        } else if let Some(i) = span
+            .clone()
+            .filter(|&i| self.tags[i] & PERSISTENT == 0)
+            .min_by_key(|&i| self.last_use[i])
         {
             i
         } else {
             // Every way is persistent: evict the LRU persistent line.
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .unwrap()
+            span.min_by_key(|&i| self.last_use[i]).unwrap()
         };
 
-        let evicted = set[victim_idx];
-        let mut fresh = CacheLine::occupied(tag, install_persistent);
-        fresh.last_use = now;
-        set[victim_idx] = fresh;
-        if evicted.valid() {
+        let evicted = self.tags[victim];
+        self.tags[victim] = tag | VALID | if install_persistent { PERSISTENT } else { 0 };
+        self.last_use[victim] = now;
+        if evicted & VALID != 0 {
             self.stats.evictions += 1;
-            if evicted.persistent() {
+            if evicted & PERSISTENT != 0 {
                 self.stats.persistent_evictions += 1;
                 self.persistent_lines -= 1;
             }
@@ -297,16 +277,15 @@ impl Cache {
     /// Invalidates every line and resets persistence bookkeeping (statistics
     /// are preserved).
     pub fn flush(&mut self) {
-        for way in self.lines.iter_mut() {
-            *way = CacheLine::empty();
-        }
+        self.tags.fill(0);
+        self.last_use.fill(0);
         self.persistent_lines = 0;
     }
 
     /// Number of valid lines currently resident (O(capacity); intended for
     /// tests and diagnostics).
     pub fn resident_lines(&self) -> u64 {
-        self.lines.iter().filter(|w| w.valid()).count() as u64
+        self.tags.iter().filter(|&&w| w & VALID != 0).count() as u64
     }
 }
 
@@ -423,6 +402,33 @@ mod tests {
             assert!(c.probe(addr));
             // Distinct lines mapping to the same set must not alias.
             assert!(!c.probe(addr + 3 * 128 * 64));
+        }
+    }
+
+    #[test]
+    fn reciprocal_set_mapping_matches_division_exactly() {
+        // Real non-power-of-two geometries (A100 L1 = 384 sets, L2 = 20480
+        // sets) plus awkward divisors; sweep line indices across the exact
+        // range, its boundary, and beyond (where the fallback divides).
+        for sets in [3u64, 7, 384, 20480, (1 << 21) - 1] {
+            let c = Cache::new(CacheConfig {
+                capacity_bytes: sets * 128,
+                line_bytes: 128,
+                associativity: 1,
+                hit_latency: 1,
+            });
+            assert_eq!(c.num_sets, sets);
+            let probes = (0..4096).map(|i| i * 977).chain([
+                (1 << 43) - 2,
+                (1 << 43) - 1,
+                1 << 43,
+                u64::MAX / 128,
+            ]);
+            for line_index in probes {
+                let (set, tag) = c.locate(line_index * 128);
+                assert_eq!(set as u64, line_index % sets, "set for {line_index}/{sets}");
+                assert_eq!(tag, line_index / sets, "tag for {line_index}/{sets}");
+            }
         }
     }
 

@@ -44,10 +44,12 @@ pub struct MemorySystem {
     /// A demand load that hits such a line before its fill completes waits
     /// for the fill instead of enjoying a full-speed hit (MSHR-style
     /// hit-under-miss), which is what limits the usefulness of `L1DPF` at
-    /// short prefetch distances.
+    /// short prefetch distances. One map per SM: each SM's L1 fills are
+    /// independent, and the per-SM emptiness check on the demand-hit fast
+    /// path stays cheap even while another SM has fills in flight.
     // audit:allow(unordered_collection): keyed by exact line address, never
     // iterated; completions drain through the sorted fill_deadlines heap
-    l1_pending: HashMap<(usize, u64), u64>,
+    l1_pending: Vec<HashMap<u64, u64>>,
     /// Same bookkeeping for lines being installed into L2 by a prefetch.
     // audit:allow(unordered_collection): same keyed-lookup-only discipline
     l2_pending: HashMap<u64, u64>,
@@ -81,8 +83,8 @@ impl MemorySystem {
             l2,
             dram,
             shared_latency: cfg.shared_mem_latency,
-            // audit:allow(unordered_collection): empty init of the keyed map
-            l1_pending: HashMap::new(),
+            // audit:allow(unordered_collection): empty init of the keyed maps
+            l1_pending: (0..cfg.num_sms).map(|_| HashMap::new()).collect(),
             // audit:allow(unordered_collection): empty init of the keyed map
             l2_pending: HashMap::new(),
             fill_deadlines: BinaryHeap::new(),
@@ -107,6 +109,7 @@ impl MemorySystem {
     }
 
     /// Services a warp-level load and returns `(completion_cycle, outcome)`.
+    #[inline]
     pub fn load(
         &mut self,
         sm: usize,
@@ -126,9 +129,16 @@ impl MemorySystem {
                 }
                 let mut completion = now;
                 let mut outcome = AccessOutcome::L1Hit;
-                let per_line_bytes = (bytes as u64 / lines.len().max(1) as u64)
-                    .max(1)
-                    .min(self.l2.line_bytes());
+                // Single-line accesses (the overwhelmingly common case) skip
+                // the per-line split — and its runtime division — entirely.
+                let n = lines.len() as u64;
+                let per_line_bytes = if n <= 1 {
+                    bytes as u64
+                } else {
+                    bytes as u64 / n
+                }
+                .max(1)
+                .min(self.l2.line_bytes());
                 for line in lines.iter() {
                     let (done, line_outcome) = self.load_line(sm, line, per_line_bytes, now);
                     completion = completion.max(done);
@@ -139,6 +149,7 @@ impl MemorySystem {
         }
     }
 
+    #[inline]
     fn load_line(&mut self, sm: usize, line: u64, bytes: u64, now: u64) -> (u64, AccessOutcome) {
         if self.l1[sm].access(line, now) {
             // An in-flight prefetch fill delays the hit until the data lands.
@@ -205,7 +216,7 @@ impl MemorySystem {
                         done
                     };
                     self.l1[sm].fill(line, false, now);
-                    self.l1_pending.insert((sm, line), ready);
+                    self.l1_pending[sm].insert(line, ready);
                     self.fill_deadlines
                         .push(Reverse((ready, FillSite::L1 { sm, line })));
                 }
@@ -243,7 +254,7 @@ impl MemorySystem {
     pub fn earliest_pending_response(&mut self) -> Option<u64> {
         while let Some(&Reverse((ready, site))) = self.fill_deadlines.peek() {
             let live = match site {
-                FillSite::L1 { sm, line } => self.l1_pending.get(&(sm, line)) == Some(&ready),
+                FillSite::L1 { sm, line } => self.l1_pending[sm].get(&line) == Some(&ready),
                 FillSite::L2 { line } => self.l2_pending.get(&line) == Some(&ready),
             };
             if live {
@@ -266,8 +277,8 @@ impl MemorySystem {
             self.fill_deadlines.pop();
             match site {
                 FillSite::L1 { sm, line } => {
-                    if self.l1_pending.get(&(sm, line)).is_some_and(|&r| r <= now) {
-                        self.l1_pending.remove(&(sm, line));
+                    if self.l1_pending[sm].get(&line).is_some_and(|&r| r <= now) {
+                        self.l1_pending[sm].remove(&line);
                     }
                 }
                 FillSite::L2 { line } => {
@@ -281,16 +292,18 @@ impl MemorySystem {
 
     /// Returns (and prunes) the completion cycle of an in-flight L1 prefetch
     /// fill for `(sm, line)`, or `now` if none is outstanding.
+    #[inline]
     fn pending_l1_ready(&mut self, sm: usize, line: u64, now: u64) -> u64 {
-        // Fast path: no prefetches in flight anywhere (always true for the
-        // non-prefetching schemes), so skip the hash lookup on every hit.
-        if self.l1_pending.is_empty() {
+        // Fast path: no prefetches in flight on this SM (always true for
+        // the non-prefetching schemes), so skip the hash lookup per hit.
+        let pending = &mut self.l1_pending[sm];
+        if pending.is_empty() {
             return now;
         }
-        match self.l1_pending.get(&(sm, line)).copied() {
+        match pending.get(&line).copied() {
             Some(ready) if ready > now => ready,
             Some(_) => {
-                self.l1_pending.remove(&(sm, line));
+                pending.remove(&line);
                 now
             }
             None => now,

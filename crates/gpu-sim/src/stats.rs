@@ -34,6 +34,31 @@ pub struct RawCounters {
 }
 
 impl RawCounters {
+    /// Attributes the idle cycles between a warp's previous issue (at
+    /// `prev_issue`) and the current one (at `now`): the span until the
+    /// instruction's operands became ready (`ready_at`) is charged to the
+    /// dependence kind that gated it, and any remainder — ready but not
+    /// picked by the scheduler — to "not selected".
+    pub(crate) fn charge_issue_gap(
+        &mut self,
+        kind: crate::warp::DepKind,
+        prev_issue: u64,
+        ready_at: u64,
+        now: u64,
+    ) {
+        let gap = now.saturating_sub(prev_issue + 1);
+        if gap == 0 {
+            return;
+        }
+        let dep_stall = ready_at.saturating_sub(prev_issue + 1).min(gap);
+        match kind {
+            crate::warp::DepKind::Long => self.long_scoreboard_cycles += dep_stall,
+            crate::warp::DepKind::Short => self.short_scoreboard_cycles += dep_stall,
+            crate::warp::DepKind::None => self.not_selected_cycles += dep_stall,
+        }
+        self.not_selected_cycles += gap - dep_stall;
+    }
+
     /// Adds another set of counters into this one.
     pub fn accumulate(&mut self, other: &RawCounters) {
         self.insts_issued += other.insts_issued;

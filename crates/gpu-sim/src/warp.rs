@@ -1,14 +1,61 @@
-//! Per-warp execution state: the scoreboard, stall attribution, and the
-//! interface between a warp's instruction stream and the memory system.
+//! Per-warp execution state in struct-of-arrays form: the slot arena that
+//! holds every resident warp's per-issue working set, plus the cold
+//! [`WarpContext`] tail.
+//!
+//! # Layout
+//!
+//! The engine's hot loop touches, per issued instruction: the warp's next
+//! decoded instruction, its register scoreboard, its readiness cycle and its
+//! stall-attribution state. Keeping those inside per-warp heap objects (the
+//! pre-SoA design) meant every issue strided through `~200` bytes of
+//! `WarpContext`, a boxed 2 KiB scoreboard and a boxed instruction
+//! generator, all in data-dependent order across thousands of resident
+//! warps — host cache misses dominated simulation time.
+//!
+//! [`WarpSlots`] instead owns one dense array per field, indexed by *slot*:
+//!
+//! * each SM sub-partition owns the fixed contiguous slot range
+//!   `[smsp * cap, (smsp + 1) * cap)`, so a scheduler scan reads a handful
+//!   of adjacent `u64`s;
+//! * `ready`/`seq`/`occupant` drive selection, `last_issue`/`dep` drive
+//!   stall attribution, and a flat scoreboard arena (`TRACKED_REGS` packed
+//!   words per slot) replaces the per-warp boxes — a reused slot keeps its
+//!   scoreboard lines hot in cache across warp generations;
+//! * a decode-ahead instruction buffer ([`IBUF`] entries per slot) batches
+//!   calls into the (cold) [`WarpProgram`] generator so the issue path
+//!   usually reads the next instruction from a line it already owns.
+//!
+//! The per-smsp capacity `cap` is exact, not heuristic: blocks place their
+//! warps round-robin over a SM's sub-partitions in one burst, so one block
+//! contributes at most `ceil(warps_per_block / smsps_per_sm)` warps to any
+//! single sub-partition, and the engine sizes `cap` from the occupancy
+//! residency caps of every co-resident stream (see `engine.rs`).
+//!
+//! [`WarpContext`] keeps only the cold tail — the warp's identity, its
+//! boxed instruction generator and retirement bookkeeping — and is touched
+//! on spawn, buffer refill and retirement, not per issue.
 
 use crate::config::GpuConfig;
-use crate::isa::{Instruction, MemSpace};
+use crate::isa::{Instruction, LineSet, MemSpace, PrefetchTarget, Reg};
 use crate::launch::{WarpInfo, WarpProgram};
 use crate::mem::MemorySystem;
 use crate::stats::RawCounters;
 
 /// Number of architectural registers whose readiness is tracked per warp.
 const TRACKED_REGS: usize = 256;
+
+/// Decode-ahead depth: instructions buffered per slot between calls into
+/// the warp's [`WarpProgram`] generator. Deep enough that the generator is
+/// driven in long per-warp bursts (its queue and trace data stay hot in the
+/// host cache across one refill) instead of being re-entered cold between
+/// every few issues.
+pub const IBUF: usize = 64;
+
+/// Top-bit flag in a packed scoreboard word: the register's last writer was
+/// a long-latency (global/local) load. The low 63 bits hold the cycle at
+/// which that writer completes, which the engine's cycle cap keeps below
+/// `2^63`.
+const LONG: u64 = 1 << 63;
 
 /// What the warp's next instruction is currently waiting on; used to
 /// attribute stall cycles the way NCU does.
@@ -22,140 +69,571 @@ pub enum DepKind {
     Long,
 }
 
-/// Per-register readiness tracking, boxed as one unit so that spawning a
-/// warp costs a single scoreboard allocation on the launch path.
+/// Packed opcodes; see [`PackedInst`].
+const OP_LOAD_GLOBAL: u64 = 0;
+const OP_LOAD_LOCAL: u64 = 1;
+const OP_LOAD_SHARED: u64 = 2;
+const OP_STORE_GLOBAL: u64 = 3;
+const OP_STORE_LOCAL: u64 = 4;
+const OP_STORE_SHARED: u64 = 5;
+const OP_PREF_L1: u64 = 6;
+const OP_PREF_L2: u64 = 7;
+const OP_ALU: u64 = 8;
+const OP_EXT: u64 = 9;
+
+/// One decoded instruction packed into 16 bytes for the per-slot
+/// decode-ahead buffers. A full [`Instruction`] is 56 bytes, so buffering
+/// it directly made the decode buffers the largest per-issue working set in
+/// the engine; the packed form keeps them 3.5x smaller and copies one
+/// sixteenth of a host cache line per issue instead of one full line.
 ///
-/// Each entry packs the cycle at which the register's most recent writer
-/// completes (low 63 bits) with a flag in the top bit marking that writer as
-/// a long-latency (global/local) load. One packed word per register means
-/// one cache line touched per operand instead of two — measurable on the
-/// issue path, where the scoreboards of thousands of resident warps are
-/// visited in data-dependent order.
-struct Scoreboard {
-    packed: [u64; TRACKED_REGS],
+/// `meta` bit layout: `[0,4)` opcode, `[4,12)` primary register (load
+/// destination / store source / ALU destination); memory ops add bit 12 =
+/// "has address dependence", `[13,21)` the dependence register and
+/// `[21,42)` the byte count; ALU ops add `[12,14)` source count and
+/// `[16,40)` three source registers. `arg` holds the line address (memory
+/// ops), the latency (ALU), or a side-table index (`OP_EXT`).
+///
+/// Instructions that do not fit (multi-line accesses, byte counts of 2 MiB
+/// or more) are stored verbatim in the slot's side table and referenced by
+/// an `OP_EXT` entry, so the packing is an encoding, never a restriction.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PackedInst {
+    arg: u64,
+    meta: u64,
 }
 
-impl Scoreboard {
-    /// Top-bit flag: the register's last writer was a global/local load.
-    const LONG: u64 = 1 << 63;
+/// Largest byte count a packed memory instruction can carry.
+const PACK_MAX_BYTES: u32 = 1 << 21;
 
-    fn fresh() -> Box<Self> {
-        Box::new(Scoreboard {
-            packed: [0; TRACKED_REGS],
-        })
+impl PackedInst {
+    fn encode(inst: &Instruction) -> Option<PackedInst> {
+        let mem_meta = |op: u64, reg0: Reg, dep: Option<Reg>, bytes: u32| -> u64 {
+            op | (reg0 as u64) << 4
+                | dep.map_or(0, |r| 1 << 12 | (r as u64) << 13)
+                | (bytes as u64) << 21
+        };
+        match *inst {
+            Instruction::Load {
+                space,
+                lines,
+                dst,
+                bytes,
+                addr_dep,
+            } => {
+                if lines.len() != 1 || bytes >= PACK_MAX_BYTES {
+                    return None;
+                }
+                let op = match space {
+                    MemSpace::Global => OP_LOAD_GLOBAL,
+                    MemSpace::Local => OP_LOAD_LOCAL,
+                    MemSpace::Shared => OP_LOAD_SHARED,
+                };
+                Some(PackedInst {
+                    arg: lines.iter().next().unwrap(),
+                    meta: mem_meta(op, dst, addr_dep, bytes),
+                })
+            }
+            Instruction::Store {
+                space,
+                lines,
+                src,
+                bytes,
+            } => {
+                if lines.len() != 1 || bytes >= PACK_MAX_BYTES {
+                    return None;
+                }
+                let op = match space {
+                    MemSpace::Global => OP_STORE_GLOBAL,
+                    MemSpace::Local => OP_STORE_LOCAL,
+                    MemSpace::Shared => OP_STORE_SHARED,
+                };
+                Some(PackedInst {
+                    arg: lines.iter().next().unwrap(),
+                    meta: mem_meta(op, src, None, bytes),
+                })
+            }
+            Instruction::Prefetch {
+                target,
+                lines,
+                addr_dep,
+            } => {
+                if lines.len() != 1 {
+                    return None;
+                }
+                let op = match target {
+                    PrefetchTarget::L1 => OP_PREF_L1,
+                    PrefetchTarget::L2EvictLast => OP_PREF_L2,
+                };
+                Some(PackedInst {
+                    arg: lines.iter().next().unwrap(),
+                    meta: mem_meta(op, 0, addr_dep, 0),
+                })
+            }
+            Instruction::Alu { dst, srcs, latency } => {
+                let mut meta = OP_ALU | (dst as u64) << 4 | (srcs.len() as u64) << 12;
+                for (i, r) in srcs.iter().enumerate() {
+                    meta |= (r as u64) << (16 + 8 * i);
+                }
+                Some(PackedInst {
+                    arg: latency as u64,
+                    meta,
+                })
+            }
+        }
     }
 
-    /// `(ready cycle, was written by a long-latency load)` for `reg`.
     #[inline]
-    fn get(&self, reg: u8) -> (u64, bool) {
-        let v = self.packed[reg as usize];
-        (v & !Self::LONG, v & Self::LONG != 0)
+    fn op(self) -> u64 {
+        self.meta & 0xF
     }
 
-    /// Records that `reg`'s writer completes at `ready` (`ready` must stay
-    /// below 2^63, which [`crate::engine`]'s cycle cap guarantees).
     #[inline]
-    fn set(&mut self, reg: u8, ready: u64, long: bool) {
-        debug_assert!(ready & Self::LONG == 0, "cycle overflows the packing");
-        self.packed[reg as usize] = ready | if long { Self::LONG } else { 0 };
+    fn reg0(self) -> Reg {
+        (self.meta >> 4) as Reg
+    }
+
+    #[inline]
+    fn addr_dep(self) -> Option<Reg> {
+        if self.meta & (1 << 12) != 0 {
+            Some((self.meta >> 13) as Reg)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn bytes(self) -> u32 {
+        ((self.meta >> 21) & (PACK_MAX_BYTES as u64 - 1)) as u32
+    }
+
+    #[inline]
+    fn nsrcs(self) -> usize {
+        ((self.meta >> 12) & 0x3) as usize
+    }
+
+    #[inline]
+    fn src(self, i: usize) -> Reg {
+        (self.meta >> (16 + 8 * i)) as Reg
     }
 }
 
-/// Execution state of one resident warp.
+/// Cold per-warp state: everything the engine does *not* touch per issue.
 pub struct WarpContext {
     /// Static identity of the warp.
     pub info: WarpInfo,
     program: Box<dyn WarpProgram>,
-    /// The next instruction to issue, if the warp has not exited.
-    pending: Option<Instruction>,
-    /// The register scoreboard.
-    board: Box<Scoreboard>,
-    /// Cycle at which the pending instruction's operands are ready.
-    ready_at: u64,
-    /// What the pending instruction is waiting on.
-    dep_kind: DepKind,
-    /// Cycle at which the previous instruction issued.
-    last_issue: u64,
     /// Cycle at which this warp became resident.
     pub spawn_cycle: u64,
     /// Whether the warp has retired.
     exited: bool,
-    /// Instructions issued by this warp.
-    pub insts_issued: u64,
+    /// Whether the instruction generator has returned `None` (it is never
+    /// called again after that).
+    prog_done: bool,
 }
 
 impl std::fmt::Debug for WarpContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WarpContext")
             .field("info", &self.info)
-            .field("ready_at", &self.ready_at)
-            .field("dep_kind", &self.dep_kind)
+            .field("spawn_cycle", &self.spawn_cycle)
             .field("exited", &self.exited)
-            .field("insts_issued", &self.insts_issued)
             .finish()
     }
 }
 
 impl WarpContext {
-    /// Creates a warp that becomes resident at `spawn_cycle` and immediately
-    /// fetches its first instruction.
+    /// Creates the cold tail of a warp that becomes resident at
+    /// `spawn_cycle`. Its hot state lives in [`WarpSlots`] from the moment
+    /// [`WarpSlots::spawn`] claims a slot for it.
     pub fn new(info: WarpInfo, program: Box<dyn WarpProgram>, spawn_cycle: u64) -> Self {
-        let mut w = WarpContext {
+        WarpContext {
             info,
             program,
-            pending: None,
-            board: Scoreboard::fresh(),
-            ready_at: spawn_cycle,
-            dep_kind: DepKind::None,
-            last_issue: spawn_cycle,
             spawn_cycle,
             exited: false,
-            insts_issued: 0,
-        };
-        w.fetch_next(spawn_cycle);
-        w
+            prog_done: false,
+        }
     }
 
     /// Whether the warp has retired.
     pub fn is_exited(&self) -> bool {
         self.exited
     }
+}
 
-    /// Cycle at which the warp's next instruction becomes eligible to issue.
-    pub fn ready_at(&self) -> u64 {
-        self.ready_at
+/// Slot sentinel: no warp resident.
+const FREE: u32 = u32::MAX;
+
+/// The struct-of-arrays arena of resident-warp hot state; see the module
+/// documentation for the layout rationale. One instance covers every SM
+/// sub-partition of the device: sub-partition `i` (flat index) owns slots
+/// `[i * cap, (i + 1) * cap)`.
+pub struct WarpSlots {
+    /// Slots per sub-partition.
+    cap: usize,
+    /// Cycle at which each slot's pending instruction becomes eligible
+    /// (`u64::MAX` for a free slot, so scheduler scans skip it for free).
+    ready: Vec<u64>,
+    /// Global placement sequence number; the scheduler's oldest-first
+    /// fallback is "smallest `seq` among ready slots", which reproduces the
+    /// residency order of the pre-SoA design exactly.
+    seq: Vec<u64>,
+    /// Arena index of the resident warp ([`FREE`] if empty).
+    occupant: Vec<u32>,
+    /// Stream the resident warp belongs to (for per-stream counters).
+    stream: Vec<u32>,
+    /// Cycle at which the slot's previous instruction issued.
+    last_issue: Vec<u64>,
+    /// What the pending instruction is waiting on.
+    dep: Vec<DepKind>,
+    /// Read cursor into the slot's decode-ahead buffer.
+    ibuf_pos: Vec<u8>,
+    /// Valid entries in the slot's decode-ahead buffer.
+    ibuf_len: Vec<u8>,
+    /// Decode-ahead buffers, [`IBUF`] packed entries per slot.
+    ibuf: Vec<PackedInst>,
+    /// Side tables for instructions that do not fit the packed encoding
+    /// (multi-line accesses); indexed by `OP_EXT` entries, cleared per
+    /// refill. Empty — and allocation-free — for the embedding kernels.
+    ext: Vec<Vec<Instruction>>,
+    /// Packed scoreboards, [`TRACKED_REGS`] words per slot.
+    boards: Vec<u64>,
+    /// High-water register mark per slot: the prefix of the slot's
+    /// scoreboard that may be non-zero. Claiming a slot clears exactly that
+    /// prefix, so scoreboard reuse costs what the previous warp touched,
+    /// not a full 2 KiB memset.
+    board_dirty: Vec<u16>,
+    /// Next placement sequence number.
+    next_seq: u64,
+}
+
+impl Default for WarpSlots {
+    fn default() -> Self {
+        WarpSlots::new(0, 0)
+    }
+}
+
+impl WarpSlots {
+    /// Creates an arena for `smsps` sub-partitions with `cap` slots each.
+    pub fn new(smsps: usize, cap: usize) -> Self {
+        let mut slots = WarpSlots {
+            cap: 0,
+            ready: Vec::new(),
+            seq: Vec::new(),
+            occupant: Vec::new(),
+            stream: Vec::new(),
+            last_issue: Vec::new(),
+            dep: Vec::new(),
+            ibuf_pos: Vec::new(),
+            ibuf_len: Vec::new(),
+            ibuf: Vec::new(),
+            ext: Vec::new(),
+            boards: Vec::new(),
+            board_dirty: Vec::new(),
+            next_seq: 0,
+        };
+        slots.reset(smsps, cap);
+        slots
     }
 
-    /// Whether the warp can issue at `now`.
-    pub fn is_ready(&self, now: u64) -> bool {
-        !self.exited && self.ready_at <= now
+    /// Re-sizes the arena for a new run, keeping allocations (and the
+    /// scoreboard-clearing discipline) from previous runs. Slots grow with
+    /// zeroed scoreboards; shrunk-then-regrown regions are re-zeroed by
+    /// `Vec::resize`, so the dirty-prefix invariant holds across reuse.
+    pub fn reset(&mut self, smsps: usize, cap: usize) {
+        let n = smsps * cap;
+        self.cap = cap;
+        self.ready.clear();
+        self.ready.resize(n, u64::MAX);
+        self.seq.clear();
+        self.seq.resize(n, 0);
+        self.occupant.clear();
+        self.occupant.resize(n, FREE);
+        self.stream.clear();
+        self.stream.resize(n, 0);
+        self.last_issue.clear();
+        self.last_issue.resize(n, 0);
+        self.dep.clear();
+        self.dep.resize(n, DepKind::None);
+        self.ibuf_pos.clear();
+        self.ibuf_pos.resize(n, 0);
+        self.ibuf_len.clear();
+        self.ibuf_len.resize(n, 0);
+        self.ibuf.resize(n * IBUF, PackedInst::default());
+        self.ext.clear();
+        self.ext.resize_with(n, Vec::new);
+        self.boards.resize(n * TRACKED_REGS, 0);
+        self.board_dirty.resize(n, 0);
+        self.next_seq = 0;
     }
 
-    fn fetch_next(&mut self, now: u64) {
-        match self.program.next_inst() {
-            None => {
-                self.pending = None;
-                self.exited = true;
+    /// Slots per sub-partition.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The slot range owned by flat sub-partition `smsp`.
+    #[inline]
+    fn range(&self, smsp: usize) -> (usize, usize) {
+        (smsp * self.cap, (smsp + 1) * self.cap)
+    }
+
+    /// Arena index of the warp resident in `slot` (valid only while the
+    /// slot is occupied).
+    #[inline]
+    pub fn wid(&self, slot: usize) -> u32 {
+        self.occupant[slot]
+    }
+
+    /// Stream of the warp resident in `slot`.
+    #[inline]
+    pub fn stream_of(&self, slot: usize) -> u32 {
+        self.stream[slot]
+    }
+
+    /// Cycle at which `slot`'s pending instruction becomes eligible to
+    /// issue (`u64::MAX` for a free slot).
+    #[inline]
+    pub fn ready_at(&self, slot: usize) -> u64 {
+        self.ready[slot]
+    }
+
+    /// Placement sequence number of `slot`'s resident warp.
+    #[inline]
+    pub fn seq_of(&self, slot: usize) -> u64 {
+        self.seq[slot]
+    }
+
+    /// Greedy-then-oldest selection at cycle `now` over `smsp`'s slot
+    /// range, ignoring the greedy pointer (the caller checks it): the ready
+    /// slot with the smallest placement sequence number.
+    #[inline]
+    pub fn oldest_ready(&self, smsp: usize, now: u64) -> Option<u32> {
+        let (lo, hi) = self.range(smsp);
+        let mut best: Option<(u64, u32)> = None;
+        for s in lo..hi {
+            if self.ready[s] <= now {
+                let sq = self.seq[s];
+                if best.is_none_or(|(b, _)| sq < b) {
+                    best = Some((sq, s as u32));
+                }
             }
-            Some(inst) => {
-                let (ready_at, dep_kind) = self.operand_readiness(&inst);
-                self.pending = Some(inst);
-                // An instruction can never issue in the same cycle as (or
-                // before) its predecessor.
-                self.ready_at = ready_at.max(now + 1).max(self.last_issue + 1);
-                self.dep_kind = dep_kind;
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Greedy-then-oldest selection fused with the next-deadline scan: one
+    /// pass over `smsp`'s slot range computing the slot to issue at `now`
+    /// (`u32::MAX` = none) *and* the minimum ready cycle over every slot
+    /// *other than* the returned pick (`u64::MAX` = none). The caller
+    /// combines the latter with the pick's post-issue ready cycle to get
+    /// the sub-partition's next deadline without a second scan.
+    ///
+    /// `greedy_slot`/`greedy_wid` are the sub-partition's greedy pointer
+    /// (see `sm.rs`); selection semantics are identical to
+    /// `Schedulers::select` followed by [`WarpSlots::min_ready_at`].
+    #[inline]
+    pub fn select_with_min(
+        &self,
+        smsp: usize,
+        now: u64,
+        greedy_slot: u32,
+        greedy_wid: u32,
+    ) -> (u32, u64) {
+        let (lo, hi) = self.range(smsp);
+        let mut best_seq = u64::MAX;
+        let mut best = u32::MAX;
+        // Minimum ready cycle and its slot, plus the runner-up minimum, so
+        // the min excluding any single slot falls out of one pass.
+        let mut min1 = u64::MAX;
+        let mut min1_slot = u32::MAX;
+        let mut min2 = u64::MAX;
+        for s in lo..hi {
+            let r = self.ready[s];
+            if r < min1 {
+                min2 = min1;
+                min1 = r;
+                min1_slot = s as u32;
+            } else if r < min2 {
+                min2 = r;
             }
+            if r <= now {
+                let sq = self.seq[s];
+                if sq < best_seq {
+                    best_seq = sq;
+                    best = s as u32;
+                }
+            }
+        }
+        let pick = if greedy_slot != u32::MAX
+            && self.occupant[greedy_slot as usize] == greedy_wid
+            && self.ready[greedy_slot as usize] <= now
+        {
+            greedy_slot
+        } else {
+            best
+        };
+        let min_others = if pick == min1_slot { min2 } else { min1 };
+        (pick, min_others)
+    }
+
+    /// Earliest cycle at which any resident warp of `smsp` becomes ready.
+    #[inline]
+    pub fn min_ready_at(&self, smsp: usize) -> Option<u64> {
+        let (lo, hi) = self.range(smsp);
+        let min = self.ready[lo..hi].iter().copied().min().unwrap_or(u64::MAX);
+        (min != u64::MAX).then_some(min)
+    }
+
+    /// Earliest cycle `>= floor` at which `smsp` can issue a warp, or
+    /// `None` if it holds no active warps. A sub-partition issues at most
+    /// one warp per cycle, so after issuing at cycle `t` its next
+    /// opportunity is `next_issue_at(t + 1)`.
+    #[inline]
+    pub fn next_issue_at(&self, smsp: usize, floor: u64) -> Option<u64> {
+        self.min_ready_at(smsp).map(|r| r.max(floor))
+    }
+
+    /// Claims a slot in `smsp` for warp `wid` of `stream`, spawning at
+    /// `now`: decodes up to [`IBUF`] instructions ahead and marks the first
+    /// ready at `now + 1` (a fresh scoreboard has no pending writers).
+    /// Returns `None` — and marks the warp exited — if its program is
+    /// empty.
+    ///
+    /// # Panics
+    /// Panics if `smsp` has no free slot; the engine sizes `cap` so this
+    /// cannot happen (see the module documentation).
+    pub fn spawn(
+        &mut self,
+        smsp: usize,
+        wid: u32,
+        stream: u32,
+        ctx: &mut WarpContext,
+        now: u64,
+    ) -> Option<u32> {
+        let Some(first) = ctx.program.next_inst() else {
+            ctx.exited = true;
+            ctx.prog_done = true;
+            return None;
+        };
+        let (lo, hi) = self.range(smsp);
+        let slot = (lo..hi)
+            .find(|&s| self.occupant[s] == FREE)
+            .expect("resident-warp slot capacity exceeded: occupancy bound violated");
+        self.occupant[slot] = wid;
+        self.stream[slot] = stream;
+        self.seq[slot] = self.next_seq;
+        self.next_seq += 1;
+        self.last_issue[slot] = now;
+        // An instruction can never issue in the same cycle as the dispatch
+        // that created its warp, and a fresh scoreboard holds no pending
+        // writers, so the first instruction is ready exactly at `now + 1`.
+        self.ready[slot] = now + 1;
+        self.dep[slot] = DepKind::None;
+        let dirty = self.board_dirty[slot] as usize;
+        let base = slot * TRACKED_REGS;
+        self.boards[base..base + dirty].fill(0);
+        self.board_dirty[slot] = 0;
+        self.ext[slot].clear();
+        self.put_inst(slot, 0, first);
+        let mut len = 1usize;
+        while len < IBUF {
+            match ctx.program.next_inst() {
+                Some(inst) => {
+                    self.put_inst(slot, len, inst);
+                    len += 1;
+                }
+                None => {
+                    ctx.prog_done = true;
+                    break;
+                }
+            }
+        }
+        self.ibuf_pos[slot] = 0;
+        self.ibuf_len[slot] = len as u8;
+        Some(slot as u32)
+    }
+
+    /// Frees `slot` after its warp retired. The scoreboard is left as-is
+    /// and cleared lazily (dirty prefix only) by the next [`WarpSlots::spawn`]
+    /// into this slot.
+    pub fn release(&mut self, slot: usize) {
+        self.occupant[slot] = FREE;
+        self.ready[slot] = u64::MAX;
+    }
+
+    /// `(ready cycle, was written by a long-latency load)` for `reg` of the
+    /// warp in `slot`.
+    #[inline]
+    fn board_get(&self, base: usize, reg: u8) -> (u64, bool) {
+        let v = self.boards[base + reg as usize];
+        (v & !LONG, v & LONG != 0)
+    }
+
+    /// Records that `reg`'s writer completes at `ready`.
+    #[inline]
+    fn board_set(&mut self, slot: usize, reg: u8, ready: u64, long: bool) {
+        debug_assert!(ready & LONG == 0, "cycle overflows the packing");
+        self.boards[slot * TRACKED_REGS + reg as usize] = ready | if long { LONG } else { 0 };
+        let mark = reg as u16 + 1;
+        if self.board_dirty[slot] < mark {
+            self.board_dirty[slot] = mark;
         }
     }
 
-    /// Computes when the operands of `inst` are ready and what kind of
-    /// dependence dominates.
-    fn operand_readiness(&self, inst: &Instruction) -> (u64, DepKind) {
+    /// Encodes `inst` into the slot's decode-ahead buffer at `at`, spilling
+    /// unpackable instructions into the slot's side table.
+    #[inline]
+    fn put_inst(&mut self, slot: usize, at: usize, inst: Instruction) {
+        self.ibuf[slot * IBUF + at] = PackedInst::encode(&inst).unwrap_or_else(|| {
+            let ext = &mut self.ext[slot];
+            ext.push(inst);
+            PackedInst {
+                arg: ext.len() as u64 - 1,
+                meta: OP_EXT,
+            }
+        });
+    }
+
+    /// Computes when the operands of the packed instruction `p` are ready
+    /// for the warp in `slot` and what kind of dependence dominates.
+    fn packed_readiness(&self, slot: usize, p: PackedInst) -> (u64, DepKind) {
         let mut ready = 0u64;
         let mut kind = DepKind::None;
-        let board = &self.board;
+        let base = slot * TRACKED_REGS;
+        let mut consider = |reg: Reg| {
+            let (r, long) = self.board_get(base, reg);
+            if r > ready {
+                ready = r;
+                kind = if long { DepKind::Long } else { DepKind::Short };
+            }
+        };
+        match p.op() {
+            OP_ALU => {
+                for i in 0..p.nsrcs() {
+                    consider(p.src(i));
+                }
+            }
+            OP_LOAD_GLOBAL | OP_LOAD_LOCAL | OP_LOAD_SHARED | OP_PREF_L1 | OP_PREF_L2 => {
+                if let Some(reg) = p.addr_dep() {
+                    consider(reg);
+                }
+            }
+            OP_STORE_GLOBAL | OP_STORE_LOCAL | OP_STORE_SHARED => consider(p.reg0()),
+            _ => return self.operand_readiness(slot, &self.ext[slot][p.arg as usize]),
+        }
+        (ready, kind)
+    }
+
+    /// Computes when the operands of `inst` are ready for the warp in
+    /// `slot` and what kind of dependence dominates.
+    fn operand_readiness(&self, slot: usize, inst: &Instruction) -> (u64, DepKind) {
+        let mut ready = 0u64;
+        let mut kind = DepKind::None;
+        let base = slot * TRACKED_REGS;
         let mut consider = |reg: u8| {
-            let (r, long) = board.get(reg);
+            let (r, long) = self.board_get(base, reg);
             if r > ready {
                 ready = r;
                 kind = if long { DepKind::Long } else { DepKind::Short };
@@ -179,46 +657,137 @@ impl WarpContext {
         (ready, kind)
     }
 
-    /// Issues the pending instruction at cycle `now`, updating the memory
-    /// system, the scoreboard and the raw counters, and fetches the next
-    /// instruction. Returns `true` if the warp retired as a result.
+    /// Issues `slot`'s pending instruction at cycle `now` on SM `sm`,
+    /// updating the memory system, the scoreboard and the raw counters,
+    /// and decodes the next instruction (refilling the decode-ahead buffer
+    /// from `ctx`'s generator when it runs dry). Returns `true` if the warp
+    /// retired; the caller must then [`WarpSlots::release`] the slot.
     ///
     /// # Panics
-    /// Panics if the warp is not ready at `now` (the scheduler must only
-    /// select ready warps).
+    /// Panics if the slot's warp is not ready at `now` (the scheduler must
+    /// only select ready warps).
+    // The issue path threads the per-run context explicitly instead of
+    // bundling it in a struct: every parameter is a distinct hot borrow.
+    #[allow(clippy::too_many_arguments)]
     pub fn issue(
         &mut self,
+        slot: usize,
+        sm: usize,
         now: u64,
+        ctx: &mut WarpContext,
         mem: &mut MemorySystem,
         cfg: &GpuConfig,
         counters: &mut RawCounters,
     ) -> bool {
         assert!(
-            self.is_ready(now),
+            self.ready[slot] <= now,
             "scheduler issued a warp that was not ready"
         );
-        let inst = self
-            .pending
-            .take()
-            .expect("ready warp must have a pending instruction");
+        let pos = self.ibuf_pos[slot] as usize;
+        debug_assert!(pos < self.ibuf_len[slot] as usize);
+        let p = self.ibuf[slot * IBUF + pos];
 
-        // ---- stall attribution for the cycles since the previous issue ----
-        let prev = self.last_issue;
-        let gap = now.saturating_sub(prev + 1);
-        if gap > 0 {
-            let dep_stall = self.ready_at.saturating_sub(prev + 1).min(gap);
-            let not_selected = gap - dep_stall;
-            match self.dep_kind {
-                DepKind::Long => counters.long_scoreboard_cycles += dep_stall,
-                DepKind::Short => counters.short_scoreboard_cycles += dep_stall,
-                DepKind::None => counters.not_selected_cycles += dep_stall,
-            }
-            counters.not_selected_cycles += not_selected;
-        }
+        // Stall attribution for the cycles since the previous issue.
+        counters.charge_issue_gap(self.dep[slot], self.last_issue[slot], self.ready[slot], now);
 
         // ---- execute ----
         counters.insts_issued += 1;
-        self.insts_issued += 1;
+        match p.op() {
+            OP_ALU => {
+                let lat = if p.arg == 0 { cfg.alu_latency } else { p.arg };
+                self.board_set(slot, p.reg0(), now + lat, false);
+            }
+            OP_LOAD_GLOBAL | OP_LOAD_LOCAL | OP_LOAD_SHARED => {
+                counters.load_insts += 1;
+                let space = match p.op() {
+                    OP_LOAD_GLOBAL => MemSpace::Global,
+                    OP_LOAD_LOCAL => {
+                        counters.local_load_insts += 1;
+                        MemSpace::Local
+                    }
+                    _ => MemSpace::Shared,
+                };
+                let (done, _outcome) = mem.load(sm, space, &LineSet::single(p.arg), p.bytes(), now);
+                self.board_set(slot, p.reg0(), done, space.is_long_scoreboard());
+            }
+            OP_STORE_GLOBAL | OP_STORE_LOCAL | OP_STORE_SHARED => {
+                counters.store_insts += 1;
+                let space = match p.op() {
+                    OP_STORE_GLOBAL => MemSpace::Global,
+                    OP_STORE_LOCAL => MemSpace::Local,
+                    _ => MemSpace::Shared,
+                };
+                mem.store(sm, space, &LineSet::single(p.arg), p.bytes(), now);
+            }
+            OP_PREF_L1 | OP_PREF_L2 => {
+                counters.prefetch_insts += 1;
+                let target = if p.op() == OP_PREF_L1 {
+                    PrefetchTarget::L1
+                } else {
+                    PrefetchTarget::L2EvictLast
+                };
+                mem.prefetch(sm, target, &LineSet::single(p.arg), now);
+            }
+            _ => self.execute_ext(slot, p.arg as usize, sm, now, mem, cfg, counters),
+        }
+
+        self.last_issue[slot] = now;
+
+        // ---- advance the decode-ahead buffer ----
+        let mut next = pos + 1;
+        if next == self.ibuf_len[slot] as usize {
+            next = 0;
+            let mut len = 0usize;
+            if !ctx.prog_done {
+                self.ext[slot].clear();
+                while len < IBUF {
+                    match ctx.program.next_inst() {
+                        Some(i) => {
+                            self.put_inst(slot, len, i);
+                            len += 1;
+                        }
+                        None => {
+                            ctx.prog_done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if len == 0 {
+                ctx.exited = true;
+                self.ibuf_len[slot] = 0;
+                self.ibuf_pos[slot] = 0;
+                return true;
+            }
+            self.ibuf_len[slot] = len as u8;
+        }
+        self.ibuf_pos[slot] = next as u8;
+
+        let head = self.ibuf[slot * IBUF + next];
+        let (ready, kind) = self.packed_readiness(slot, head);
+        // An instruction can never issue in the same cycle as (or before)
+        // its predecessor.
+        self.ready[slot] = ready.max(now + 1);
+        self.dep[slot] = kind;
+        false
+    }
+
+    /// Executes an instruction that did not fit the packed encoding
+    /// (multi-line `LineSet`s or very large byte counts). Cold path: the
+    /// embedding kernels emit single-line accesses almost exclusively.
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn execute_ext(
+        &mut self,
+        slot: usize,
+        at: usize,
+        sm: usize,
+        now: u64,
+        mem: &mut MemorySystem,
+        cfg: &GpuConfig,
+        counters: &mut RawCounters,
+    ) {
+        let inst = self.ext[slot][at];
         match inst {
             Instruction::Load {
                 space,
@@ -231,9 +800,8 @@ impl WarpContext {
                 if space == MemSpace::Local {
                     counters.local_load_insts += 1;
                 }
-                let (done, _outcome) =
-                    mem.load(self.info.sm_id as usize, space, &lines, bytes, now);
-                self.board.set(dst, done, space.is_long_scoreboard());
+                let (done, _outcome) = mem.load(sm, space, &lines, bytes, now);
+                self.board_set(slot, dst, done, space.is_long_scoreboard());
             }
             Instruction::Store {
                 space,
@@ -242,7 +810,7 @@ impl WarpContext {
                 bytes,
             } => {
                 counters.store_insts += 1;
-                mem.store(self.info.sm_id as usize, space, &lines, bytes, now);
+                mem.store(sm, space, &lines, bytes, now);
             }
             Instruction::Prefetch {
                 target,
@@ -250,7 +818,7 @@ impl WarpContext {
                 addr_dep: _,
             } => {
                 counters.prefetch_insts += 1;
-                mem.prefetch(self.info.sm_id as usize, target, &lines, now);
+                mem.prefetch(sm, target, &lines, now);
             }
             Instruction::Alu {
                 dst,
@@ -262,13 +830,9 @@ impl WarpContext {
                 } else {
                     latency as u64
                 };
-                self.board.set(dst, now + lat, false);
+                self.board_set(slot, dst, now + lat, false);
             }
         }
-
-        self.last_issue = now;
-        self.fetch_next(now);
-        self.exited
     }
 }
 
@@ -289,17 +853,64 @@ mod tests {
         }
     }
 
-    fn make_warp(insts: Vec<Instruction>) -> (WarpContext, MemorySystem, GpuConfig) {
+    /// One warp spawned into a single-smsp arena, issued directly.
+    struct Harness {
+        slots: WarpSlots,
+        ctx: WarpContext,
+        slot: Option<usize>,
+        mem: MemorySystem,
+        cfg: GpuConfig,
+        counters: RawCounters,
+    }
+
+    impl Harness {
+        fn ready_at(&self) -> u64 {
+            self.slots.ready_at(self.slot.unwrap())
+        }
+
+        fn is_ready(&self, now: u64) -> bool {
+            !self.ctx.is_exited() && self.ready_at() <= now
+        }
+
+        fn issue(&mut self, now: u64) -> bool {
+            let slot = self.slot.unwrap();
+            let retired = self.slots.issue(
+                slot,
+                0,
+                now,
+                &mut self.ctx,
+                &mut self.mem,
+                &self.cfg,
+                &mut self.counters,
+            );
+            if retired {
+                self.slots.release(slot);
+            }
+            retired
+        }
+    }
+
+    fn make_warp(insts: Vec<Instruction>) -> Harness {
         let cfg = GpuConfig::test_small();
         let mem = MemorySystem::new(&cfg);
-        let warp = WarpContext::new(info(), Box::new(VecProgram::new(insts)), 0);
-        (warp, mem, cfg)
+        let mut slots = WarpSlots::new(1, 2);
+        let mut ctx = WarpContext::new(info(), Box::new(VecProgram::new(insts)), 0);
+        let slot = slots.spawn(0, 0, 0, &mut ctx, 0).map(|s| s as usize);
+        Harness {
+            slots,
+            ctx,
+            slot,
+            mem,
+            cfg,
+            counters: RawCounters::default(),
+        }
     }
 
     #[test]
     fn empty_program_exits_immediately() {
-        let (warp, _mem, _cfg) = make_warp(vec![]);
-        assert!(warp.is_exited());
+        let h = make_warp(vec![]);
+        assert!(h.ctx.is_exited());
+        assert!(h.slot.is_none());
     }
 
     #[test]
@@ -312,50 +923,41 @@ mod tests {
                 latency: 0,
             },
         ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
-        let mut counters = RawCounters::default();
+        let mut h = make_warp(insts);
 
         // Issue the load at cycle 1.
-        assert!(warp.is_ready(1));
-        warp.issue(1, &mut mem, &cfg, &mut counters);
+        assert!(h.is_ready(1));
+        h.issue(1);
         // The dependent add is not ready until the DRAM access returns.
-        assert!(!warp.is_ready(2));
-        let ready = warp.ready_at();
-        assert!(ready > cfg.dram.latency, "dependent use must wait for DRAM");
-        warp.issue(ready, &mut mem, &cfg, &mut counters);
-        assert!(counters.long_scoreboard_cycles > 400);
-        assert_eq!(counters.insts_issued, 2);
-        assert_eq!(counters.load_insts, 1);
+        assert!(!h.is_ready(2));
+        let ready = h.ready_at();
+        assert!(
+            ready > h.cfg.dram.latency,
+            "dependent use must wait for DRAM"
+        );
+        h.issue(ready);
+        assert!(h.counters.long_scoreboard_cycles > 400);
+        assert_eq!(h.counters.insts_issued, 2);
+        assert_eq!(h.counters.load_insts, 1);
     }
 
     #[test]
     fn independent_alu_ops_issue_back_to_back() {
-        let insts = vec![
-            Instruction::Alu {
-                dst: 1,
+        let insts = (1..=3u8)
+            .map(|dst| Instruction::Alu {
+                dst,
                 srcs: SrcSet::none(),
                 latency: 0,
-            },
-            Instruction::Alu {
-                dst: 2,
-                srcs: SrcSet::none(),
-                latency: 0,
-            },
-            Instruction::Alu {
-                dst: 3,
-                srcs: SrcSet::none(),
-                latency: 0,
-            },
-        ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
-        let mut counters = RawCounters::default();
+            })
+            .collect();
+        let mut h = make_warp(insts);
         for cycle in 1..=3 {
-            assert!(warp.is_ready(cycle));
-            warp.issue(cycle, &mut mem, &cfg, &mut counters);
+            assert!(h.is_ready(cycle));
+            h.issue(cycle);
         }
-        assert_eq!(counters.long_scoreboard_cycles, 0);
-        assert_eq!(counters.short_scoreboard_cycles, 0);
-        assert!(warp.is_exited());
+        assert_eq!(h.counters.long_scoreboard_cycles, 0);
+        assert_eq!(h.counters.short_scoreboard_cycles, 0);
+        assert!(h.ctx.is_exited());
     }
 
     #[test]
@@ -372,14 +974,13 @@ mod tests {
                 latency: 0,
             },
         ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
-        let mut counters = RawCounters::default();
-        warp.issue(1, &mut mem, &cfg, &mut counters);
-        let ready = warp.ready_at();
+        let mut h = make_warp(insts);
+        h.issue(1);
+        let ready = h.ready_at();
         assert_eq!(ready, 9);
-        warp.issue(ready, &mut mem, &cfg, &mut counters);
-        assert_eq!(counters.short_scoreboard_cycles, 7);
-        assert_eq!(counters.long_scoreboard_cycles, 0);
+        h.issue(ready);
+        assert_eq!(h.counters.short_scoreboard_cycles, 7);
+        assert_eq!(h.counters.long_scoreboard_cycles, 0);
     }
 
     #[test]
@@ -396,13 +997,12 @@ mod tests {
                 latency: 0,
             },
         ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
-        let mut counters = RawCounters::default();
-        warp.issue(1, &mut mem, &cfg, &mut counters);
+        let mut h = make_warp(insts);
+        h.issue(1);
         // Warp is ready at cycle 2 but the scheduler picks it only at 10.
-        assert!(warp.is_ready(2));
-        warp.issue(10, &mut mem, &cfg, &mut counters);
-        assert_eq!(counters.not_selected_cycles, 8);
+        assert!(h.is_ready(2));
+        h.issue(10);
+        assert_eq!(h.counters.not_selected_cycles, 8);
     }
 
     #[test]
@@ -419,14 +1019,13 @@ mod tests {
                 latency: 0,
             },
         ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
-        let mut counters = RawCounters::default();
-        warp.issue(1, &mut mem, &cfg, &mut counters);
+        let mut h = make_warp(insts);
+        h.issue(1);
         // Next instruction is ready on the very next cycle.
-        assert!(warp.is_ready(2));
-        warp.issue(2, &mut mem, &cfg, &mut counters);
-        assert_eq!(counters.prefetch_insts, 1);
-        assert_eq!(counters.long_scoreboard_cycles, 0);
+        assert!(h.is_ready(2));
+        h.issue(2);
+        assert_eq!(h.counters.prefetch_insts, 1);
+        assert_eq!(h.counters.long_scoreboard_cycles, 0);
     }
 
     #[test]
@@ -440,16 +1039,12 @@ mod tests {
                 bytes: 128,
             },
         ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
-        let mut counters = RawCounters::default();
-        warp.issue(1, &mut mem, &cfg, &mut counters);
-        assert!(
-            warp.ready_at() > 100,
-            "store must wait for the loaded value"
-        );
-        let r = warp.ready_at();
-        warp.issue(r, &mut mem, &cfg, &mut counters);
-        assert_eq!(counters.store_insts, 1);
+        let mut h = make_warp(insts);
+        h.issue(1);
+        assert!(h.ready_at() > 100, "store must wait for the loaded value");
+        let r = h.ready_at();
+        h.issue(r);
+        assert_eq!(h.counters.store_insts, 1);
     }
 
     #[test]
@@ -467,9 +1062,72 @@ mod tests {
                 latency: 0,
             },
         ];
-        let (mut warp, mut mem, cfg) = make_warp(insts);
+        let mut h = make_warp(insts);
+        h.issue(1);
+        h.issue(2);
+    }
+
+    #[test]
+    fn programs_longer_than_the_decode_buffer_refill_and_retire() {
+        let n = IBUF * 3 + 2;
+        let insts = (0..n)
+            .map(|_| Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::none(),
+                latency: 0,
+            })
+            .collect();
+        let mut h = make_warp(insts);
+        let mut issued = 0u64;
+        let mut cycle = 1;
+        while !h.ctx.is_exited() {
+            assert!(h.is_ready(cycle));
+            h.issue(cycle);
+            issued += 1;
+            cycle += 1;
+        }
+        assert_eq!(issued, n as u64);
+        assert_eq!(h.counters.insts_issued, n as u64);
+    }
+
+    #[test]
+    fn reused_slot_starts_with_a_clean_scoreboard() {
+        let cfg = GpuConfig::test_small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut slots = WarpSlots::new(1, 1);
         let mut counters = RawCounters::default();
-        warp.issue(1, &mut mem, &cfg, &mut counters);
-        warp.issue(2, &mut mem, &cfg, &mut counters);
+        // First occupant leaves register 5 pending far in the future.
+        let first = vec![Instruction::Alu {
+            dst: 5,
+            srcs: SrcSet::none(),
+            latency: 1000,
+        }];
+        let mut ctx = WarpContext::new(info(), Box::new(VecProgram::new(first)), 0);
+        let slot = slots.spawn(0, 0, 0, &mut ctx, 0).unwrap() as usize;
+        assert!(slots.issue(slot, 0, 1, &mut ctx, &mut mem, &cfg, &mut counters));
+        slots.release(slot);
+        // Second occupant reads register 5: must see it ready immediately.
+        let second = vec![
+            Instruction::Alu {
+                dst: 1,
+                srcs: SrcSet::one(5),
+                latency: 0,
+            },
+            Instruction::Alu {
+                dst: 2,
+                srcs: SrcSet::one(5),
+                latency: 0,
+            },
+        ];
+        let mut ctx2 = WarpContext::new(info(), Box::new(VecProgram::new(second)), 10);
+        let slot2 = slots.spawn(0, 1, 0, &mut ctx2, 10).unwrap() as usize;
+        assert_eq!(slot2, slot, "single-slot arena must reuse the slot");
+        assert_eq!(slots.ready_at(slot2), 11);
+        slots.issue(slot2, 0, 11, &mut ctx2, &mut mem, &cfg, &mut counters);
+        assert_eq!(
+            slots.ready_at(slot2),
+            12,
+            "stale scoreboard entry leaked into the reused slot"
+        );
     }
 }

@@ -1,0 +1,222 @@
+//! A bitset calendar wheel over sub-partition issue deadlines, used by the
+//! event-driven engine loop in place of a flat min-scan.
+//!
+//! # Design
+//!
+//! The flat deadline array `sched[idx]` (one `u64` per flat sub-partition)
+//! stays **authoritative**; the wheel is a lossy index over it. The wheel
+//! covers a window of [`WHEEL_CYCLES`] consecutive cycles starting at
+//! `base` (a multiple of the window size): one bitmask row per cycle, one
+//! bit per sub-partition. Deadlines at or beyond the window end are parked
+//! in a single `far` mask and re-bucketed when the window advances.
+//!
+//! Invariants (the engine relies on these; see `engine.rs`):
+//!
+//! * **Bits may be stale, never missing.** [`DeadlineWheel::note`] sets a
+//!   bit for every recorded deadline and nothing ever *moves* a bit when a
+//!   deadline changes — a reader must verify `sched[idx] == cycle` and may
+//!   clear the bit on mismatch. Every finite `sched[idx]` therefore always
+//!   has at least one live bit (in its row if it was within the window
+//!   when last noted, in `far` otherwise).
+//! * **Drained rows cannot be re-entered.** The engine drains cycle `t`
+//!   only after deadlines can no longer be created at `t` (an issue at `t`
+//!   schedules `t + 1` or later). A new deadline `t + WHEEL_CYCLES` that
+//!   would alias onto row `t` is `>= base + WHEEL_CYCLES` and goes to
+//!   `far` instead, so a row being drained never receives new bits.
+//! * **Ascending bit order = ascending `(sm, smsp)` order.** Bit `i` of
+//!   word `w` is flat sub-partition `w * 64 + i`, so iterating a row's set
+//!   bits from LSB to MSB preserves the same-cycle drain order the
+//!   scheduler contract demands.
+//!
+//! Scanning forward one row per cycle makes the total scan work
+//! proportional to (simulated cycles x words per row), independent of how
+//! many deadlines fire — near-constant per clock jump for the dense,
+//! memory-bound kernels this simulator models, where the old min-scan paid
+//! O(sub-partitions) on every step.
+
+/// Cycles covered by the wheel window. Must be a power of two and larger
+/// than the longest common stall (DRAM latency + queueing) so deadlines
+/// rarely land in `far`.
+pub(crate) const WHEEL_CYCLES: u64 = 1024;
+
+/// The calendar wheel; see the module documentation.
+pub(crate) struct DeadlineWheel {
+    /// Words per row (`ceil(n / 64)`).
+    n_words: usize,
+    /// First cycle of the current window (multiple of [`WHEEL_CYCLES`]).
+    base: u64,
+    /// Row bitmasks, `WHEEL_CYCLES * n_words` words.
+    rows: Vec<u64>,
+    /// Deadlines at or beyond the window end, re-bucketed on advance.
+    far: Vec<u64>,
+}
+
+impl Default for DeadlineWheel {
+    fn default() -> Self {
+        DeadlineWheel::new(0, 0)
+    }
+}
+
+impl DeadlineWheel {
+    /// Creates a wheel for `n` flat sub-partitions with its window
+    /// containing `start`.
+    pub(crate) fn new(n: usize, start: u64) -> Self {
+        let mut w = DeadlineWheel {
+            n_words: 0,
+            base: 0,
+            rows: Vec::new(),
+            far: Vec::new(),
+        };
+        w.reset(n, start);
+        w
+    }
+
+    /// Clears the wheel for a new run (keeping allocations).
+    pub(crate) fn reset(&mut self, n: usize, start: u64) {
+        self.n_words = n.div_ceil(64);
+        self.base = start - start % WHEEL_CYCLES;
+        self.rows.clear();
+        self.rows.resize(WHEEL_CYCLES as usize * self.n_words, 0);
+        self.far.clear();
+        self.far.resize(self.n_words, 0);
+    }
+
+    /// Records that sub-partition `idx`'s deadline is now `deadline`. Old
+    /// bits for `idx` are left behind as stale; readers verify against the
+    /// authoritative `sched` array.
+    #[inline]
+    pub(crate) fn note(&mut self, idx: usize, deadline: u64) {
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if deadline >= self.base + WHEEL_CYCLES {
+            self.far[word] |= bit;
+        } else {
+            let row = (deadline % WHEEL_CYCLES) as usize * self.n_words;
+            self.rows[row + word] |= bit;
+        }
+    }
+
+    /// Finds the earliest cycle `>= from` holding a live deadline
+    /// (`sched[idx] == cycle`), clearing stale bits as it scans and
+    /// advancing the window (re-bucketing `far`) as needed. Returns `None`
+    /// only if no finite deadline exists in `sched`.
+    pub(crate) fn next_deadline(&mut self, from: u64, sched: &[u64]) -> Option<u64> {
+        loop {
+            let end = self.base + WHEEL_CYCLES;
+            let mut c = from.max(self.base);
+            while c < end {
+                let row = (c % WHEEL_CYCLES) as usize * self.n_words;
+                let mut live = false;
+                for w in 0..self.n_words {
+                    let mut bits = self.rows[row + w];
+                    if bits == 0 {
+                        continue;
+                    }
+                    let mut keep = 0u64;
+                    while bits != 0 {
+                        let b = bits & bits.wrapping_neg();
+                        let idx = w * 64 + b.trailing_zeros() as usize;
+                        if sched[idx] == c {
+                            keep |= b;
+                        }
+                        bits ^= b;
+                    }
+                    self.rows[row + w] = keep;
+                    live |= keep != 0;
+                }
+                if live {
+                    return Some(c);
+                }
+                c += 1;
+            }
+            // Window exhausted: every live deadline (if any) is parked in
+            // `far`. Advance and re-bucket.
+            if self.far.iter().all(|&w| w == 0) {
+                return None;
+            }
+            self.base = end;
+            for w in 0..self.n_words {
+                let mut bits = self.far[w];
+                let mut keep = 0u64;
+                while bits != 0 {
+                    let b = bits & bits.wrapping_neg();
+                    let idx = w * 64 + b.trailing_zeros() as usize;
+                    let d = sched[idx];
+                    if d != u64::MAX && d < self.base + WHEEL_CYCLES {
+                        let row = (d % WHEEL_CYCLES) as usize * self.n_words;
+                        self.rows[row + w] |= b;
+                    } else if d != u64::MAX {
+                        keep |= b;
+                    }
+                    bits ^= b;
+                }
+                self.far[w] = keep;
+            }
+        }
+    }
+
+    /// Copies row `t`'s words into `out` and clears them. The caller
+    /// iterates `out`'s set bits in ascending order, verifying each against
+    /// `sched` (bits may be stale).
+    pub(crate) fn take_row_into(&mut self, t: u64, out: &mut Vec<u64>) {
+        debug_assert!(t >= self.base && t < self.base + WHEEL_CYCLES);
+        let row = (t % WHEEL_CYCLES) as usize * self.n_words;
+        out.clear();
+        out.extend_from_slice(&self.rows[row..row + self.n_words]);
+        self.rows[row..row + self.n_words].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_deadlines_in_ascending_order() {
+        let mut sched = vec![u64::MAX; 100];
+        let mut wheel = DeadlineWheel::new(100, 0);
+        for (idx, d) in [(3usize, 17u64), (70, 5), (99, 17)] {
+            sched[idx] = d;
+            wheel.note(idx, d);
+        }
+        assert_eq!(wheel.next_deadline(0, &sched), Some(5));
+        sched[70] = u64::MAX;
+        assert_eq!(wheel.next_deadline(6, &sched), Some(17));
+        let mut row = Vec::new();
+        wheel.take_row_into(17, &mut row);
+        let idxs: Vec<usize> = (0..100)
+            .filter(|&i| row[i / 64] & (1 << (i % 64)) != 0)
+            .collect();
+        assert_eq!(idxs, vec![3, 99]);
+    }
+
+    #[test]
+    fn stale_bits_are_skipped_and_cleared() {
+        let mut sched = vec![u64::MAX; 10];
+        let mut wheel = DeadlineWheel::new(10, 0);
+        sched[4] = 8;
+        wheel.note(4, 8);
+        // Deadline moves later; the old bit at 8 is now stale.
+        sched[4] = 12;
+        wheel.note(4, 12);
+        assert_eq!(wheel.next_deadline(0, &sched), Some(12));
+    }
+
+    #[test]
+    fn far_deadlines_survive_window_advances() {
+        let mut sched = vec![u64::MAX; 10];
+        let mut wheel = DeadlineWheel::new(10, 0);
+        let d = WHEEL_CYCLES * 3 + 41;
+        sched[7] = d;
+        wheel.note(7, d);
+        assert_eq!(wheel.next_deadline(0, &sched), Some(d));
+        sched[7] = u64::MAX;
+        assert_eq!(wheel.next_deadline(d, &sched), None);
+    }
+
+    #[test]
+    fn empty_wheel_reports_none() {
+        let sched = vec![u64::MAX; 10];
+        let mut wheel = DeadlineWheel::new(10, 1000);
+        assert_eq!(wheel.next_deadline(1000, &sched), None);
+    }
+}

@@ -15,7 +15,9 @@ use embedding_kernels::{
 };
 use gpu_sim::mem::MemorySystem;
 use gpu_sim::programs::{PointerChaseKernel, StreamKernel};
-use gpu_sim::{EngineMode, GpuConfig, KernelLaunch, KernelProgram, KernelStats, Simulator};
+use gpu_sim::{
+    EngineMode, GpuConfig, KernelLaunch, KernelProgram, KernelStats, Simulator, StreamPartition,
+};
 use perf_envelope::{Experiment, Scheme, Workload};
 
 /// Panics with the first differing statistics field if `a` and `b` are not
@@ -139,6 +141,121 @@ fn l2_pinned_chained_kernels_match() {
     let event = run_chained(EngineMode::EventDriven);
     for (i, (a, b)) in reference.iter().zip(event.iter()).enumerate() {
         assert_equivalent(a, b, &format!("pinned table {i}"));
+    }
+}
+
+#[test]
+fn max_resident_warp_occupancy_matches() {
+    // Full occupancy: 256-thread blocks at low register pressure reach the
+    // 64-warp-per-SM residency cap, so every sub-partition slot array runs
+    // at its sizing bound while multiple waves drain through.
+    let cfg = GpuConfig::test_small();
+    let blocks = (cfg.num_sms * 8 * 2) as u32; // two full waves
+    let launch = KernelLaunch::new("max-occupancy", blocks, 256).with_regs_per_thread(32);
+    for (name, kernel) in [
+        ("stream", &StreamKernel::new(24) as &dyn KernelProgram),
+        ("chase-hot", &PointerChaseKernel::new(16, 8 * 1024)),
+    ] {
+        let (a, b) = run_both(&cfg, &launch, kernel);
+        assert_eq!(
+            a.theoretical_warps_per_sm, 64,
+            "launch shape must saturate residency"
+        );
+        assert!((a.theoretical_occupancy_pct - 100.0).abs() < 1e-9);
+        assert_equivalent(&a, &b, &format!("max-occupancy {name}"));
+    }
+}
+
+#[test]
+fn degenerate_one_sm_and_one_smsp_configs_match() {
+    // Collapse each hardware axis to one: a single SM (all blocks funnel
+    // through one dispatcher) and a single sub-partition per SM (the
+    // scheduler's round-robin and the engine's flat smsp indexing both
+    // degenerate), plus both at once.
+    let embedding = EmbeddingConfig::new(TraceConfig::new(20_000, 64, 10), 64);
+    let workload = EmbeddingWorkload::generate(embedding, AccessPattern::MedHot, 0, 0xE3);
+    let spec = EmbeddingKernelSpec::base().with_max_registers(48);
+    for (sms, smsps) in [(1usize, 4usize), (4, 1), (1, 1)] {
+        let cfg = GpuConfig::test_small()
+            .with_num_sms(sms)
+            .with_smsps_per_sm(smsps);
+        let label = format!("sms={sms} smsps={smsps}");
+        let (a, b) = run_both(&cfg, &spec.launch(&workload), &spec.kernel(&workload));
+        assert!(a.counters.insts_issued > 0, "{label} ran nothing");
+        assert_equivalent(&a, &b, &label);
+
+        let launch = KernelLaunch::new("synthetic", 8, 256).with_regs_per_thread(96);
+        let kernel = PointerChaseKernel::new(16, 1 << 26);
+        let (a, b) = run_both(&cfg, &launch, &kernel);
+        assert_equivalent(&a, &b, &format!("chase {label}"));
+    }
+}
+
+#[test]
+fn l2_pinned_chained_kernels_match_under_two_interleaved_streams() {
+    // The chained-pinning scenario again, but each round launches K=2
+    // concurrent streams interleaved over every SM: persisting lines and
+    // the device clock carry across rounds while co-resident streams share
+    // the pinned L2.
+    let cfg = GpuConfig::test_small();
+    let embedding = EmbeddingConfig::new(TraceConfig::new(20_000, 64, 10), 64);
+    let spec = EmbeddingKernelSpec::base().with_max_registers(48);
+    let carveout = cfg.l2_max_persisting_bytes();
+
+    let run_chained = |mode: EngineMode| -> Vec<KernelStats> {
+        let sim = Simulator::new(cfg.clone()).with_mode(mode);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut clock = 0;
+        let mut all = Vec::new();
+        for round in 0..2u32 {
+            let wa = EmbeddingWorkload::generate(embedding, AccessPattern::MedHot, round, 0xE4);
+            let wb =
+                EmbeddingWorkload::generate(embedding, AccessPattern::HighHot, round + 2, 0xE4);
+            PinPlan::for_workload(&wa, carveout).apply(&mut mem, &cfg, clock);
+            let stats = sim.run_concurrent(
+                &[
+                    (&spec.launch(&wa), &spec.kernel(&wa) as &dyn KernelProgram),
+                    (&spec.launch(&wb), &spec.kernel(&wb)),
+                ],
+                StreamPartition::Interleaved,
+                &mut mem,
+                clock,
+            );
+            clock += stats.iter().map(|s| s.elapsed_cycles).max().unwrap();
+            all.extend(stats);
+        }
+        all
+    };
+
+    let reference = run_chained(EngineMode::CycleAccurate);
+    let event = run_chained(EngineMode::EventDriven);
+    assert_eq!(reference.len(), event.len());
+    for (i, (a, b)) in reference.iter().zip(event.iter()).enumerate() {
+        assert_equivalent(a, b, &format!("pinned K=2 stream {i}"));
+    }
+}
+
+#[test]
+fn sharded_selection_is_thread_count_invariant() {
+    // The sharded SM phase must produce byte-identical statistics at any
+    // worker count; 1 exercises the fused serial path, 2 and 8 the sharded
+    // path with fewer and more workers than sub-partition batches.
+    let embedding = EmbeddingConfig::new(TraceConfig::new(20_000, 64, 10), 64);
+    let workload = EmbeddingWorkload::generate(embedding, AccessPattern::Random, 0, 0xE5);
+    let spec = EmbeddingKernelSpec::base().with_max_registers(48);
+    let cfg = GpuConfig::test_small();
+    let launch = spec.launch(&workload);
+    let kernel = spec.kernel(&workload);
+
+    let reference = Simulator::new(cfg.clone())
+        .with_mode(EngineMode::CycleAccurate)
+        .run(&launch, &kernel);
+    for workers in [1usize, 2, 8] {
+        let event = Simulator::new(cfg.clone())
+            .with_mode(EngineMode::EventDriven)
+            .with_sm_workers(workers)
+            .run(&launch, &kernel);
+        assert_equivalent(&reference, &event, &format!("workers={workers}"));
     }
 }
 
