@@ -310,6 +310,22 @@ pub const AUDITED_STRUCTS: &[StructSpec] = &[
         name: "AdmissionPolicy",
         file: "crates/core/src/serving/retry.rs",
     },
+    StructSpec {
+        name: "RoutingPolicy",
+        file: "crates/core/src/fleet.rs",
+    },
+    StructSpec {
+        name: "AutoscalePolicy",
+        file: "crates/core/src/fleet.rs",
+    },
+    StructSpec {
+        name: "FleetSpec",
+        file: "crates/core/src/fleet.rs",
+    },
+    StructSpec {
+        name: "ReplicaGroup",
+        file: "crates/core/src/fleet.rs",
+    },
 ];
 
 /// Parses the field names of `struct_name` out of `source` (masked of

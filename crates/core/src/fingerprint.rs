@@ -33,9 +33,11 @@ use crate::workload::{Dataset, Workload, WorkloadTarget};
 /// so persisted caches from older encodings are not silently misread.
 pub(crate) const FINGERPRINT_SCHEMA: &str = "perf-envelope/cell-fingerprint/v1";
 
-/// Renders the canonical key of one experiment cell.
+/// Builds the canonical cell document of one experiment cell (rendering it
+/// yields the cell key). The fleet layer extends this document with a
+/// `fleet` axis, so the builder is shared rather than re-parsed.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn cell_key(
+pub(crate) fn cell_doc(
     cluster: &Cluster,
     model: &DlrmConfig,
     scale_name: &str,
@@ -46,7 +48,7 @@ pub(crate) fn cell_key(
     faults: &FaultPlan,
     workload: &Workload,
     scheme: &Scheme,
-) -> String {
+) -> Json {
     let mut doc = Json::object();
     doc.set("schema", Json::Str(FINGERPRINT_SCHEMA.to_string()));
     doc.set("gpu", gpu_to_json(cluster.root()));
@@ -70,13 +72,7 @@ pub(crate) fn cell_key(
     // omits the axis entirely, so K=1 keys stay byte-identical with the
     // earlier encoding and persisted caches remain loadable.
     if !streams.is_single() {
-        let mut s = Json::object();
-        s.set("streams", Json::UInt(streams.streams() as u64));
-        s.set(
-            "partition",
-            Json::Str(streams.partition().name().to_string()),
-        );
-        doc.set("streams", s);
+        doc.set("streams", streams_to_json(streams));
     }
     // The empty fault plan is canonically the fault-free experiment: the
     // key omits the axis entirely, keeping pre-fault keys byte-identical
@@ -85,28 +81,117 @@ pub(crate) fn cell_key(
     // the priced kernels, but a resilience study must never alias a
     // fault-free study's cells in a persisted cache.
     if !faults.is_empty() {
-        doc.set(
-            "faults",
-            Json::Arr(
-                faults
-                    .events()
-                    .iter()
-                    .map(|event| {
-                        let mut e = Json::object();
-                        e.set("device", Json::UInt(event.device() as u64));
-                        e.set("kind", Json::Str(event.kind().name().to_string()));
-                        e.set("start_us", Json::Num(event.start_us()));
-                        e.set("end_us", Json::Num(event.end_us()));
-                        e.set("factor", Json::Num(event.factor()));
-                        e
-                    })
-                    .collect(),
-            ),
-        );
+        doc.set("faults", faults_to_json(faults));
     }
     doc.set("workload", workload_to_json(workload));
     doc.set("scheme", scheme_to_json(scheme));
-    doc.render()
+    doc
+}
+
+fn streams_to_json(streams: StreamConfig) -> Json {
+    let mut s = Json::object();
+    s.set("streams", Json::UInt(streams.streams() as u64));
+    s.set(
+        "partition",
+        Json::Str(streams.partition().name().to_string()),
+    );
+    s
+}
+
+fn faults_to_json(faults: &FaultPlan) -> Json {
+    Json::Arr(
+        faults
+            .events()
+            .iter()
+            .map(|event| {
+                let mut e = Json::object();
+                e.set("device", Json::UInt(event.device() as u64));
+                e.set("kind", Json::Str(event.kind().name().to_string()));
+                e.set("start_us", Json::Num(event.start_us()));
+                e.set("end_us", Json::Num(event.end_us()));
+                e.set("factor", Json::Num(event.factor()));
+                e
+            })
+            .collect(),
+    )
+}
+
+/// Renders the canonical key of one fleet cell: the replica-0 cell document
+/// (`replica0`, built by [`cell_doc`] from the first replica group's axes)
+/// extended with a `fleet` axis describing routing, autoscaling and the
+/// replica groups.
+///
+/// The identity fleet — one replica, round-robin routing, no autoscaling —
+/// omits the `fleet` axis entirely, so its key is **byte-identical** to the
+/// plain serving cell key of its one replica: a degenerate fleet shares
+/// cells with the scenario it wraps, exactly like K=1 streams and the
+/// empty fault plan omit their axes. Any other spec partitions cells
+/// conservatively: distinct routing policies, autoscale rules or replica
+/// mixes never alias each other.
+pub(crate) fn fleet_key(
+    mut replica0: Json,
+    routing: &crate::fleet::RoutingPolicy,
+    autoscale: &crate::fleet::AutoscalePolicy,
+    interval_us: f64,
+    groups: &[(Cluster, StreamConfig, FaultPlan, u32)],
+    identity: bool,
+) -> String {
+    if identity {
+        return replica0.render();
+    }
+    let mut fleet = Json::object();
+    let mut r = Json::object();
+    r.set("kind", Json::Str(routing.kind().name().to_string()));
+    r.set("ewma_alpha", Json::Num(routing.ewma_alpha()));
+    fleet.set("routing", r);
+    let mut a = Json::object();
+    a.set("kind", Json::Str(autoscale.kind().name().to_string()));
+    a.set(
+        "scale_out_threshold",
+        Json::Num(autoscale.scale_out_threshold()),
+    );
+    a.set(
+        "scale_in_threshold",
+        Json::Num(autoscale.scale_in_threshold()),
+    );
+    a.set(
+        "cooldown_intervals",
+        Json::UInt(autoscale.cooldown_intervals() as u64),
+    );
+    a.set("min_replicas", Json::UInt(autoscale.min_replicas() as u64));
+    a.set("max_replicas", Json::UInt(autoscale.max_replicas() as u64));
+    fleet.set("autoscale", a);
+    fleet.set("interval_us", Json::Num(interval_us));
+    fleet.set(
+        "replicas",
+        Json::Arr(
+            groups
+                .iter()
+                .map(|(cluster, streams, faults, count)| {
+                    let mut g = Json::object();
+                    g.set("gpu", gpu_to_json(cluster.root()));
+                    g.set(
+                        "cluster",
+                        if cluster.is_single() {
+                            Json::Null
+                        } else {
+                            cluster_to_json(cluster)
+                        },
+                    );
+                    if !streams.is_single() {
+                        g.set("streams", streams_to_json(*streams));
+                    }
+                    if !faults.is_empty() {
+                        g.set("faults", faults_to_json(faults));
+                    }
+                    g.set("count", Json::UInt(*count as u64));
+                    g
+                })
+                .collect(),
+        ),
+    );
+    replica0.set("fleet", fleet);
+    replica0.render()
 }
 
 fn cache_to_json(cache: &CacheConfig) -> Json {
@@ -311,6 +396,34 @@ mod tests {
     use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
 
     use crate::topology::{InterconnectConfig, ShardingSpec};
+
+    #[allow(clippy::too_many_arguments)]
+    fn cell_key(
+        cluster: &Cluster,
+        model: &DlrmConfig,
+        scale_name: &str,
+        seed: u64,
+        tables_to_simulate: u32,
+        mode: EngineMode,
+        streams: StreamConfig,
+        faults: &FaultPlan,
+        workload: &Workload,
+        scheme: &Scheme,
+    ) -> String {
+        cell_doc(
+            cluster,
+            model,
+            scale_name,
+            seed,
+            tables_to_simulate,
+            mode,
+            streams,
+            faults,
+            workload,
+            scheme,
+        )
+        .render()
+    }
 
     fn key(workload: &Workload, scheme: &Scheme) -> String {
         key_with_streams(StreamConfig::single(), workload, scheme)

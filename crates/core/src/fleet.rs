@@ -1,0 +1,1833 @@
+//! Fleet-scale serving: replica sets behind a router, autoscaling, and a
+//! device-hours cost model — the layer that turns one priced deployment
+//! into a planet of them.
+//!
+//! A [`Fleet`] owns a fleet-wide arrival trace (a [`TrafficModel`], request
+//! count and seed, exactly like a [`ServingScenario`]) and a set of
+//! [`ReplicaGroup`]s: each group is a `ServingScenario` template over its
+//! own [`Experiment`] deployment (cluster, streams, engine mode), expanded
+//! into `replicas` identical replica instances. [`Fleet::simulate`] routes
+//! every arrival to exactly one replica with a [`RoutingPolicy`], optionally
+//! resizes the live set per interval with an [`AutoscalePolicy`] driven by
+//! the [`max_sustainable_qps`] capacity search, then runs each replica's sub-trace through the
+//! unchanged [`ServingScenario`] dispatch loop and aggregates a
+//! [`FleetReport`] (exact fleet-wide percentiles, request conservation,
+//! per-replica serving reports, autoscale timeline, and a device-hours
+//! cost summary).
+//!
+//! Three contracts the test suite (`tests/fleet_equivalence.rs`) anchors:
+//!
+//! * **Degenerate equivalence** — a 1-replica fleet with identity routing
+//!   (round-robin) and no autoscaling is **bit-exact** with
+//!   [`ServingScenario::simulate`] on both engine modes, sharded and
+//!   K-streamed: the router degenerates to "send everything to replica 0"
+//!   and the replica runs the very same dispatch loop on the very same
+//!   arrival trace. The identity fleet's [`Fleet::fingerprint`] is also
+//!   byte-identical to its replica's plain cell key, so a degenerate fleet
+//!   shares persisted cache cells with the scenario it wraps.
+//! * **Request conservation** — every offered request is routed to exactly
+//!   one replica and accounted exactly once: summed over replicas,
+//!   `served + shed + failed = offered`.
+//! * **The drain contract on scale-in** — deactivating a replica only stops
+//!   *routing* to it; requests already routed are still simulated to
+//!   completion (and billed), so autoscaling never loses in-flight work.
+//!
+//! The router is deliberately an *estimating* router, the way a real L7
+//! balancer is: it never sees inside a replica's queue. Least-outstanding
+//! and latency-aware routing run on router-side estimates (a per-replica
+//! service-time probe priced through the ordinary experiment path, so the
+//! probe cell caches and shares like any other) updated as requests are
+//! assigned. Round-robin needs no estimates and prices no probe.
+//!
+//! # Adding a routing policy
+//!
+//! Routing is a pure decision function in the style of
+//! [`BatchingPolicy`](crate::BatchingPolicy): given the router cursor (how
+//! many requests have been routed so far) and one [`ReplicaView`] per live
+//! replica, [`RoutingPolicy::route`] returns the index of the chosen view —
+//! no I/O, no clocks, no randomness, so fleet reports stay deterministic
+//! and thread-count-invariant. To add a policy:
+//!
+//! 1. Add a variant to [`RoutingKind`] and wire `name`/`from_name`.
+//! 2. Add a constructor on [`RoutingPolicy`] validating its parameters
+//!    (panic on invalid values, like `latency_aware` does).
+//! 3. Implement the decision in [`RoutingPolicy::route`] using only the
+//!    cursor and the views. Break ties toward the lowest replica index so
+//!    the decision stays deterministic.
+//! 4. Extend `label` (and the JSON round trip) and register any new
+//!    config fields with the `analysis` auditor — routing partitions the
+//!    fleet fingerprint, so new knobs must appear in
+//!    `crates/core/src/fingerprint.rs` or the manifest.
+//!
+//! Autoscaling follows the same pattern: [`AutoscalePolicy::decide`] is a
+//! pure function from (offered rate, live capacity, live/pool counts,
+//! cooldown) to an [`AutoscaleAction`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::cache::CampaignCache;
+use crate::json::{Json, JsonError};
+use crate::runner::Experiment;
+use crate::scheme::Scheme;
+use crate::serving::TrafficModel;
+use crate::serving::{max_sustainable_qps, LatencyStats, ServingReport, ServingScenario};
+use crate::workload::Workload;
+
+/// Identifier of the fleet-report JSON schema produced by this crate
+/// version.
+pub const FLEET_REPORT_SCHEMA: &str = "perf-envelope/fleet-report/v1";
+
+/// Which routing decision a [`RoutingPolicy`] makes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Cycle through live replicas in index order — the identity policy
+    /// (with one replica it degenerates to "always replica 0").
+    RoundRobin,
+    /// Send each request to the live replica with the fewest
+    /// requests outstanding on the router's estimate, ties to the lowest
+    /// index.
+    LeastOutstanding,
+    /// Send each request to the live replica with the lowest
+    /// exponentially-weighted moving average of estimated latency, ties to
+    /// the lowest index.
+    LatencyAware,
+}
+
+impl RoutingKind {
+    /// Stable machine name (used in labels, JSON and the fingerprint).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingKind::RoundRobin => "round_robin",
+            RoutingKind::LeastOutstanding => "least_outstanding",
+            RoutingKind::LatencyAware => "latency_aware",
+        }
+    }
+
+    /// Parses [`RoutingKind::name`] back; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<RoutingKind> {
+        match name {
+            "round_robin" => Some(RoutingKind::RoundRobin),
+            "least_outstanding" => Some(RoutingKind::LeastOutstanding),
+            "latency_aware" => Some(RoutingKind::LatencyAware),
+            _ => None,
+        }
+    }
+}
+
+/// The router's view of one live replica — everything a
+/// [`RoutingPolicy::route`] decision may depend on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaView {
+    /// Pool index of the replica (stable across scale events).
+    pub replica: u32,
+    /// Requests routed to this replica so far.
+    pub routed: u64,
+    /// Requests routed but not yet complete on the router's estimate.
+    pub outstanding: u32,
+    /// Exponentially-weighted moving average of the router's estimated
+    /// request latency for this replica, in microseconds.
+    pub ewma_latency_us: f64,
+}
+
+/// How the fleet router picks a replica for each arriving request: a
+/// deterministic pure decision function in the style of
+/// [`BatchingPolicy`](crate::BatchingPolicy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingPolicy {
+    kind: RoutingKind,
+    ewma_alpha: f64,
+}
+
+impl RoutingPolicy {
+    /// Round-robin over live replicas — the identity policy.
+    pub fn round_robin() -> RoutingPolicy {
+        RoutingPolicy {
+            kind: RoutingKind::RoundRobin,
+            ewma_alpha: 0.0,
+        }
+    }
+
+    /// Route to the live replica with the fewest outstanding requests on
+    /// the router's estimate.
+    pub fn least_outstanding() -> RoutingPolicy {
+        RoutingPolicy {
+            kind: RoutingKind::LeastOutstanding,
+            ewma_alpha: 0.0,
+        }
+    }
+
+    /// Route to the live replica with the lowest EWMA of estimated
+    /// latency; `alpha` is the EWMA smoothing factor (the weight of the
+    /// newest sample).
+    ///
+    /// # Panics
+    /// Panics unless `alpha` is in `(0, 1]`.
+    pub fn latency_aware(alpha: f64) -> RoutingPolicy {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "the EWMA smoothing factor must be in (0, 1]"
+        );
+        RoutingPolicy {
+            kind: RoutingKind::LatencyAware,
+            ewma_alpha: alpha,
+        }
+    }
+
+    /// Which decision this policy makes.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// The EWMA smoothing factor (`0.0` for policies that keep no EWMA).
+    pub fn ewma_alpha(&self) -> f64 {
+        self.ewma_alpha
+    }
+
+    /// Whether this is the identity policy (round-robin): with one replica
+    /// it routes everything to replica 0, which is what the degenerate
+    /// fleet anchor and the fingerprint identity lean on.
+    pub fn is_identity(&self) -> bool {
+        self.kind == RoutingKind::RoundRobin
+    }
+
+    /// Human-readable label, e.g. `"latency_aware(0.3)"`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            RoutingKind::LatencyAware => format!("latency_aware({})", self.ewma_alpha),
+            kind => kind.name().to_string(),
+        }
+    }
+
+    /// The pure routing decision: given the router `cursor` (requests
+    /// routed so far, fleet-wide) and one view per live replica (in pool
+    /// order), returns the index **into `views`** of the chosen replica.
+    /// Ties break to the earliest view, i.e. the lowest pool index.
+    ///
+    /// # Panics
+    /// Panics if `views` is empty.
+    pub fn route(&self, cursor: u64, views: &[ReplicaView]) -> usize {
+        assert!(!views.is_empty(), "routing needs at least one live replica");
+        match self.kind {
+            RoutingKind::RoundRobin => (cursor % views.len() as u64) as usize,
+            RoutingKind::LeastOutstanding => argmin(views, |v| v.outstanding as f64),
+            RoutingKind::LatencyAware => argmin(views, |v| v.ewma_latency_us),
+        }
+    }
+
+    /// The policy as a [`Json`] document.
+    pub fn to_json_value(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("kind", Json::Str(self.kind.name().to_string()));
+        doc.set("ewma_alpha", Json::Num(self.ewma_alpha));
+        doc
+    }
+
+    /// Serializes the policy to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Parses a policy from a [`RoutingPolicy::to_json_value`] document.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on unknown kinds or invalid parameters.
+    pub fn from_json_value(doc: &Json) -> Result<RoutingPolicy, JsonError> {
+        let kind = req_str(doc, "kind")?;
+        let kind = RoutingKind::from_name(kind)
+            .ok_or_else(|| JsonError::schema(format!("unknown routing kind '{kind}'")))?;
+        let ewma_alpha = req_f64(doc, "ewma_alpha")?;
+        match kind {
+            RoutingKind::LatencyAware => {
+                if !(ewma_alpha.is_finite() && ewma_alpha > 0.0 && ewma_alpha <= 1.0) {
+                    return Err(JsonError::schema(
+                        "the EWMA smoothing factor must be in (0, 1]",
+                    ));
+                }
+            }
+            _ => {
+                if ewma_alpha != 0.0 {
+                    return Err(JsonError::schema(
+                        "ewma_alpha must be 0 for policies that keep no EWMA",
+                    ));
+                }
+            }
+        }
+        Ok(RoutingPolicy { kind, ewma_alpha })
+    }
+
+    /// Parses a policy back from [`RoutingPolicy::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors or invalid fields.
+    pub fn from_json(text: &str) -> Result<RoutingPolicy, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        RoutingPolicy::round_robin()
+    }
+}
+
+fn argmin(views: &[ReplicaView], key: impl Fn(&ReplicaView) -> f64) -> usize {
+    let mut best = 0usize;
+    for (i, view) in views.iter().enumerate().skip(1) {
+        if key(view) < key(&views[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Whether an [`AutoscalePolicy`] is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutoscaleKind {
+    /// No autoscaling: the whole replica pool serves for the whole day —
+    /// the identity policy (static provisioning).
+    None,
+    /// Threshold-reactive scaling on fleet utilization per interval.
+    Reactive,
+}
+
+impl AutoscaleKind {
+    /// Stable machine name (used in labels, JSON and the fingerprint).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AutoscaleKind::None => "none",
+            AutoscaleKind::Reactive => "reactive",
+        }
+    }
+}
+
+/// One autoscale decision at an interval boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutoscaleAction {
+    /// Activate one more pool replica.
+    ScaleOut,
+    /// Drain one live replica (it finishes routed work, gets no new
+    /// traffic).
+    ScaleIn,
+    /// Leave the live set unchanged.
+    Hold,
+}
+
+impl AutoscaleAction {
+    /// Stable machine name (used in the autoscale timeline).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AutoscaleAction::ScaleOut => "scale_out",
+            AutoscaleAction::ScaleIn => "scale_in",
+            AutoscaleAction::Hold => "hold",
+        }
+    }
+}
+
+/// When and how the fleet resizes its live replica set, driven by the
+/// [`max_sustainable_qps`] capacity search: fleet utilization is the
+/// interval's offered rate over the summed capacity of the live replicas.
+///
+/// [`AutoscalePolicy::none`] — the default — keeps every pool replica live
+/// for the whole day (static provisioning) and is the identity the
+/// degenerate-fleet anchor leans on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    kind: AutoscaleKind,
+    scale_out_threshold: f64,
+    scale_in_threshold: f64,
+    cooldown_intervals: u32,
+    min_replicas: u32,
+    max_replicas: u32,
+}
+
+impl AutoscalePolicy {
+    /// No autoscaling (static provisioning) — the identity policy.
+    pub fn none() -> AutoscalePolicy {
+        AutoscalePolicy {
+            kind: AutoscaleKind::None,
+            scale_out_threshold: 0.0,
+            scale_in_threshold: 0.0,
+            cooldown_intervals: 0,
+            min_replicas: 0,
+            max_replicas: 0,
+        }
+    }
+
+    /// Threshold-reactive scaling: scale out when interval utilization
+    /// exceeds `scale_out_threshold`, scale in below `scale_in_threshold`,
+    /// waiting `cooldown_intervals` full intervals after each action, and
+    /// keeping the live count within `[min_replicas, max_replicas]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < scale_in_threshold < scale_out_threshold` (both
+    /// finite) and `1 <= min_replicas <= max_replicas`.
+    pub fn reactive(
+        scale_out_threshold: f64,
+        scale_in_threshold: f64,
+        cooldown_intervals: u32,
+        min_replicas: u32,
+        max_replicas: u32,
+    ) -> AutoscalePolicy {
+        assert!(
+            scale_in_threshold.is_finite()
+                && scale_out_threshold.is_finite()
+                && scale_in_threshold > 0.0
+                && scale_in_threshold < scale_out_threshold,
+            "thresholds must satisfy 0 < scale_in < scale_out"
+        );
+        assert!(
+            min_replicas >= 1 && min_replicas <= max_replicas,
+            "replica bounds must satisfy 1 <= min <= max"
+        );
+        AutoscalePolicy {
+            kind: AutoscaleKind::Reactive,
+            scale_out_threshold,
+            scale_in_threshold,
+            cooldown_intervals,
+            min_replicas,
+            max_replicas,
+        }
+    }
+
+    /// Whether this is the no-op identity policy.
+    pub fn is_none(&self) -> bool {
+        self.kind == AutoscaleKind::None
+    }
+
+    /// Whether the policy is active.
+    pub fn kind(&self) -> AutoscaleKind {
+        self.kind
+    }
+
+    /// Utilization above which the fleet scales out.
+    pub fn scale_out_threshold(&self) -> f64 {
+        self.scale_out_threshold
+    }
+
+    /// Utilization below which the fleet scales in.
+    pub fn scale_in_threshold(&self) -> f64 {
+        self.scale_in_threshold
+    }
+
+    /// Full intervals to hold after each scaling action.
+    pub fn cooldown_intervals(&self) -> u32 {
+        self.cooldown_intervals
+    }
+
+    /// Fewest replicas the policy keeps live.
+    pub fn min_replicas(&self) -> u32 {
+        self.min_replicas
+    }
+
+    /// Most replicas the policy activates.
+    pub fn max_replicas(&self) -> u32 {
+        self.max_replicas
+    }
+
+    /// Human-readable label, e.g. `"reactive(0.8/0.4, cooldown 2, 1..4)"`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            AutoscaleKind::None => "none".to_string(),
+            AutoscaleKind::Reactive => format!(
+                "reactive({}/{}, cooldown {}, {}..{})",
+                self.scale_out_threshold,
+                self.scale_in_threshold,
+                self.cooldown_intervals,
+                self.min_replicas,
+                self.max_replicas
+            ),
+        }
+    }
+
+    /// The pure scaling decision at one interval boundary: `offered_qps`
+    /// is the upcoming interval's mean offered rate, `live_capacity_qps`
+    /// the summed [`max_sustainable_qps`] capacity of the live replicas,
+    /// `live`/`pool` the live and provisioned replica counts, and
+    /// `cooldown_remaining` how many intervals of a previous action's
+    /// cooldown are still pending.
+    pub fn decide(
+        &self,
+        offered_qps: f64,
+        live_capacity_qps: f64,
+        live: u32,
+        pool: u32,
+        cooldown_remaining: u32,
+    ) -> AutoscaleAction {
+        if self.kind == AutoscaleKind::None || cooldown_remaining > 0 {
+            return AutoscaleAction::Hold;
+        }
+        let utilization = if live_capacity_qps > 0.0 {
+            offered_qps / live_capacity_qps
+        } else {
+            f64::INFINITY
+        };
+        let ceiling = self.max_replicas.min(pool);
+        if utilization > self.scale_out_threshold && live < ceiling {
+            AutoscaleAction::ScaleOut
+        } else if utilization < self.scale_in_threshold && live > self.min_replicas.max(1) {
+            AutoscaleAction::ScaleIn
+        } else {
+            AutoscaleAction::Hold
+        }
+    }
+
+    /// The policy as a [`Json`] document.
+    pub fn to_json_value(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("kind", Json::Str(self.kind.name().to_string()));
+        doc.set("scale_out_threshold", Json::Num(self.scale_out_threshold));
+        doc.set("scale_in_threshold", Json::Num(self.scale_in_threshold));
+        doc.set(
+            "cooldown_intervals",
+            Json::UInt(self.cooldown_intervals as u64),
+        );
+        doc.set("min_replicas", Json::UInt(self.min_replicas as u64));
+        doc.set("max_replicas", Json::UInt(self.max_replicas as u64));
+        doc
+    }
+
+    /// Serializes the policy to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Parses a policy from an [`AutoscalePolicy::to_json_value`] document.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on unknown kinds or invalid parameters.
+    pub fn from_json_value(doc: &Json) -> Result<AutoscalePolicy, JsonError> {
+        let kind = req_str(doc, "kind")?;
+        let scale_out_threshold = req_f64(doc, "scale_out_threshold")?;
+        let scale_in_threshold = req_f64(doc, "scale_in_threshold")?;
+        let cooldown_intervals = req_u32(doc, "cooldown_intervals")?;
+        let min_replicas = req_u32(doc, "min_replicas")?;
+        let max_replicas = req_u32(doc, "max_replicas")?;
+        match kind {
+            "none" => {
+                let policy = AutoscalePolicy::none();
+                if (scale_out_threshold, scale_in_threshold, cooldown_intervals) != (0.0, 0.0, 0)
+                    || (min_replicas, max_replicas) != (0, 0)
+                {
+                    return Err(JsonError::schema(
+                        "an inactive autoscale policy carries all-zero parameters",
+                    ));
+                }
+                Ok(policy)
+            }
+            "reactive" => {
+                if !(scale_in_threshold.is_finite()
+                    && scale_out_threshold.is_finite()
+                    && scale_in_threshold > 0.0
+                    && scale_in_threshold < scale_out_threshold)
+                {
+                    return Err(JsonError::schema(
+                        "thresholds must satisfy 0 < scale_in < scale_out",
+                    ));
+                }
+                if !(min_replicas >= 1 && min_replicas <= max_replicas) {
+                    return Err(JsonError::schema(
+                        "replica bounds must satisfy 1 <= min <= max",
+                    ));
+                }
+                Ok(AutoscalePolicy {
+                    kind: AutoscaleKind::Reactive,
+                    scale_out_threshold,
+                    scale_in_threshold,
+                    cooldown_intervals,
+                    min_replicas,
+                    max_replicas,
+                })
+            }
+            other => Err(JsonError::schema(format!(
+                "unknown autoscale kind '{other}'"
+            ))),
+        }
+    }
+
+    /// Parses a policy back from [`AutoscalePolicy::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors or invalid fields.
+    pub fn from_json(text: &str) -> Result<AutoscalePolicy, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy::none()
+    }
+}
+
+/// Default autoscale interval: one simulated second.
+pub const DEFAULT_AUTOSCALE_INTERVAL_US: f64 = 1_000_000.0;
+
+/// The pure-data fleet configuration: routing, autoscaling and the
+/// autoscale interval. Everything here partitions the fleet fingerprint
+/// (except for the identity spec on a 1-replica fleet, whose key is
+/// byte-identical to the plain serving cell key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSpec {
+    routing: RoutingPolicy,
+    autoscale: AutoscalePolicy,
+    interval_us: f64,
+}
+
+impl FleetSpec {
+    /// The identity spec: round-robin routing, no autoscaling.
+    pub fn new() -> FleetSpec {
+        FleetSpec {
+            routing: RoutingPolicy::round_robin(),
+            autoscale: AutoscalePolicy::none(),
+            interval_us: DEFAULT_AUTOSCALE_INTERVAL_US,
+        }
+    }
+
+    /// Replaces the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Replaces the autoscale policy.
+    pub fn with_autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
+        self.autoscale = autoscale;
+        self
+    }
+
+    /// Sets the autoscale decision interval in microseconds.
+    ///
+    /// # Panics
+    /// Panics unless the interval is finite and positive.
+    pub fn with_interval_us(mut self, interval_us: f64) -> Self {
+        assert!(
+            interval_us.is_finite() && interval_us > 0.0,
+            "the autoscale interval must be finite and positive"
+        );
+        self.interval_us = interval_us;
+        self
+    }
+
+    /// The routing policy.
+    pub fn routing(&self) -> RoutingPolicy {
+        self.routing
+    }
+
+    /// The autoscale policy.
+    pub fn autoscale(&self) -> AutoscalePolicy {
+        self.autoscale
+    }
+
+    /// The autoscale decision interval in microseconds.
+    pub fn interval_us(&self) -> f64 {
+        self.interval_us
+    }
+
+    /// Whether both policies are the identity (round-robin, no
+    /// autoscaling): on a 1-replica fleet an identity spec changes nothing
+    /// versus plain [`ServingScenario::simulate`].
+    pub fn is_identity(&self) -> bool {
+        self.routing.is_identity() && self.autoscale.is_none()
+    }
+
+    /// The spec as a [`Json`] document.
+    pub fn to_json_value(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("routing", self.routing.to_json_value());
+        doc.set("autoscale", self.autoscale.to_json_value());
+        doc.set("interval_us", Json::Num(self.interval_us));
+        doc
+    }
+
+    /// Serializes the spec to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Parses a spec from a [`FleetSpec::to_json_value`] document.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on invalid policies or intervals.
+    pub fn from_json_value(doc: &Json) -> Result<FleetSpec, JsonError> {
+        let routing = doc
+            .get("routing")
+            .ok_or_else(|| JsonError::schema("missing field 'routing'"))?;
+        let autoscale = doc
+            .get("autoscale")
+            .ok_or_else(|| JsonError::schema("missing field 'autoscale'"))?;
+        let interval_us = req_f64(doc, "interval_us")?;
+        if !(interval_us.is_finite() && interval_us > 0.0) {
+            return Err(JsonError::schema(
+                "the autoscale interval must be finite and positive",
+            ));
+        }
+        Ok(FleetSpec {
+            routing: RoutingPolicy::from_json_value(routing)?,
+            autoscale: AutoscalePolicy::from_json_value(autoscale)?,
+            interval_us,
+        })
+    }
+
+    /// Parses a spec back from [`FleetSpec::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors or invalid fields.
+    pub fn from_json(text: &str) -> Result<FleetSpec, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec::new()
+    }
+}
+
+/// One replica group: a [`ServingScenario`] template over its own
+/// [`Experiment`] deployment, expanded into `replicas` identical replica
+/// instances. The scenario carries the group's batching policy, SLA,
+/// retry/admission policies and — per-replica fault domains being the
+/// fleet layer's job — its [`FaultPlan`](crate::FaultPlan), applied to
+/// every replica of the group (give failing replicas their own
+/// single-replica group). The scenario's *own* traffic, request count and
+/// seed are ignored at fleet level: arrivals come from the fleet-wide
+/// trace via routing.
+#[derive(Debug, Clone)]
+pub struct ReplicaGroup {
+    experiment: Experiment,
+    scenario: ServingScenario,
+    replicas: u32,
+}
+
+impl ReplicaGroup {
+    /// A group of one replica serving `scenario` on `experiment`'s
+    /// deployment.
+    ///
+    /// # Panics
+    /// Panics when the scenario's fault plan names a device outside the
+    /// experiment's deployment.
+    pub fn new(experiment: Experiment, scenario: ServingScenario) -> ReplicaGroup {
+        scenario
+            .faults()
+            .validate(experiment.cluster().num_devices());
+        ReplicaGroup {
+            experiment,
+            scenario,
+            replicas: 1,
+        }
+    }
+
+    /// Sets how many identical replicas the group expands into.
+    ///
+    /// # Panics
+    /// Panics if `replicas` is zero.
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        assert!(replicas > 0, "a replica group needs at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
+    /// The group's deployment template.
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The group's serving-scenario template.
+    pub fn scenario(&self) -> &ServingScenario {
+        &self.scenario
+    }
+
+    /// Number of replica instances the group expands into.
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+}
+
+/// A fleet: a fleet-wide arrival trace routed across replica groups, with
+/// optional autoscaling and a shared [`CampaignCache`]. See the module
+/// docs for the architecture and the invariants the test suite anchors.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    traffic: TrafficModel,
+    requests: u32,
+    seed: u64,
+    spec: FleetSpec,
+    groups: Vec<ReplicaGroup>,
+    cache: Option<Arc<CampaignCache>>,
+}
+
+impl Fleet {
+    /// A fleet offering `requests` arrivals drawn from `traffic` with
+    /// `seed`, with no replica groups yet (add at least one with
+    /// [`Fleet::with_group`]) and the identity spec.
+    ///
+    /// # Panics
+    /// Panics if `requests` is zero.
+    pub fn new(traffic: TrafficModel, requests: u32, seed: u64) -> Fleet {
+        assert!(requests > 0, "a fleet needs at least one request");
+        Fleet {
+            traffic,
+            requests,
+            seed,
+            spec: FleetSpec::new(),
+            groups: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// The degenerate 1-replica fleet over `scenario`: fleet traffic,
+    /// request count and seed are taken from the scenario, so with the
+    /// default identity spec the fleet is bit-exact with
+    /// `scenario.simulate(&experiment, ...)`.
+    pub fn single(experiment: Experiment, scenario: ServingScenario) -> Fleet {
+        let traffic = scenario.traffic();
+        let requests = scenario.requests();
+        let seed = scenario.seed();
+        Fleet::new(traffic, requests, seed).with_group(ReplicaGroup::new(experiment, scenario))
+    }
+
+    /// Adds a replica group.
+    pub fn with_group(mut self, group: ReplicaGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// Replaces the whole fleet spec.
+    pub fn with_spec(mut self, spec: FleetSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.spec = self.spec.with_routing(routing);
+        self
+    }
+
+    /// Replaces the autoscale policy.
+    pub fn with_autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
+        self.spec = self.spec.with_autoscale(autoscale);
+        self
+    }
+
+    /// Sets the autoscale decision interval in microseconds.
+    ///
+    /// # Panics
+    /// Panics unless the interval is finite and positive.
+    pub fn with_interval_us(mut self, interval_us: f64) -> Self {
+        self.spec = self.spec.with_interval_us(interval_us);
+        self
+    }
+
+    /// Attaches a shared [`CampaignCache`]: every replica's pricing (and
+    /// the capacity probes) key through it, so N identical replicas price
+    /// each distinct batch shape exactly once.
+    pub fn with_cache(mut self, cache: Arc<CampaignCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The fleet-wide traffic model.
+    pub fn traffic(&self) -> TrafficModel {
+        self.traffic
+    }
+
+    /// Number of requests in the fleet-wide arrival trace.
+    pub fn requests(&self) -> u32 {
+        self.requests
+    }
+
+    /// The arrival-trace seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fleet spec (routing, autoscaling, interval).
+    pub fn spec(&self) -> FleetSpec {
+        self.spec
+    }
+
+    /// The replica groups.
+    pub fn groups(&self) -> &[ReplicaGroup] {
+        &self.groups
+    }
+
+    /// Total provisioned replicas across all groups.
+    pub fn pool_size(&self) -> u32 {
+        self.groups.iter().map(|g| g.replicas).sum()
+    }
+
+    /// Whether this fleet is the degenerate identity: exactly one replica
+    /// under the identity spec.
+    pub fn is_identity(&self) -> bool {
+        self.pool_size() == 1 && self.spec.is_identity()
+    }
+
+    /// The canonical fleet cell key: the replica-0 cell document extended
+    /// with a `fleet` axis — except for the identity fleet, whose key is
+    /// **byte-identical** to its replica's plain
+    /// [`Experiment::fingerprint`] cell key (with the scenario's fault
+    /// plan folded in the way serving pricing folds it), so a degenerate
+    /// fleet shares cells with the scenario it wraps.
+    ///
+    /// # Panics
+    /// Panics if the fleet has no replica groups.
+    pub fn fingerprint(&self, workload: &Workload, scheme: &Scheme) -> String {
+        let g0 = self
+            .groups
+            .first()
+            .expect("a fleet needs at least one replica group");
+        let replica0 = pricing_experiment(g0).cell_doc(workload, scheme);
+        let groups: Vec<_> = self
+            .groups
+            .iter()
+            .map(|g| {
+                (
+                    g.experiment.cluster().clone(),
+                    g.experiment.streams(),
+                    g.scenario.faults().clone(),
+                    g.replicas,
+                )
+            })
+            .collect();
+        crate::fingerprint::fleet_key(
+            replica0,
+            &self.spec.routing,
+            &self.spec.autoscale,
+            self.spec.interval_us,
+            &groups,
+            self.is_identity(),
+        )
+    }
+
+    /// Routes the fleet-wide arrival trace across replicas, applies the
+    /// autoscale policy per interval, runs every replica's sub-trace
+    /// through the [`ServingScenario`] dispatch loop, and aggregates the
+    /// [`FleetReport`].
+    ///
+    /// Deterministic and thread-count-invariant: the router and autoscaler
+    /// are pure functions, each replica simulation is the unchanged
+    /// single-threaded serving loop, and pricing inherits the experiment
+    /// layer's invariance.
+    ///
+    /// # Panics
+    /// Panics if the fleet has no replica groups.
+    pub fn simulate(&self, workload: &Workload, scheme: &Scheme) -> FleetReport {
+        assert!(
+            !self.groups.is_empty(),
+            "a fleet needs at least one replica group"
+        );
+        let routing = self.spec.routing;
+        let autoscale = self.spec.autoscale;
+        let interval_us = self.spec.interval_us;
+
+        // Expand groups into the replica pool, attaching the shared cache.
+        struct Replica {
+            group: u32,
+            experiment: Experiment,
+            scenario: ServingScenario,
+            arrivals: Vec<f64>,
+            // Active [join, leave) windows; `f64::INFINITY` marks "still
+            // live" until the fleet makespan is known.
+            windows: Vec<(f64, f64)>,
+            // Router-side state.
+            routed: u64,
+            outstanding: VecDeque<f64>,
+            est_free_us: f64,
+            est_service_us: f64,
+            ewma_us: f64,
+        }
+        let mut pool: Vec<Replica> = Vec::new();
+        for (gi, group) in self.groups.iter().enumerate() {
+            let experiment = match &self.cache {
+                Some(cache) => group.experiment.clone().with_cache(cache.clone()),
+                None => group.experiment.clone(),
+            };
+            for _ in 0..group.replicas {
+                pool.push(Replica {
+                    group: gi as u32,
+                    experiment: experiment.clone(),
+                    scenario: group.scenario.clone(),
+                    arrivals: Vec::new(),
+                    windows: Vec::new(),
+                    routed: 0,
+                    outstanding: VecDeque::new(),
+                    est_free_us: 0.0,
+                    est_service_us: 0.0,
+                    ewma_us: 0.0,
+                });
+            }
+        }
+
+        // Router-side service estimates: one probe per replica, priced
+        // through the ordinary (cached) experiment path. Round-robin
+        // needs none.
+        if routing.kind != RoutingKind::RoundRobin {
+            for replica in &mut pool {
+                let shape = replica.scenario.policy().shape(1);
+                let report = pricing_experiment_parts(&replica.experiment, &replica.scenario)
+                    .with_batch_size(shape)
+                    .run(workload, scheme);
+                replica.est_service_us = report.latency_us;
+                replica.ewma_us = report.latency_us;
+            }
+        }
+
+        // Per-group replica capacity, driving autoscale utilization.
+        let autoscaling = !autoscale.is_none();
+        let group_capacity: Vec<f64> = if autoscaling {
+            self.groups
+                .iter()
+                .map(|group| {
+                    let experiment = match &self.cache {
+                        Some(cache) => group.experiment.clone().with_cache(cache.clone()),
+                        None => group.experiment.clone(),
+                    };
+                    max_sustainable_qps(&experiment, workload, scheme, &group.scenario).max_qps
+                })
+                .collect()
+        } else {
+            vec![0.0; self.groups.len()]
+        };
+
+        let arrivals = self.traffic.arrival_times_us(self.requests, self.seed);
+
+        // The live set: pool indices, ascending. Without autoscaling the
+        // whole pool serves all day; with it, the day starts at
+        // min_replicas and the policy takes over at interval boundaries.
+        let pool_size = pool.len() as u32;
+        let initial = if autoscaling {
+            autoscale.min_replicas().clamp(1, pool_size) as usize
+        } else {
+            pool.len()
+        };
+        let mut live: Vec<usize> = (0..initial).collect();
+        for &r in &live {
+            pool[r].windows.push((0.0, f64::INFINITY));
+        }
+        let mut events: Vec<AutoscaleEvent> = Vec::new();
+        let mut cursor = 0u64;
+        let needs_estimates = routing.kind != RoutingKind::RoundRobin;
+
+        // Walk arrivals in order; at each interval boundary (autoscaling
+        // only) decide on the upcoming interval's offered rate before
+        // routing its arrivals.
+        let mut next_boundary = if autoscaling {
+            interval_us
+        } else {
+            f64::INFINITY
+        };
+        let mut i = 0usize;
+        while i < arrivals.len() {
+            let t = arrivals[i];
+            if autoscaling && t >= next_boundary {
+                // Entering a new interval: count its offered arrivals.
+                let boundary =
+                    next_boundary + interval_us * ((t - next_boundary) / interval_us).floor();
+                let window_end = boundary + interval_us;
+                let count = arrivals[i..]
+                    .iter()
+                    .take_while(|&&a| a < window_end)
+                    .count();
+                let offered_qps = count as f64 * 1e6 / interval_us;
+                let interval = (boundary / interval_us).round() as u32;
+                // Remaining cooldown = the policy's cooldown minus full
+                // intervals elapsed since the last action.
+                let cooldown = match events.last() {
+                    Some(last) => autoscale
+                        .cooldown_intervals()
+                        .saturating_sub(interval.saturating_sub(last.interval)),
+                    None => 0,
+                };
+                let live_capacity: f64 = live
+                    .iter()
+                    .map(|&r| group_capacity[pool[r].group as usize])
+                    .sum();
+                let action = autoscale.decide(
+                    offered_qps,
+                    live_capacity,
+                    live.len() as u32,
+                    pool_size,
+                    cooldown,
+                );
+                match action {
+                    AutoscaleAction::ScaleOut => {
+                        // Activate the lowest-index replica not currently
+                        // live (a previously drained replica may rejoin).
+                        let joiner = (0..pool.len())
+                            .find(|r| !live.contains(r))
+                            .expect("decide() only scales out below the pool size");
+                        live.push(joiner);
+                        live.sort_unstable();
+                        pool[joiner].windows.push((boundary, f64::INFINITY));
+                    }
+                    AutoscaleAction::ScaleIn => {
+                        // Drain the highest-index live replica: it stops
+                        // receiving traffic but finishes every routed
+                        // request (the drain contract — zero loss).
+                        let leaver = live.pop().expect("decide() only scales in above one");
+                        let window = pool[leaver]
+                            .windows
+                            .last_mut()
+                            .expect("a live replica has an open window");
+                        window.1 = boundary;
+                    }
+                    AutoscaleAction::Hold => {}
+                }
+                if action != AutoscaleAction::Hold {
+                    events.push(AutoscaleEvent {
+                        interval,
+                        at_us: boundary,
+                        action: action.name().to_string(),
+                        live_replicas: live.len() as u32,
+                        offered_qps,
+                        utilization: if live_capacity > 0.0 {
+                            offered_qps / live_capacity
+                        } else {
+                            f64::INFINITY
+                        },
+                    });
+                }
+                next_boundary = window_end;
+            }
+
+            // Retire estimated completions, then route.
+            if needs_estimates {
+                for &r in &live {
+                    while pool[r].outstanding.front().is_some_and(|&done| done <= t) {
+                        pool[r].outstanding.pop_front();
+                    }
+                }
+            }
+            let views: Vec<ReplicaView> = live
+                .iter()
+                .map(|&r| ReplicaView {
+                    replica: r as u32,
+                    routed: pool[r].routed,
+                    outstanding: pool[r].outstanding.len() as u32,
+                    ewma_latency_us: pool[r].ewma_us,
+                })
+                .collect();
+            let choice = live[routing.route(cursor, &views)];
+            let replica = &mut pool[choice];
+            replica.arrivals.push(t);
+            replica.routed += 1;
+            cursor += 1;
+            if needs_estimates {
+                let start = if replica.est_free_us > t {
+                    replica.est_free_us
+                } else {
+                    t
+                };
+                let done = start + replica.est_service_us;
+                replica.est_free_us = done;
+                replica.outstanding.push_back(done);
+                if routing.kind == RoutingKind::LatencyAware {
+                    let alpha = routing.ewma_alpha;
+                    replica.ewma_us = alpha * (done - t) + (1.0 - alpha) * replica.ewma_us;
+                }
+            }
+            i += 1;
+        }
+
+        // Simulate every replica that was ever live on its routed
+        // sub-trace (an idle-but-live replica yields an idle report and
+        // still bills device time; a never-activated one costs nothing and
+        // is excluded).
+        let mut replicas: Vec<FleetReplicaReport> = Vec::new();
+        let mut all_latencies: Vec<f64> = Vec::new();
+        let mut served = 0u32;
+        let mut shed = 0u32;
+        let mut failed = 0u32;
+        let mut routed_total = 0u64;
+        let mut within_sla = 0u64;
+        let mut makespan_us = 0.0f64;
+        for (r, replica) in pool.iter().enumerate() {
+            if replica.windows.is_empty() {
+                debug_assert!(replica.arrivals.is_empty());
+                continue;
+            }
+            let (report, latencies) = replica.scenario.simulate_trace(
+                &replica.experiment,
+                workload,
+                scheme,
+                &replica.arrivals,
+            );
+            served += report.served_requests;
+            shed += report.shed_requests;
+            failed += report.failed_requests;
+            routed_total += report.requests as u64;
+            within_sla += latencies.partition_point(|&l| l <= replica.scenario.sla_us()) as u64;
+            if report.makespan_us > makespan_us {
+                makespan_us = report.makespan_us;
+            }
+            all_latencies.extend_from_slice(&latencies);
+            replicas.push(FleetReplicaReport {
+                replica: r as u32,
+                group: replica.group,
+                device: replica.experiment.gpu().name.clone(),
+                devices: replica.experiment.cluster().num_devices() as u32,
+                routed_requests: report.requests,
+                active_from_us: replica.windows[0].0,
+                active_until_us: 0.0, // patched below once the makespan is known
+                report,
+            });
+        }
+        debug_assert_eq!(routed_total, self.requests as u64);
+        debug_assert_eq!(served + shed + failed, self.requests);
+
+        // Cost: each replica bills its devices over its live windows, a
+        // still-open window closing at the fleet makespan, and a drained
+        // replica whose routed work overran its drain point billing until
+        // its own last completion (the drain contract is not free).
+        let mut device_us = 0.0f64;
+        for entry in &mut replicas {
+            let replica = &pool[entry.replica as usize];
+            let mut active_until = entry.active_from_us;
+            let mut active_us = 0.0f64;
+            let last = replica.windows.len() - 1;
+            for (w, &(join, leave)) in replica.windows.iter().enumerate() {
+                let mut leave = if leave.is_finite() {
+                    leave
+                } else {
+                    makespan_us
+                };
+                if w == last && entry.report.makespan_us > leave {
+                    leave = entry.report.makespan_us;
+                }
+                active_us += leave - join;
+                active_until = leave;
+            }
+            entry.active_until_us = active_until;
+            device_us += entry.devices as f64 * active_us;
+        }
+
+        all_latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let served_f = served as f64;
+        let offered_f = self.requests as f64;
+        FleetReport {
+            workload: workload.dataset_label(),
+            scheme: scheme.paper_label(),
+            traffic: self.traffic.name().to_string(),
+            offered_qps: self.traffic.offered_qps(),
+            requests: self.requests,
+            seed: self.seed,
+            routing: routing.label(),
+            autoscale: autoscale.label(),
+            served_requests: served,
+            shed_requests: shed,
+            failed_requests: failed,
+            availability: served_f / offered_f,
+            achieved_qps: if makespan_us > 0.0 {
+                served_f / makespan_us * 1e6
+            } else {
+                0.0
+            },
+            goodput_qps: if makespan_us > 0.0 {
+                within_sla as f64 / makespan_us * 1e6
+            } else {
+                0.0
+            },
+            sla_attainment: within_sla as f64 / offered_f,
+            latency: if all_latencies.is_empty() {
+                LatencyStats::zeroed()
+            } else {
+                LatencyStats::from_sorted(&all_latencies)
+            },
+            makespan_us,
+            cost: FleetCost {
+                device_us,
+                device_hours: device_us / 3.6e9,
+            },
+            autoscale_events: events,
+            replicas,
+        }
+    }
+}
+
+/// The pricing experiment of one replica group: the group's experiment
+/// with the scenario's fault plan folded in, exactly the way
+/// [`ServingScenario::simulate`] prices — so fleet probes and replica
+/// pricing share cache cells with plain serving runs.
+fn pricing_experiment(group: &ReplicaGroup) -> Experiment {
+    pricing_experiment_parts(&group.experiment, &group.scenario)
+}
+
+fn pricing_experiment_parts(experiment: &Experiment, scenario: &ServingScenario) -> Experiment {
+    if scenario.faults().is_empty() {
+        experiment.clone()
+    } else {
+        experiment.clone().with_faults(scenario.faults().clone())
+    }
+}
+
+/// One replica's share of a fleet day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReplicaReport {
+    /// Pool index of the replica (stable across scale events).
+    pub replica: u32,
+    /// Index of the [`ReplicaGroup`] the replica was expanded from.
+    pub group: u32,
+    /// Root device name of the replica's deployment.
+    pub device: String,
+    /// Devices in the replica's cluster.
+    pub devices: u32,
+    /// Requests the router assigned to this replica.
+    pub routed_requests: u32,
+    /// When the replica first joined the live set, in microseconds.
+    pub active_from_us: f64,
+    /// When the replica's billing window closed: the fleet makespan for a
+    /// still-live replica, or the later of its drain point and its own
+    /// last completion for a drained one.
+    pub active_until_us: f64,
+    /// The replica's full serving report over its routed sub-trace.
+    pub report: ServingReport,
+}
+
+/// One autoscale action on the fleet timeline (holds are not recorded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleEvent {
+    /// Interval index (interval 0 starts at time zero).
+    pub interval: u32,
+    /// When the action took effect, in microseconds.
+    pub at_us: f64,
+    /// [`AutoscaleAction::name`] of the action (`"scale_out"` /
+    /// `"scale_in"`).
+    pub action: String,
+    /// Live replicas after the action.
+    pub live_replicas: u32,
+    /// The upcoming interval's mean offered rate, in requests per second.
+    pub offered_qps: f64,
+    /// Offered rate over live capacity at decision time.
+    pub utilization: f64,
+}
+
+/// The fleet's device-time bill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetCost {
+    /// Summed device-microseconds across replicas' live windows.
+    pub device_us: f64,
+    /// `device_us` in device-hours — the cost axis of the cost/SLA Pareto
+    /// frontier.
+    pub device_hours: f64,
+}
+
+/// The result of one [`Fleet::simulate`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Dataset label of the served workload.
+    pub workload: String,
+    /// Paper-style scheme label.
+    pub scheme: String,
+    /// Traffic-model name of the fleet-wide trace.
+    pub traffic: String,
+    /// Mean offered load in requests per second.
+    pub offered_qps: f64,
+    /// Requests the fleet-wide trace offered.
+    pub requests: u32,
+    /// Arrival-trace seed.
+    pub seed: u64,
+    /// [`RoutingPolicy::label`] of the routing policy.
+    pub routing: String,
+    /// [`AutoscalePolicy::label`] of the autoscale policy.
+    pub autoscale: String,
+    /// Requests that completed, summed over replicas.
+    pub served_requests: u32,
+    /// Requests shed by replicas' admission policies.
+    pub shed_requests: u32,
+    /// Requests lost to crashes and not recovered.
+    pub failed_requests: u32,
+    /// `served_requests / requests`, in `[0, 1]`.
+    pub availability: f64,
+    /// Requests per second completed over the fleet makespan.
+    pub achieved_qps: f64,
+    /// Requests per second completed *within* their replica's SLA over the
+    /// fleet makespan.
+    pub goodput_qps: f64,
+    /// Fraction of **offered** requests served within their replica's SLA,
+    /// in `[0, 1]` — the attainment axis of the cost/SLA Pareto frontier.
+    pub sla_attainment: f64,
+    /// Exact fleet-wide per-request latency distribution (merged over all
+    /// replicas' served requests).
+    pub latency: LatencyStats,
+    /// Completion time of the last batch on any replica, in microseconds
+    /// from the first arrival.
+    pub makespan_us: f64,
+    /// The device-time bill.
+    pub cost: FleetCost,
+    /// Scale-out/in actions in timeline order.
+    pub autoscale_events: Vec<AutoscaleEvent>,
+    /// Per-replica reports, in pool order (only replicas that were live at
+    /// some point appear).
+    pub replicas: Vec<FleetReplicaReport>,
+}
+
+impl FleetReport {
+    /// Serializes the report to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The report as a [`Json`] document.
+    pub fn to_json_value(&self) -> Json {
+        let mut doc = Json::object();
+        doc.set("schema", Json::Str(FLEET_REPORT_SCHEMA.to_string()));
+        doc.set("workload", Json::Str(self.workload.clone()));
+        doc.set("scheme", Json::Str(self.scheme.clone()));
+        doc.set("traffic", Json::Str(self.traffic.clone()));
+        doc.set("offered_qps", Json::Num(self.offered_qps));
+        doc.set("requests", Json::UInt(self.requests as u64));
+        doc.set("seed", Json::UInt(self.seed));
+        doc.set("routing", Json::Str(self.routing.clone()));
+        doc.set("autoscale", Json::Str(self.autoscale.clone()));
+        doc.set("served_requests", Json::UInt(self.served_requests as u64));
+        doc.set("shed_requests", Json::UInt(self.shed_requests as u64));
+        doc.set("failed_requests", Json::UInt(self.failed_requests as u64));
+        doc.set("availability", Json::Num(self.availability));
+        doc.set("achieved_qps", Json::Num(self.achieved_qps));
+        doc.set("goodput_qps", Json::Num(self.goodput_qps));
+        doc.set("sla_attainment", Json::Num(self.sla_attainment));
+        let mut latency = Json::object();
+        latency.set("p50_us", Json::Num(self.latency.p50_us));
+        latency.set("p95_us", Json::Num(self.latency.p95_us));
+        latency.set("p99_us", Json::Num(self.latency.p99_us));
+        latency.set("max_us", Json::Num(self.latency.max_us));
+        latency.set("mean_us", Json::Num(self.latency.mean_us));
+        doc.set("latency", latency);
+        doc.set("makespan_us", Json::Num(self.makespan_us));
+        let mut cost = Json::object();
+        cost.set("device_us", Json::Num(self.cost.device_us));
+        cost.set("device_hours", Json::Num(self.cost.device_hours));
+        doc.set("cost", cost);
+        doc.set(
+            "autoscale_events",
+            Json::Arr(
+                self.autoscale_events
+                    .iter()
+                    .map(|e| {
+                        let mut obj = Json::object();
+                        obj.set("interval", Json::UInt(e.interval as u64));
+                        obj.set("at_us", Json::Num(e.at_us));
+                        obj.set("action", Json::Str(e.action.clone()));
+                        obj.set("live_replicas", Json::UInt(e.live_replicas as u64));
+                        obj.set("offered_qps", Json::Num(e.offered_qps));
+                        obj.set("utilization", Json::Num(e.utilization));
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        doc.set(
+            "replicas",
+            Json::Arr(
+                self.replicas
+                    .iter()
+                    .map(|r| {
+                        let mut obj = Json::object();
+                        obj.set("replica", Json::UInt(r.replica as u64));
+                        obj.set("group", Json::UInt(r.group as u64));
+                        obj.set("device", Json::Str(r.device.clone()));
+                        obj.set("devices", Json::UInt(r.devices as u64));
+                        obj.set("routed_requests", Json::UInt(r.routed_requests as u64));
+                        obj.set("active_from_us", Json::Num(r.active_from_us));
+                        obj.set("active_until_us", Json::Num(r.active_until_us));
+                        obj.set("report", r.report.to_json_value());
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        doc
+    }
+
+    /// Parses a report back from [`FleetReport::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on syntax errors, a wrong `schema` tag, or
+    /// missing/mistyped fields.
+    pub fn from_json(text: &str) -> Result<FleetReport, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parses a report from an already-parsed [`Json`] document.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a wrong `schema` tag or missing fields.
+    pub fn from_json_value(doc: &Json) -> Result<FleetReport, JsonError> {
+        let schema = req_str(doc, "schema")?;
+        if schema != FLEET_REPORT_SCHEMA {
+            return Err(JsonError::schema(format!(
+                "unsupported fleet-report schema '{schema}'"
+            )));
+        }
+        let latency_doc = doc
+            .get("latency")
+            .ok_or_else(|| JsonError::schema("missing field 'latency'"))?;
+        let latency = LatencyStats {
+            p50_us: req_f64(latency_doc, "p50_us")?,
+            p95_us: req_f64(latency_doc, "p95_us")?,
+            p99_us: req_f64(latency_doc, "p99_us")?,
+            max_us: req_f64(latency_doc, "max_us")?,
+            mean_us: req_f64(latency_doc, "mean_us")?,
+        };
+        let cost_doc = doc
+            .get("cost")
+            .ok_or_else(|| JsonError::schema("missing field 'cost'"))?;
+        let cost = FleetCost {
+            device_us: req_f64(cost_doc, "device_us")?,
+            device_hours: req_f64(cost_doc, "device_hours")?,
+        };
+        let autoscale_events = doc
+            .get("autoscale_events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError::schema("field 'autoscale_events' is not an array"))?
+            .iter()
+            .map(|e| {
+                Ok(AutoscaleEvent {
+                    interval: req_u32(e, "interval")?,
+                    at_us: req_f64(e, "at_us")?,
+                    action: req_str(e, "action")?.to_string(),
+                    live_replicas: req_u32(e, "live_replicas")?,
+                    offered_qps: req_f64(e, "offered_qps")?,
+                    utilization: req_f64(e, "utilization")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let replicas = doc
+            .get("replicas")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError::schema("field 'replicas' is not an array"))?
+            .iter()
+            .map(|r| {
+                let report = r
+                    .get("report")
+                    .ok_or_else(|| JsonError::schema("missing field 'report'"))?;
+                Ok(FleetReplicaReport {
+                    replica: req_u32(r, "replica")?,
+                    group: req_u32(r, "group")?,
+                    device: req_str(r, "device")?.to_string(),
+                    devices: req_u32(r, "devices")?,
+                    routed_requests: req_u32(r, "routed_requests")?,
+                    active_from_us: req_f64(r, "active_from_us")?,
+                    active_until_us: req_f64(r, "active_until_us")?,
+                    report: ServingReport::from_json_value(report)?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(FleetReport {
+            workload: req_str(doc, "workload")?.to_string(),
+            scheme: req_str(doc, "scheme")?.to_string(),
+            traffic: req_str(doc, "traffic")?.to_string(),
+            offered_qps: req_f64(doc, "offered_qps")?,
+            requests: req_u32(doc, "requests")?,
+            seed: req_u64(doc, "seed")?,
+            routing: req_str(doc, "routing")?.to_string(),
+            autoscale: req_str(doc, "autoscale")?.to_string(),
+            served_requests: req_u32(doc, "served_requests")?,
+            shed_requests: req_u32(doc, "shed_requests")?,
+            failed_requests: req_u32(doc, "failed_requests")?,
+            availability: req_f64(doc, "availability")?,
+            achieved_qps: req_f64(doc, "achieved_qps")?,
+            goodput_qps: req_f64(doc, "goodput_qps")?,
+            sla_attainment: req_f64(doc, "sla_attainment")?,
+            latency,
+            makespan_us: req_f64(doc, "makespan_us")?,
+            cost,
+            autoscale_events,
+            replicas,
+        })
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} under {} across {} replica(s) via {}: p99 {:.1} us, {:.1}% SLA attainment, {:.4} device-hours",
+            self.workload,
+            self.scheme,
+            self.replicas.len(),
+            self.routing,
+            self.latency.p99_us,
+            self.sla_attainment * 100.0,
+            self.cost.device_hours
+        )
+    }
+}
+
+/// Indices of the Pareto-optimal `(device_hours, sla_attainment)` points:
+/// a point survives unless some other point costs no more AND attains no
+/// less, with at least one strict improvement. Returned ascending by cost
+/// (then by attainment, then by index, for determinism).
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            let (cost_i, sla_i) = points[i];
+            !points.iter().enumerate().any(|(j, &(cost_j, sla_j))| {
+                let dominates =
+                    cost_j <= cost_i && sla_j >= sla_i && (cost_j < cost_i || sla_j > sla_i);
+                // Of exact duplicates, only the first survives.
+                let duplicate = cost_j == cost_i && sla_j == sla_i && j < i;
+                dominates || duplicate
+            })
+        })
+        .collect();
+    frontier.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .expect("costs are finite")
+            .then(
+                points[a]
+                    .1
+                    .partial_cmp(&points[b].1)
+                    .expect("attainments are finite"),
+            )
+            .then(a.cmp(&b))
+    });
+    frontier
+}
+
+fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    doc.get(key)
+        .ok_or_else(|| JsonError::schema(format!("missing field '{key}'")))
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    req(doc, key)?
+        .as_str()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not a string")))
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, JsonError> {
+    req(doc, key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not a number")))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, JsonError> {
+    req(doc, key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not an unsigned integer")))
+}
+
+fn req_u32(doc: &Json, key: &str) -> Result<u32, JsonError> {
+    req(doc, key)?
+        .as_u32()
+        .ok_or_else(|| JsonError::schema(format!("field '{key}' is not a 32-bit unsigned integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::BatchingPolicy;
+    use dlrm::WorkloadScale;
+    use gpu_sim::GpuConfig;
+
+    fn test_workload() -> Workload {
+        Workload::stage(dlrm_datasets::AccessPattern::MedHot)
+    }
+
+    fn test_fleet(replicas: u32) -> Fleet {
+        let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(5_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(256);
+        Fleet::single(experiment, scenario.clone()).with_group(
+            ReplicaGroup::new(
+                Experiment::new(GpuConfig::test_small(), WorkloadScale::Test),
+                scenario,
+            )
+            .with_replicas(replicas),
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles_and_ties_break_low() {
+        let views: Vec<ReplicaView> = (0..3)
+            .map(|r| ReplicaView {
+                replica: r,
+                routed: 0,
+                outstanding: 0,
+                ewma_latency_us: 0.0,
+            })
+            .collect();
+        let rr = RoutingPolicy::round_robin();
+        let picks: Vec<usize> = (0..6).map(|c| rr.route(c, &views)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_picks_the_emptiest_replica() {
+        let mut views: Vec<ReplicaView> = (0..3)
+            .map(|r| ReplicaView {
+                replica: r,
+                routed: 0,
+                outstanding: 5,
+                ewma_latency_us: 0.0,
+            })
+            .collect();
+        views[1].outstanding = 2;
+        assert_eq!(RoutingPolicy::least_outstanding().route(0, &views), 1);
+        // Ties break to the earliest view.
+        views[2].outstanding = 2;
+        assert_eq!(RoutingPolicy::least_outstanding().route(0, &views), 1);
+    }
+
+    #[test]
+    fn latency_aware_picks_the_fastest_estimate() {
+        let mut views: Vec<ReplicaView> = (0..3)
+            .map(|r| ReplicaView {
+                replica: r,
+                routed: 0,
+                outstanding: 0,
+                ewma_latency_us: 900.0,
+            })
+            .collect();
+        views[2].ewma_latency_us = 450.0;
+        assert_eq!(RoutingPolicy::latency_aware(0.3).route(7, &views), 2);
+    }
+
+    #[test]
+    fn routing_policies_round_trip_through_json() {
+        for policy in [
+            RoutingPolicy::round_robin(),
+            RoutingPolicy::least_outstanding(),
+            RoutingPolicy::latency_aware(0.25),
+        ] {
+            let text = policy.to_json();
+            let back = RoutingPolicy::from_json(&text).unwrap();
+            assert_eq!(back, policy);
+            assert_eq!(back.to_json(), text);
+        }
+        assert!(RoutingPolicy::from_json("{\"ewma_alpha\":0.0,\"kind\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn autoscale_policies_round_trip_through_json() {
+        for policy in [
+            AutoscalePolicy::none(),
+            AutoscalePolicy::reactive(0.8, 0.3, 2, 1, 4),
+        ] {
+            let text = policy.to_json();
+            let back = AutoscalePolicy::from_json(&text).unwrap();
+            assert_eq!(back, policy);
+            assert_eq!(back.to_json(), text);
+        }
+    }
+
+    #[test]
+    fn autoscale_decisions_respect_thresholds_bounds_and_cooldown() {
+        let policy = AutoscalePolicy::reactive(0.8, 0.3, 2, 1, 4);
+        // Overloaded: scale out — unless cooling down or at the ceiling.
+        assert_eq!(
+            policy.decide(900.0, 1000.0, 2, 4, 0),
+            AutoscaleAction::ScaleOut
+        );
+        assert_eq!(policy.decide(900.0, 1000.0, 2, 4, 1), AutoscaleAction::Hold);
+        assert_eq!(policy.decide(900.0, 1000.0, 4, 4, 0), AutoscaleAction::Hold);
+        // The ceiling is also capped by the provisioned pool.
+        assert_eq!(policy.decide(900.0, 1000.0, 3, 3, 0), AutoscaleAction::Hold);
+        // Idle: scale in — but never below the floor.
+        assert_eq!(
+            policy.decide(100.0, 1000.0, 2, 4, 0),
+            AutoscaleAction::ScaleIn
+        );
+        assert_eq!(policy.decide(100.0, 1000.0, 1, 4, 0), AutoscaleAction::Hold);
+        // In-band utilization holds.
+        assert_eq!(policy.decide(500.0, 1000.0, 2, 4, 0), AutoscaleAction::Hold);
+        // The identity policy never acts.
+        assert_eq!(
+            AutoscalePolicy::none().decide(1e9, 1.0, 1, 4, 0),
+            AutoscaleAction::Hold
+        );
+    }
+
+    #[test]
+    fn fleet_specs_round_trip_through_json() {
+        let spec = FleetSpec::new()
+            .with_routing(RoutingPolicy::latency_aware(0.5))
+            .with_autoscale(AutoscalePolicy::reactive(0.9, 0.2, 1, 1, 8))
+            .with_interval_us(250_000.0);
+        let text = spec.to_json();
+        let back = FleetSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn identity_is_one_replica_with_identity_policies() {
+        let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(5_000.0),
+            BatchingPolicy::fixed_size(64),
+        )
+        .with_requests(8);
+        let fleet = Fleet::single(experiment, scenario);
+        assert!(fleet.is_identity());
+        assert!(!fleet
+            .clone()
+            .with_routing(RoutingPolicy::least_outstanding())
+            .is_identity());
+        assert!(!fleet
+            .clone()
+            .with_autoscale(AutoscalePolicy::reactive(0.8, 0.3, 1, 1, 2))
+            .is_identity());
+        assert!(!test_fleet(1).is_identity()); // two groups -> two replicas
+    }
+
+    #[test]
+    fn request_conservation_across_replicas() {
+        let fleet = test_fleet(2);
+        let report = fleet.simulate(&test_workload(), &Scheme::base());
+        let offered: u32 = report.replicas.iter().map(|r| r.routed_requests).sum();
+        assert_eq!(offered, fleet.requests());
+        assert_eq!(
+            report.served_requests + report.shed_requests + report.failed_requests,
+            fleet.requests()
+        );
+        assert_eq!(report.replicas.len(), 3);
+    }
+
+    #[test]
+    fn fleet_reports_are_deterministic() {
+        let fleet = test_fleet(2).with_routing(RoutingPolicy::least_outstanding());
+        let workload = test_workload();
+        let scheme = Scheme::combined();
+        let a = fleet.simulate(&workload, &scheme);
+        let b = fleet.simulate(&workload, &scheme);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn fleet_reports_round_trip_through_json() {
+        let fleet = test_fleet(2);
+        let report = fleet.simulate(&test_workload(), &Scheme::base());
+        let text = report.to_json();
+        let back = FleetReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+        // The schema tag is enforced.
+        let bad = text.replace(FLEET_REPORT_SCHEMA, "something/else");
+        assert!(FleetReport::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn pareto_frontier_drops_dominated_points() {
+        // (cost, attainment): point 1 dominates point 2 (cheaper, better);
+        // 0 and 3 trade off; 4 duplicates 1 and is dropped.
+        let points = [
+            (1.0, 0.50),
+            (2.0, 0.90),
+            (3.0, 0.80),
+            (4.0, 0.99),
+            (2.0, 0.90),
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 3]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

@@ -37,6 +37,14 @@
 //! load this deployment sustains. A single-request fixed-size scenario is
 //! bit-exact with the plain experiment run.
 //!
+//! The [`fleet`] module scales serving out once more: a [`Fleet`] routes a
+//! fleet-wide arrival trace across replica groups (each a [`ServingScenario`]
+//! over its own [`Cluster`], optionally with its own fault plan) with a pure
+//! [`RoutingPolicy`], resizes the live set with an [`AutoscalePolicy`]
+//! driven by [`max_sustainable_qps`], and aggregates a [`FleetReport`] with
+//! exact fleet-wide percentiles and a device-hours cost model. A 1-replica
+//! fleet under the identity spec is bit-exact with the scenario it wraps.
+//!
 //! The remaining modules supply the pieces experiments are made of:
 //!
 //! * [`Scheme`]: the plug-and-play optimization schemes the paper evaluates —
@@ -91,6 +99,7 @@ pub mod cache;
 pub mod campaign;
 pub mod dse;
 mod fingerprint;
+pub mod fleet;
 pub mod json;
 pub mod profiler;
 pub mod report;
@@ -106,6 +115,11 @@ pub use dse::{
     buffer_station_comparison, find_optimal_distance, find_optimal_multithreading,
     pooling_factor_sweep, prefetch_distance_sweep, register_sweep, DistanceSweepPoint,
     PoolingSweepPoint, RegisterSweepPoint, StationComparisonPoint, PAPER_WARP_SWEEP,
+};
+pub use fleet::{
+    pareto_frontier, AutoscaleAction, AutoscaleEvent, AutoscaleKind, AutoscalePolicy, Fleet,
+    FleetCost, FleetReplicaReport, FleetReport, FleetSpec, ReplicaGroup, ReplicaView, RoutingKind,
+    RoutingPolicy, FLEET_REPORT_SCHEMA,
 };
 pub use profiler::{ProfilerReport, ProfilingStep, StaticProfiler, WorkloadHint};
 pub use report::{

@@ -298,7 +298,13 @@ impl Experiment {
     /// which is what lets [`CampaignCache::save_to`] /
     /// [`CampaignCache::load_from`] reuse results between runs.
     pub(crate) fn cell_fingerprint(&self, workload: &Workload, scheme: &Scheme) -> String {
-        crate::fingerprint::cell_key(
+        self.cell_doc(workload, scheme).render()
+    }
+
+    /// The cell fingerprint as a [`Json`](crate::json::Json) document; the
+    /// fleet layer extends it with a `fleet` axis before rendering.
+    pub(crate) fn cell_doc(&self, workload: &Workload, scheme: &Scheme) -> crate::json::Json {
+        crate::fingerprint::cell_doc(
             &self.cluster,
             &self.model,
             self.scale.name(),
@@ -310,6 +316,15 @@ impl Experiment {
             workload,
             scheme,
         )
+    }
+
+    /// The canonical cache-cell key of this experiment for `workload` under
+    /// `scheme` — the same string [`CampaignCache`] keys cells by and
+    /// [`CampaignCache::save_to`] persists. Public so studies layered on
+    /// experiments (the fleet layer, cache-partitioning tests) can reason
+    /// about cell identity without running anything.
+    pub fn fingerprint(&self, workload: &Workload, scheme: &Scheme) -> String {
+        self.cell_fingerprint(workload, scheme)
     }
 
     /// Executes the cell unconditionally (the non-memoized path behind

@@ -321,9 +321,94 @@ impl ServingScenario {
         scheme: &Scheme,
     ) -> ServingReport {
         let arrivals = self.traffic.arrival_times_us(self.requests, self.seed);
+        self.simulate_trace(experiment, workload, scheme, &arrivals)
+            .0
+    }
+
+    /// The arrival-trace-driven core of [`ServingScenario::simulate`]: runs
+    /// the same dispatch loop over an explicit (ascending) arrival trace
+    /// instead of one generated from the scenario's own traffic model.
+    ///
+    /// This is what lets the fleet layer route one fleet-wide trace across
+    /// replicas and still inherit bit-exactness: when `arrivals` is exactly
+    /// `traffic.arrival_times_us(requests, seed)`, the returned report is
+    /// the [`simulate`](ServingScenario::simulate) report, bit for bit.
+    /// Also returns the sorted per-request latencies of the served
+    /// requests, so a caller merging several traces can compute exact
+    /// fleet-wide percentiles. An empty trace yields an idle report (zero
+    /// requests, zeroed latencies, full availability).
+    pub(crate) fn simulate_trace(
+        &self,
+        experiment: &Experiment,
+        workload: &Workload,
+        scheme: &Scheme,
+        arrivals: &[f64],
+    ) -> (ServingReport, Vec<f64>) {
         let num_devices = experiment.cluster().num_devices();
         let plan = &self.faults;
         plan.validate(num_devices);
+        if arrivals.is_empty() {
+            // An idle replica: nothing offered, so nothing served, shed or
+            // failed — availability is 1.0 by convention (no request was
+            // lost). Only the fleet layer can reach this branch;
+            // `with_requests` rejects zero-request scenarios.
+            let k = experiment.streams().streams();
+            let report = ServingReport {
+                workload: workload.dataset_label(),
+                scheme: scheme.paper_label(),
+                device: experiment.gpu().name.clone(),
+                scale: experiment.scale().name().to_string(),
+                seed: self.seed,
+                traffic: self.traffic.name().to_string(),
+                offered_qps: self.traffic.offered_qps(),
+                policy: self.policy.label(),
+                sla_us: self.sla_us,
+                requests: 0,
+                served_requests: 0,
+                shed_requests: 0,
+                failed_requests: 0,
+                retries: 0,
+                hedges: 0,
+                availability: 1.0,
+                goodput_qps: 0.0,
+                fault_events: plan
+                    .events()
+                    .iter()
+                    .map(|event| FaultTimelineEntry {
+                        event: event.label(),
+                        start_us: event.start_us(),
+                        end_us: event.end_us(),
+                        batches_affected: 0,
+                        requests_affected: 0,
+                    })
+                    .collect(),
+                batches: 0,
+                shapes: Vec::new(),
+                achieved_qps: 0.0,
+                latency: LatencyStats::zeroed(),
+                mean_batch_wait_us: 0.0,
+                mean_queue_wait_us: 0.0,
+                sla_violation_rate: 0.0,
+                utilization: (0..num_devices)
+                    .map(|d| DeviceUtilization {
+                        device: experiment.cluster().device(d).name.clone(),
+                        busy_us: 0.0,
+                        utilization: 0.0,
+                    })
+                    .collect(),
+                streams: k,
+                stream_utilization: (0..k)
+                    .map(|s| StreamUtilization {
+                        stream: s,
+                        busy_us: 0.0,
+                        batches: 0,
+                        utilization: 0.0,
+                    })
+                    .collect(),
+                makespan_us: 0.0,
+            };
+            return (report, Vec::new());
+        }
         let have_faults = !plan.is_empty();
         // Pricing inherits the fault plan so a resilience study's cells
         // never alias a fault-free study's in a persisted cache (the
@@ -436,7 +521,7 @@ impl ServingScenario {
             // the next fresh batch, whichever comes due sooner (among
             // retries, ties go to the oldest requests).
             let fresh = (first < arrivals.len())
-                .then(|| self.policy.form(&arrivals, first, stream_free[stream]));
+                .then(|| self.policy.form(arrivals, first, stream_free[stream]));
             let retry_idx = (0..pending.len()).min_by(|&a, &b| {
                 pending[a]
                     .ready_us
@@ -642,13 +727,14 @@ impl ServingScenario {
 
         let makespan_us = stream_free.iter().copied().fold(0.0f64, f64::max);
         let served = latencies.len() as u32;
-        debug_assert_eq!(served + shed_requests + failed_requests, self.requests);
+        let offered = arrivals.len() as u32;
+        debug_assert_eq!(served + shed_requests + failed_requests, offered);
         let served_f = served as f64;
         let violations = latencies.iter().filter(|&&l| l > self.sla_us).count();
         let mut sorted = latencies;
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
 
-        ServingReport {
+        let report = ServingReport {
             workload: workload.dataset_label(),
             scheme: scheme.paper_label(),
             device: experiment.gpu().name.clone(),
@@ -658,13 +744,13 @@ impl ServingScenario {
             offered_qps: self.traffic.offered_qps(),
             policy: self.policy.label(),
             sla_us: self.sla_us,
-            requests: self.requests,
+            requests: offered,
             served_requests: served,
             shed_requests,
             failed_requests,
             retries,
             hedges,
-            availability: served_f / self.requests as f64,
+            availability: served_f / offered as f64,
             goodput_qps: if makespan_us > 0.0 {
                 (served_f - violations as f64) / makespan_us * 1e6
             } else {
@@ -741,7 +827,8 @@ impl ServingScenario {
                 })
                 .collect(),
             makespan_us,
-        }
+        };
+        (report, sorted)
     }
 }
 

@@ -168,6 +168,38 @@ impl Cluster {
         Cluster::new(vec![gpu; n], interconnect)
     }
 
+    /// Replica-group preset: `devices` A100s on NVLink3 — the paper's
+    /// evaluation platform, and the default building block for
+    /// [`fleet`](crate::fleet) replica groups.
+    ///
+    /// # Panics
+    /// Panics if `devices` is zero.
+    pub fn a100_replica(devices: usize) -> Self {
+        Cluster::homogeneous(GpuConfig::a100(), devices, InterconnectConfig::nvlink3())
+    }
+
+    /// Replica-group preset: `devices` H100 NVLs on NVLink4 — the premium
+    /// fleet tier (faster devices and fabric, higher device-hour cost).
+    ///
+    /// # Panics
+    /// Panics if `devices` is zero.
+    pub fn h100_replica(devices: usize) -> Self {
+        Cluster::homogeneous(
+            GpuConfig::h100_nvl(),
+            devices,
+            InterconnectConfig::nvlink4(),
+        )
+    }
+
+    /// Replica-group preset: `devices` A100s over PCIe Gen4 — the budget
+    /// fleet tier (commodity hosts without an NVLink fabric).
+    ///
+    /// # Panics
+    /// Panics if `devices` is zero.
+    pub fn a100_pcie_replica(devices: usize) -> Self {
+        Cluster::homogeneous(GpuConfig::a100(), devices, InterconnectConfig::pcie_gen4())
+    }
+
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.devices.len()

@@ -127,10 +127,23 @@ fn campaign_parallel_beats_serial_wall_clock_at_test_scale() {
 }
 
 /// Acceptance check for parallel execution at Default scale (the original
-/// paper-sized grid). `#[ignore]`d because Default scale takes tens of
-/// seconds serially; run with `cargo test --release -- --ignored
-/// campaign_parallel`. The always-run Test-scale variant above covers the
-/// speedup path in normal CI runs.
+/// paper-sized grid). Deliberately kept `#[ignore]`d rather than promoted
+/// into the default suite, for two reasons:
+///
+/// * **Cost.** Default scale takes tens of seconds serially, which would
+///   dominate an otherwise sub-minute `cargo test` run.
+/// * **The `nproc = 1` caveat.** The wall-clock assertion is only
+///   meaningful on a multi-core host; [`assert_parallel_beats_serial`]
+///   degrades to a correctness-only check (returning `false`) when
+///   `available_parallelism` reports a single core, so promoting this test
+///   would buy nothing on constrained runners while still paying the
+///   Default-scale simulation cost twice.
+///
+/// It is still exercised on every push: CI runs it in a dedicated
+/// release-mode step on the (multi-core) hosted runners via
+/// `cargo test --release -q --test campaign_determinism -- --ignored`.
+/// Locally, run it the same way. The always-run Test-scale variant above
+/// covers the speedup path in ordinary `cargo test` invocations.
 #[test]
 #[ignore = "Default-scale wall-clock comparison; run explicitly with --ignored"]
 fn campaign_parallel_beats_serial_wall_clock() {

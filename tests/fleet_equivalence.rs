@@ -1,0 +1,403 @@
+//! The fleet layer's equivalence and invariant anchors.
+//!
+//! PR 10 lifts serving to fleet scale: replica groups behind a routing
+//! policy, autoscaling over the capacity search, and a device-hours cost
+//! model. Its contract, proven here end to end:
+//!
+//! * **Degenerate equivalence** — a 1-replica fleet with identity routing
+//!   (round-robin) and no autoscaling is **bit-exact** with
+//!   [`ServingScenario::simulate`], on both engine modes, sharded across a
+//!   multi-device cluster, K-streamed, and under a fault plan; and the
+//!   identity fleet's fingerprint is **byte-identical** to the plain
+//!   serving cell key, so a degenerate fleet shares persisted cache cells
+//!   with the scenario it wraps.
+//! * **Routing invariance** — every routing policy is a deterministic pure
+//!   decision function: fleet reports are identical across repeated runs
+//!   and across pricing thread counts.
+//! * **Request conservation** — every offered request is routed to exactly
+//!   one replica and accounted exactly once: summed over replicas,
+//!   `served + shed + failed = offered`.
+//! * **The drain contract** — scale-in only stops routing; with no faults
+//!   and no admission control an autoscaled fleet serves *every* offered
+//!   request even while replicas drain, so autoscaling never loses
+//!   in-flight work.
+//! * **Cross-replica cache sharing** — N identical replicas behind one
+//!   [`CampaignCache`] price each distinct batch shape exactly once.
+//!
+//! This suite runs in release mode in CI, including under
+//! `--features gpu-sim/contract-checks`.
+
+use dlrm::WorkloadScale;
+use dlrm_datasets::{AccessPattern, HeterogeneousMix, MixKind};
+use gpu_sim::{EngineMode, GpuConfig, StreamPartition};
+use perf_envelope::{
+    max_sustainable_qps, AutoscalePolicy, BatchingPolicy, CampaignCache, Cluster, Experiment,
+    FaultEvent, FaultPlan, Fleet, ReplicaGroup, RoutingPolicy, Scheme, ServingScenario,
+    ShardingSpec, StreamConfig, TrafficModel, Workload,
+};
+
+fn exp() -> Experiment {
+    Experiment::new(GpuConfig::test_small(), WorkloadScale::Test)
+}
+
+fn scenario() -> ServingScenario {
+    ServingScenario::new(
+        TrafficModel::poisson(20_000.0),
+        BatchingPolicy::fixed_size(64),
+    )
+    .with_requests(256)
+    .with_seed(0xA1)
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate equivalence: the 1-replica identity fleet IS the scenario
+// ---------------------------------------------------------------------------
+
+/// Asserts that the identity fleet over (`experiment`, `scenario`)
+/// reproduces `scenario.simulate(experiment, ..)` bit-for-bit, embedded
+/// report and aggregates alike.
+fn assert_identity_anchor(
+    experiment: &Experiment,
+    scenario: &ServingScenario,
+    workload: &Workload,
+    scheme: &Scheme,
+    label: &str,
+) {
+    let direct = scenario.simulate(experiment, workload, scheme);
+    let fleet = Fleet::single(experiment.clone(), scenario.clone());
+    assert!(fleet.is_identity());
+    let report = fleet.simulate(workload, scheme);
+
+    assert_eq!(report.replicas.len(), 1, "{label}: one replica expected");
+    let replica = &report.replicas[0];
+    assert_eq!(
+        replica.report, direct,
+        "{label}: the embedded replica report diverged from the scenario"
+    );
+    assert_eq!(replica.routed_requests, direct.requests);
+
+    // Fleet-level aggregates of a single replica collapse to the
+    // scenario's own numbers, to the bit.
+    assert_eq!(report.requests, direct.requests);
+    assert_eq!(report.served_requests, direct.served_requests);
+    assert_eq!(report.shed_requests, direct.shed_requests);
+    assert_eq!(report.failed_requests, direct.failed_requests);
+    for (name, got, want) in [
+        ("availability", report.availability, direct.availability),
+        ("achieved_qps", report.achieved_qps, direct.achieved_qps),
+        ("makespan", report.makespan_us, direct.makespan_us),
+        ("p50", report.latency.p50_us, direct.latency.p50_us),
+        ("p95", report.latency.p95_us, direct.latency.p95_us),
+        ("p99", report.latency.p99_us, direct.latency.p99_us),
+        ("max", report.latency.max_us, direct.latency.max_us),
+        ("mean", report.latency.mean_us, direct.latency.mean_us),
+    ] {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{label}: fleet {name} diverged from the scenario: {got} vs {want}"
+        );
+    }
+    assert!(report.autoscale_events.is_empty());
+}
+
+#[test]
+fn identity_fleet_is_bit_exact_on_both_engine_modes() {
+    let workload = Workload::stage(AccessPattern::MedHot);
+    for mode in [EngineMode::EventDriven, EngineMode::CycleAccurate] {
+        assert_identity_anchor(
+            &exp().with_engine_mode(mode),
+            &scenario(),
+            &workload,
+            &Scheme::combined(),
+            mode.name(),
+        );
+    }
+}
+
+#[test]
+fn identity_fleet_is_bit_exact_on_a_sharded_cluster() {
+    let workload = Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02))
+        .with_sharding(ShardingSpec::RoundRobin);
+    let experiment = exp().with_cluster(Cluster::homogeneous(
+        GpuConfig::test_small(),
+        2,
+        perf_envelope::InterconnectConfig::nvlink3(),
+    ));
+    assert_identity_anchor(
+        &experiment,
+        &scenario(),
+        &workload,
+        &Scheme::combined(),
+        "sharded",
+    );
+}
+
+#[test]
+fn identity_fleet_is_bit_exact_under_concurrent_streams() {
+    let experiment = exp().with_streams(StreamConfig::new(2, StreamPartition::Interleaved));
+    assert_identity_anchor(
+        &experiment,
+        &scenario(),
+        &Workload::stage(AccessPattern::HighHot),
+        &Scheme::optmt(),
+        "K=2 streams",
+    );
+}
+
+#[test]
+fn identity_fleet_is_bit_exact_under_a_fault_plan() {
+    let faulted = scenario().with_faults(FaultPlan::new(vec![
+        FaultEvent::straggler(0, 2_000.0, 6_000.0, 2.0),
+        FaultEvent::crash(0, 9_000.0, 9_500.0),
+    ]));
+    assert_identity_anchor(
+        &exp(),
+        &faulted,
+        &Workload::stage(AccessPattern::MedHot),
+        &Scheme::base(),
+        "faulted",
+    );
+}
+
+#[test]
+fn identity_fleet_fingerprint_is_byte_identical_to_the_serving_cell_key() {
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let scheme = Scheme::combined();
+    let fleet = Fleet::single(exp(), scenario());
+    assert_eq!(
+        fleet.fingerprint(&workload, &scheme),
+        exp().fingerprint(&workload, &scheme),
+        "the identity fleet must share cache cells with the plain experiment"
+    );
+
+    // With a fault plan the identity fleet keys like the faulted pricing
+    // experiment — exactly what serving dispatch prices through.
+    let plan = FaultPlan::new(vec![FaultEvent::straggler(0, 0.0, 1_000.0, 1.5)]);
+    let faulted_fleet = Fleet::single(exp(), scenario().with_faults(plan.clone()));
+    assert_eq!(
+        faulted_fleet.fingerprint(&workload, &scheme),
+        exp().with_faults(plan).fingerprint(&workload, &scheme),
+    );
+
+    // Any non-identity axis partitions the key away from the plain cell.
+    let plain = exp().fingerprint(&workload, &scheme);
+    let routed = Fleet::single(exp(), scenario())
+        .with_routing(RoutingPolicy::least_outstanding())
+        .fingerprint(&workload, &scheme);
+    let scaled = Fleet::single(exp(), scenario())
+        .with_autoscale(AutoscalePolicy::reactive(0.8, 0.3, 1, 1, 1))
+        .fingerprint(&workload, &scheme);
+    let multi = Fleet::single(exp(), scenario())
+        .with_group(ReplicaGroup::new(exp(), scenario()))
+        .fingerprint(&workload, &scheme);
+    assert_ne!(routed, plain);
+    assert_ne!(scaled, plain);
+    assert_ne!(multi, plain);
+    assert_ne!(routed, scaled);
+}
+
+// ---------------------------------------------------------------------------
+// Routing: determinism and thread-count invariance
+// ---------------------------------------------------------------------------
+
+fn three_replica_fleet(routing: RoutingPolicy, threads: usize) -> Fleet {
+    let experiment = exp().with_threads(threads);
+    Fleet::new(TrafficModel::bursty(40_000.0, 24), 512, 0xB2)
+        .with_routing(routing)
+        .with_group(ReplicaGroup::new(experiment.clone(), scenario()).with_replicas(2))
+        .with_group(ReplicaGroup::new(
+            experiment.with_streams(StreamConfig::new(2, StreamPartition::Interleaved)),
+            ServingScenario::new(
+                TrafficModel::poisson(20_000.0),
+                BatchingPolicy::adaptive(16, 96),
+            ),
+        ))
+}
+
+#[test]
+fn routing_is_deterministic_and_thread_count_invariant() {
+    let workload = Workload::stage(HeterogeneousMix::paper_mix(MixKind::Mix2, 0.02));
+    let scheme = Scheme::combined();
+    for routing in [
+        RoutingPolicy::round_robin(),
+        RoutingPolicy::least_outstanding(),
+        RoutingPolicy::latency_aware(0.3),
+    ] {
+        let serial = three_replica_fleet(routing, 1).simulate(&workload, &scheme);
+        let repeat = three_replica_fleet(routing, 1).simulate(&workload, &scheme);
+        let parallel = three_replica_fleet(routing, 4).simulate(&workload, &scheme);
+        assert_eq!(serial, repeat, "{} must be deterministic", routing.label());
+        assert_eq!(
+            serial,
+            parallel,
+            "{} must not depend on the pricing thread count",
+            routing.label()
+        );
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+}
+
+#[test]
+fn distinct_routing_policies_spread_load_differently_but_conserve_requests() {
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let scheme = Scheme::base();
+    for routing in [
+        RoutingPolicy::round_robin(),
+        RoutingPolicy::least_outstanding(),
+        RoutingPolicy::latency_aware(0.3),
+    ] {
+        let fleet = three_replica_fleet(routing, 1);
+        let report = fleet.simulate(&workload, &scheme);
+        let routed: u32 = report.replicas.iter().map(|r| r.routed_requests).sum();
+        assert_eq!(routed, fleet.requests(), "{}", routing.label());
+        assert_eq!(
+            report.served_requests + report.shed_requests + report.failed_requests,
+            fleet.requests(),
+            "{}",
+            routing.label()
+        );
+        assert_eq!(report.replicas.len(), 3);
+        for replica in &report.replicas {
+            assert!(
+                replica.routed_requests > 0,
+                "{}: replica {} starved",
+                routing.label(),
+                replica.replica
+            );
+        }
+    }
+}
+
+#[test]
+fn request_conservation_holds_under_per_replica_faults() {
+    // A heterogeneous fleet where one replica group crashes mid-day:
+    // failed requests appear, yet the fleet-wide ledger still adds up.
+    // Timing is anchored the PR 8 way: bursts land whole batches at known
+    // instants, and the crash window is expressed in measured service
+    // times, so the faulted replica's first batch is provably in flight
+    // when the crash strikes.
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let scheme = Scheme::combined();
+    let s = exp().with_batch_size(32).run(&workload, &scheme).latency_us;
+    // Three replicas round-robin a burst of 96: the faulted one gets 32
+    // requests at t = 0 — exactly one batch, in flight over [0, s).
+    let faulted = ServingScenario::new(
+        TrafficModel::bursty(30_000.0, 96),
+        BatchingPolicy::fixed_size(32),
+    )
+    .with_faults(FaultPlan::new(vec![FaultEvent::crash(0, 0.5 * s, 2.5 * s)]));
+    let fleet = Fleet::new(TrafficModel::bursty(30_000.0, 96), 384, 0xC3)
+        .with_routing(RoutingPolicy::round_robin())
+        .with_group(ReplicaGroup::new(exp(), scenario()).with_replicas(2))
+        .with_group(ReplicaGroup::new(exp(), faulted));
+    let report = fleet.simulate(&workload, &scheme);
+    assert!(report.failed_requests > 0, "the crash must cost requests");
+    assert_eq!(
+        report.served_requests + report.shed_requests + report.failed_requests,
+        fleet.requests()
+    );
+    assert!(report.availability < 1.0);
+    let routed: u32 = report.replicas.iter().map(|r| r.routed_requests).sum();
+    assert_eq!(routed, fleet.requests());
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaling: the drain contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn autoscaling_never_loses_in_flight_work() {
+    // Thresholds are anchored to the measured single-replica capacity so
+    // the diurnal day deterministically forces both directions: peaks
+    // overload one replica (scale-out), troughs idle the grown fleet
+    // (scale-in, draining the leaver).
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let scheme = Scheme::combined();
+    let template = scenario();
+    let capacity = max_sustainable_qps(&exp(), &workload, &scheme, &template).max_qps;
+    assert!(capacity > 0.0, "the test deployment must sustain some load");
+
+    // Size the period so the 2048-request day spans about two diurnal
+    // cycles at the mean rate, whatever the absolute capacity is, and cut
+    // each cycle into ~10 decision intervals.
+    let requests = 2_048u32;
+    let mean_qps = (1.5 * capacity + 0.05 * capacity) / 2.0;
+    let period_s = requests as f64 / mean_qps / 2.0;
+    let interval_us = period_s * 1e6 / 10.0;
+    let traffic = TrafficModel::diurnal(1.5 * capacity, 0.05 * capacity, period_s);
+    let fleet = Fleet::new(traffic, requests, 0xD4)
+        .with_group(ReplicaGroup::new(exp(), template).with_replicas(3))
+        .with_autoscale(AutoscalePolicy::reactive(0.8, 0.3, 0, 1, 3))
+        .with_interval_us(interval_us);
+    let report = fleet.simulate(&workload, &scheme);
+
+    let outs = report
+        .autoscale_events
+        .iter()
+        .filter(|e| e.action == "scale_out")
+        .count();
+    let ins = report
+        .autoscale_events
+        .iter()
+        .filter(|e| e.action == "scale_in")
+        .count();
+    assert!(outs > 0, "the diurnal peak must force a scale-out");
+    assert!(ins > 0, "the diurnal trough must force a scale-in");
+
+    // The drain contract, end to end: no faults, no admission control —
+    // so if draining lost work, served would fall short of offered.
+    assert_eq!(report.served_requests, fleet.requests());
+    assert_eq!(report.shed_requests, 0);
+    assert_eq!(report.failed_requests, 0);
+    assert_eq!(report.availability, 1.0);
+
+    // Every replica that ever went live accounts for all its routed
+    // requests, drained or not.
+    let routed: u32 = report.replicas.iter().map(|r| r.routed_requests).sum();
+    assert_eq!(routed, fleet.requests());
+    for replica in &report.replicas {
+        assert_eq!(replica.report.served_requests, replica.routed_requests);
+        assert!(replica.active_until_us >= replica.active_from_us);
+    }
+
+    // A drained replica bills through its last completion, never less.
+    let drained = report
+        .replicas
+        .iter()
+        .find(|r| r.active_until_us < report.makespan_us)
+        .expect("a scale-in must leave at least one drained replica");
+    assert!(drained.active_until_us >= drained.report.makespan_us);
+
+    // Autoscaling is deterministic too.
+    let again = fleet.simulate(&workload, &scheme);
+    assert_eq!(again, report);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-replica cache sharing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn identical_replicas_price_each_distinct_shape_once() {
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let scheme = Scheme::combined();
+    let misses_for = |replicas: u32| -> (u64, u64) {
+        let cache = CampaignCache::new();
+        let fleet = Fleet::new(TrafficModel::poisson(20_000.0), 300, 0xE5)
+            .with_group(ReplicaGroup::new(exp(), scenario()).with_replicas(replicas))
+            .with_cache(cache.clone());
+        fleet.simulate(&workload, &scheme);
+        (cache.misses(), cache.hits())
+    };
+    let (misses_one, _) = misses_for(1);
+    let (misses_three, hits_three) = misses_for(3);
+    assert_eq!(
+        misses_three, misses_one,
+        "N identical replicas must price each distinct shape exactly once"
+    );
+    assert!(
+        hits_three > 0,
+        "replicas 2 and 3 must serve their pricing from the shared cache"
+    );
+}

@@ -17,11 +17,12 @@ use gpu_sim::StreamPartition;
 use gpu_sim::{GpuConfig, KernelLaunch, KernelStats};
 use perf_envelope::json::Json;
 use perf_envelope::{
-    AdmissionPolicy, BatchShapeStats, BatchingPolicy, CampaignCache, ClusterBreakdown,
-    DeviceBreakdown, DeviceUtilization, EndToEndBreakdown, Experiment, FaultEvent, FaultPlan,
-    FaultTimelineEntry, LatencyStats, RetryPolicy, RunReport, Scheme, ServingReport,
-    ServingScenario, StreamConfig, StreamUtilization, TableBreakdown, TrafficModel, Workload,
-    WorkloadKind,
+    AdmissionPolicy, AutoscaleEvent, AutoscalePolicy, BatchShapeStats, BatchingPolicy,
+    CampaignCache, ClusterBreakdown, DeviceBreakdown, DeviceUtilization, EndToEndBreakdown,
+    Experiment, FaultEvent, FaultPlan, FaultTimelineEntry, Fleet, FleetCost, FleetReplicaReport,
+    FleetReport, FleetSpec, LatencyStats, RetryPolicy, RoutingPolicy, RunReport, Scheme,
+    ServingReport, ServingScenario, StreamConfig, StreamUtilization, TableBreakdown, TrafficModel,
+    Workload, WorkloadKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -540,79 +541,268 @@ fn faulted_serving_reports_are_deterministic() {
     });
 }
 
+/// An arbitrary well-formed serving report (including the PR 6 stream
+/// block) drawn from a [`Cases`] generator.
+fn arbitrary_serving_report(g: &mut Cases) -> ServingReport {
+    let streams = g.range(1, 8) as u32;
+    let stream_utilization: Vec<StreamUtilization> = (0..streams)
+        .map(|stream| StreamUtilization {
+            stream,
+            busy_us: g.latency_us(),
+            batches: g.range(0, 1000) as u32,
+            utilization: g.range(0, 1025) as f64 / 1024.0,
+        })
+        .collect();
+    ServingReport {
+        workload: format!("mix-{}", g.range(0, 100)),
+        scheme: "RPF+L2P".to_string(),
+        device: "Test GPU".to_string(),
+        scale: "test".to_string(),
+        seed: g.next_u64(),
+        traffic: "poisson".to_string(),
+        offered_qps: g.latency_us(),
+        policy: "fixed_size(64)".to_string(),
+        sla_us: g.latency_us(),
+        requests: g.range(1, 10_000) as u32,
+        served_requests: g.range(1, 10_000) as u32,
+        shed_requests: g.range(0, 100) as u32,
+        failed_requests: g.range(0, 100) as u32,
+        retries: g.range(0, 16) as u32,
+        hedges: g.range(0, 16) as u32,
+        availability: g.range(0, 1025) as f64 / 1024.0,
+        goodput_qps: g.latency_us(),
+        fault_events: (0..g.range(0, 3))
+            .map(|i| FaultTimelineEntry {
+                event: format!("crash(dev{i}, 10us..20us)"),
+                start_us: g.latency_us(),
+                end_us: g.latency_us(),
+                batches_affected: g.range(0, 100) as u32,
+                requests_affected: g.range(0, 1_000) as u32,
+            })
+            .collect(),
+        batches: g.range(1, 1_000) as u32,
+        shapes: vec![BatchShapeStats {
+            shape: 1 << g.range(0, 9),
+            batches: g.range(1, 1_000) as u32,
+            latency_us: g.latency_us(),
+        }],
+        achieved_qps: g.latency_us(),
+        latency: LatencyStats {
+            p50_us: g.latency_us(),
+            p95_us: g.latency_us(),
+            p99_us: g.latency_us(),
+            max_us: g.latency_us(),
+            mean_us: g.latency_us(),
+        },
+        mean_batch_wait_us: g.latency_us(),
+        mean_queue_wait_us: g.latency_us(),
+        sla_violation_rate: g.range(0, 1025) as f64 / 1024.0,
+        utilization: vec![DeviceUtilization {
+            device: "Test GPU".to_string(),
+            busy_us: g.latency_us(),
+            utilization: g.range(0, 1025) as f64 / 1024.0,
+        }],
+        streams,
+        stream_utilization,
+        makespan_us: g.latency_us(),
+    }
+}
+
 #[test]
 fn serving_reports_with_stream_utilization_round_trip() {
     // Arbitrary well-formed serving reports — including the PR 6 stream
     // block — survive the JSON round trip bit-for-bit with canonical
     // rendering.
     check("serving_reports_with_stream_utilization_round_trip", |g| {
-        let streams = g.range(1, 8) as u32;
-        let stream_utilization: Vec<StreamUtilization> = (0..streams)
-            .map(|stream| StreamUtilization {
-                stream,
-                busy_us: g.latency_us(),
-                batches: g.range(0, 1000) as u32,
-                utilization: g.range(0, 1025) as f64 / 1024.0,
-            })
-            .collect();
-        let report = ServingReport {
-            workload: format!("mix-{}", g.range(0, 100)),
-            scheme: "RPF+L2P".to_string(),
-            device: "Test GPU".to_string(),
-            scale: "test".to_string(),
-            seed: g.next_u64(),
-            traffic: "poisson".to_string(),
-            offered_qps: g.latency_us(),
-            policy: "fixed_size(64)".to_string(),
-            sla_us: g.latency_us(),
-            requests: g.range(1, 10_000) as u32,
-            served_requests: g.range(1, 10_000) as u32,
-            shed_requests: g.range(0, 100) as u32,
-            failed_requests: g.range(0, 100) as u32,
-            retries: g.range(0, 16) as u32,
-            hedges: g.range(0, 16) as u32,
-            availability: g.range(0, 1025) as f64 / 1024.0,
-            goodput_qps: g.latency_us(),
-            fault_events: (0..g.range(0, 3))
-                .map(|i| FaultTimelineEntry {
-                    event: format!("crash(dev{i}, 10us..20us)"),
-                    start_us: g.latency_us(),
-                    end_us: g.latency_us(),
-                    batches_affected: g.range(0, 100) as u32,
-                    requests_affected: g.range(0, 1_000) as u32,
-                })
-                .collect(),
-            batches: g.range(1, 1_000) as u32,
-            shapes: vec![BatchShapeStats {
-                shape: 1 << g.range(0, 9),
-                batches: g.range(1, 1_000) as u32,
-                latency_us: g.latency_us(),
-            }],
-            achieved_qps: g.latency_us(),
-            latency: LatencyStats {
-                p50_us: g.latency_us(),
-                p95_us: g.latency_us(),
-                p99_us: g.latency_us(),
-                max_us: g.latency_us(),
-                mean_us: g.latency_us(),
-            },
-            mean_batch_wait_us: g.latency_us(),
-            mean_queue_wait_us: g.latency_us(),
-            sla_violation_rate: g.range(0, 1025) as f64 / 1024.0,
-            utilization: vec![DeviceUtilization {
-                device: "Test GPU".to_string(),
-                busy_us: g.latency_us(),
-                utilization: g.range(0, 1025) as f64 / 1024.0,
-            }],
-            streams,
-            stream_utilization,
-            makespan_us: g.latency_us(),
-        };
+        let report = arbitrary_serving_report(g);
         let text = report.to_json();
         let back = ServingReport::from_json(&text).expect("serving JSON parses back");
         assert_eq!(back, report, "round trip must be lossless");
         assert_eq!(back.to_json(), text, "rendering must be canonical");
         assert_eq!(back.stream_utilization.len(), back.streams as usize);
+    });
+}
+
+/// An arbitrary valid routing policy drawn from a [`Cases`] generator.
+fn arbitrary_routing_policy(g: &mut Cases) -> RoutingPolicy {
+    match g.range(0, 3) {
+        0 => RoutingPolicy::round_robin(),
+        1 => RoutingPolicy::least_outstanding(),
+        _ => RoutingPolicy::latency_aware(g.range(1, 1025) as f64 / 1024.0),
+    }
+}
+
+/// An arbitrary valid autoscale policy drawn from a [`Cases`] generator.
+fn arbitrary_autoscale_policy(g: &mut Cases) -> AutoscalePolicy {
+    if g.range(0, 4) == 0 {
+        return AutoscalePolicy::none();
+    }
+    let scale_in = g.range(1, 512) as f64 / 1024.0;
+    let scale_out = scale_in + g.range(1, 2048) as f64 / 1024.0;
+    let min = g.range(1, 4) as u32;
+    let max = min + g.range(0, 4) as u32;
+    AutoscalePolicy::reactive(scale_out, scale_in, g.range(0, 8) as u32, min, max)
+}
+
+#[test]
+fn routing_policies_round_trip_canonically() {
+    // Every constructible routing policy — including the EWMA smoothing
+    // factor of the latency-aware one — survives the JSON round trip
+    // exactly and renders canonically.
+    check("routing_policies_round_trip_canonically", |g| {
+        let policy = arbitrary_routing_policy(g);
+        let text = policy.to_json();
+        let back = RoutingPolicy::from_json(&text).expect("routing JSON parses back");
+        assert_eq!(back, policy, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+        assert_eq!(back.label(), policy.label());
+        assert_eq!(back.is_identity(), policy.is_identity());
+    });
+}
+
+#[test]
+fn autoscale_policies_round_trip_canonically() {
+    // Every constructible autoscale policy — static provisioning and
+    // arbitrary valid reactive thresholds — survives the JSON round trip
+    // exactly and renders canonically.
+    check("autoscale_policies_round_trip_canonically", |g| {
+        let policy = arbitrary_autoscale_policy(g);
+        let text = policy.to_json();
+        let back = AutoscalePolicy::from_json(&text).expect("autoscale JSON parses back");
+        assert_eq!(back, policy, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+        assert_eq!(back.is_none(), policy.is_none());
+        assert_eq!(back.label(), policy.label());
+    });
+}
+
+#[test]
+fn fleet_specs_round_trip_canonically() {
+    // Arbitrary fleet specs — any routing × autoscale × decision interval
+    // — survive the JSON round trip exactly, render canonically, and
+    // preserve the identity predicate the degenerate fleet anchor leans on.
+    check("fleet_specs_round_trip_canonically", |g| {
+        let spec = FleetSpec::new()
+            .with_routing(arbitrary_routing_policy(g))
+            .with_autoscale(arbitrary_autoscale_policy(g))
+            .with_interval_us(g.range(1, 160_000_000) as f64 / 16.0);
+        let text = spec.to_json();
+        let back = FleetSpec::from_json(&text).expect("fleet-spec JSON parses back");
+        assert_eq!(back, spec, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+        assert_eq!(back.is_identity(), spec.is_identity());
+    });
+}
+
+#[test]
+fn fleet_fingerprints_partition_the_campaign_cache() {
+    // The 1-replica identity fleet reuses the plain serving cell key
+    // byte-for-byte (persisted campaigns stay warm under the fleet layer);
+    // every non-identity routing policy keys a distinct cell of its own.
+    check("fleet_fingerprints_partition_the_campaign_cache", |g| {
+        let experiment = Experiment::new(GpuConfig::test_small(), WorkloadScale::Test);
+        let scenario = ServingScenario::new(
+            TrafficModel::poisson(g.range(1_000, 50_000) as f64),
+            BatchingPolicy::fixed_size(1 << g.range(3, 7)),
+        )
+        .with_requests(g.range(32, 512) as u32)
+        .with_seed(g.next_u64());
+        let workload = Workload::kernel(g.pattern());
+        let scheme = Scheme::base();
+        let plain = experiment.fingerprint(&workload, &scheme);
+
+        let identity = Fleet::single(experiment.clone(), scenario);
+        assert!(identity.is_identity());
+        assert_eq!(
+            identity.fingerprint(&workload, &scheme),
+            plain,
+            "the identity fleet must reuse the plain serving cell key"
+        );
+
+        let outstanding = identity
+            .clone()
+            .with_routing(RoutingPolicy::least_outstanding())
+            .fingerprint(&workload, &scheme);
+        let aware = identity
+            .clone()
+            .with_routing(RoutingPolicy::latency_aware(
+                g.range(1, 1025) as f64 / 1024.0,
+            ))
+            .fingerprint(&workload, &scheme);
+        assert_ne!(outstanding, plain, "routed fleets must key distinct cells");
+        assert_ne!(aware, plain, "routed fleets must key distinct cells");
+        assert_ne!(
+            outstanding, aware,
+            "distinct routing policies must key distinct cells"
+        );
+    });
+}
+
+#[test]
+fn fleet_reports_round_trip_bit_for_bit() {
+    // Arbitrary well-formed fleet reports — autoscale timeline, cost
+    // block, embedded per-replica serving reports — survive the JSON
+    // round trip bit-for-bit with canonical rendering, with every
+    // fleet-level float drawn from the full finite f64 space (negative
+    // zero, subnormals, extreme exponents).
+    check("fleet_reports_round_trip_bit_for_bit", |g| {
+        let replicas: Vec<FleetReplicaReport> = (0..g.range(1, 4))
+            .map(|i| FleetReplicaReport {
+                replica: i as u32,
+                group: g.range(0, 3) as u32,
+                device: "Test GPU".to_string(),
+                devices: g.range(1, 5) as u32,
+                routed_requests: g.range(0, 10_000) as u32,
+                active_from_us: g.finite_f64(),
+                active_until_us: g.finite_f64(),
+                report: arbitrary_serving_report(g),
+            })
+            .collect();
+        let report = FleetReport {
+            workload: format!("mix-{}", g.range(0, 100)),
+            scheme: "RPF+L2P+OptMT".to_string(),
+            traffic: "diurnal".to_string(),
+            offered_qps: g.finite_f64(),
+            requests: g.range(1, 100_000) as u32,
+            seed: g.next_u64(),
+            routing: arbitrary_routing_policy(g).label(),
+            autoscale: arbitrary_autoscale_policy(g).label(),
+            served_requests: g.range(0, 100_000) as u32,
+            shed_requests: g.range(0, 100) as u32,
+            failed_requests: g.range(0, 100) as u32,
+            availability: g.finite_f64(),
+            achieved_qps: g.finite_f64(),
+            goodput_qps: g.finite_f64(),
+            sla_attainment: g.finite_f64(),
+            latency: LatencyStats {
+                p50_us: g.finite_f64(),
+                p95_us: g.finite_f64(),
+                p99_us: g.finite_f64(),
+                max_us: g.finite_f64(),
+                mean_us: g.finite_f64(),
+            },
+            makespan_us: g.finite_f64(),
+            cost: FleetCost {
+                device_us: g.finite_f64(),
+                device_hours: g.finite_f64(),
+            },
+            autoscale_events: (0..g.range(0, 4))
+                .map(|interval| AutoscaleEvent {
+                    interval: interval as u32,
+                    at_us: g.finite_f64(),
+                    action: "scale_out".to_string(),
+                    live_replicas: g.range(1, 8) as u32,
+                    offered_qps: g.finite_f64(),
+                    utilization: g.finite_f64(),
+                })
+                .collect(),
+            replicas,
+        };
+        let text = report.to_json();
+        let back = FleetReport::from_json(&text).expect("fleet JSON parses back");
+        assert_eq!(back, report, "round trip must be lossless");
+        assert_eq!(back.to_json(), text, "rendering must be canonical");
+        assert_eq!(back.replicas.len(), report.replicas.len());
     });
 }
 

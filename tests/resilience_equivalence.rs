@@ -271,3 +271,125 @@ fn fixed_retries_win_back_the_crashed_batch() {
     assert_eq!(report.availability, 1.0);
     assert_eq!(report.batches, 4, "the retry is a fourth launch");
 }
+
+// ---------------------------------------------------------------------------
+// Window-boundary edge cases (PR 10): half-open semantics under composition
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_opening_exactly_at_a_drain_boundary_defers_without_killing() {
+    // Drain [1.5s, 3s) flows directly into crash [3s, 4s): the deferred
+    // batch chains through BOTH windows (the fixed point of
+    // next-dispatch), and because it starts exactly AT the crash opening
+    // — not strictly after it — the half-open kill test must spare it.
+    // Nothing is lost; the whole queue just waits out the outage.
+    let s = service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let report = burst_scenario(32, 96)
+        .with_faults(FaultPlan::new(vec![
+            FaultEvent::drain(0, 1.5 * s, 3.0 * s),
+            FaultEvent::crash(0, 3.0 * s, 4.0 * s),
+        ]))
+        .simulate(&exp(), &workload, &Scheme::base());
+    // Batch 1 runs [0, s); batch 2 starts at s, before the drain opens,
+    // and runs [s, 2s); batch 3 is ready at 2s inside the drain, defers to
+    // its end 3s, lands exactly on the crash opening, and defers again to
+    // 4s — where it runs to completion untouched.
+    assert_eq!(report.failed_requests, 0, "a boundary crash kills nothing");
+    assert_eq!(report.served_requests, 96);
+    assert_eq!(report.availability, 1.0);
+    assert_eq!(report.batches, 3, "no batch is ever re-dispatched");
+    assert_eq!(
+        report.makespan_us.to_bits(),
+        (4.0 * s + s).to_bits(),
+        "the last batch must start exactly at the crash recovery"
+    );
+    // The timeline charges both windows with the batch they deferred.
+    assert_eq!(report.fault_events.len(), 2);
+    for entry in &report.fault_events {
+        assert_eq!(entry.batches_affected, 1, "{}", entry.event);
+        assert_eq!(entry.requests_affected, 32, "{}", entry.event);
+    }
+}
+
+#[test]
+fn overlapping_stragglers_on_one_device_compose_multiplicatively() {
+    // Two stragglers sharing a window on the same device must behave
+    // exactly like one straggler with the product factor — to the bit.
+    let s = service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let composed = burst_scenario(32, 96)
+        .with_faults(FaultPlan::new(vec![
+            FaultEvent::straggler(0, 0.0, 10.0 * s, 2.0),
+            FaultEvent::straggler(0, 0.0, 10.0 * s, 3.0),
+        ]))
+        .simulate(&exp(), &workload, &Scheme::base());
+    let single = burst_scenario(32, 96)
+        .with_faults(FaultPlan::new(vec![FaultEvent::straggler(
+            0,
+            0.0,
+            10.0 * s,
+            6.0,
+        )]))
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(composed.served_requests, single.served_requests);
+    assert_eq!(composed.batches, single.batches);
+    for (name, got, want) in [
+        ("p50", composed.latency.p50_us, single.latency.p50_us),
+        ("p99", composed.latency.p99_us, single.latency.p99_us),
+        ("max", composed.latency.max_us, single.latency.max_us),
+        ("mean", composed.latency.mean_us, single.latency.mean_us),
+        ("makespan", composed.makespan_us, single.makespan_us),
+    ] {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "overlapping 2x·3x stragglers diverged from a single 6x on {name}: {got} vs {want}"
+        );
+    }
+    // Slowdown genuinely happened versus the healthy run.
+    let healthy = burst_scenario(32, 96).simulate(&exp(), &workload, &Scheme::base());
+    assert!(composed.makespan_us > healthy.makespan_us);
+}
+
+#[test]
+fn hedge_duplicates_landing_in_a_second_crash_window_are_lost_too() {
+    // One batch, one stream. Crash A kills the primary; the hedge fires,
+    // defers past crash A's recovery — and a second crash opens mid-flight
+    // of the duplicate. Both attempts die: hedging only helps when some
+    // window is clear, and the ledger must show the batch as failed, not
+    // double-counted.
+    let s = service_us(32);
+    let workload = Workload::stage(AccessPattern::MedHot);
+    let crashes = FaultPlan::new(vec![
+        FaultEvent::crash(0, 0.5 * s, 2.0 * s),
+        FaultEvent::crash(0, 2.5 * s, 4.0 * s),
+    ]);
+    let report = burst_scenario(32, 32)
+        .with_faults(crashes.clone())
+        .with_retry(RetryPolicy::hedged(1.5))
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(report.hedges, 1, "the killed primary must trigger a hedge");
+    assert_eq!(report.failed_requests, 32, "the batch fails exactly once");
+    assert_eq!(report.served_requests, 0);
+    assert_eq!(report.availability, 0.0);
+    assert_eq!(report.batches, 2, "primary launch plus hedge launch");
+    // The second crash window is charged with the duplicate it killed.
+    let second = report
+        .fault_events
+        .iter()
+        .find(|e| e.start_us == 2.5 * s)
+        .expect("the second crash appears on the timeline");
+    assert_eq!(second.batches_affected, 1);
+    assert_eq!(second.requests_affected, 32);
+
+    // Control: with only the first crash, the same hedge wins the batch
+    // back — proving it was the second window that killed the duplicate.
+    let recovered = burst_scenario(32, 32)
+        .with_faults(FaultPlan::new(vec![FaultEvent::crash(0, 0.5 * s, 2.0 * s)]))
+        .with_retry(RetryPolicy::hedged(1.5))
+        .simulate(&exp(), &workload, &Scheme::base());
+    assert_eq!(recovered.failed_requests, 0);
+    assert_eq!(recovered.served_requests, 32);
+    assert_eq!(recovered.hedges, 1);
+}
